@@ -1,0 +1,67 @@
+// Fault tolerance (paper Section III.A): a broken accelerator does not take
+// its compute node down. The job detects the ECC failure, reports the
+// device to the resource manager, acquires a healthy replacement, and
+// finishes its work.
+//
+//   $ ./examples/fault_tolerance
+#include <cstdio>
+
+#include "core/api.hpp"
+#include "rt/cluster.hpp"
+#include "util/units.hpp"
+
+using namespace dacc;
+
+int main() {
+  rt::ClusterConfig config;
+  config.compute_nodes = 1;
+  config.accelerators = 2;
+  rt::Cluster cluster(config);
+
+  // The first accelerator dies 5 ms into the run.
+  cluster.break_accelerator(0, 5_ms);
+
+  rt::JobSpec job;
+  job.name = "resilient";
+  job.body = [](rt::JobContext& ctx) {
+    auto acs = ctx.session().acquire(1, /*wait=*/true);
+    core::Accelerator* ac = acs[0];
+    std::printf("working on accelerator (daemon rank %d)\n",
+                ac->daemon_rank());
+
+    const std::int64_t n = 1 << 18;
+    const auto bytes = static_cast<std::uint64_t>(n) * 8;
+    int completed = 0;
+    gpu::DevPtr p = ac->mem_alloc(bytes);
+    for (int round = 0; round < 40; ++round) {
+      try {
+        ac->launch("fill_f64", {}, {p, n, static_cast<double>(round)});
+        (void)ac->memcpy_d2h(p, bytes);
+        ++completed;
+      } catch (const core::AcError& e) {
+        std::printf(
+            "round %d: accelerator failed (%s) at t=%.2f ms — compute node "
+            "unaffected\n",
+            round, gpu::to_string(e.code()), to_ms(ctx.ctx().now()));
+        // Tell the ARM, drop the lease, get a healthy replacement.
+        ctx.session().arm().report_broken(ac->daemon_rank());
+        ctx.session().release(ac);
+        auto replacement = ctx.session().acquire(1, /*wait=*/true);
+        ac = replacement[0];
+        p = ac->mem_alloc(bytes);
+        std::printf("resumed on replacement accelerator (daemon rank %d)\n",
+                    ac->daemon_rank());
+      }
+    }
+    std::printf("completed %d/40 rounds; final check: ", completed);
+    auto out = ac->memcpy_d2h(p, bytes);
+    std::printf("%s\n", out.as<double>()[0] == 39.0 ? "PASSED" : "FAILED");
+  };
+  cluster.submit(job);
+  cluster.run();
+
+  const auto stats = cluster.arm().stats();
+  std::printf("pool at end: %u broken, %u free of %u\n", stats.broken,
+              stats.free, stats.total);
+  return 0;
+}

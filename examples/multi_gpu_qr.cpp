@@ -1,0 +1,64 @@
+// Multi-GPU QR factorization: the paper's headline use case (Section V.B).
+// A single compute node factors a matrix with 1, 2, and 3 network-attached
+// GPUs — without any MPI parallelism in the application — and checks the
+// result against the host reference.
+//
+//   $ ./examples/multi_gpu_qr
+#include <cstdio>
+
+#include "la/factorizations.hpp"
+#include "la/lapack.hpp"
+#include "rt/cluster.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+using namespace dacc;
+
+int main() {
+  const int n = 96;
+  const int nb = 32;
+
+  for (int g = 1; g <= 3; ++g) {
+    rt::ClusterConfig config;
+    config.compute_nodes = 1;
+    config.accelerators = 3;
+    config.registry = la::la_registry();
+    rt::Cluster cluster(config);
+
+    rt::JobSpec job;
+    job.name = "qr";
+    job.accelerators_per_rank = static_cast<std::uint32_t>(g);
+    job.body = [&, g](rt::JobContext& ctx) {
+      std::vector<std::unique_ptr<core::RemoteDeviceLink>> links;
+      std::vector<core::DeviceLink*> gpus;
+      for (std::size_t i = 0; i < ctx.session().size(); ++i) {
+        links.push_back(std::make_unique<core::RemoteDeviceLink>(
+            ctx.session()[i], ctx.ctx()));
+        gpus.push_back(links.back().get());
+      }
+
+      util::Rng rng(2024);
+      la::HostMatrix a(n, n);
+      a.fill_random(rng);
+      la::HostMatrix original = a;
+
+      std::vector<double> tau;
+      const la::FactorResult r =
+          dgeqrf_hybrid(ctx.ctx(), gpus, a, nb, la::LaParams{}, &tau);
+
+      const double resid = la::qr_residual(original, a, tau);
+      std::printf(
+          "QR %dx%d on %d network-attached GPU(s): %6.2f ms simulated, "
+          "||A - QR||_max = %.2e  %s\n",
+          n, n, g, to_ms(r.factor_time), resid,
+          resid < 1e-10 * n ? "OK" : "FAIL");
+    };
+    cluster.submit(job);
+    cluster.run();
+  }
+  std::printf(
+      "\nNote: at this toy size more GPUs do not help (fixed overheads\n"
+      "dominate); run bench/fig09_qr for the paper-scale sweep where three\n"
+      "remote GPUs reach ~2.2x one local GPU.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: the paper's Listing 2 on a simulated dynamic accelerator
+// cluster — allocate device memory on a network-attached accelerator, copy
+// data to it, run a kernel, copy the result back.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/api.hpp"
+#include "rt/cluster.hpp"
+#include "util/units.hpp"
+
+using namespace dacc;
+
+int main() {
+  // A cluster with 2 compute nodes and 3 network-attached accelerators
+  // (plus the accelerator resource manager), all simulated.
+  rt::ClusterConfig config;
+  config.compute_nodes = 2;
+  config.accelerators = 3;
+  rt::Cluster cluster(config);
+
+  rt::JobSpec job;
+  job.name = "quickstart";
+  job.accelerators_per_rank = 1;  // static assignment at job start
+  job.body = [](rt::JobContext& ctx) {
+    core::Accelerator& ac = ctx.session()[0];
+    std::printf("assigned accelerator: daemon rank %d (%s)\n",
+                ac.daemon_rank(), ac.info().name.c_str());
+
+    const std::int64_t n = 1 << 20;
+    const auto bytes = static_cast<std::uint64_t>(n) * sizeof(double);
+    std::vector<double> x(static_cast<std::size_t>(n));
+    std::vector<double> y(static_cast<std::size_t>(n));
+    std::iota(x.begin(), x.end(), 0.0);
+    std::fill(y.begin(), y.end(), 1.0);
+
+    // Listing 2, step by step.
+    const gpu::DevPtr dx = ac.mem_alloc(bytes);            // acMemAlloc
+    const gpu::DevPtr dy = ac.mem_alloc(bytes);
+    const SimTime t0 = ctx.ctx().now();
+    ac.memcpy_h2d(dx, util::Buffer::of<double>(             // acMemCpy
+                          std::span<const double>(x)));
+    ac.memcpy_h2d(dy, util::Buffer::of<double>(
+                          std::span<const double>(y)));
+    std::printf("H2D: 2 x %llu MiB at %.0f MiB/s effective\n",
+                static_cast<unsigned long long>(bytes / 1_MiB),
+                mib_per_s(2 * bytes, ctx.ctx().now() - t0));
+
+    core::Kernel k = ac.kernel_create("daxpy");            // acKernelCreate
+    k.set_args({n, 2.0, dx, dy});                          // acKernelSetArgs
+    k.run();                                               // acKernelRun
+
+    util::Buffer out = ac.memcpy_d2h(dy, bytes);           // acMemCpy
+    ac.mem_free(dx);                                       // acMemFree
+    ac.mem_free(dy);
+
+    // y := 1 + 2 * iota  — verify a few entries.
+    auto v = out.as<double>();
+    bool ok = true;
+    for (std::int64_t i = 0; i < n; i += n / 7) {
+      ok = ok && v[static_cast<std::size_t>(i)] ==
+                     1.0 + 2.0 * static_cast<double>(i);
+    }
+    std::printf("result check: %s\n", ok ? "PASSED" : "FAILED");
+    std::printf("simulated time so far: %.2f ms\n",
+                to_ms(ctx.ctx().now()));
+  };
+  cluster.submit(job);
+  cluster.run();
+
+  const auto stats = cluster.arm().stats();
+  std::printf("pool after job: %u total, %u free (auto-released)\n",
+              stats.total, stats.free);
+  return 0;
+}

@@ -1,0 +1,360 @@
+#include "arm/arm.hpp"
+
+#include "proto/wire.hpp"
+
+namespace dacc::arm {
+
+using proto::WireReader;
+using proto::WireWriter;
+
+const char* to_string(ArmResult r) {
+  switch (r) {
+    case ArmResult::kOk:
+      return "ok";
+    case ArmResult::kInsufficient:
+      return "insufficient accelerators";
+    case ArmResult::kUnknownHandle:
+      return "unknown handle";
+    case ArmResult::kNotOwner:
+      return "not the owner";
+  }
+  return "unknown";
+}
+
+Arm::Arm(dmpi::World& world, dmpi::Rank self_world_rank,
+         std::vector<AcceleratorInfo> pool, QueuePolicy policy)
+    : world_(world), self_(self_world_rank), policy_(policy) {
+  slots_.reserve(pool.size());
+  for (AcceleratorInfo& info : pool) {
+    Slot s;
+    s.info = std::move(info);
+    slots_.push_back(std::move(s));
+  }
+}
+
+std::uint32_t Arm::free_count(const std::string& kind) const {
+  std::uint32_t n = 0;
+  for (const Slot& s : slots_) {
+    if (s.state == State::kFree && (kind.empty() || s.info.kind == kind)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Arm::Slot* Arm::find_slot(dmpi::Rank daemon_rank) {
+  for (Slot& s : slots_) {
+    if (s.info.daemon_rank == daemon_rank) return &s;
+  }
+  return nullptr;
+}
+
+void Arm::release_slot(Slot& slot, SimTime now) {
+  slot.assigned_total += now - slot.assigned_since;
+  slot.state = State::kFree;
+  slot.job = 0;
+  slot.lease_id = 0;
+}
+
+bool Arm::try_grant(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
+                    std::uint64_t job, std::uint32_t count,
+                    const std::string& kind, SimTime now) {
+  if (free_count(kind) < count) return false;
+  WireWriter resp;
+  resp.u32(static_cast<std::uint32_t>(ArmResult::kOk)).u32(count);
+  std::uint32_t granted = 0;
+  for (Slot& s : slots_) {
+    if (granted == count) break;
+    if (s.state != State::kFree) continue;
+    if (!kind.empty() && s.info.kind != kind) continue;
+    s.state = State::kAssigned;
+    s.job = job;
+    s.lease_id = next_lease_++;
+    s.assigned_since = now;
+    resp.u64(static_cast<std::uint64_t>(s.info.daemon_rank)).u64(s.lease_id);
+    ++granted;
+  }
+  acquisitions_ += count;
+  mpi.send(world_.world_comm(), client, reply_tag, resp.finish());
+  return true;
+}
+
+void Arm::handle_acquire(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
+                         std::uint64_t job, std::uint32_t count,
+                         const std::string& kind, bool wait, SimTime now) {
+  if (try_grant(mpi, client, reply_tag, job, count, kind, now)) return;
+  if (wait) {
+    queue_.push_back(PendingAcquire{client, reply_tag, job, count, kind});
+    return;
+  }
+  mpi.send(world_.world_comm(), client, reply_tag,
+           WireWriter{}
+               .u32(static_cast<std::uint32_t>(ArmResult::kInsufficient))
+               .u32(0)
+               .finish());
+}
+
+void Arm::drain_queue(dmpi::Mpi& mpi, SimTime now) {
+  if (policy_ == QueuePolicy::kFcfs) {
+    // Strict FCFS: the head request blocks everything behind it, like a
+    // batch queue without backfill.
+    while (!queue_.empty()) {
+      const PendingAcquire& head = queue_.front();
+      if (!try_grant(mpi, head.client, head.reply_tag, head.job, head.count,
+                     head.kind, now)) {
+        return;
+      }
+      queue_.pop_front();
+    }
+    return;
+  }
+  // Backfill: serve any satisfiable request, preserving relative order
+  // among the ones that fit (EASY-style, without reservations).
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (try_grant(mpi, it->client, it->reply_tag, it->job, it->count,
+                  it->kind, now)) {
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Arm::run(sim::Context& ctx) {
+  dmpi::Mpi mpi(world_, ctx, self_);
+  const dmpi::Comm& comm = world_.world_comm();
+  for (;;) {
+    dmpi::Status st;
+    WireReader req(mpi.recv(comm, dmpi::kAnySource, kArmRequestTag, &st));
+    // Bookkeeping cost of one management request.
+    ctx.wait_for(1'000);
+    const ArmOp op = static_cast<ArmOp>(req.u32());
+    const int reply_tag = static_cast<int>(req.u32());
+    switch (op) {
+      case ArmOp::kAcquire: {
+        const std::uint64_t job = req.u64();
+        const std::uint32_t count = req.u32();
+        const bool wait = req.u32() != 0;
+        const std::string kind = req.str();
+        handle_acquire(mpi, st.source, reply_tag, job, count, kind, wait,
+                       ctx.now());
+        break;
+      }
+      case ArmOp::kRelease: {
+        const std::uint64_t job = req.u64();
+        const auto rank = static_cast<dmpi::Rank>(req.u64());
+        const std::uint64_t lease_id = req.u64();
+        ArmResult r = ArmResult::kOk;
+        Slot* slot = find_slot(rank);
+        if (slot == nullptr || slot->state != State::kAssigned ||
+            slot->lease_id != lease_id) {
+          r = ArmResult::kUnknownHandle;
+        } else if (slot->job != job) {
+          r = ArmResult::kNotOwner;
+        } else {
+          release_slot(*slot, ctx.now());
+        }
+        mpi.send(comm, st.source, reply_tag,
+                 WireWriter{}.u32(static_cast<std::uint32_t>(r)).finish());
+        drain_queue(mpi, ctx.now());
+        break;
+      }
+      case ArmOp::kReleaseJob: {
+        const std::uint64_t job = req.u64();
+        for (Slot& s : slots_) {
+          if (s.state == State::kAssigned && s.job == job) {
+            release_slot(s, ctx.now());
+          }
+        }
+        mpi.send(comm, st.source, reply_tag,
+                 WireWriter{}
+                     .u32(static_cast<std::uint32_t>(ArmResult::kOk))
+                     .finish());
+        drain_queue(mpi, ctx.now());
+        break;
+      }
+      case ArmOp::kReportBroken: {
+        const auto rank = static_cast<dmpi::Rank>(req.u64());
+        Slot* slot = find_slot(rank);
+        ArmResult r = ArmResult::kOk;
+        if (slot == nullptr) {
+          r = ArmResult::kUnknownHandle;
+        } else {
+          if (slot->state == State::kAssigned) {
+            slot->assigned_total += ctx.now() - slot->assigned_since;
+          }
+          slot->state = State::kBroken;
+          slot->job = 0;
+        }
+        mpi.send(comm, st.source, reply_tag,
+                 WireWriter{}.u32(static_cast<std::uint32_t>(r)).finish());
+        break;
+      }
+      case ArmOp::kStats: {
+        const PoolStats s = stats();
+        mpi.send(comm, st.source, reply_tag,
+                 WireWriter{}
+                     .u32(static_cast<std::uint32_t>(ArmResult::kOk))
+                     .u32(s.total)
+                     .u32(s.free)
+                     .u32(s.assigned)
+                     .u32(s.broken)
+                     .u64(s.acquisitions)
+                     .u32(s.queued_requests)
+                     .finish());
+        break;
+      }
+      case ArmOp::kShutdown:
+        mpi.send(comm, st.source, reply_tag,
+                 WireWriter{}
+                     .u32(static_cast<std::uint32_t>(ArmResult::kOk))
+                     .finish());
+        return;
+    }
+  }
+}
+
+PoolStats Arm::stats() const {
+  PoolStats s;
+  s.total = static_cast<std::uint32_t>(slots_.size());
+  for (const Slot& slot : slots_) {
+    switch (slot.state) {
+      case State::kFree:
+        ++s.free;
+        break;
+      case State::kAssigned:
+        ++s.assigned;
+        break;
+      case State::kBroken:
+        ++s.broken;
+        break;
+    }
+  }
+  s.acquisitions = acquisitions_;
+  s.queued_requests = static_cast<std::uint32_t>(queue_.size());
+  return s;
+}
+
+std::vector<double> Arm::utilization(SimTime now) const {
+  std::vector<double> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    SimDuration busy = s.assigned_total;
+    if (s.state == State::kAssigned) busy += now - s.assigned_since;
+    out.push_back(now == 0 ? 0.0
+                           : static_cast<double>(busy) /
+                                 static_cast<double>(now));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ArmClient
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Process-wide reply-tag source. The simulation is effectively
+/// single-threaded (baton-passed), so a plain counter is race-free.
+int fresh_reply_tag() {
+  static int counter = 0;
+  return kArmReplyTagBase + (counter++ % 1'000'000);
+}
+
+}  // namespace
+
+std::vector<Lease> ArmClient::acquire(std::uint64_t job, std::uint32_t count,
+                                      bool wait, const std::string& kind) {
+  const int reply_tag = fresh_reply_tag();
+  mpi_.send(comm_, arm_, kArmRequestTag,
+            WireWriter{}
+                .u32(static_cast<std::uint32_t>(ArmOp::kAcquire))
+                .u32(static_cast<std::uint32_t>(reply_tag))
+                .u64(job)
+                .u32(count)
+                .u32(wait ? 1 : 0)
+                .str(kind)
+                .finish());
+  WireReader resp(mpi_.recv(comm_, arm_, reply_tag));
+  const auto result = static_cast<ArmResult>(resp.u32());
+  const std::uint32_t granted = resp.u32();
+  std::vector<Lease> leases;
+  if (result != ArmResult::kOk) return leases;
+  leases.reserve(granted);
+  for (std::uint32_t i = 0; i < granted; ++i) {
+    Lease l;
+    l.daemon_rank = static_cast<dmpi::Rank>(resp.u64());
+    l.lease_id = resp.u64();
+    leases.push_back(l);
+  }
+  return leases;
+}
+
+ArmResult ArmClient::release(std::uint64_t job, const Lease& lease) {
+  const int reply_tag = fresh_reply_tag();
+  mpi_.send(comm_, arm_, kArmRequestTag,
+            WireWriter{}
+                .u32(static_cast<std::uint32_t>(ArmOp::kRelease))
+                .u32(static_cast<std::uint32_t>(reply_tag))
+                .u64(job)
+                .u64(static_cast<std::uint64_t>(lease.daemon_rank))
+                .u64(lease.lease_id)
+                .finish());
+  return static_cast<ArmResult>(
+      WireReader(mpi_.recv(comm_, arm_, reply_tag)).u32());
+}
+
+ArmResult ArmClient::release_job(std::uint64_t job) {
+  const int reply_tag = fresh_reply_tag();
+  mpi_.send(comm_, arm_, kArmRequestTag,
+            WireWriter{}
+                .u32(static_cast<std::uint32_t>(ArmOp::kReleaseJob))
+                .u32(static_cast<std::uint32_t>(reply_tag))
+                .u64(job)
+                .finish());
+  return static_cast<ArmResult>(
+      WireReader(mpi_.recv(comm_, arm_, reply_tag)).u32());
+}
+
+ArmResult ArmClient::report_broken(dmpi::Rank daemon_rank) {
+  const int reply_tag = fresh_reply_tag();
+  mpi_.send(comm_, arm_, kArmRequestTag,
+            WireWriter{}
+                .u32(static_cast<std::uint32_t>(ArmOp::kReportBroken))
+                .u32(static_cast<std::uint32_t>(reply_tag))
+                .u64(static_cast<std::uint64_t>(daemon_rank))
+                .finish());
+  return static_cast<ArmResult>(
+      WireReader(mpi_.recv(comm_, arm_, reply_tag)).u32());
+}
+
+PoolStats ArmClient::stats() {
+  const int reply_tag = fresh_reply_tag();
+  mpi_.send(comm_, arm_, kArmRequestTag,
+            WireWriter{}
+                .u32(static_cast<std::uint32_t>(ArmOp::kStats))
+                .u32(static_cast<std::uint32_t>(reply_tag))
+                .finish());
+  WireReader resp(mpi_.recv(comm_, arm_, reply_tag));
+  (void)resp.u32();  // ArmResult::kOk
+  PoolStats s;
+  s.total = resp.u32();
+  s.free = resp.u32();
+  s.assigned = resp.u32();
+  s.broken = resp.u32();
+  s.acquisitions = resp.u64();
+  s.queued_requests = resp.u32();
+  return s;
+}
+
+void ArmClient::shutdown() {
+  const int reply_tag = fresh_reply_tag();
+  mpi_.send(comm_, arm_, kArmRequestTag,
+            WireWriter{}
+                .u32(static_cast<std::uint32_t>(ArmOp::kShutdown))
+                .u32(static_cast<std::uint32_t>(reply_tag))
+                .finish());
+  (void)mpi_.recv(comm_, arm_, reply_tag);
+}
+
+}  // namespace dacc::arm

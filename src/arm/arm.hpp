@@ -1,0 +1,168 @@
+// Accelerator Resource Manager (ARM).
+//
+// The ARM is the paper's pool manager (Section III.B.2): it "maintains
+// information on which accelerators are available or in use and assigns them
+// to compute nodes upon request", with exclusive handles so "different
+// processes do not interfere with each other". It supports both assignment
+// strategies of Figure 3: static (acquired at job start by the launcher) and
+// dynamic (acquired and released at runtime through the resource-management
+// API). Acquisitions that cannot be satisfied may either fail immediately or
+// queue FCFS until accelerators are released — the batch-script behaviour
+// Section V.B describes.
+//
+// Fault tolerance (Section III.A): an accelerator reported broken is removed
+// from the pool; compute nodes are unaffected, and subsequent acquisitions
+// simply never see it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "dmpi/mpi.hpp"
+#include "util/units.hpp"
+
+namespace dacc::arm {
+
+/// Tags for ARM traffic on the middleware communicator. Requests carry a
+/// per-request reply tag (>= kArmReplyTagBase) so that several clients
+/// sharing one rank endpoint (a job launcher and a running session, say)
+/// can never receive each other's responses.
+inline constexpr int kArmRequestTag = 200;
+inline constexpr int kArmReplyTagBase = 2'000'000;
+
+enum class ArmOp : std::uint32_t {
+  kAcquire = 1,
+  kRelease = 2,
+  kReleaseJob = 3,
+  kReportBroken = 4,
+  kStats = 5,
+  kShutdown = 6,
+};
+
+enum class ArmResult : std::uint32_t {
+  kOk = 0,
+  kInsufficient = 1,   ///< not enough free accelerators (non-waiting mode)
+  kUnknownHandle = 2,
+  kNotOwner = 3,
+};
+
+const char* to_string(ArmResult r);
+
+/// One accelerator as the ARM sees it.
+struct AcceleratorInfo {
+  dmpi::Rank daemon_rank = -1;
+  std::string device_name;
+  std::string kind = "gpu";  ///< constraint key for heterogeneous pools
+};
+
+/// An exclusive lease on one accelerator, identified by the daemon's world
+/// rank; the lease id guards against stale releases.
+struct Lease {
+  dmpi::Rank daemon_rank = -1;
+  std::uint64_t lease_id = 0;
+};
+
+struct PoolStats {
+  std::uint32_t total = 0;
+  std::uint32_t free = 0;
+  std::uint32_t assigned = 0;
+  std::uint32_t broken = 0;
+  std::uint64_t acquisitions = 0;
+  std::uint32_t queued_requests = 0;
+};
+
+class Arm {
+ public:
+  /// How queued (waiting) acquisitions are served when accelerators free up.
+  enum class QueuePolicy {
+    kFcfs,      ///< strict order: the head request blocks everything behind
+    kBackfill,  ///< any satisfiable queued request may run (EASY-style)
+  };
+
+  Arm(dmpi::World& world, dmpi::Rank self_world_rank,
+      std::vector<AcceleratorInfo> pool,
+      QueuePolicy policy = QueuePolicy::kFcfs);
+
+  /// Service loop; runs until a kShutdown request arrives (or forever as an
+  /// engine daemon).
+  void run(sim::Context& ctx);
+
+  /// Direct (in-process) views for experiment harnesses.
+  PoolStats stats() const;
+  /// Fraction of [0, now] each accelerator spent assigned; index = pool slot.
+  std::vector<double> utilization(SimTime now) const;
+
+ private:
+  enum class State { kFree, kAssigned, kBroken };
+  struct Slot {
+    AcceleratorInfo info;
+    State state = State::kFree;
+    std::uint64_t job = 0;
+    std::uint64_t lease_id = 0;
+    SimTime assigned_since = 0;
+    SimDuration assigned_total = 0;
+  };
+  struct PendingAcquire {
+    dmpi::Rank client = -1;
+    int reply_tag = 0;
+    std::uint64_t job = 0;
+    std::uint32_t count = 0;
+    std::string kind;  ///< empty = any
+  };
+
+  void handle_acquire(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
+                      std::uint64_t job, std::uint32_t count,
+                      const std::string& kind, bool wait, SimTime now);
+  bool try_grant(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
+                 std::uint64_t job, std::uint32_t count,
+                 const std::string& kind, SimTime now);
+  void drain_queue(dmpi::Mpi& mpi, SimTime now);
+  std::uint32_t free_count(const std::string& kind) const;
+  Slot* find_slot(dmpi::Rank daemon_rank);
+  void release_slot(Slot& slot, SimTime now);
+
+  dmpi::World& world_;
+  dmpi::Rank self_;
+  QueuePolicy policy_;
+  std::vector<Slot> slots_;
+  std::deque<PendingAcquire> queue_;
+  std::uint64_t next_lease_ = 1;
+  std::uint64_t acquisitions_ = 0;
+};
+
+/// Front-end side of the ARM protocol: the paper's resource-management API.
+class ArmClient {
+ public:
+  ArmClient(dmpi::Mpi& mpi, const dmpi::Comm& comm, dmpi::Rank arm_rank)
+      : mpi_(mpi), comm_(comm), arm_(arm_rank) {}
+
+  /// Acquires `count` exclusive accelerators for `job`. With wait == false,
+  /// returns an empty vector if the pool cannot satisfy the request; with
+  /// wait == true, blocks until it can (order per the ARM's queue policy).
+  /// A non-empty `kind` restricts the grant to that device class
+  /// (heterogeneous pools: "gpu", "mic", ...).
+  std::vector<Lease> acquire(std::uint64_t job, std::uint32_t count,
+                             bool wait = false, const std::string& kind = "");
+
+  /// Releases one lease. Returns kNotOwner / kUnknownHandle on misuse.
+  ArmResult release(std::uint64_t job, const Lease& lease);
+
+  /// Releases everything `job` still holds (automatic end-of-job release).
+  ArmResult release_job(std::uint64_t job);
+
+  /// Reports an accelerator broken; it leaves the pool permanently.
+  ArmResult report_broken(dmpi::Rank daemon_rank);
+
+  PoolStats stats();
+
+  void shutdown();
+
+ private:
+  dmpi::Mpi& mpi_;
+  const dmpi::Comm& comm_;
+  dmpi::Rank arm_;
+};
+
+}  // namespace dacc::arm

@@ -1,0 +1,471 @@
+#include "core/api.hpp"
+
+#include <algorithm>
+
+#include "proto/transfer.hpp"
+#include "sim/trace.hpp"
+
+namespace dacc::core {
+
+using gpu::Result;
+using proto::kDataTag;
+using proto::kRequestTag;
+using proto::kResponseTag;
+using proto::Op;
+using proto::WireReader;
+using proto::WireWriter;
+
+// ---------------------------------------------------------------------------
+// Future
+// ---------------------------------------------------------------------------
+
+struct Future::State {
+  explicit State(sim::Engine& eng) : engine(&eng) {}
+
+  sim::Engine* engine;
+  bool done = false;
+  Result status = Result::kSuccess;
+  gpu::DevPtr ptr = gpu::kNullDevPtr;
+  util::Buffer data;
+  DeviceInfo info;
+  std::vector<sim::Process*> waiters;
+
+  void complete(Result r) {
+    done = true;
+    status = r;
+    for (sim::Process* w : waiters) engine->wake(*w);
+    waiters.clear();
+  }
+};
+
+bool Future::done() const { return state_ != nullptr && state_->done; }
+
+Result Future::status() const {
+  if (!done()) throw std::logic_error("Future::status before completion");
+  return state_->status;
+}
+
+gpu::DevPtr Future::ptr() const {
+  if (!done()) throw std::logic_error("Future::ptr before completion");
+  return state_->ptr;
+}
+
+util::Buffer Future::take_data() {
+  if (!done()) throw std::logic_error("Future::take_data before completion");
+  return std::move(state_->data);
+}
+
+void Future::wait(sim::Context& ctx) {
+  if (!valid()) throw std::logic_error("wait on invalid Future");
+  sim::Process* self = &ctx.self();
+  while (!state_->done) {
+    auto& w = state_->waiters;
+    if (std::find(w.begin(), w.end(), self) == w.end()) w.push_back(self);
+    ctx.suspend();
+  }
+  auto& w = state_->waiters;
+  w.erase(std::remove(w.begin(), w.end(), self), w.end());
+}
+
+void Future::get(sim::Context& ctx) {
+  wait(ctx);
+  if (state_->status != Result::kSuccess) {
+    throw AcError(state_->status, "accelerator operation failed");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel
+// ---------------------------------------------------------------------------
+
+void Kernel::run(const gpu::LaunchConfig& config) {
+  acc_->launch(name_, config, args_);
+}
+
+Future Kernel::run_async(const gpu::LaunchConfig& config) {
+  return acc_->launch_async(name_, config, args_);
+}
+
+// ---------------------------------------------------------------------------
+// Accelerator
+// ---------------------------------------------------------------------------
+
+struct Accelerator::ProxyOp {
+  enum class Kind {
+    kAlloc,
+    kFree,
+    kH2D,
+    kD2H,
+    kLaunch,
+    kKernelCheck,
+    kInfo,
+    kPeer,
+    kStop,
+  };
+
+  Kind kind = Kind::kStop;
+  std::uint64_t bytes = 0;
+  gpu::DevPtr dst = gpu::kNullDevPtr;
+  gpu::DevPtr src = gpu::kNullDevPtr;
+  util::Buffer data;
+  std::string kernel;
+  gpu::LaunchConfig launch;
+  gpu::KernelArgs args;
+  dmpi::Rank peer = -1;
+  gpu::DevPtr peer_dst = gpu::kNullDevPtr;
+  proto::TransferConfig transfer;
+  std::shared_ptr<Future::State> result;
+};
+
+Accelerator::Accelerator(Session& session, arm::Lease lease)
+    : session_(&session),
+      lease_(lease),
+      transfer_(session.config().transfer),
+      ops_(std::make_unique<sim::Mailbox<std::unique_ptr<ProxyOp>>>(
+          session.world_.engine())) {
+  sim::Engine& engine = session.world_.engine();
+  proxy_ = &engine.spawn(
+      "fe-proxy-r" + std::to_string(session.self_) + "-ac" +
+          std::to_string(lease_.daemon_rank),
+      [this](sim::Context& ctx) { proxy_main(ctx); });
+  engine.set_daemon(*proxy_);
+}
+
+Accelerator::~Accelerator() { stop_proxy(); }
+
+void Accelerator::stop_proxy(sim::Context* ctx) {
+  if (stopped_) return;
+  stopped_ = true;
+  auto op = std::make_unique<ProxyOp>();
+  op->kind = ProxyOp::Kind::kStop;
+  auto state = std::make_shared<Future::State>(session_->world_.engine());
+  op->result = state;
+  ops_->put(std::move(op));
+  if (ctx != nullptr) Future(state).wait(*ctx);
+}
+
+Future Accelerator::enqueue(ProxyOp op) {
+  if (stopped_) {
+    throw std::logic_error("Accelerator used after release");
+  }
+  auto state = std::make_shared<Future::State>(session_->world_.engine());
+  op.result = state;
+  ops_->put(std::make_unique<ProxyOp>(std::move(op)));
+  return Future(state);
+}
+
+void Accelerator::proxy_main(sim::Context& ctx) {
+  dmpi::Mpi mpi(session_->world_, ctx, session_->self_);
+  const dmpi::Comm& comm = session_->comm_;
+  const dmpi::Rank d = lease_.daemon_rank;
+  const proto::ProtoParams& pp = session_->config().proto;
+  const std::string track = "fe-r" + std::to_string(session_->self_) +
+                            "-ac" + std::to_string(d);
+
+  for (;;) {
+    std::unique_ptr<ProxyOp> op = ops_->get(ctx);
+    Future::State& res = *op->result;
+    if (op->kind == ProxyOp::Kind::kStop) {
+      res.complete(Result::kSuccess);
+      return;
+    }
+    const SimTime op_begin = ctx.now();
+    ctx.wait_for(pp.fe_marshal);  // request marshalling on the CN CPU
+    const std::string label = session_->world_.engine().tracer() != nullptr
+                                  ? op_label(*op)
+                                  : std::string{};
+    switch (op->kind) {
+      case ProxyOp::Kind::kAlloc: {
+        mpi.send(comm, d, kRequestTag,
+                 WireWriter{}.op(Op::kMemAlloc).u64(op->bytes).finish());
+        WireReader r(mpi.recv(comm, d, kResponseTag));
+        const Result status = r.result();
+        res.ptr = r.u64();
+        res.complete(status);
+        break;
+      }
+      case ProxyOp::Kind::kFree: {
+        mpi.send(comm, d, kRequestTag,
+                 WireWriter{}.op(Op::kMemFree).u64(op->dst).finish());
+        res.complete(WireReader(mpi.recv(comm, d, kResponseTag)).result());
+        break;
+      }
+      case ProxyOp::Kind::kH2D: {
+        mpi.send(comm, d, kRequestTag,
+                 WireWriter{}
+                     .op(Op::kMemcpyHtoD)
+                     .u64(op->dst)
+                     .u64(op->data.size())
+                     .transfer_config(op->transfer)
+                     .finish());
+        proto::send_blocks(mpi, comm, d, std::move(op->data), op->transfer);
+        res.complete(WireReader(mpi.recv(comm, d, kResponseTag)).result());
+        break;
+      }
+      case ProxyOp::Kind::kD2H: {
+        mpi.send(comm, d, kRequestTag,
+                 WireWriter{}
+                     .op(Op::kMemcpyDtoH)
+                     .u64(op->src)
+                     .u64(op->bytes)
+                     .transfer_config(op->transfer)
+                     .finish());
+        const Result pre = WireReader(mpi.recv(comm, d, kResponseTag)).result();
+        if (pre != Result::kSuccess) {
+          res.complete(pre);
+          break;
+        }
+        res.data =
+            proto::recv_assemble(mpi, comm, d, op->bytes, op->transfer);
+        res.complete(WireReader(mpi.recv(comm, d, kResponseTag)).result());
+        break;
+      }
+      case ProxyOp::Kind::kLaunch: {
+        mpi.send(comm, d, kRequestTag,
+                 WireWriter{}
+                     .op(Op::kKernelRun)
+                     .str(op->kernel)
+                     .launch_config(op->launch)
+                     .kernel_args(op->args)
+                     .finish());
+        res.complete(WireReader(mpi.recv(comm, d, kResponseTag)).result());
+        break;
+      }
+      case ProxyOp::Kind::kKernelCheck: {
+        mpi.send(comm, d, kRequestTag,
+                 WireWriter{}.op(Op::kKernelCreate).str(op->kernel).finish());
+        res.complete(WireReader(mpi.recv(comm, d, kResponseTag)).result());
+        break;
+      }
+      case ProxyOp::Kind::kInfo: {
+        mpi.send(comm, d, kRequestTag,
+                 WireWriter{}.op(Op::kDeviceInfo).finish());
+        WireReader r(mpi.recv(comm, d, kResponseTag));
+        const Result status = r.result();
+        if (status == Result::kSuccess) {
+          res.info.name = r.str();
+          res.info.memory_bytes = r.u64();
+          res.info.memory_free = r.u64();
+        }
+        res.complete(status);
+        break;
+      }
+      case ProxyOp::Kind::kPeer: {
+        mpi.send(comm, d, kRequestTag,
+                 WireWriter{}
+                     .op(Op::kPeerSend)
+                     .u64(op->src)
+                     .u64(op->bytes)
+                     .u64(static_cast<std::uint64_t>(op->peer))
+                     .u64(op->peer_dst)
+                     .transfer_config(op->transfer)
+                     .finish());
+        res.complete(WireReader(mpi.recv(comm, d, kResponseTag)).result());
+        break;
+      }
+      case ProxyOp::Kind::kStop:
+        break;  // handled above
+    }
+    if (sim::Tracer* tracer = session_->world_.engine().tracer()) {
+      tracer->record(track, label, op_begin, ctx.now());
+    }
+  }
+}
+
+std::string Accelerator::op_label(const ProxyOp& op) {
+  using Kind = ProxyOp::Kind;
+  auto size_suffix = [&] {
+    const std::uint64_t bytes =
+        op.kind == Kind::kH2D ? op.data.size() : op.bytes;
+    if (bytes >= 1024 * 1024) {
+      return " " + std::to_string(bytes / (1024 * 1024)) + "MiB";
+    }
+    return " " + std::to_string(bytes) + "B";
+  };
+  switch (op.kind) {
+    case Kind::kAlloc:
+      return "alloc" + size_suffix();
+    case Kind::kFree:
+      return "free";
+    case Kind::kH2D:
+      return "h2d" + size_suffix();
+    case Kind::kD2H:
+      return "d2h" + size_suffix();
+    case Kind::kLaunch:
+      return "launch " + op.kernel;
+    case Kind::kKernelCheck:
+      return "kernel_create " + op.kernel;
+    case Kind::kInfo:
+      return "device_info";
+    case Kind::kPeer:
+      return "peer_copy" + size_suffix();
+    case Kind::kStop:
+      return "stop";
+  }
+  return "?";
+}
+
+Future Accelerator::mem_alloc_async(std::uint64_t bytes) {
+  ProxyOp op;
+  op.kind = ProxyOp::Kind::kAlloc;
+  op.bytes = bytes;
+  return enqueue(std::move(op));
+}
+
+Future Accelerator::memcpy_h2d_async(gpu::DevPtr dst, util::Buffer src) {
+  ProxyOp op;
+  op.kind = ProxyOp::Kind::kH2D;
+  op.dst = dst;
+  op.data = std::move(src);
+  op.transfer = transfer_;
+  return enqueue(std::move(op));
+}
+
+Future Accelerator::memcpy_d2h_async(gpu::DevPtr src, std::uint64_t bytes) {
+  ProxyOp op;
+  op.kind = ProxyOp::Kind::kD2H;
+  op.src = src;
+  op.bytes = bytes;
+  op.transfer = transfer_;
+  return enqueue(std::move(op));
+}
+
+Future Accelerator::launch_async(const std::string& kernel,
+                                 const gpu::LaunchConfig& config,
+                                 gpu::KernelArgs args) {
+  ProxyOp op;
+  op.kind = ProxyOp::Kind::kLaunch;
+  op.kernel = kernel;
+  op.launch = config;
+  op.args = std::move(args);
+  return enqueue(std::move(op));
+}
+
+Future Accelerator::copy_to_peer_async(gpu::DevPtr src, Accelerator& peer,
+                                       gpu::DevPtr peer_dst,
+                                       std::uint64_t bytes) {
+  ProxyOp op;
+  op.kind = ProxyOp::Kind::kPeer;
+  op.src = src;
+  op.bytes = bytes;
+  op.peer = peer.daemon_rank();
+  op.peer_dst = peer_dst;
+  op.transfer = transfer_;
+  return enqueue(std::move(op));
+}
+
+gpu::DevPtr Accelerator::mem_alloc(std::uint64_t bytes) {
+  Future f = mem_alloc_async(bytes);
+  f.get(session_->ctx_);
+  return f.ptr();
+}
+
+void Accelerator::mem_free(gpu::DevPtr ptr) {
+  ProxyOp op;
+  op.kind = ProxyOp::Kind::kFree;
+  op.dst = ptr;
+  enqueue(std::move(op)).get(session_->ctx_);
+}
+
+void Accelerator::memcpy_h2d(gpu::DevPtr dst, util::Buffer src) {
+  memcpy_h2d_async(dst, std::move(src)).get(session_->ctx_);
+}
+
+util::Buffer Accelerator::memcpy_d2h(gpu::DevPtr src, std::uint64_t bytes) {
+  Future f = memcpy_d2h_async(src, bytes);
+  f.get(session_->ctx_);
+  return f.take_data();
+}
+
+void Accelerator::launch(const std::string& kernel,
+                         const gpu::LaunchConfig& config,
+                         gpu::KernelArgs args) {
+  launch_async(kernel, config, std::move(args)).get(session_->ctx_);
+}
+
+Kernel Accelerator::kernel_create(const std::string& name) {
+  ProxyOp op;
+  op.kind = ProxyOp::Kind::kKernelCheck;
+  op.kernel = name;
+  enqueue(std::move(op)).get(session_->ctx_);
+  return Kernel(*this, name);
+}
+
+DeviceInfo Accelerator::info() {
+  ProxyOp op;
+  op.kind = ProxyOp::Kind::kInfo;
+  Future f = enqueue(std::move(op));
+  f.get(session_->ctx_);
+  return f.state_->info;
+}
+
+void Accelerator::copy_to_peer(gpu::DevPtr src, Accelerator& peer,
+                               gpu::DevPtr peer_dst, std::uint64_t bytes) {
+  copy_to_peer_async(src, peer, peer_dst, bytes).get(session_->ctx_);
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Session::Session(dmpi::World& world, sim::Context& ctx, dmpi::Rank self,
+                 const dmpi::Comm& comm, Config config)
+    : world_(world),
+      ctx_(ctx),
+      self_(self),
+      comm_(comm),
+      config_(config),
+      mpi_(world, ctx, self),
+      arm_client_(mpi_, comm, config.arm_rank) {}
+
+Session::~Session() {
+  // Best effort: stop the proxies (no blocking in a destructor). Proper
+  // shutdown — including returning leases to the ARM — is close().
+  for (auto& acc : accelerators_) acc->stop_proxy();
+}
+
+std::vector<Accelerator*> Session::acquire(std::uint32_t count, bool wait,
+                                           const std::string& kind) {
+  const std::vector<arm::Lease> leases =
+      arm_client_.acquire(config_.job_id, count, wait, kind);
+  std::vector<Accelerator*> out;
+  out.reserve(leases.size());
+  for (const arm::Lease& lease : leases) out.push_back(attach(lease));
+  return out;
+}
+
+Accelerator* Session::attach(arm::Lease lease) {
+  accelerators_.push_back(
+      std::unique_ptr<Accelerator>(new Accelerator(*this, lease)));
+  return accelerators_.back().get();
+}
+
+void Session::release(Accelerator* acc) {
+  const auto it = std::find_if(
+      accelerators_.begin(), accelerators_.end(),
+      [&](const auto& p) { return p.get() == acc; });
+  if (it == accelerators_.end()) {
+    throw std::logic_error("release: accelerator not owned by this session");
+  }
+  // Drain in-flight operations, then return the lease.
+  acc->stop_proxy(&ctx_);
+  const arm::Lease lease = acc->lease();
+  accelerators_.erase(it);
+  (void)arm_client_.release(config_.job_id, lease);
+}
+
+void Session::close() {
+  if (closed_) return;
+  closed_ = true;
+  for (auto& acc : accelerators_) {
+    acc->stop_proxy(&ctx_);
+  }
+  accelerators_.clear();
+  (void)arm_client_.release_job(config_.job_id);
+}
+
+void Session::wait_all(std::vector<Future>& futures) {
+  for (Future& f : futures) f.wait(ctx_);
+}
+
+}  // namespace dacc::core

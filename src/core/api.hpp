@@ -1,0 +1,223 @@
+// The dacc public API — the paper's primary contribution.
+//
+// This is the computation API of Listing 2 (acMemAlloc / acMemCpy /
+// acKernelCreate / acKernelSetArgs / acKernelRun / acMemFree) plus the
+// resource-management API of Section III.C (acquire/release through the
+// ARM), in idiomatic C++:
+//
+//   core::Session session(...);                 // one per CN process
+//   auto accs = session.acquire(2);             // dynamic assignment
+//   Accelerator& ac = *accs[0];
+//   gpu::DevPtr d = ac.mem_alloc(bytes);        // acMemAlloc
+//   ac.memcpy_h2d(d, host_data);                // acMemCpy (H2D)
+//   core::Kernel k = ac.kernel_create("daxpy"); // acKernelCreate
+//   k.set_args({n, 2.0, dx, dy});               // acKernelSetArgs
+//   k.run({});                                  // acKernelRun
+//   auto out = ac.memcpy_d2h(d, bytes);         // acMemCpy (D2H)
+//   ac.mem_free(d);                             // acMemFree
+//
+// Each acquired accelerator is served by a front-end proxy process that
+// executes its wire-protocol exchanges in order (CUDA-stream semantics per
+// device); the *_async variants return Futures so one compute node can keep
+// several network-attached accelerators busy simultaneously — the mechanism
+// behind the multi-GPU speedups of Figures 9/10.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arm/arm.hpp"
+#include "dmpi/mpi.hpp"
+#include "gpu/device.hpp"
+#include "proto/wire.hpp"
+#include "sim/sync.hpp"
+
+namespace dacc::core {
+
+class Session;
+class Accelerator;
+
+/// Raised by the synchronous API on any middleware or device failure.
+class AcError : public std::runtime_error {
+ public:
+  AcError(gpu::Result code, const std::string& what)
+      : std::runtime_error(what + ": " + gpu::to_string(code)), code_(code) {}
+  gpu::Result code() const { return code_; }
+
+ private:
+  gpu::Result code_;
+};
+
+/// Completion handle for asynchronous operations.
+class Future {
+ public:
+  Future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool done() const;
+  gpu::Result status() const;      ///< once done
+  gpu::DevPtr ptr() const;         ///< alloc results
+  util::Buffer take_data();        ///< D2H results
+
+  /// Blocks the calling simulated process until the operation completes.
+  void wait(sim::Context& ctx);
+  /// wait() + throw AcError unless the status is success.
+  void get(sim::Context& ctx);
+
+ private:
+  friend class Accelerator;
+  friend class Session;
+  struct State;
+  explicit Future(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+struct DeviceInfo {
+  std::string name;
+  std::uint64_t memory_bytes = 0;
+  std::uint64_t memory_free = 0;
+};
+
+/// Paper-style three-step kernel interface (acKernelCreate / SetArgs / Run).
+class Kernel {
+ public:
+  const std::string& name() const { return name_; }
+  void set_args(gpu::KernelArgs args) { args_ = std::move(args); }
+  void run(const gpu::LaunchConfig& config = {});
+  Future run_async(const gpu::LaunchConfig& config = {});
+
+ private:
+  friend class Accelerator;
+  Kernel(Accelerator& acc, std::string name) : acc_(&acc), name_(std::move(name)) {}
+  Accelerator* acc_;
+  std::string name_;
+  gpu::KernelArgs args_;
+};
+
+/// One exclusively-assigned network-attached accelerator.
+class Accelerator {
+ public:
+  Accelerator(const Accelerator&) = delete;
+  Accelerator& operator=(const Accelerator&) = delete;
+  ~Accelerator();
+
+  const arm::Lease& lease() const { return lease_; }
+  dmpi::Rank daemon_rank() const { return lease_.daemon_rank; }
+  Session& session() { return *session_; }
+
+  // --- synchronous computation API (throws AcError) ------------------------
+  gpu::DevPtr mem_alloc(std::uint64_t bytes);
+  void mem_free(gpu::DevPtr ptr);
+  void memcpy_h2d(gpu::DevPtr dst, util::Buffer src);
+  util::Buffer memcpy_d2h(gpu::DevPtr src, std::uint64_t bytes);
+  void launch(const std::string& kernel, const gpu::LaunchConfig& config,
+              gpu::KernelArgs args);
+  Kernel kernel_create(const std::string& name);
+  DeviceInfo info();
+
+  /// Direct accelerator-to-accelerator copy over the network; the compute
+  /// node is not involved in the data path (paper Section III.C).
+  void copy_to_peer(gpu::DevPtr src, Accelerator& peer, gpu::DevPtr peer_dst,
+                    std::uint64_t bytes);
+
+  // --- asynchronous variants (per-accelerator in-order execution) ----------
+  Future mem_alloc_async(std::uint64_t bytes);
+  Future memcpy_h2d_async(gpu::DevPtr dst, util::Buffer src);
+  Future memcpy_d2h_async(gpu::DevPtr src, std::uint64_t bytes);
+  Future launch_async(const std::string& kernel,
+                      const gpu::LaunchConfig& config, gpu::KernelArgs args);
+  Future copy_to_peer_async(gpu::DevPtr src, Accelerator& peer,
+                            gpu::DevPtr peer_dst, std::uint64_t bytes);
+
+  /// Per-call override of the session transfer config (benchmarks sweep
+  /// block sizes per copy).
+  void set_transfer_config(const proto::TransferConfig& config) {
+    transfer_ = config;
+  }
+  const proto::TransferConfig& transfer_config() const { return transfer_; }
+
+ private:
+  friend class Session;
+  struct ProxyOp;
+
+  Accelerator(Session& session, arm::Lease lease);
+  Future enqueue(ProxyOp op);
+  void proxy_main(sim::Context& ctx);
+  static std::string op_label(const ProxyOp& op);
+  /// Queues the stop op behind all in-flight work; waits for it when a
+  /// context is given (release paths) and not from the destructor.
+  void stop_proxy(sim::Context* ctx = nullptr);
+
+  Session* session_;
+  arm::Lease lease_;
+  proto::TransferConfig transfer_;
+  std::unique_ptr<sim::Mailbox<std::unique_ptr<ProxyOp>>> ops_;
+  sim::Process* proxy_ = nullptr;
+  bool stopped_ = false;
+};
+
+/// Per-compute-node-process middleware session.
+class Session {
+ public:
+  struct Config {
+    dmpi::Rank arm_rank = -1;
+    std::uint64_t job_id = 1;
+    proto::TransferConfig transfer = proto::TransferConfig::pipeline_adaptive();
+    proto::ProtoParams proto;
+  };
+
+  /// `ctx` is the owning compute-node process; `self` its world rank; `comm`
+  /// the middleware communicator (normally the world communicator, created
+  /// with the help of the ARM — paper Section IV).
+  Session(dmpi::World& world, sim::Context& ctx, dmpi::Rank self,
+          const dmpi::Comm& comm, Config config);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // --- resource-management API ---------------------------------------------
+  /// Dynamic assignment (paper Figure 3(b)): asks the ARM for `count`
+  /// accelerators. Returns fewer than requested only when wait == false and
+  /// the pool is exhausted (then: empty). A non-empty `kind` restricts the
+  /// grant to that device class ("gpu", "mic", ...).
+  std::vector<Accelerator*> acquire(std::uint32_t count, bool wait = false,
+                                    const std::string& kind = "");
+
+  /// Static assignment (paper Figure 3(a)): wraps leases that the job
+  /// launcher already acquired before the job started.
+  Accelerator* attach(arm::Lease lease);
+
+  /// Returns one accelerator to the pool.
+  void release(Accelerator* acc);
+
+  /// Releases every accelerator and stops the proxies. Called automatically
+  /// by the runtime at job end ("accelerators are automatically released").
+  void close();
+
+  // --- views ----------------------------------------------------------------
+  std::size_t size() const { return accelerators_.size(); }
+  Accelerator& operator[](std::size_t i) { return *accelerators_.at(i); }
+  arm::ArmClient& arm() { return arm_client_; }
+  sim::Context& context() { return ctx_; }
+  const Config& config() const { return config_; }
+
+  /// Convenience: wait on many futures.
+  void wait_all(std::vector<Future>& futures);
+
+ private:
+  friend class Accelerator;
+
+  dmpi::World& world_;
+  sim::Context& ctx_;
+  dmpi::Rank self_;
+  const dmpi::Comm& comm_;
+  Config config_;
+  dmpi::Mpi mpi_;  // the owner process's endpoint view (ARM + sync helpers)
+  arm::ArmClient arm_client_;
+  std::vector<std::unique_ptr<Accelerator>> accelerators_;
+  bool closed_ = false;
+};
+
+}  // namespace dacc::core

@@ -1,0 +1,114 @@
+// Uniform handle over a node-local GPU (driver, PCIe path) and a
+// network-attached accelerator (dacc middleware path), so the hybrid
+// factorizations are written once and run in both of the paper's settings
+// ("CUDA local GPU" vs "N network-attached GPUs", Figures 9/10).
+//
+// Semantics mirror CUDA streams: launches are issued asynchronously and all
+// operations on one GPU execute in issue order; d2h acts as a barrier for
+// that GPU.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "gpu/driver.hpp"
+
+namespace dacc::core {
+
+class DeviceLink {
+ public:
+  virtual ~DeviceLink() = default;
+
+  virtual gpu::DevPtr alloc(std::uint64_t bytes) = 0;
+  virtual void free(gpu::DevPtr ptr) = 0;
+
+  /// Blocking upload.
+  virtual void h2d(gpu::DevPtr dst, util::Buffer src) = 0;
+  /// Nonblocking upload; the returned waiter blocks until delivery. Uploads
+  /// to several GPUs can be posted together so a broadcast overlaps.
+  virtual std::function<void()> h2d_async(gpu::DevPtr dst,
+                                          util::Buffer src) = 0;
+  /// Blocking download; also a completion barrier for this GPU's stream.
+  virtual util::Buffer d2h(gpu::DevPtr src, std::uint64_t bytes) = 0;
+
+  /// Issues a kernel; execution is ordered after everything issued before.
+  virtual void launch(const std::string& kernel, gpu::KernelArgs args) = 0;
+
+  /// Propagates any deferred issue errors.
+  virtual void drain() = 0;
+};
+
+/// Network-attached accelerator through the ac* API.
+class RemoteDeviceLink : public DeviceLink {
+ public:
+  RemoteDeviceLink(Accelerator& acc, sim::Context& ctx)
+      : acc_(&acc), ctx_(&ctx) {}
+
+  gpu::DevPtr alloc(std::uint64_t bytes) override {
+    return acc_->mem_alloc(bytes);
+  }
+  void free(gpu::DevPtr ptr) override { acc_->mem_free(ptr); }
+  void h2d(gpu::DevPtr dst, util::Buffer src) override {
+    acc_->memcpy_h2d(dst, std::move(src));
+  }
+  std::function<void()> h2d_async(gpu::DevPtr dst,
+                                  util::Buffer src) override {
+    Future f = acc_->memcpy_h2d_async(dst, std::move(src));
+    sim::Context* ctx = ctx_;
+    return [f, ctx]() mutable { f.get(*ctx); };
+  }
+  util::Buffer d2h(gpu::DevPtr src, std::uint64_t bytes) override {
+    drain();
+    return acc_->memcpy_d2h(src, bytes);
+  }
+  void launch(const std::string& kernel, gpu::KernelArgs args) override {
+    pending_.push_back(acc_->launch_async(kernel, {}, std::move(args)));
+  }
+  void drain() override {
+    for (Future& f : pending_) f.get(*ctx_);
+    pending_.clear();
+  }
+
+ private:
+  Accelerator* acc_;
+  sim::Context* ctx_;
+  std::vector<Future> pending_;
+};
+
+/// Node-attached GPU through the CUDA-driver facade (PCIe path).
+class LocalDeviceLink : public DeviceLink {
+ public:
+  explicit LocalDeviceLink(gpu::Driver driver) : driver_(std::move(driver)) {}
+
+  gpu::DevPtr alloc(std::uint64_t bytes) override {
+    return driver_.mem_alloc(bytes);
+  }
+  void free(gpu::DevPtr ptr) override { driver_.mem_free(ptr); }
+  void h2d(gpu::DevPtr dst, util::Buffer src) override {
+    // Order behind issued kernels on the default stream, then copy.
+    driver_.synchronize();
+    driver_.memcpy_htod(dst, src);
+  }
+  std::function<void()> h2d_async(gpu::DevPtr dst,
+                                  util::Buffer src) override {
+    h2d(dst, std::move(src));
+    return [] {};
+  }
+  util::Buffer d2h(gpu::DevPtr src, std::uint64_t bytes) override {
+    driver_.synchronize();
+    return driver_.memcpy_dtoh(src, bytes);
+  }
+  void launch(const std::string& kernel, gpu::KernelArgs args) override {
+    const gpu::OpHandle op = driver_.launch_async(
+        driver_.device().default_stream(), kernel, {}, args);
+    if (!op.ok()) throw gpu::DeviceError(op.status, "launch " + kernel);
+  }
+  void drain() override {}
+
+ private:
+  gpu::Driver driver_;
+};
+
+}  // namespace dacc::core

@@ -1,0 +1,119 @@
+#include "core/ocl.hpp"
+
+#include <stdexcept>
+
+namespace dacc::ocl {
+
+std::vector<Device> Platform::get_device_ids(std::uint32_t count,
+                                             const std::string& kind) {
+  std::vector<Device> devices;
+  for (core::Accelerator* acc : session_->acquire(count, /*wait=*/false,
+                                                  kind)) {
+    devices.emplace_back(acc);
+  }
+  return devices;
+}
+
+void Kernel::set_arg(std::uint32_t index, gpu::KernelArg value) {
+  if (args_.size() <= index) args_.resize(index + 1);
+  args_[index] = Arg{false, value, nullptr};
+}
+
+void Kernel::set_arg(std::uint32_t index, Mem& mem) {
+  if (args_.size() <= index) args_.resize(index + 1);
+  args_[index] = Arg{true, gpu::KernelArg{}, &mem};
+}
+
+Context::Context(std::vector<Device> devices)
+    : devices_(std::move(devices)) {
+  if (devices_.empty()) {
+    throw std::invalid_argument("ocl::Context: needs at least one device");
+  }
+}
+
+Mem& Context::create_buffer(std::uint64_t size) {
+  buffers_.push_back(std::unique_ptr<Mem>(new Mem(this, size)));
+  return *buffers_.back();
+}
+
+Kernel& Context::create_kernel(const std::string& name) {
+  // Validate once via the paper's acKernelCreate path.
+  (void)devices_.front().accelerator().kernel_create(name);
+  kernels_.push_back(std::unique_ptr<Kernel>(new Kernel(name)));
+  return *kernels_.back();
+}
+
+CommandQueue Context::create_queue(std::size_t device_index) {
+  Device device = devices_.at(device_index);
+  return CommandQueue(this, device,
+                      device.accelerator().session().context());
+}
+
+gpu::DevPtr CommandQueue::devptr(Mem& mem) {
+  if (mem.context_ != context_) {
+    throw std::logic_error("ocl: buffer used outside its context");
+  }
+  core::Accelerator* acc = &device_.accelerator();
+  const auto it = mem.per_device_.find(acc);
+  if (it != mem.per_device_.end()) return it->second;
+  const gpu::DevPtr ptr = acc->mem_alloc(mem.size_);
+  mem.per_device_.emplace(acc, ptr);
+  return ptr;
+}
+
+Event CommandQueue::enqueue_write(Mem& mem, util::Buffer data,
+                                  bool blocking) {
+  if (data.size() > mem.size_) {
+    throw std::invalid_argument("ocl: write larger than buffer");
+  }
+  core::Future f =
+      device_.accelerator().memcpy_h2d_async(devptr(mem), std::move(data));
+  if (blocking) {
+    f.get(*sim_ctx_);
+    return Event{};
+  }
+  pending_.push_back(f);
+  return Event(std::move(f));
+}
+
+util::Buffer CommandQueue::enqueue_read(Mem& mem, std::uint64_t size) {
+  if (size > mem.size_) {
+    throw std::invalid_argument("ocl: read larger than buffer");
+  }
+  // Reads are blocking; the per-accelerator proxy keeps queue order, so
+  // everything enqueued before is complete when the data arrives.
+  util::Buffer out = device_.accelerator().memcpy_d2h(devptr(mem), size);
+  pending_.clear();
+  return out;
+}
+
+Event CommandQueue::enqueue_ndrange(Kernel& kernel, std::uint64_t global_size,
+                                    std::uint64_t local_size) {
+  gpu::KernelArgs args;
+  args.reserve(kernel.args_.size());
+  for (Kernel::Arg& a : kernel.args_) {
+    if (a.is_mem) {
+      if (a.mem == nullptr) {
+        throw std::logic_error("ocl: unset kernel argument");
+      }
+      args.emplace_back(devptr(*a.mem));
+    } else {
+      args.push_back(a.scalar);
+    }
+  }
+  gpu::LaunchConfig config;
+  config.block.x = static_cast<std::uint32_t>(local_size);
+  config.grid.x = static_cast<std::uint32_t>(
+      (global_size + local_size - 1) / local_size);
+  core::Future f =
+      device_.accelerator().launch_async(kernel.name_, config, std::move(args));
+  pending_.push_back(f);
+  return Event(std::move(f));
+}
+
+void CommandQueue::finish() {
+  for (core::Future& f : pending_) f.get(*sim_ctx_);
+  pending_.clear();
+}
+
+}  // namespace dacc::ocl

@@ -1,0 +1,156 @@
+// OpenCL-flavoured front-end personality.
+//
+// The paper stresses that the software stack "is extensible to any
+// accelerator programming interface and therefore not restricted to CUDA by
+// design" (Section IV). This header proves it: a second, OpenCL-shaped API
+// (platforms, devices, contexts, command queues, buffers, events) over the
+// very same middleware — front-end proxies, wire protocol, daemons, and
+// ARM-managed leases underneath. Nothing below the API layer changes.
+//
+// The subset follows OpenCL 1.2 semantics where they matter:
+//  * command queues are in-order per device;
+//  * buffers belong to a context and materialize lazily on the device of
+//    the first queue that touches them;
+//  * enqueue_* calls are asynchronous unless `blocking`, and return events;
+//  * finish() drains the queue.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+
+namespace dacc::ocl {
+
+class Context;
+class CommandQueue;
+
+/// An event: completion handle for an enqueued command.
+class Event {
+ public:
+  Event() = default;
+  bool done() const { return !future_.valid() || future_.done(); }
+  void wait(sim::Context& ctx) {
+    if (future_.valid()) future_.get(ctx);
+  }
+
+ private:
+  friend class CommandQueue;
+  explicit Event(core::Future f) : future_(std::move(f)) {}
+  core::Future future_;
+};
+
+/// A compute device: one ARM-leased accelerator.
+class Device {
+ public:
+  explicit Device(core::Accelerator* acc) : acc_(acc) {}
+  core::Accelerator& accelerator() const { return *acc_; }
+  std::string name() const { return acc_->info().name; }
+
+ private:
+  core::Accelerator* acc_;
+};
+
+/// Platform: the entry point, bound to a middleware session. get_device_ids
+/// performs the resource-management acquisition (a real OpenCL platform
+/// enumerates; ours leases — the dynamic architecture at work).
+class Platform {
+ public:
+  explicit Platform(core::Session& session) : session_(&session) {}
+
+  /// Leases up to `count` accelerators (optionally of one kind) and exposes
+  /// them as OpenCL devices.
+  std::vector<Device> get_device_ids(std::uint32_t count,
+                                     const std::string& kind = "");
+
+ private:
+  core::Session* session_;
+};
+
+/// A context-scoped memory object (cl_mem). Lazily allocated per device.
+class Mem {
+ public:
+  std::uint64_t size() const { return size_; }
+
+ private:
+  friend class Context;
+  friend class CommandQueue;
+  Mem(Context* context, std::uint64_t size) : context_(context), size_(size) {}
+  Context* context_;
+  std::uint64_t size_;
+  std::map<core::Accelerator*, gpu::DevPtr> per_device_;
+};
+
+/// A kernel object with indexed arguments (clSetKernelArg).
+class Kernel {
+ public:
+  const std::string& name() const { return name_; }
+  void set_arg(std::uint32_t index, gpu::KernelArg value);
+  void set_arg(std::uint32_t index, Mem& mem);
+
+ private:
+  friend class Context;
+  friend class CommandQueue;
+  explicit Kernel(std::string name) : name_(std::move(name)) {}
+  struct Arg {
+    bool is_mem = false;
+    gpu::KernelArg scalar{};
+    Mem* mem = nullptr;
+  };
+  std::string name_;
+  std::vector<Arg> args_;
+};
+
+class Context {
+ public:
+  explicit Context(std::vector<Device> devices);
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  const std::vector<Device>& devices() const { return devices_; }
+
+  /// clCreateBuffer: context-scoped, device allocation is lazy.
+  Mem& create_buffer(std::uint64_t size);
+
+  /// clCreateKernel: validated against the first device's registry.
+  Kernel& create_kernel(const std::string& name);
+
+  CommandQueue create_queue(std::size_t device_index = 0);
+
+ private:
+  friend class CommandQueue;
+  std::vector<Device> devices_;
+  std::vector<std::unique_ptr<Mem>> buffers_;
+  std::vector<std::unique_ptr<Kernel>> kernels_;
+};
+
+/// An in-order command queue bound to one device.
+class CommandQueue {
+ public:
+  /// clEnqueueWriteBuffer.
+  Event enqueue_write(Mem& mem, util::Buffer data, bool blocking = false);
+  /// clEnqueueReadBuffer; always blocking (returns the data).
+  util::Buffer enqueue_read(Mem& mem, std::uint64_t size);
+  /// clEnqueueNDRangeKernel: global/local sizes map onto the launch config.
+  Event enqueue_ndrange(Kernel& kernel, std::uint64_t global_size,
+                        std::uint64_t local_size = 64);
+  /// clFinish: drains everything enqueued here.
+  void finish();
+
+ private:
+  friend class Context;
+  CommandQueue(Context* context, Device device, sim::Context& sim_ctx)
+      : context_(context), device_(device), sim_ctx_(&sim_ctx) {}
+
+  gpu::DevPtr devptr(Mem& mem);
+
+  Context* context_;
+  Device device_;
+  sim::Context* sim_ctx_;
+  std::vector<core::Future> pending_;
+};
+
+}  // namespace dacc::ocl

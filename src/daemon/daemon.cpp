@@ -1,0 +1,262 @@
+#include "daemon/daemon.hpp"
+
+#include "proto/transfer.hpp"
+#include "sim/trace.hpp"
+
+namespace dacc::daemon {
+
+using dmpi::kAnySource;
+using gpu::Result;
+using proto::kDataTag;
+using proto::kRequestTag;
+using proto::kResponseTag;
+using proto::Op;
+using proto::TransferConfig;
+using proto::WireReader;
+using proto::WireWriter;
+
+Daemon::Daemon(gpu::Device& device, dmpi::World& world,
+               dmpi::Rank self_world_rank, proto::ProtoParams params)
+    : device_(device),
+      world_(world),
+      self_(self_world_rank),
+      params_(params),
+      stream_(device) {}
+
+SimDuration Daemon::copy_extra_busy(std::uint64_t bytes, bool gpudirect,
+                                    bool h2d) const {
+  if (!gpudirect) {
+    // Staging copy through ordinary pinned memory, serialized with the DMA.
+    return transfer_time(bytes, params_.staging_copy_mib_s);
+  }
+  // GPUDirect v1 shared pages DMA more slowly than the plain pinned path;
+  // charge the rate difference on top of the device's pinned model.
+  const double pinned = h2d ? device_.params().h2d_pinned_mib_s
+                            : device_.params().d2h_pinned_mib_s;
+  const SimDuration gd = transfer_time(bytes, params_.gpudirect_dma_mib_s);
+  const SimDuration base = transfer_time(bytes, pinned);
+  return gd > base ? gd - base : 0;
+}
+
+void Daemon::respond_status(dmpi::Mpi& mpi, dmpi::Rank client,
+                            gpu::Result r) {
+  mpi.send(world_.world_comm(), client, kResponseTag,
+           WireWriter{}.result(r).finish());
+}
+
+void Daemon::run(sim::Context& ctx) {
+  dmpi::Mpi mpi(world_, ctx, self_);
+  const dmpi::Comm& comm = world_.world_comm();
+  const std::string track = "daemon-r" + std::to_string(self_);
+  for (;;) {
+    dmpi::Status st;
+    util::Buffer msg = mpi.recv(comm, kAnySource, kRequestTag, &st);
+    const SimTime begin = ctx.now();
+    ctx.wait_for(params_.be_dispatch);
+    ++requests_served_;
+    WireReader req(msg);
+    const Op op = req.op();
+    bool shutdown = false;
+    switch (op) {
+      case Op::kMemAlloc:
+        handle_mem_alloc(mpi, st.source, req);
+        break;
+      case Op::kMemFree:
+        handle_mem_free(mpi, st.source, req);
+        break;
+      case Op::kMemcpyHtoD:
+      case Op::kPeerPut:  // peer puts are H2D copies fed by a peer daemon
+        handle_htod(mpi, ctx, st.source, req);
+        break;
+      case Op::kMemcpyDtoH:
+        handle_dtoh(mpi, ctx, st.source, req);
+        break;
+      case Op::kKernelCreate:
+        handle_kernel_create(mpi, st.source, req);
+        break;
+      case Op::kKernelRun:
+        handle_kernel_run(mpi, st.source, req);
+        break;
+      case Op::kDeviceInfo:
+        handle_device_info(mpi, st.source);
+        break;
+      case Op::kPeerSend:
+        handle_peer_send(mpi, ctx, st.source, req);
+        break;
+      case Op::kShutdown:
+        respond_status(mpi, st.source, Result::kSuccess);
+        shutdown = true;
+        break;
+    }
+    if (sim::Tracer* tracer = world_.engine().tracer()) {
+      tracer->record(track, proto::to_string(op), begin, ctx.now());
+    }
+    if (shutdown) return;
+  }
+}
+
+void Daemon::handle_mem_alloc(dmpi::Mpi& mpi, dmpi::Rank client,
+                              WireReader& req) {
+  const std::uint64_t bytes = req.u64();
+  gpu::DevPtr ptr = gpu::kNullDevPtr;
+  const Result r = device_.mem_alloc(bytes, &ptr);
+  mpi.send(world_.world_comm(), client, kResponseTag,
+           WireWriter{}.result(r).u64(ptr).finish());
+}
+
+void Daemon::handle_mem_free(dmpi::Mpi& mpi, dmpi::Rank client,
+                             WireReader& req) {
+  const gpu::DevPtr ptr = req.u64();
+  respond_status(mpi, client, device_.mem_free(ptr));
+}
+
+void Daemon::handle_htod(dmpi::Mpi& mpi, sim::Context& ctx,
+                         dmpi::Rank client, WireReader& req) {
+  const gpu::DevPtr dst = req.u64();
+  const std::uint64_t bytes = req.u64();
+  const TransferConfig config = req.transfer_config();
+
+  Result fail = Result::kSuccess;
+  proto::recv_blocks(
+      mpi, world_.world_comm(), client, bytes, config,
+      [&](std::uint64_t offset, util::Buffer block) {
+        // Without GPUDirect the receive buffer is not GPU-registered: each
+        // block pays a host staging copy that serializes with its DMA (both
+        // traverse host memory). With GPUDirect v1 the pinned pages are
+        // shared but DMA through them runs below the plain pinned rate
+        // (paper Section IV); both effects land in extra_busy.
+        const gpu::OpHandle op = device_.memcpy_htod_async(
+            stream_, dst + offset, block, gpu::HostMemType::kPinned,
+            ctx.now(),
+            copy_extra_busy(block.size(), config.gpudirect, /*h2d=*/true));
+        if (!op.ok() && fail == Result::kSuccess) fail = op.status;
+      });
+  // Drain the DMA chain before acknowledging.
+  ctx.wait_until(stream_.ready_at());
+  respond_status(mpi, client, fail);
+}
+
+void Daemon::handle_dtoh(dmpi::Mpi& mpi, sim::Context& ctx,
+                         dmpi::Rank client, WireReader& req) {
+  const gpu::DevPtr src = req.u64();
+  const std::uint64_t bytes = req.u64();
+  const TransferConfig config = req.transfer_config();
+  const dmpi::Comm& comm = world_.world_comm();
+
+  // Validate up front so the client learns about errors before it starts
+  // waiting for data blocks.
+  if (device_.broken() || !device_.valid_range(src, bytes)) {
+    mpi.send(comm, client, kResponseTag,
+             WireWriter{}
+                 .result(device_.broken() ? Result::kEccError
+                                          : Result::kInvalidValue)
+                 .finish());
+    return;
+  }
+  mpi.send(comm, client, kResponseTag,
+           WireWriter{}.result(Result::kSuccess).finish());
+
+  const proto::BlockPlan plan(bytes, config);
+  Result fail = Result::kSuccess;
+  std::vector<dmpi::Request> sends;
+  sends.reserve(plan.count());
+  for (std::size_t i = 0; i < plan.count(); ++i) {
+    util::Buffer block;
+    const gpu::OpHandle op = device_.memcpy_dtoh_async(
+        stream_, src + plan.offset(i), plan.size(i),
+        gpu::HostMemType::kPinned, ctx.now(), &block,
+        copy_extra_busy(plan.size(i), config.gpudirect, /*h2d=*/false));
+    if (!op.ok()) {
+      // Keep the wire protocol intact: ship a zero block and report at the
+      // end (a device may break mid-transfer under fault injection).
+      if (fail == Result::kSuccess) fail = op.status;
+      block = util::Buffer::phantom(plan.size(i));
+    } else {
+      ctx.wait_until(op.done_at);
+    }
+    sends.push_back(mpi.isend(comm, client, kDataTag, std::move(block)));
+  }
+  mpi.wait_all(sends);
+  respond_status(mpi, client, fail);
+}
+
+void Daemon::handle_kernel_create(dmpi::Mpi& mpi, dmpi::Rank client,
+                                  WireReader& req) {
+  const std::string name = req.str();
+  const Result r = device_.broken() ? Result::kEccError
+                  : device_.registry().contains(name) ? Result::kSuccess
+                                                      : Result::kNotFound;
+  respond_status(mpi, client, r);
+}
+
+void Daemon::handle_kernel_run(dmpi::Mpi& mpi, dmpi::Rank client,
+                               WireReader& req) {
+  const std::string name = req.str();
+  const gpu::LaunchConfig config = req.launch_config();
+  const gpu::KernelArgs args = req.kernel_args();
+  // Kernel launches are asynchronous (CUDA semantics): the response carries
+  // the issue status; the stream carries the execution cost, and later
+  // operations on this daemon's stream order behind it.
+  const gpu::OpHandle op =
+      device_.launch_async(stream_, name, config, args, mpi.context().now());
+  respond_status(mpi, client, op.status);
+}
+
+void Daemon::handle_device_info(dmpi::Mpi& mpi, dmpi::Rank client) {
+  mpi.send(world_.world_comm(), client, kResponseTag,
+           WireWriter{}
+               .result(device_.broken() ? Result::kEccError : Result::kSuccess)
+               .str(device_.params().name)
+               .u64(device_.params().memory_bytes)
+               .u64(device_.memory_free())
+               .finish());
+}
+
+void Daemon::handle_peer_send(dmpi::Mpi& mpi, sim::Context& ctx,
+                              dmpi::Rank client, WireReader& req) {
+  const gpu::DevPtr src = req.u64();
+  const std::uint64_t bytes = req.u64();
+  const auto peer = static_cast<dmpi::Rank>(req.u64());
+  const gpu::DevPtr peer_dst = req.u64();
+  const TransferConfig config = req.transfer_config();
+  const dmpi::Comm& comm = world_.world_comm();
+
+  if (device_.broken() || !device_.valid_range(src, bytes)) {
+    respond_status(mpi, client,
+                   device_.broken() ? Result::kEccError
+                                    : Result::kInvalidValue);
+    return;
+  }
+
+  // Head of the daemon-to-daemon leg: the peer executes it as an H2D copy
+  // whose payload we stream directly from our device — the compute node is
+  // not involved, which is the point of the paper's accelerator-to-
+  // accelerator transfer claim (Section III.C).
+  mpi.send(comm, peer, kRequestTag,
+           WireWriter{}
+               .op(Op::kPeerPut)
+               .u64(peer_dst)
+               .u64(bytes)
+               .transfer_config(config)
+               .finish());
+
+  const proto::BlockPlan plan(bytes, config);
+  std::vector<dmpi::Request> sends;
+  sends.reserve(plan.count());
+  for (std::size_t i = 0; i < plan.count(); ++i) {
+    util::Buffer block;
+    const gpu::OpHandle op = device_.memcpy_dtoh_async(
+        stream_, src + plan.offset(i), plan.size(i),
+        gpu::HostMemType::kPinned, ctx.now(), &block);
+    if (!op.ok()) block = util::Buffer::phantom(plan.size(i));
+    if (op.ok()) ctx.wait_until(op.done_at);
+    sends.push_back(mpi.isend(comm, peer, kDataTag, std::move(block)));
+  }
+  mpi.wait_all(sends);
+
+  // The peer acknowledges the put to us; relay the verdict to the client.
+  WireReader resp(mpi.recv(comm, peer, kResponseTag));
+  respond_status(mpi, client, resp.result());
+}
+
+}  // namespace dacc::daemon

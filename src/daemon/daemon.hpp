@@ -1,0 +1,62 @@
+// Back-end daemon: the service that runs on every accelerator node
+// (paper Figure 4). It receives middleware requests over dmpi, executes them
+// on the local (simulated) GPU through the driver facade, and sends
+// responses back — the "two MPI messages per request" protocol of
+// Section IV. Bulk copies use the naive or pipeline transfer engine chosen
+// by the client per request.
+#pragma once
+
+#include <cstdint>
+
+#include "dmpi/mpi.hpp"
+#include "gpu/device.hpp"
+#include "proto/wire.hpp"
+
+namespace dacc::daemon {
+
+class Daemon {
+ public:
+  Daemon(gpu::Device& device, dmpi::World& world, dmpi::Rank self_world_rank,
+         proto::ProtoParams params = {});
+
+  /// Service loop: runs until a kShutdown request arrives. Must be invoked
+  /// as the body of the accelerator node's sim process.
+  void run(sim::Context& ctx);
+
+  std::uint64_t requests_served() const { return requests_served_; }
+  gpu::Device& device() { return device_; }
+  dmpi::Rank rank() const { return self_; }
+
+ private:
+  void handle_mem_alloc(dmpi::Mpi& mpi, dmpi::Rank client,
+                        proto::WireReader& req);
+  void handle_mem_free(dmpi::Mpi& mpi, dmpi::Rank client,
+                       proto::WireReader& req);
+  void handle_htod(dmpi::Mpi& mpi, sim::Context& ctx, dmpi::Rank client,
+                   proto::WireReader& req);
+  void handle_dtoh(dmpi::Mpi& mpi, sim::Context& ctx, dmpi::Rank client,
+                   proto::WireReader& req);
+  void handle_kernel_create(dmpi::Mpi& mpi, dmpi::Rank client,
+                            proto::WireReader& req);
+  void handle_kernel_run(dmpi::Mpi& mpi, dmpi::Rank client,
+                         proto::WireReader& req);
+  void handle_device_info(dmpi::Mpi& mpi, dmpi::Rank client);
+  void handle_peer_send(dmpi::Mpi& mpi, sim::Context& ctx, dmpi::Rank client,
+                        proto::WireReader& req);
+
+  void respond_status(dmpi::Mpi& mpi, dmpi::Rank client, gpu::Result r);
+
+  /// Serialized host-side cost added to a block's DMA: the GPUDirect v1
+  /// shared-page rate penalty, or (without GPUDirect) the staging copy.
+  SimDuration copy_extra_busy(std::uint64_t bytes, bool gpudirect,
+                              bool h2d) const;
+
+  gpu::Device& device_;
+  dmpi::World& world_;
+  dmpi::Rank self_;
+  proto::ProtoParams params_;
+  gpu::Stream stream_;  ///< single in-order op stream (CUDA default-stream)
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace dacc::daemon

@@ -1,0 +1,80 @@
+#include "gpu/driver.hpp"
+
+namespace dacc::gpu {
+
+void Driver::check(const OpHandle& op, const char* what) {
+  if (!op.ok()) throw DeviceError(op.status, what);
+}
+
+DevPtr Driver::mem_alloc(std::uint64_t bytes) {
+  DevPtr out = kNullDevPtr;
+  const Result r = device_.mem_alloc(bytes, &out);
+  if (r != Result::kSuccess) throw DeviceError(r, "mem_alloc");
+  return out;
+}
+
+void Driver::mem_free(DevPtr ptr) {
+  const Result r = device_.mem_free(ptr);
+  if (r != Result::kSuccess) throw DeviceError(r, "mem_free");
+}
+
+void Driver::memcpy_htod(DevPtr dst, const util::Buffer& src,
+                         HostMemType mem) {
+  const OpHandle op = device_.memcpy_htod_async(device_.default_stream(), dst,
+                                                src, mem, ctx_.now());
+  check(op, "memcpy_htod");
+  ctx_.wait_until(op.done_at);
+}
+
+util::Buffer Driver::memcpy_dtoh(DevPtr src, std::uint64_t bytes,
+                                 HostMemType mem) {
+  util::Buffer out;
+  const OpHandle op = device_.memcpy_dtoh_async(
+      device_.default_stream(), src, bytes, mem, ctx_.now(), &out);
+  check(op, "memcpy_dtoh");
+  ctx_.wait_until(op.done_at);
+  return out;
+}
+
+void Driver::memcpy_dtod(DevPtr dst, DevPtr src, std::uint64_t bytes) {
+  const OpHandle op = device_.memcpy_dtod_async(device_.default_stream(), dst,
+                                                src, bytes, ctx_.now());
+  check(op, "memcpy_dtod");
+  ctx_.wait_until(op.done_at);
+}
+
+void Driver::launch(const std::string& kernel, const LaunchConfig& config,
+                    const KernelArgs& args) {
+  const OpHandle op = device_.launch_async(device_.default_stream(), kernel,
+                                           config, args, ctx_.now());
+  check(op, ("launch " + kernel).c_str());
+  ctx_.wait_until(op.done_at);
+}
+
+OpHandle Driver::memcpy_htod_async(Stream& stream, DevPtr dst,
+                                   const util::Buffer& src, HostMemType mem) {
+  return device_.memcpy_htod_async(stream, dst, src, mem, ctx_.now());
+}
+
+OpHandle Driver::memcpy_dtoh_async(Stream& stream, DevPtr src,
+                                   std::uint64_t bytes, HostMemType mem,
+                                   util::Buffer* out) {
+  return device_.memcpy_dtoh_async(stream, src, bytes, mem, ctx_.now(), out);
+}
+
+OpHandle Driver::launch_async(Stream& stream, const std::string& kernel,
+                              const LaunchConfig& config,
+                              const KernelArgs& args) {
+  return device_.launch_async(stream, kernel, config, args, ctx_.now());
+}
+
+void Driver::wait(const OpHandle& op) {
+  check(op, "wait");
+  ctx_.wait_until(op.done_at);
+}
+
+void Driver::synchronize(Stream& stream) {
+  ctx_.wait_until(stream.ready_at());
+}
+
+}  // namespace dacc::gpu

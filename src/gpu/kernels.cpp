@@ -1,0 +1,108 @@
+// Built-in utility kernels. Workload modules (la, mdsim) register their own
+// domain kernels on top of these.
+#include <cstdint>
+
+#include "gpu/device.hpp"
+
+namespace dacc::gpu {
+namespace {
+
+/// Device global-memory bandwidth used by the cost models of memory-bound
+/// kernels (C1060: ~102 GB/s theoretical, ~75 GB/s sustained).
+constexpr double kDeviceMemMibS = 75.0 * 1024.0;
+
+SimDuration memory_bound(std::uint64_t bytes) {
+  return transfer_time(bytes, kDeviceMemMibS);
+}
+
+void register_builtins(KernelRegistry& reg) {
+  // fill_f64(ptr x, i64 n, f64 value): x[i] = value
+  reg.register_kernel(
+      "fill_f64",
+      KernelDef{
+          [](Device& dev, const LaunchConfig&, const KernelArgs& args) {
+            auto x = dev.span_as<double>(
+                arg_ptr(args, 0),
+                static_cast<std::uint64_t>(arg_i64(args, 1)));
+            const double v = arg_f64(args, 2);
+            for (double& e : x) e = v;
+          },
+          [](const LaunchConfig&, const KernelArgs& args) {
+            return memory_bound(
+                static_cast<std::uint64_t>(arg_i64(args, 1)) * 8);
+          }});
+
+  // vector_add_f64(ptr a, ptr b, ptr c, i64 n): c[i] = a[i] + b[i]
+  reg.register_kernel(
+      "vector_add_f64",
+      KernelDef{
+          [](Device& dev, const LaunchConfig&, const KernelArgs& args) {
+            const auto n = static_cast<std::uint64_t>(arg_i64(args, 3));
+            auto a = dev.span_as<double>(arg_ptr(args, 0), n);
+            auto b = dev.span_as<double>(arg_ptr(args, 1), n);
+            auto c = dev.span_as<double>(arg_ptr(args, 2), n);
+            for (std::uint64_t i = 0; i < n; ++i) c[i] = a[i] + b[i];
+          },
+          [](const LaunchConfig&, const KernelArgs& args) {
+            return memory_bound(
+                static_cast<std::uint64_t>(arg_i64(args, 3)) * 24);
+          }});
+
+  // daxpy(i64 n, f64 alpha, ptr x, ptr y): y[i] += alpha * x[i]
+  reg.register_kernel(
+      "daxpy",
+      KernelDef{
+          [](Device& dev, const LaunchConfig&, const KernelArgs& args) {
+            const auto n = static_cast<std::uint64_t>(arg_i64(args, 0));
+            const double alpha = arg_f64(args, 1);
+            auto x = dev.span_as<double>(arg_ptr(args, 2), n);
+            auto y = dev.span_as<double>(arg_ptr(args, 3), n);
+            for (std::uint64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+          },
+          [](const LaunchConfig&, const KernelArgs& args) {
+            return memory_bound(
+                static_cast<std::uint64_t>(arg_i64(args, 0)) * 24);
+          }});
+
+  // dscal(i64 n, f64 alpha, ptr x): x[i] *= alpha
+  reg.register_kernel(
+      "dscal",
+      KernelDef{
+          [](Device& dev, const LaunchConfig&, const KernelArgs& args) {
+            const auto n = static_cast<std::uint64_t>(arg_i64(args, 0));
+            const double alpha = arg_f64(args, 1);
+            auto x = dev.span_as<double>(arg_ptr(args, 2), n);
+            for (double& e : x) e *= alpha;
+          },
+          [](const LaunchConfig&, const KernelArgs& args) {
+            return memory_bound(
+                static_cast<std::uint64_t>(arg_i64(args, 0)) * 16);
+          }});
+
+  // reduce_sum_f64(ptr x, i64 n, ptr out): out[0] = sum(x[0..n))
+  reg.register_kernel(
+      "reduce_sum_f64",
+      KernelDef{
+          [](Device& dev, const LaunchConfig&, const KernelArgs& args) {
+            const auto n = static_cast<std::uint64_t>(arg_i64(args, 1));
+            auto x = dev.span_as<double>(arg_ptr(args, 0), n);
+            auto out = dev.span_as<double>(arg_ptr(args, 2), 1);
+            double sum = 0.0;
+            for (double e : x) sum += e;
+            out[0] = sum;
+          },
+          [](const LaunchConfig&, const KernelArgs& args) {
+            return memory_bound(
+                static_cast<std::uint64_t>(arg_i64(args, 1)) * 8);
+          }});
+}
+
+}  // namespace
+
+std::shared_ptr<KernelRegistry> KernelRegistry::with_builtins() {
+  auto reg = std::make_shared<KernelRegistry>();
+  register_builtins(*reg);
+  return reg;
+}
+
+}  // namespace dacc::gpu

@@ -1,0 +1,55 @@
+// 1-D block-cyclic column distribution, as used by MAGMA 1.1's multi-GPU
+// factorizations: column block b lives on GPU b % g, at local block index
+// b / g. Only the last block may be partial, so local column offsets are
+// uniform multiples of nb.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dacc::la {
+
+struct BlockCyclic {
+  int n = 0;   ///< global number of columns
+  int nb = 0;  ///< block width
+  int g = 1;   ///< number of GPUs
+
+  BlockCyclic(int n_, int nb_, int g_) : n(n_), nb(nb_), g(g_) {
+    if (n < 0 || nb <= 0 || g <= 0) {
+      throw std::invalid_argument("BlockCyclic: bad parameters");
+    }
+  }
+
+  int nblocks() const { return (n + nb - 1) / nb; }
+  int owner(int b) const { return b % g; }
+  int local_block(int b) const { return b / g; }
+  int local_col(int b) const { return (b / g) * nb; }
+  int block_col(int b) const { return b * nb; }
+  int block_width(int b) const { return std::min(nb, n - b * nb); }
+
+  /// Total columns owned by GPU `me`.
+  int local_cols(int me) const {
+    int cols = 0;
+    for (int b = me; b < nblocks(); b += g) cols += block_width(b);
+    return cols;
+  }
+
+  /// First block index > `b0` owned by `me`, or nblocks() if none.
+  int next_owned_after(int me, int b0) const {
+    for (int b = b0 + 1; b < nblocks(); ++b) {
+      if (owner(b) == me) return b;
+    }
+    return nblocks();
+  }
+
+  /// Number of columns owned by `me` in blocks strictly after `b0`.
+  int trailing_cols(int me, int b0) const {
+    int cols = 0;
+    for (int b = b0 + 1; b < nblocks(); ++b) {
+      if (owner(b) == me) cols += block_width(b);
+    }
+    return cols;
+  }
+};
+
+}  // namespace dacc::la

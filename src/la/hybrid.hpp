@@ -1,0 +1,14 @@
+// Backwards-compatible names for the device-link adapters, which live in
+// core/link.hpp (they are shared by every workload, not just linear
+// algebra).
+#pragma once
+
+#include "core/link.hpp"
+
+namespace dacc::la {
+
+using Gpu = core::DeviceLink;
+using RemoteGpu = core::RemoteDeviceLink;
+using LocalGpu = core::LocalDeviceLink;
+
+}  // namespace dacc::la

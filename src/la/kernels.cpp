@@ -1,0 +1,337 @@
+#include "la/kernels.hpp"
+
+#include <algorithm>
+
+#include "la/blas.hpp"
+#include "la/lapack.hpp"
+
+namespace dacc::la {
+
+namespace {
+
+using gpu::arg_f64;
+using gpu::arg_i64;
+using gpu::arg_ptr;
+using gpu::Device;
+using gpu::KernelArgs;
+using gpu::KernelDef;
+using gpu::LaunchConfig;
+
+/// GEMM-class kernels run below peak when the inner dimension is skinny
+/// (k < ~96 on the C1060): blocking cannot fill the SMs. Neutral at the
+/// calibrated panel width (nb = 128).
+double skinny_efficiency(double k) { return std::min(1.0, k / 96.0); }
+
+/// Doubles needed to address a column-major rows x cols region with leading
+/// dimension ld starting at a device pointer.
+std::uint64_t extent(std::int64_t rows, std::int64_t cols, std::int64_t ld) {
+  if (rows == 0 || cols == 0) return 0;
+  return static_cast<std::uint64_t>(ld) * (cols - 1) +
+         static_cast<std::uint64_t>(rows);
+}
+
+void register_dgemm(gpu::KernelRegistry& reg, const LaParams& p) {
+  reg.register_kernel(
+      "la_dgemm",
+      KernelDef{
+          [](Device& dev, const LaunchConfig&, const KernelArgs& args) {
+            const Trans ta = arg_i64(args, 0) != 0 ? Trans::kYes : Trans::kNo;
+            const Trans tb = arg_i64(args, 1) != 0 ? Trans::kYes : Trans::kNo;
+            const auto m = arg_i64(args, 2);
+            const auto n = arg_i64(args, 3);
+            const auto k = arg_i64(args, 4);
+            const double alpha = arg_f64(args, 5);
+            const auto lda = arg_i64(args, 7);
+            const auto ldb = arg_i64(args, 9);
+            const double beta = arg_f64(args, 10);
+            const auto ldc = arg_i64(args, 12);
+            const auto a_rows = ta == Trans::kNo ? m : k;
+            const auto a_cols = ta == Trans::kNo ? k : m;
+            const auto b_rows = tb == Trans::kNo ? k : n;
+            const auto b_cols = tb == Trans::kNo ? n : k;
+            auto a = dev.span_as<double>(arg_ptr(args, 6),
+                                         extent(a_rows, a_cols, lda));
+            auto b = dev.span_as<double>(arg_ptr(args, 8),
+                                         extent(b_rows, b_cols, ldb));
+            auto c = dev.span_as<double>(arg_ptr(args, 11),
+                                         extent(m, n, ldc));
+            dgemm(ta, tb, static_cast<int>(m), static_cast<int>(n),
+                  static_cast<int>(k), alpha, a.data(),
+                  static_cast<int>(lda), b.data(), static_cast<int>(ldb),
+                  beta, c.data(), static_cast<int>(ldc));
+          },
+          [p](const LaunchConfig&, const KernelArgs& args) {
+            const double k = static_cast<double>(arg_i64(args, 4));
+            const double flops = 2.0 *
+                                 static_cast<double>(arg_i64(args, 2)) *
+                                 static_cast<double>(arg_i64(args, 3)) * k;
+            return p.gpu_kernel_setup +
+                   flops_time(flops,
+                              p.gpu_gemm_gflops * skinny_efficiency(k));
+          }});
+}
+
+void register_pack(gpu::KernelRegistry& reg, const LaParams& p) {
+  reg.register_kernel(
+      "la_pack",
+      KernelDef{
+          [](Device& dev, const LaunchConfig&, const KernelArgs& args) {
+            const auto rows = arg_i64(args, 0);
+            const auto cols = arg_i64(args, 1);
+            const auto lds = arg_i64(args, 3);
+            auto src = dev.span_as<double>(arg_ptr(args, 2),
+                                           extent(rows, cols, lds));
+            auto dst = dev.span_as<double>(
+                arg_ptr(args, 4), static_cast<std::uint64_t>(rows) * cols);
+            for (std::int64_t c = 0; c < cols; ++c) {
+              std::copy_n(src.data() + c * lds, rows, dst.data() + c * rows);
+            }
+          },
+          [p](const LaunchConfig&, const KernelArgs& args) {
+            const auto bytes = static_cast<std::uint64_t>(arg_i64(args, 0)) *
+                               static_cast<std::uint64_t>(arg_i64(args, 1)) *
+                               8;
+            return transfer_time(2 * bytes, p.gpu_pack_mib_s);
+          }});
+  reg.register_kernel(
+      "la_unpack",
+      KernelDef{
+          [](Device& dev, const LaunchConfig&, const KernelArgs& args) {
+            const auto rows = arg_i64(args, 0);
+            const auto cols = arg_i64(args, 1);
+            const auto ldd = arg_i64(args, 4);
+            auto src = dev.span_as<double>(
+                arg_ptr(args, 2), static_cast<std::uint64_t>(rows) * cols);
+            auto dst = dev.span_as<double>(arg_ptr(args, 3),
+                                           extent(rows, cols, ldd));
+            for (std::int64_t c = 0; c < cols; ++c) {
+              std::copy_n(src.data() + c * rows, rows, dst.data() + c * ldd);
+            }
+          },
+          [p](const LaunchConfig&, const KernelArgs& args) {
+            const auto bytes = static_cast<std::uint64_t>(arg_i64(args, 0)) *
+                               static_cast<std::uint64_t>(arg_i64(args, 1)) *
+                               8;
+            return transfer_time(2 * bytes, p.gpu_pack_mib_s);
+          }});
+}
+
+void register_larfb(gpu::KernelRegistry& reg, const LaParams& p) {
+  reg.register_kernel(
+      "la_dlarfb",
+      KernelDef{
+          [](Device& dev, const LaunchConfig&, const KernelArgs& args) {
+            const auto m = arg_i64(args, 0);
+            const auto n = arg_i64(args, 1);
+            const auto k = arg_i64(args, 2);
+            const auto ldc = arg_i64(args, 6);
+            auto v = dev.span_as<double>(arg_ptr(args, 3),
+                                         static_cast<std::uint64_t>(m) * k);
+            auto t = dev.span_as<double>(arg_ptr(args, 4),
+                                         static_cast<std::uint64_t>(k) * k);
+            auto c = dev.span_as<double>(arg_ptr(args, 5),
+                                         extent(m, n, ldc));
+            dlarfb(Trans::kYes, static_cast<int>(m), static_cast<int>(n),
+                   static_cast<int>(k), v.data(), static_cast<int>(m),
+                   t.data(), static_cast<int>(k), c.data(),
+                   static_cast<int>(ldc));
+          },
+          [p](const LaunchConfig&, const KernelArgs& args) {
+            const double m = static_cast<double>(arg_i64(args, 0));
+            const double n = static_cast<double>(arg_i64(args, 1));
+            const double k = static_cast<double>(arg_i64(args, 2));
+            return p.gpu_kernel_setup +
+                   flops_time(4.0 * m * n * k,
+                              p.gpu_larfb_gflops * skinny_efficiency(k));
+          }});
+}
+
+void register_trsm(gpu::KernelRegistry& reg, const LaParams& p) {
+  reg.register_kernel(
+      "la_dtrsm_rlt",
+      KernelDef{
+          [](Device& dev, const LaunchConfig&, const KernelArgs& args) {
+            const auto m = arg_i64(args, 0);
+            const auto n = arg_i64(args, 1);
+            const auto ldb = arg_i64(args, 4);
+            auto l = dev.span_as<double>(arg_ptr(args, 2),
+                                         static_cast<std::uint64_t>(n) * n);
+            auto b = dev.span_as<double>(arg_ptr(args, 3),
+                                         extent(m, n, ldb));
+            dtrsm(Side::kRight, UpLo::kLower, Trans::kYes, Diag::kNonUnit,
+                  static_cast<int>(m), static_cast<int>(n), 1.0, l.data(),
+                  static_cast<int>(n), b.data(), static_cast<int>(ldb));
+          },
+          [p](const LaunchConfig&, const KernelArgs& args) {
+            const double m = static_cast<double>(arg_i64(args, 0));
+            const double n = static_cast<double>(arg_i64(args, 1));
+            return p.gpu_kernel_setup +
+                   flops_time(m * n * n, p.gpu_trsm_gflops);
+          }});
+}
+
+void register_chol_update(gpu::KernelRegistry& reg, const LaParams& p) {
+  // Trailing update of the calling GPU's owned column blocks after panel j:
+  // for every owned block b with c = b*nb > j:
+  //   A(c:n, cols of b) -= L21(c-j-nb : n-j-nb, :) * L21(c-j-nb : +cb, :)^T
+  auto owned_flops = [](const KernelArgs& args) {
+    const auto n = arg_i64(args, 0);
+    const auto j = arg_i64(args, 1);
+    const auto nb = arg_i64(args, 2);
+    const auto me = arg_i64(args, 3);
+    const auto g = arg_i64(args, 4);
+    double flops = 0.0;
+    for (std::int64_t b = me; b * nb < n; b += g) {
+      const std::int64_t c = b * nb;
+      if (c <= j) continue;
+      const std::int64_t cb = std::min(nb, n - c);
+      flops += 2.0 * static_cast<double>(n - c) * cb * nb;
+    }
+    return flops;
+  };
+  reg.register_kernel(
+      "la_chol_update",
+      KernelDef{
+          [](Device& dev, const LaunchConfig&, const KernelArgs& args) {
+            const auto n = arg_i64(args, 0);
+            const auto j = arg_i64(args, 1);
+            const auto nb = arg_i64(args, 2);
+            const auto me = arg_i64(args, 3);
+            const auto g = arg_i64(args, 4);
+            const auto ld = arg_i64(args, 6);
+            const std::int64_t l21_rows = n - j - nb;
+            auto l21 = dev.span_as<double>(
+                arg_ptr(args, 7),
+                static_cast<std::uint64_t>(l21_rows) * nb);
+            for (std::int64_t b = me; b * nb < n; b += g) {
+              const std::int64_t c = b * nb;
+              if (c <= j) continue;
+              const std::int64_t cb = std::min(nb, n - c);
+              const std::int64_t loc = (b / g) * nb;
+              auto cspan = dev.span_as<double>(
+                  arg_ptr(args, 5) + static_cast<std::uint64_t>(
+                                         loc * ld + c) * 8,
+                  extent(n - c, cb, ld));
+              dgemm(Trans::kNo, Trans::kYes, static_cast<int>(n - c),
+                    static_cast<int>(cb), static_cast<int>(nb), -1.0,
+                    l21.data() + (c - j - nb), static_cast<int>(l21_rows),
+                    l21.data() + (c - j - nb), static_cast<int>(l21_rows),
+                    1.0, cspan.data(), static_cast<int>(ld));
+            }
+          },
+          [p, owned_flops](const LaunchConfig&, const KernelArgs& args) {
+            const double nb = static_cast<double>(arg_i64(args, 2));
+            return p.gpu_kernel_setup +
+                   flops_time(owned_flops(args),
+                              p.gpu_syrk_gflops * skinny_efficiency(nb));
+          }});
+}
+
+void register_lu_kernels(gpu::KernelRegistry& reg, const LaParams& p) {
+  // la_laswp(i64 ncols, ptr A, i64 ld, i64 row0, i64 k, ptr ipiv):
+  // row interchanges across all ncols columns; ipiv is a device buffer of
+  // k int64 absolute row indices.
+  reg.register_kernel(
+      "la_laswp",
+      KernelDef{
+          [](Device& dev, const LaunchConfig&, const KernelArgs& args) {
+            const auto ncols = arg_i64(args, 0);
+            const auto ld = arg_i64(args, 2);
+            const auto row0 = arg_i64(args, 3);
+            const auto k = arg_i64(args, 4);
+            if (ncols == 0 || k == 0) return;
+            auto piv = dev.span_as<std::int64_t>(
+                arg_ptr(args, 5), static_cast<std::uint64_t>(k));
+            // Rows can reach up to max(ipiv)+1; the full column height is
+            // bounded by ld.
+            auto a = dev.span_as<double>(arg_ptr(args, 1),
+                                         extent(ld, ncols, ld));
+            for (std::int64_t i = 0; i < k; ++i) {
+              const std::int64_t r1 = row0 + i;
+              const std::int64_t r2 = piv[static_cast<std::size_t>(i)];
+              if (r1 == r2) continue;
+              for (std::int64_t c = 0; c < ncols; ++c) {
+                std::swap(a[static_cast<std::size_t>(c * ld + r1)],
+                          a[static_cast<std::size_t>(c * ld + r2)]);
+              }
+            }
+          },
+          [p](const LaunchConfig&, const KernelArgs& args) {
+            const auto bytes = static_cast<std::uint64_t>(arg_i64(args, 0)) *
+                               static_cast<std::uint64_t>(arg_i64(args, 4)) *
+                               16;  // read + write both rows
+            return transfer_time(2 * bytes, p.gpu_pack_mib_s);
+          }});
+
+  // la_dtrsm_llu(i64 m, i64 n, ptr L (packed, >= m x m, unit lower),
+  //              i64 ldl, ptr B, i64 ldb): B := inv(L, unit) * B.
+  reg.register_kernel(
+      "la_dtrsm_llu",
+      KernelDef{
+          [](Device& dev, const LaunchConfig&, const KernelArgs& args) {
+            const auto m = arg_i64(args, 0);
+            const auto n = arg_i64(args, 1);
+            const auto ldl = arg_i64(args, 3);
+            const auto ldb = arg_i64(args, 5);
+            auto l = dev.span_as<double>(arg_ptr(args, 2),
+                                         extent(m, m, ldl));
+            auto b = dev.span_as<double>(arg_ptr(args, 4),
+                                         extent(m, n, ldb));
+            dtrsm(Side::kLeft, UpLo::kLower, Trans::kNo, Diag::kUnit,
+                  static_cast<int>(m), static_cast<int>(n), 1.0, l.data(),
+                  static_cast<int>(ldl), b.data(), static_cast<int>(ldb));
+          },
+          [p](const LaunchConfig&, const KernelArgs& args) {
+            const double m = static_cast<double>(arg_i64(args, 0));
+            const double n = static_cast<double>(arg_i64(args, 1));
+            return p.gpu_kernel_setup +
+                   flops_time(m * m * n, p.gpu_trsm_gflops);
+          }});
+}
+
+}  // namespace
+
+void register_la_kernels(gpu::KernelRegistry& registry,
+                         const LaParams& params) {
+  register_dgemm(registry, params);
+  register_pack(registry, params);
+  register_larfb(registry, params);
+  register_trsm(registry, params);
+  register_chol_update(registry, params);
+  register_lu_kernels(registry, params);
+}
+
+std::shared_ptr<gpu::KernelRegistry> la_registry(const LaParams& params) {
+  auto reg = gpu::KernelRegistry::with_builtins();
+  register_la_kernels(*reg, params);
+  return reg;
+}
+
+double qr_flops(int m, int n) {
+  // LAPACK working note flop count for DGEQRF.
+  const double dm = m;
+  const double dn = n;
+  if (m >= n) {
+    return 2.0 * dm * dn * dn - 2.0 / 3.0 * dn * dn * dn + dm * dn +
+           dn * dn + 14.0 / 3.0 * dn;
+  }
+  return 2.0 * dn * dm * dm - 2.0 / 3.0 * dm * dm * dm + 3.0 * dn * dm -
+         dm * dm + 14.0 / 3.0 * dm;
+}
+
+double cholesky_flops(int n) {
+  const double dn = n;
+  return dn * dn * dn / 3.0 + dn * dn / 2.0 + dn / 6.0;
+}
+
+double lu_flops(int m, int n) {
+  const double dm = m;
+  const double dn = n;
+  if (m >= n) {
+    return dm * dn * dn - dn * dn * dn / 3.0 - dn * dn / 2.0 +
+           5.0 * dn / 6.0;
+  }
+  return dn * dm * dm - dm * dm * dm / 3.0 - dm * dm / 2.0 + 5.0 * dm / 6.0;
+}
+
+}  // namespace dacc::la

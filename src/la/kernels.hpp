@@ -1,0 +1,33 @@
+// Device kernels for the hybrid linear-algebra workloads. Functional
+// executors run the host BLAS-lite on device memory; cost models charge the
+// calibrated C1060 rates from LaParams.
+#pragma once
+
+#include <memory>
+
+#include "gpu/device.hpp"
+#include "la/params.hpp"
+
+namespace dacc::la {
+
+/// Registers the LA kernels into `registry`:
+///   la_dgemm        (ta, tb, m, n, k, alpha, A, lda, B, ldb, beta, C, ldc)
+///   la_pack         (rows, cols, src, lds, dst)       strided -> contiguous
+///   la_unpack       (rows, cols, src, dst, ldd)       contiguous -> strided
+///   la_dlarfb       (m, n, k, V, T, C, ldc)           QR trailing update
+///   la_dtrsm_rlt    (m, n, L, B, ldb)                 B := B inv(L)^T
+///   la_chol_update  (n, j, nb, me, g, A, ld, L21)     trailing syrk/gemm
+///   la_laswp        (ncols, A, ld, row0, k, ipiv)     LU row interchanges
+///   la_dtrsm_llu    (m, n, L, ldl, B, ldb)            B := inv(L, unit) B
+void register_la_kernels(gpu::KernelRegistry& registry,
+                         const LaParams& params = {});
+
+/// Builtins + LA kernels, ready for a Cluster config.
+std::shared_ptr<gpu::KernelRegistry> la_registry(const LaParams& params = {});
+
+/// Standard flop counts (LAPACK conventions).
+double qr_flops(int m, int n);
+double cholesky_flops(int n);
+double lu_flops(int m, int n);
+
+}  // namespace dacc::la

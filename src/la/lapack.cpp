@@ -1,0 +1,381 @@
+#include "la/lapack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace dacc::la {
+
+int dpotf2(int n, double* a, int lda) {
+  auto at = [&](int i, int j) -> double& {
+    return a[static_cast<std::size_t>(j) * lda + i];
+  };
+  for (int j = 0; j < n; ++j) {
+    double d = at(j, j);
+    for (int p = 0; p < j; ++p) d -= at(j, p) * at(j, p);
+    if (d <= 0.0) return j + 1;
+    d = std::sqrt(d);
+    at(j, j) = d;
+    for (int i = j + 1; i < n; ++i) {
+      double v = at(i, j);
+      for (int p = 0; p < j; ++p) v -= at(i, p) * at(j, p);
+      at(i, j) = v / d;
+    }
+  }
+  return 0;
+}
+
+int dpotrf_host(HostMatrix& a, int nb) {
+  if (a.m() != a.n()) throw std::invalid_argument("dpotrf_host: not square");
+  const int n = a.n();
+  const int ld = a.ld();
+  double* p = a.data();
+  for (int j = 0; j < n; j += nb) {
+    const int jb = std::min(nb, n - j);
+    double* diag = p + static_cast<std::size_t>(j) * ld + j;
+    const int info = dpotf2(jb, diag, ld);
+    if (info != 0) return j + info;
+    const int rest = n - j - jb;
+    if (rest > 0) {
+      double* below = p + static_cast<std::size_t>(j) * ld + j + jb;
+      dtrsm(Side::kRight, UpLo::kLower, Trans::kYes, Diag::kNonUnit, rest, jb,
+            1.0, diag, ld, below, ld);
+      double* trail = p + static_cast<std::size_t>(j + jb) * ld + j + jb;
+      dsyrk(UpLo::kLower, Trans::kNo, rest, jb, -1.0, below, ld, 1.0, trail,
+            ld);
+    }
+  }
+  return 0;
+}
+
+void dgeqr2(int m, int n, double* a, int lda, double* tau) {
+  auto at = [&](int i, int j) -> double& {
+    return a[static_cast<std::size_t>(j) * lda + i];
+  };
+  const int k = std::min(m, n);
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (int i = 0; i < k; ++i) {
+    // Generate the reflector zeroing A[i+1:m, i] (LAPACK dlarfg).
+    const double alpha = at(i, i);
+    const double xnorm = dnrm2(m - i - 1, &at(i + 1, i));
+    if (xnorm == 0.0) {
+      tau[i] = 0.0;
+      continue;
+    }
+    double beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+    tau[i] = (beta - alpha) / beta;
+    dscal(m - i - 1, 1.0 / (alpha - beta), &at(i + 1, i));
+    at(i, i) = beta;
+    // Apply H = I - tau v v^T to A[i:m, i+1:n] (v0 = 1 implicit).
+    if (i + 1 < n) {
+      for (int j = i + 1; j < n; ++j) {
+        double sum = at(i, j);
+        for (int r = i + 1; r < m; ++r) sum += at(r, i) * at(r, j);
+        w[static_cast<std::size_t>(j)] = sum;
+      }
+      for (int j = i + 1; j < n; ++j) {
+        const double tw = tau[i] * w[static_cast<std::size_t>(j)];
+        at(i, j) -= tw;
+        for (int r = i + 1; r < m; ++r) at(r, j) -= at(r, i) * tw;
+      }
+    }
+  }
+}
+
+void materialize_v(int m, int k, const double* panel, int ldp, double* v) {
+  for (int c = 0; c < k; ++c) {
+    for (int r = 0; r < m; ++r) {
+      double value;
+      if (r < c) {
+        value = 0.0;
+      } else if (r == c) {
+        value = 1.0;
+      } else {
+        value = panel[static_cast<std::size_t>(c) * ldp + r];
+      }
+      v[static_cast<std::size_t>(c) * m + r] = value;
+    }
+  }
+}
+
+void dlarft(int m, int k, const double* v, int ldv, const double* tau,
+            double* t, int ldt) {
+  // v is the factored panel (implicit unit lower trapezoidal).
+  auto vat = [&](int i, int j) -> double {
+    if (i < j) return 0.0;
+    if (i == j) return 1.0;
+    return v[static_cast<std::size_t>(j) * ldv + i];
+  };
+  auto tat = [&](int i, int j) -> double& {
+    return t[static_cast<std::size_t>(j) * ldt + i];
+  };
+  for (int i = 0; i < k; ++i) {
+    for (int r = 0; r < i; ++r) tat(r, i) = 0.0;
+    tat(i, i) = tau[i];
+    if (tau[i] == 0.0 || i == 0) continue;
+    // w = V(:, 0:i)^T * v_i
+    std::vector<double> w(static_cast<std::size_t>(i), 0.0);
+    for (int c = 0; c < i; ++c) {
+      double sum = 0.0;
+      for (int r = i; r < m; ++r) sum += vat(r, c) * vat(r, i);
+      w[static_cast<std::size_t>(c)] = sum;
+    }
+    // T(0:i, i) = -tau_i * T(0:i, 0:i) * w
+    for (int r = 0; r < i; ++r) {
+      double sum = 0.0;
+      for (int c = r; c < i; ++c) {
+        sum += tat(r, c) * w[static_cast<std::size_t>(c)];
+      }
+      tat(r, i) = -tau[i] * sum;
+    }
+  }
+}
+
+void dlarfb(Trans trans, int m, int n, int k, const double* v, int ldv,
+            const double* t, int ldt, double* c, int ldc) {
+  if (n == 0 || k == 0) return;
+  // W = V^T C  (k x n)
+  std::vector<double> w(static_cast<std::size_t>(k) * n);
+  dgemm(Trans::kYes, Trans::kNo, k, n, m, 1.0, v, ldv, c, ldc, 0.0, w.data(),
+        k);
+  // W := op(T) W, T upper triangular: apply as small dense gemm with the
+  // transposed-or-not triangle materialized.
+  std::vector<double> tw(static_cast<std::size_t>(k) * n, 0.0);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < k; ++i) {
+      double sum = 0.0;
+      for (int p = 0; p < k; ++p) {
+        const double tv = trans == Trans::kYes
+                              ? (p <= i ? t[static_cast<std::size_t>(i) * ldt +
+                                            p]
+                                        : 0.0)   // T^T is lower
+                              : (p >= i ? t[static_cast<std::size_t>(p) * ldt +
+                                            i]
+                                        : 0.0);  // T is upper
+        sum += tv * w[static_cast<std::size_t>(j) * k + p];
+      }
+      tw[static_cast<std::size_t>(j) * k + i] = sum;
+    }
+  }
+  // C := C - V (op(T) W)
+  dgemm(Trans::kNo, Trans::kNo, m, n, k, -1.0, v, ldv, tw.data(), k, 1.0, c,
+        ldc);
+}
+
+void dgeqrf_host(HostMatrix& a, int nb, std::vector<double>& tau) {
+  const int m = a.m();
+  const int n = a.n();
+  const int ld = a.ld();
+  const int k = std::min(m, n);
+  tau.assign(static_cast<std::size_t>(k), 0.0);
+  double* p = a.data();
+  std::vector<double> v;
+  std::vector<double> t(static_cast<std::size_t>(nb) * nb);
+  for (int j = 0; j < k; j += nb) {
+    const int jb = std::min(nb, k - j);
+    const int rows = m - j;
+    double* panel = p + static_cast<std::size_t>(j) * ld + j;
+    dgeqr2(rows, jb, panel, ld, tau.data() + j);
+    if (j + jb < n) {
+      v.assign(static_cast<std::size_t>(rows) * jb, 0.0);
+      materialize_v(rows, jb, panel, ld, v.data());
+      dlarft(rows, jb, panel, ld, tau.data() + j, t.data(), nb);
+      double* trail = p + static_cast<std::size_t>(j + jb) * ld + j;
+      dlarfb(Trans::kYes, rows, n - j - jb, jb, v.data(), rows, t.data(), nb,
+             trail, ld);
+    }
+  }
+}
+
+int dgetf2(int m, int n, double* a, int lda, int* ipiv, int row0) {
+  auto at = [&](int i, int j) -> double& {
+    return a[static_cast<std::size_t>(j) * lda + i];
+  };
+  const int k = std::min(m, n);
+  int info = 0;
+  for (int i = 0; i < k; ++i) {
+    // Partial pivoting: largest magnitude in column i at or below row i.
+    int piv = i;
+    double best = std::fabs(at(i, i));
+    for (int r = i + 1; r < m; ++r) {
+      const double v = std::fabs(at(r, i));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    ipiv[i] = row0 + piv;
+    if (best == 0.0) {
+      if (info == 0) info = i + 1;
+      continue;
+    }
+    if (piv != i) {
+      for (int c = 0; c < n; ++c) std::swap(at(i, c), at(piv, c));
+    }
+    const double inv_pivot = 1.0 / at(i, i);
+    for (int r = i + 1; r < m; ++r) at(r, i) *= inv_pivot;
+    for (int c = i + 1; c < n; ++c) {
+      const double u = at(i, c);
+      if (u == 0.0) continue;
+      for (int r = i + 1; r < m; ++r) at(r, c) -= at(r, i) * u;
+    }
+  }
+  return info;
+}
+
+void dlaswp(int ncols, double* a, int lda, int row0, int k, const int* ipiv) {
+  for (int i = 0; i < k; ++i) {
+    const int r1 = row0 + i;
+    const int r2 = ipiv[i];
+    if (r1 == r2) continue;
+    for (int c = 0; c < ncols; ++c) {
+      std::swap(a[static_cast<std::size_t>(c) * lda + r1],
+                a[static_cast<std::size_t>(c) * lda + r2]);
+    }
+  }
+}
+
+int dgetrf_host(HostMatrix& a, int nb, std::vector<int>& ipiv) {
+  const int m = a.m();
+  const int n = a.n();
+  const int ld = a.ld();
+  const int k = std::min(m, n);
+  ipiv.assign(static_cast<std::size_t>(k), 0);
+  double* p = a.data();
+  int info = 0;
+  for (int j = 0; j < k; j += nb) {
+    const int jb = std::min(nb, k - j);
+    // Factor the panel (rows j..m) with pivoting local to it.
+    const int panel_info = dgetf2(m - j, jb,
+                                  p + static_cast<std::size_t>(j) * ld + j,
+                                  ld, ipiv.data() + j, j);
+    if (panel_info != 0 && info == 0) info = j + panel_info;
+    // Apply the interchanges to the columns outside the panel.
+    dlaswp(j, p, ld, j, jb, ipiv.data() + j);
+    if (j + jb < n) {
+      dlaswp(n - j - jb, p + static_cast<std::size_t>(j + jb) * ld, ld, j,
+             jb, ipiv.data() + j);
+      // U12 := inv(L11, unit) * A12.
+      dtrsm(Side::kLeft, UpLo::kLower, Trans::kNo, Diag::kUnit, jb,
+            n - j - jb, 1.0, p + static_cast<std::size_t>(j) * ld + j, ld,
+            p + static_cast<std::size_t>(j + jb) * ld + j, ld);
+      // Trailing update: A22 -= L21 * U12.
+      if (j + jb < m) {
+        dgemm(Trans::kNo, Trans::kNo, m - j - jb, n - j - jb, jb, -1.0,
+              p + static_cast<std::size_t>(j) * ld + j + jb, ld,
+              p + static_cast<std::size_t>(j + jb) * ld + j, ld, 1.0,
+              p + static_cast<std::size_t>(j + jb) * ld + j + jb, ld);
+      }
+    }
+  }
+  return info;
+}
+
+double lu_residual(const HostMatrix& original, const HostMatrix& factored,
+                   const std::vector<int>& ipiv) {
+  const int m = original.m();
+  const int n = original.n();
+  const int k = std::min(m, n);
+  // P A: apply the interchanges to a copy of the original.
+  HostMatrix pa = original;
+  dlaswp(n, pa.data(), pa.ld(), 0, static_cast<int>(ipiv.size()),
+         ipiv.data());
+  // L U from the factored matrix.
+  HostMatrix rebuilt(m, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      double sum = 0.0;
+      const int limit = std::min({i, j + 1, k});
+      for (int p = 0; p < limit; ++p) {
+        sum += factored.at(i, p) * factored.at(p, j);  // L(i,p) U(p,j)
+      }
+      if (i <= j && i < k) sum += factored.at(i, j);  // L(i,i) = 1
+      rebuilt.at(i, j) = sum;
+    }
+  }
+  return HostMatrix::max_abs_diff(pa, rebuilt);
+}
+
+double cholesky_residual(const HostMatrix& original,
+                         const HostMatrix& factored) {
+  const int n = original.n();
+  HostMatrix rebuilt(n, n);
+  // rebuilt = L * L^T from the lower triangle of `factored`.
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      double sum = 0.0;
+      const int kmax = std::min(i, j);
+      for (int p = 0; p <= kmax; ++p) {
+        sum += factored.at(i, p) * factored.at(j, p);
+      }
+      rebuilt.at(i, j) = sum;
+    }
+  }
+  return HostMatrix::max_abs_diff(original, rebuilt);
+}
+
+namespace {
+
+/// Materializes Q (m x m) from the factored panel + tau by applying the
+/// reflectors to the identity: Q = H_0 H_1 ... H_{k-1}.
+HostMatrix build_q(const HostMatrix& factored,
+                   const std::vector<double>& tau) {
+  const int m = factored.m();
+  const int k = static_cast<int>(tau.size());
+  HostMatrix q(m, m);
+  for (int i = 0; i < m; ++i) q.at(i, i) = 1.0;
+  for (int i = k - 1; i >= 0; --i) {
+    if (tau[static_cast<std::size_t>(i)] == 0.0) continue;
+    // v = [zeros(i); 1; A[i+1:m, i]]
+    std::vector<double> v(static_cast<std::size_t>(m), 0.0);
+    v[static_cast<std::size_t>(i)] = 1.0;
+    for (int r = i + 1; r < m; ++r) {
+      v[static_cast<std::size_t>(r)] = factored.at(r, i);
+    }
+    // Q := (I - tau v v^T) Q
+    std::vector<double> w(static_cast<std::size_t>(m), 0.0);
+    dgemv(Trans::kYes, m, m, 1.0, q.data(), m, v.data(), 0.0, w.data());
+    dger(m, m, -tau[static_cast<std::size_t>(i)], v.data(), w.data(),
+         q.data(), m);
+  }
+  return q;
+}
+
+}  // namespace
+
+double qr_residual(const HostMatrix& original, const HostMatrix& factored,
+                   const std::vector<double>& tau) {
+  const int m = original.m();
+  const int n = original.n();
+  const HostMatrix q = build_q(factored, tau);
+  // R = upper trapezoid of factored.
+  HostMatrix rebuilt(m, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      double sum = 0.0;
+      for (int p = 0; p <= std::min(j, m - 1); ++p) {
+        sum += q.at(i, p) * factored.at(p, j);
+      }
+      rebuilt.at(i, j) = sum;
+    }
+  }
+  return HostMatrix::max_abs_diff(original, rebuilt);
+}
+
+double qr_orthogonality(const HostMatrix& factored,
+                        const std::vector<double>& tau) {
+  const HostMatrix q = build_q(factored, tau);
+  const int m = q.m();
+  double worst = 0.0;
+  for (int j = 0; j < m; ++j) {
+    for (int i = 0; i < m; ++i) {
+      double sum = 0.0;
+      for (int p = 0; p < m; ++p) sum += q.at(p, i) * q.at(p, j);
+      worst = std::max(worst, std::fabs(sum - (i == j ? 1.0 : 0.0)));
+    }
+  }
+  return worst;
+}
+
+}  // namespace dacc::la

@@ -1,0 +1,78 @@
+// LAPACK-lite: unblocked panel factorizations (dpotf2, dgeqr2), the
+// block-reflector helpers (dlarft, dlarfb), and blocked host references
+// (dpotrf_host, dgeqrf_host). These are the routines the hybrid CPU+GPU
+// algorithms run on the compute node for each panel, and the references the
+// tests verify the full remote pipeline against.
+#pragma once
+
+#include <vector>
+
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace dacc::la {
+
+/// Unblocked lower Cholesky of the leading n x n of A (in place).
+/// Returns 0 on success or the 1-based index of the first non-positive
+/// pivot (LAPACK convention).
+int dpotf2(int n, double* a, int lda);
+
+/// Blocked lower Cholesky on the host (reference). Returns like dpotf2.
+int dpotrf_host(HostMatrix& a, int nb);
+
+/// Unblocked Householder QR of the m x n panel (in place, LAPACK dgeqr2):
+/// R in the upper triangle, the Householder vectors below the diagonal,
+/// scalar factors in tau (length min(m, n)).
+void dgeqr2(int m, int n, double* a, int lda, double* tau);
+
+/// Forms the upper-triangular block-reflector factor T (k x k) for the
+/// panel's reflectors (LAPACK dlarft, forward/columnwise). `v` is the
+/// factored panel (unit lower trapezoidal implicit).
+void dlarft(int m, int k, const double* v, int ldv, const double* tau,
+            double* t, int ldt);
+
+/// Copies the k reflectors out of a factored panel into a dense m x k V
+/// with the implicit structure materialized (unit diagonal, zeros above).
+void materialize_v(int m, int k, const double* panel, int ldp, double* v);
+
+/// C := (I - V T V^T)^(T?) C with dense V (m x k), T (k x k upper),
+/// C (m x n). trans == kYes applies Q^T (the factorization update),
+/// kNo applies Q (used to build Q explicitly).
+void dlarfb(Trans trans, int m, int n, int k, const double* v, int ldv,
+            const double* t, int ldt, double* c, int ldc);
+
+/// Blocked Householder QR on the host (reference). tau is resized.
+void dgeqrf_host(HostMatrix& a, int nb, std::vector<double>& tau);
+
+/// Unblocked LU with partial pivoting of the m x n panel (LAPACK dgetf2).
+/// ipiv[i] (0-based, absolute row index) records the row swapped with row
+/// `row0 + i`. Returns 0 or the 1-based index of the first zero pivot.
+int dgetf2(int m, int n, double* a, int lda, int* ipiv, int row0);
+
+/// Row interchanges (LAPACK dlaswp): for i in [0, k), swap rows `row0 + i`
+/// and `ipiv[i]` across columns [0, ncols) of `a`.
+void dlaswp(int ncols, double* a, int lda, int row0, int k, const int* ipiv);
+
+/// Blocked LU with partial pivoting on the host (reference). ipiv is
+/// resized to min(m, n). Returns like dgetf2.
+int dgetrf_host(HostMatrix& a, int nb, std::vector<int>& ipiv);
+
+// --- verification helpers ---------------------------------------------------
+
+/// ||A - L L^T||_max for a factored lower Cholesky against the original.
+double cholesky_residual(const HostMatrix& original,
+                         const HostMatrix& factored);
+
+/// ||A - Q R||_max for a factored QR (vectors + tau) against the original.
+double qr_residual(const HostMatrix& original, const HostMatrix& factored,
+                   const std::vector<double>& tau);
+
+/// ||Q^T Q - I||_max for the factored QR's orthogonal factor.
+double qr_orthogonality(const HostMatrix& factored,
+                        const std::vector<double>& tau);
+
+/// ||P A - L U||_max for a factored LU against the original.
+double lu_residual(const HostMatrix& original, const HostMatrix& factored,
+                   const std::vector<int>& ipiv);
+
+}  // namespace dacc::la

@@ -1,0 +1,87 @@
+// MP2C-like multi-particle collision dynamics application.
+//
+// The paper's real-world workload (Section V.C) is MP2C: a multi-scale
+// molecular-dynamics code whose mesoscopic fluid solver implements
+// stochastic rotation dynamics (SRD) in CUDA, parallelized with MPI over a
+// geometric domain decomposition. This module reproduces that structure:
+//
+//   * slab domain decomposition along x over the job's ranks, with particle
+//     migration over dmpi after every streaming step;
+//   * SRD collisions on the (local or network-attached) GPU every
+//     `srd_every`-th step: particle data H2D, one collision kernel, updated
+//     velocities D2H — the transfer pattern whose bandwidth sensitivity
+//     Figure 11 measures;
+//   * the random grid shift of Malevanets/Kapral SRD, honoured across ranks
+//     by re-assigning boundary-band particles to the rank that owns their
+//     (shifted) collision cell before the collision.
+//
+// Functional runs use real particles and conserve momentum and kinetic
+// energy exactly (the tests check this through the full remote stack);
+// phantom runs reproduce the identical communication and compute timing at
+// paper scale (5.12M - 10M particles).
+//
+// The MD solute coupling of MP2C is folded into the per-step CPU cost model
+// (see DESIGN.md): its compute happens on the CPU in MP2C and does not
+// change the GPU offload pattern the experiment targets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/link.hpp"
+#include "mdsim/solutes.hpp"
+#include "rt/cluster.hpp"
+#include "util/units.hpp"
+
+namespace dacc::mdsim {
+
+struct SrdParams {
+  int particles_per_cell = 10;  ///< paper: "particles per collision cell is 10"
+  double cell_size = 1.0;
+  double dt = 0.1;
+  double alpha_deg = 130.0;  ///< SRD rotation angle
+  int srd_every = 5;         ///< paper: "executed in every 5-th step"
+  int steps = 300;           ///< paper: "of 300 steps in total"
+
+  /// MD solutes coupled to the fluid (0 = pure SRD solvent). The real MP2C
+  /// is a multi-scale MD+SRD code; see mdsim/solutes.hpp.
+  SoluteParams solutes;
+};
+
+/// Calibrated cost model (see DESIGN.md for the derivation from Fig. 11).
+struct CostParams {
+  double cpu_md_ns_per_particle = 840.0;  ///< MD/streaming step, per local p.
+  double cpu_sort_ns_per_particle = 25.0; ///< migration pack/unpack, cells
+  double gpu_srd_ns_per_particle = 45.0;  ///< collision kernel on the C1060
+  /// Lennard-Jones force evaluation per solute per step (CPU).
+  double cpu_lj_ns_per_solute = 1500.0;
+  /// Phantom-mode estimate of the per-step fraction of particles crossing a
+  /// slab boundary (functional runs count them exactly).
+  double migration_fraction = 0.02;
+};
+
+struct Mp2cResult {
+  SimDuration elapsed = 0;
+  std::uint64_t local_particles = 0;  ///< final count on this rank
+  std::uint64_t srd_steps = 0;
+  std::uint64_t migrated_out = 0;     ///< particles this rank sent (functional)
+  double kinetic_energy = 0.0;        ///< global fluid + solute KE
+  std::array<double, 3> momentum{};   ///< global fluid + solute momentum
+  double solute_kinetic = 0.0;        ///< global, functional runs
+  double solute_potential = 0.0;      ///< global LJ potential
+  std::uint64_t local_solutes = 0;
+};
+
+/// Registers the SRD collision kernel ("srd_collide").
+void register_mdsim_kernels(gpu::KernelRegistry& registry,
+                            const CostParams& costs = {});
+
+/// Runs the simulation; must be called collectively by every rank of the
+/// job. `gpu` is this rank's accelerator (local or remote); when null, the
+/// collision step runs on the CPU (charged at CPU rates) — the no-GPU
+/// reference. Functional vs phantom follows the cluster's GPU mode.
+Mp2cResult run_mp2c(rt::JobContext& job, core::DeviceLink* gpu,
+                    std::uint64_t total_particles, const SrdParams& srd = {},
+                    const CostParams& costs = {}, std::uint64_t seed = 42);
+
+}  // namespace dacc::mdsim

@@ -1,0 +1,71 @@
+#include "net/fabric.hpp"
+
+#include <stdexcept>
+
+namespace dacc::net {
+
+Fabric::Fabric(sim::Engine& engine, int num_nodes, FabricParams params)
+    : engine_(engine), params_(params), nics_(num_nodes) {
+  if (num_nodes <= 0) {
+    throw std::invalid_argument("Fabric: need at least one node");
+  }
+}
+
+void Fabric::check_node(NodeId node) const {
+  if (node < 0 || node >= num_nodes()) {
+    throw std::out_of_range("Fabric: invalid node id");
+  }
+}
+
+SimTime Fabric::transfer(NodeId src, NodeId dst, std::uint64_t bytes,
+                         SimTime earliest) {
+  check_node(src);
+  check_node(dst);
+  if (src == dst) {
+    // Loopback: memory-to-memory, no NIC involvement.
+    const SimDuration busy =
+        transfer_time(bytes, params_.loopback_bandwidth_mib_s);
+    return earliest + params_.loopback_latency + busy;
+  }
+  Nic& s = nics_[static_cast<std::size_t>(src)];
+  Nic& d = nics_[static_cast<std::size_t>(dst)];
+  SimDuration busy = transfer_time(bytes, params_.link_bandwidth_mib_s);
+  if (bytes >= params_.per_message_overhead_min_bytes) {
+    busy += params_.per_message_overhead;
+  }
+  const auto tx = s.tx.occupy(earliest, busy);
+  // Cut-through: the rx occupancy mirrors the tx occupancy shifted by the
+  // wire latency; rx-port contention can delay it further.
+  const auto rx = d.rx.occupy(tx.start + params_.wire_latency, busy);
+  s.bytes_sent += bytes;
+  d.bytes_received += bytes;
+  return rx.end;
+}
+
+void Fabric::deliver(NodeId src, NodeId dst, std::uint64_t bytes,
+                     SimTime earliest, std::function<void()> on_delivered) {
+  const SimTime done = transfer(src, dst, bytes, earliest);
+  engine_.schedule_at(done, std::move(on_delivered));
+}
+
+std::uint64_t Fabric::bytes_sent(NodeId node) const {
+  check_node(node);
+  return nics_[static_cast<std::size_t>(node)].bytes_sent;
+}
+
+std::uint64_t Fabric::bytes_received(NodeId node) const {
+  check_node(node);
+  return nics_[static_cast<std::size_t>(node)].bytes_received;
+}
+
+SimDuration Fabric::tx_busy(NodeId node) const {
+  check_node(node);
+  return nics_[static_cast<std::size_t>(node)].tx.busy_total();
+}
+
+SimDuration Fabric::rx_busy(NodeId node) const {
+  check_node(node);
+  return nics_[static_cast<std::size_t>(node)].rx.busy_total();
+}
+
+}  // namespace dacc::net

@@ -1,0 +1,66 @@
+// Interconnect fabric model.
+//
+// The cluster network is a full-bisection switch: every node owns one NIC
+// with independent transmit and receive directions, each modelled as a
+// serialized resource at the link byte rate (sim::SerialResource). A
+// transfer occupies the sender's tx port, propagates for the wire latency,
+// and occupies the receiver's rx port cut-through style (the rx occupancy
+// starts one latency after the tx occupancy starts, so a solo transfer costs
+// latency + bytes/bandwidth, not 2x bytes/bandwidth). Port contention —
+// e.g., compute-node-to-accelerator traffic competing with
+// compute-node-to-compute-node traffic, the effect Section III warns about —
+// falls out of the FIFO port schedules.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/model_params.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace dacc::net {
+
+using NodeId = int;
+
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, int num_nodes, FabricParams params = {});
+
+  int num_nodes() const { return static_cast<int>(nics_.size()); }
+  const FabricParams& params() const { return params_; }
+  sim::Engine& engine() { return engine_; }
+
+  /// Reserves fabric resources for moving `bytes` from `src` to `dst`,
+  /// starting no earlier than `earliest`, and returns the delivery
+  /// completion time. Does not schedule any event.
+  SimTime transfer(NodeId src, NodeId dst, std::uint64_t bytes,
+                   SimTime earliest);
+
+  /// transfer() plus an engine callback at the delivery time.
+  void deliver(NodeId src, NodeId dst, std::uint64_t bytes, SimTime earliest,
+               std::function<void()> on_delivered);
+
+  /// Per-node traffic counters (diagnostics / utilization reporting).
+  std::uint64_t bytes_sent(NodeId node) const;
+  std::uint64_t bytes_received(NodeId node) const;
+  SimDuration tx_busy(NodeId node) const;
+  SimDuration rx_busy(NodeId node) const;
+
+ private:
+  struct Nic {
+    sim::SerialResource tx;
+    sim::SerialResource rx;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+  };
+
+  void check_node(NodeId node) const;
+
+  sim::Engine& engine_;
+  FabricParams params_;
+  std::vector<Nic> nics_;
+};
+
+}  // namespace dacc::net

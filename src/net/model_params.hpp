@@ -1,0 +1,37 @@
+// Calibrated timing parameters for the interconnect model.
+//
+// The reference system is the paper's testbed: QDR InfiniBand between 4
+// nodes, Open MPI 1.4.3 (Section V). The paper reports ~2 us MPI latency and
+// ~2660 MiB/s IMB PingPong peak bandwidth at 64 MiB. The constants below are
+// the single source of truth; every benchmark prints the parameter set it
+// ran with so results are traceable.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace dacc::net {
+
+struct FabricParams {
+  /// Raw link byte rate of one NIC port direction. Slightly above the
+  /// observed MPI peak because per-message software overhead eats the rest.
+  double link_bandwidth_mib_s = 2700.0;
+
+  /// One-way wire + switch propagation for any payload.
+  SimDuration wire_latency = 1200;  // ns
+
+  /// Loopback (same node) transfers bypass the NIC and run at memory speed.
+  double loopback_bandwidth_mib_s = 12000.0;
+  SimDuration loopback_latency = 200;  // ns
+
+  /// Fixed NIC/driver processing cost charged per message on the tx port
+  /// (mirrored on rx), but only for messages of at least
+  /// `per_message_overhead_min_bytes`. This models the per-work-request cost
+  /// of large DMA-gather sends; it is what makes many small pipeline blocks
+  /// more expensive than few large ones (the effect behind the paper's
+  /// 128K-vs-512K block-size crossover at ~9 MiB, Section V.A) without
+  /// affecting the 2 us small-message latency.
+  SimDuration per_message_overhead = 2200;              // ns
+  std::uint64_t per_message_overhead_min_bytes = 4096;  // bytes
+};
+
+}  // namespace dacc::net

@@ -1,0 +1,87 @@
+#include "proto/transfer.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace dacc::proto {
+
+BlockPlan::BlockPlan(std::uint64_t total, const TransferConfig& config)
+    : total_(total), block_(config.effective_block(total)) {
+  if (total_ == 0) {
+    block_ = 0;
+    count_ = 0;
+    return;
+  }
+  if (block_ == 0 || block_ > total_) block_ = total_;
+  count_ = static_cast<std::size_t>((total_ + block_ - 1) / block_);
+}
+
+std::uint64_t BlockPlan::offset(std::size_t i) const {
+  if (i >= count_) throw std::out_of_range("BlockPlan::offset");
+  return static_cast<std::uint64_t>(i) * block_;
+}
+
+std::uint64_t BlockPlan::size(std::size_t i) const {
+  if (i >= count_) throw std::out_of_range("BlockPlan::size");
+  const std::uint64_t off = offset(i);
+  return std::min(block_, total_ - off);
+}
+
+void send_blocks(dmpi::Mpi& mpi, const dmpi::Comm& comm, dmpi::Rank dst,
+                 util::Buffer payload, const TransferConfig& config) {
+  const BlockPlan plan(payload.size(), config);
+  if (plan.count() == 0) return;
+  if (plan.count() == 1) {
+    mpi.send(comm, dst, kDataTag, std::move(payload));
+    return;
+  }
+  std::vector<dmpi::Request> sends;
+  sends.reserve(plan.count());
+  for (std::size_t i = 0; i < plan.count(); ++i) {
+    sends.push_back(mpi.isend(comm, dst, kDataTag,
+                              payload.slice(plan.offset(i), plan.size(i))));
+  }
+  mpi.wait_all(sends);
+}
+
+void recv_blocks(dmpi::Mpi& mpi, const dmpi::Comm& comm, dmpi::Rank src,
+                 std::uint64_t total, const TransferConfig& config,
+                 const std::function<void(std::uint64_t, util::Buffer)>&
+                     on_block) {
+  const BlockPlan plan(total, config);
+  if (plan.count() == 0) return;
+  // Pre-post every receive so rendezvous handshakes are never on the
+  // critical path; consume in order so on_block sees a clean offset stream.
+  std::vector<dmpi::Request> recvs;
+  recvs.reserve(plan.count());
+  for (std::size_t i = 0; i < plan.count(); ++i) {
+    recvs.push_back(mpi.irecv(comm, src, kDataTag));
+  }
+  for (std::size_t i = 0; i < plan.count(); ++i) {
+    mpi.wait(recvs[i]);
+    util::Buffer block = recvs[i].take_payload();
+    if (block.size() != plan.size(i)) {
+      throw std::runtime_error("recv_blocks: block size mismatch");
+    }
+    on_block(plan.offset(i), std::move(block));
+  }
+}
+
+util::Buffer recv_assemble(dmpi::Mpi& mpi, const dmpi::Comm& comm,
+                           dmpi::Rank src, std::uint64_t total,
+                           const TransferConfig& config) {
+  util::Buffer out;
+  bool initialized = false;
+  recv_blocks(mpi, comm, src, total, config,
+              [&](std::uint64_t offset, util::Buffer block) {
+                if (!initialized) {
+                  out = block.is_backed() ? util::Buffer::backed_zero(total)
+                                          : util::Buffer::phantom(total);
+                  initialized = true;
+                }
+                out.write_at(offset, block);
+              });
+  return out;
+}
+
+}  // namespace dacc::proto

@@ -1,0 +1,189 @@
+#include "proto/wire.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dacc::proto {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kMemAlloc:
+      return "MemAlloc";
+    case Op::kMemFree:
+      return "MemFree";
+    case Op::kMemcpyHtoD:
+      return "MemcpyHtoD";
+    case Op::kMemcpyDtoH:
+      return "MemcpyDtoH";
+    case Op::kKernelCreate:
+      return "KernelCreate";
+    case Op::kKernelRun:
+      return "KernelRun";
+    case Op::kDeviceInfo:
+      return "DeviceInfo";
+    case Op::kPeerSend:
+      return "PeerSend";
+    case Op::kPeerPut:
+      return "PeerPut";
+    case Op::kShutdown:
+      return "Shutdown";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+template <typename T>
+void append_pod(std::vector<std::byte>& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+}  // namespace
+
+WireWriter& WireWriter::u32(std::uint32_t v) {
+  append_pod(bytes_, v);
+  return *this;
+}
+
+WireWriter& WireWriter::u64(std::uint64_t v) {
+  append_pod(bytes_, v);
+  return *this;
+}
+
+WireWriter& WireWriter::f64(double v) {
+  append_pod(bytes_, v);
+  return *this;
+}
+
+WireWriter& WireWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  bytes_.insert(bytes_.end(), p, p + s.size());
+  return *this;
+}
+
+WireWriter& WireWriter::transfer_config(const TransferConfig& c) {
+  u32(static_cast<std::uint32_t>(c.mode));
+  u64(c.block_bytes);
+  u32(c.adaptive ? 1 : 0);
+  u64(c.adaptive_small_bytes);
+  u64(c.adaptive_large_bytes);
+  u64(c.adaptive_cutoff_bytes);
+  u32(c.gpudirect ? 1 : 0);
+  return *this;
+}
+
+WireWriter& WireWriter::launch_config(const gpu::LaunchConfig& c) {
+  u32(c.grid.x).u32(c.grid.y).u32(c.grid.z);
+  u32(c.block.x).u32(c.block.y).u32(c.block.z);
+  return *this;
+}
+
+WireWriter& WireWriter::kernel_args(const gpu::KernelArgs& args) {
+  u32(static_cast<std::uint32_t>(args.size()));
+  for (const gpu::KernelArg& a : args) {
+    if (std::holds_alternative<gpu::DevPtr>(a)) {
+      u32(0).u64(std::get<gpu::DevPtr>(a));
+    } else if (std::holds_alternative<std::int64_t>(a)) {
+      u32(1).u64(static_cast<std::uint64_t>(std::get<std::int64_t>(a)));
+    } else {
+      u32(2).f64(std::get<double>(a));
+    }
+  }
+  return *this;
+}
+
+util::Buffer WireWriter::finish() {
+  return util::Buffer::backed(std::move(bytes_));
+}
+
+WireReader::WireReader(util::Buffer buffer)
+    : buffer_(std::move(buffer)), bytes_(buffer_.bytes()) {}
+
+void WireReader::need(std::size_t n) const {
+  if (offset_ + n > bytes_.size()) {
+    throw std::runtime_error("wire: truncated message");
+  }
+}
+
+std::uint32_t WireReader::u32() {
+  need(4);
+  std::uint32_t v;
+  std::memcpy(&v, bytes_.data() + offset_, 4);
+  offset_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  need(8);
+  std::uint64_t v;
+  std::memcpy(&v, bytes_.data() + offset_, 8);
+  offset_ += 8;
+  return v;
+}
+
+double WireReader::f64() {
+  need(8);
+  double v;
+  std::memcpy(&v, bytes_.data() + offset_, 8);
+  offset_ += 8;
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + offset_), len);
+  offset_ += len;
+  return s;
+}
+
+TransferConfig WireReader::transfer_config() {
+  TransferConfig c;
+  c.mode = static_cast<TransferConfig::Mode>(u32());
+  c.block_bytes = u64();
+  c.adaptive = u32() != 0;
+  c.adaptive_small_bytes = u64();
+  c.adaptive_large_bytes = u64();
+  c.adaptive_cutoff_bytes = u64();
+  c.gpudirect = u32() != 0;
+  return c;
+}
+
+gpu::LaunchConfig WireReader::launch_config() {
+  gpu::LaunchConfig c;
+  c.grid.x = u32();
+  c.grid.y = u32();
+  c.grid.z = u32();
+  c.block.x = u32();
+  c.block.y = u32();
+  c.block.z = u32();
+  return c;
+}
+
+gpu::KernelArgs WireReader::kernel_args() {
+  const std::uint32_t n = u32();
+  gpu::KernelArgs args;
+  args.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t kind = u32();
+    switch (kind) {
+      case 0:
+        args.emplace_back(static_cast<gpu::DevPtr>(u64()));
+        break;
+      case 1:
+        args.emplace_back(static_cast<std::int64_t>(u64()));
+        break;
+      case 2:
+        args.emplace_back(f64());
+        break;
+      default:
+        throw std::runtime_error("wire: bad kernel arg kind");
+    }
+  }
+  return args;
+}
+
+}  // namespace dacc::proto

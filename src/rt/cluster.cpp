@@ -1,0 +1,269 @@
+#include "rt/cluster.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace dacc::rt {
+
+namespace {
+
+std::vector<net::NodeId> rank_layout(int compute_nodes, int accelerators) {
+  // World ranks: [0, C) compute-node processes, [C, C+A) daemons, C+A ARM.
+  // Fabric nodes use the same layout; the ARM gets its own service node.
+  std::vector<net::NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(compute_nodes + accelerators + 1));
+  for (int i = 0; i < compute_nodes + accelerators + 1; ++i) {
+    nodes.push_back(i);
+  }
+  return nodes;
+}
+
+}  // namespace
+
+JobContext::JobContext(Cluster& cluster, sim::Context& ctx, int job_rank,
+                       int job_size, const dmpi::Comm& job_comm,
+                       core::Session& session)
+    : cluster_(cluster),
+      ctx_(ctx),
+      rank_(job_rank),
+      size_(job_size),
+      job_comm_(job_comm),
+      session_(session),
+      mpi_(cluster.world(), ctx,
+           job_comm.world_rank(static_cast<dmpi::Rank>(job_rank))) {}
+
+gpu::Driver JobContext::local_gpu() {
+  if (!cluster_.config().local_gpus) {
+    throw std::logic_error(
+        "local_gpu(): cluster built without node-local GPUs");
+  }
+  const dmpi::Rank world_rank =
+      job_comm_.world_rank(static_cast<dmpi::Rank>(rank_));
+  return gpu::Driver(cluster_.local_device(world_rank), ctx_);
+}
+
+namespace {
+
+ClusterConfig normalize(ClusterConfig config) {
+  if (!config.accelerator_devices.empty()) {
+    config.accelerators =
+        static_cast<int>(config.accelerator_devices.size());
+  }
+  return config;
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(normalize(std::move(config))),
+      fabric_(engine_, config_.compute_nodes + config_.accelerators + 1,
+              config_.fabric),
+      registry_(config_.registry ? config_.registry
+                                 : gpu::KernelRegistry::with_builtins()) {
+  if (config_.compute_nodes <= 0) {
+    throw std::invalid_argument("Cluster: need at least one compute node");
+  }
+  if (config_.trace) engine_.set_tracer(&tracer_);
+  world_ = std::make_unique<dmpi::World>(
+      engine_, fabric_,
+      rank_layout(config_.compute_nodes, config_.accelerators), config_.mpi);
+
+  // Accelerator nodes: one device plus one daemon process each.
+  std::vector<arm::AcceleratorInfo> pool;
+  for (int ac = 0; ac < config_.accelerators; ++ac) {
+    const gpu::DeviceParams& dev_params =
+        config_.accelerator_devices.empty()
+            ? config_.device
+            : config_.accelerator_devices[static_cast<std::size_t>(ac)];
+    ac_devices_.push_back(std::make_unique<gpu::Device>(
+        engine_, dev_params, registry_, config_.functional_gpus));
+    daemons_.push_back(std::make_unique<daemon::Daemon>(
+        *ac_devices_.back(), *world_, daemon_rank(ac), config_.proto));
+    daemon::Daemon* d = daemons_.back().get();
+    sim::Process& p = engine_.spawn("daemon-ac" + std::to_string(ac),
+                                    [d](sim::Context& ctx) { d->run(ctx); });
+    engine_.set_daemon(p);
+    pool.push_back(arm::AcceleratorInfo{daemon_rank(ac), dev_params.name,
+                                        dev_params.kind});
+  }
+
+  // Node-local GPUs for the static-architecture baseline.
+  if (config_.local_gpus) {
+    for (int cn = 0; cn < config_.compute_nodes; ++cn) {
+      local_devices_.push_back(std::make_unique<gpu::Device>(
+          engine_, config_.device, registry_, config_.functional_gpus));
+    }
+  }
+
+  // The accelerator resource manager.
+  arm_ = std::make_unique<arm::Arm>(*world_, arm_rank(), std::move(pool),
+                                    config_.arm_policy);
+  sim::Process& armp = engine_.spawn(
+      "arm", [this](sim::Context& ctx) { arm_->run(ctx); });
+  engine_.set_daemon(armp);
+}
+
+Cluster::~Cluster() = default;
+
+dmpi::Rank Cluster::cn_rank(int cn) const {
+  if (cn < 0 || cn >= config_.compute_nodes) {
+    throw std::out_of_range("cn_rank");
+  }
+  return cn;
+}
+
+dmpi::Rank Cluster::daemon_rank(int ac) const {
+  if (ac < 0 || ac >= config_.accelerators) {
+    throw std::out_of_range("daemon_rank");
+  }
+  return config_.compute_nodes + ac;
+}
+
+dmpi::Rank Cluster::arm_rank() const {
+  return config_.compute_nodes + config_.accelerators;
+}
+
+gpu::Device& Cluster::accelerator_device(int ac) {
+  return *ac_devices_.at(static_cast<std::size_t>(ac));
+}
+
+gpu::Device& Cluster::local_device(int cn) {
+  if (!config_.local_gpus) {
+    throw std::logic_error("cluster built without node-local GPUs");
+  }
+  return *local_devices_.at(static_cast<std::size_t>(cn));
+}
+
+daemon::Daemon& Cluster::accelerator_daemon(int ac) {
+  return *daemons_.at(static_cast<std::size_t>(ac));
+}
+
+JobHandle Cluster::submit(JobSpec spec, int first_cn) {
+  if (spec.ranks <= 0 || first_cn < 0 ||
+      first_cn + spec.ranks > config_.compute_nodes) {
+    throw std::invalid_argument("submit: job does not fit the cluster");
+  }
+  if (!spec.body) throw std::invalid_argument("submit: job body required");
+
+  const std::uint64_t job_base = next_job_;
+  next_job_ += static_cast<std::uint64_t>(spec.ranks);
+
+  std::vector<dmpi::Rank> members;
+  for (int r = 0; r < spec.ranks; ++r) {
+    members.push_back(cn_rank(first_cn + r));
+  }
+  const dmpi::Comm& job_comm = world_->create_comm(members);
+
+  auto completion = std::make_shared<sim::Completion>(engine_);
+  auto remaining = std::make_shared<int>(spec.ranks);
+  auto shared_spec = std::make_shared<JobSpec>(std::move(spec));
+
+  // The launcher performs the static assignment before starting the ranks
+  // (paper Figure 3(a)); it speaks to the ARM with the first rank's
+  // endpoint, strictly before any rank runs.
+  engine_.spawn(
+      shared_spec->name + "-launcher",
+      [this, shared_spec, job_base, members, &job_comm, completion,
+       remaining](sim::Context& lctx) {
+        std::vector<std::vector<arm::Lease>> static_leases(
+            static_cast<std::size_t>(shared_spec->ranks));
+        if (shared_spec->accelerators_per_rank > 0) {
+          dmpi::Mpi launcher_mpi(*world_, lctx, members.front());
+          arm::ArmClient arm_client(launcher_mpi, world_->world_comm(),
+                                    arm_rank());
+          for (int r = 0; r < shared_spec->ranks; ++r) {
+            static_leases[static_cast<std::size_t>(r)] = arm_client.acquire(
+                job_base + static_cast<std::uint64_t>(r),
+                shared_spec->accelerators_per_rank,
+                shared_spec->wait_for_accelerators);
+            if (static_leases[static_cast<std::size_t>(r)].size() !=
+                shared_spec->accelerators_per_rank) {
+              throw std::runtime_error("job '" + shared_spec->name +
+                                       "': static allocation failed");
+            }
+          }
+        }
+        for (int r = 0; r < shared_spec->ranks; ++r) {
+          const dmpi::Rank world_rank = members[static_cast<std::size_t>(r)];
+          auto leases = static_leases[static_cast<std::size_t>(r)];
+          engine_.spawn(
+              shared_spec->name + "-r" + std::to_string(r),
+              [this, shared_spec, job_base, r, world_rank, &job_comm,
+               completion, remaining, leases](sim::Context& ctx) {
+                core::Session::Config sc;
+                sc.arm_rank = arm_rank();
+                sc.job_id = job_base + static_cast<std::uint64_t>(r);
+                sc.transfer = shared_spec->transfer;
+                sc.proto = config_.proto;
+                core::Session session(*world_, ctx, world_rank,
+                                      world_->world_comm(), sc);
+                for (const arm::Lease& lease : leases) {
+                  session.attach(lease);
+                }
+                JobContext jctx(*this, ctx, r, shared_spec->ranks, job_comm,
+                                session);
+                shared_spec->body(jctx);
+                // Automatic end-of-job release (paper Section III.C).
+                session.close();
+                if (--*remaining == 0) completion->complete();
+              });
+        }
+      });
+  return JobHandle(completion);
+}
+
+void Cluster::run() { engine_.run(); }
+
+void Cluster::break_accelerator(int ac, SimTime at) {
+  gpu::Device* dev = &accelerator_device(ac);
+  engine_.schedule_at(at, [dev] { dev->mark_broken(); });
+}
+
+Cluster::Report Cluster::report() const {
+  Report r;
+  r.now = engine_.now();
+  const double now = r.now > 0 ? static_cast<double>(r.now) : 1.0;
+  const std::vector<double> lease = arm_->utilization(r.now);
+  for (int ac = 0; ac < config_.accelerators; ++ac) {
+    const gpu::Device& dev = *ac_devices_[static_cast<std::size_t>(ac)];
+    Report::AcceleratorRow row;
+    row.index = ac;
+    row.name = dev.params().name;
+    row.lease_util = lease[static_cast<std::size_t>(ac)];
+    row.compute_util = static_cast<double>(dev.compute_busy()) / now;
+    row.copy_util = static_cast<double>(dev.copy_busy()) / now;
+    row.requests =
+        daemons_[static_cast<std::size_t>(ac)]->requests_served();
+    r.accelerators.push_back(std::move(row));
+  }
+  for (int cn = 0; cn < config_.compute_nodes; ++cn) {
+    r.cn_bytes_sent += fabric_.bytes_sent(cn);
+  }
+  for (int ac = 0; ac < config_.accelerators; ++ac) {
+    r.ac_bytes_sent += fabric_.bytes_sent(config_.compute_nodes + ac);
+  }
+  return r;
+}
+
+void Cluster::Report::print(std::ostream& os) const {
+  util::Table table({"accelerator", "device", "leased", "compute", "copy",
+                     "requests"});
+  for (const AcceleratorRow& row : accelerators) {
+    table.row()
+        .add("ac" + std::to_string(row.index))
+        .add(row.name)
+        .add(100.0 * row.lease_util, 0)
+        .add(100.0 * row.compute_util, 0)
+        .add(100.0 * row.copy_util, 0)
+        .add(row.requests);
+  }
+  os << "cluster utilization over " << to_ms(now) << " ms (percent):\n";
+  table.print(os);
+  os << "NIC traffic: compute nodes sent "
+     << (cn_bytes_sent / (1024.0 * 1024.0)) << " MiB, accelerators sent "
+     << (ac_bytes_sent / (1024.0 * 1024.0)) << " MiB\n";
+}
+
+}  // namespace dacc::rt

@@ -1,0 +1,196 @@
+// Cluster runtime: builds a simulated dynamic accelerator cluster out of the
+// architecture's components (paper Figure 1) — compute nodes, accelerator
+// nodes each running a back-end daemon, the accelerator resource manager,
+// and the shared interconnect — and launches jobs on it.
+//
+// Job launch follows the paper's execution model (Section III.C): with
+// `accelerators_per_rank > 0` the launcher performs the static assignment of
+// Figure 3(a) (leases acquired from the ARM before the job starts, released
+// automatically at job end); with 0, the job body may use the
+// resource-management API for the dynamic assignment of Figure 3(b).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arm/arm.hpp"
+#include "core/api.hpp"
+#include "daemon/daemon.hpp"
+#include "dmpi/mpi.hpp"
+#include "gpu/device.hpp"
+#include "gpu/driver.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/trace.hpp"
+
+namespace dacc::rt {
+
+struct ClusterConfig {
+  int compute_nodes = 4;
+  int accelerators = 3;
+
+  /// Attach one node-local GPU to every compute node as well (the classic
+  /// static architecture used as the paper's baseline).
+  bool local_gpus = false;
+
+  /// functional GPUs execute kernels on real memory (tests/examples);
+  /// phantom GPUs charge identical time without data (paper-scale benches).
+  bool functional_gpus = true;
+
+  net::FabricParams fabric;
+  dmpi::MpiParams mpi;
+  gpu::DeviceParams device = gpu::tesla_c1060();
+  proto::ProtoParams proto;
+  proto::TransferConfig transfer = proto::TransferConfig::pipeline_adaptive();
+
+  /// Heterogeneous pools: when non-empty, one accelerator per entry is
+  /// built (overriding `accelerators`/`device`), e.g. two C1060s plus a
+  /// MIC. Jobs pick by kind through Session::acquire.
+  std::vector<gpu::DeviceParams> accelerator_devices;
+
+  /// How the ARM serves queued allocations.
+  arm::Arm::QueuePolicy arm_policy = arm::Arm::QueuePolicy::kFcfs;
+
+  /// Record middleware spans (daemon requests, front-end proxy ops) into
+  /// Cluster::tracer() for timeline inspection / Chrome-trace export.
+  bool trace = false;
+
+  /// Kernel registry shared by all devices; defaults to the builtins.
+  /// Workloads (la, mdsim) add their kernels before constructing a Cluster.
+  std::shared_ptr<gpu::KernelRegistry> registry;
+};
+
+class Cluster;
+
+/// Everything one job rank needs, handed to the job body.
+class JobContext {
+ public:
+  JobContext(Cluster& cluster, sim::Context& ctx, int job_rank, int job_size,
+             const dmpi::Comm& job_comm, core::Session& session);
+
+  Cluster& cluster() { return cluster_; }
+  sim::Context& ctx() { return ctx_; }
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  /// MPI view for app-level communication within the job.
+  dmpi::Mpi& mpi() { return mpi_; }
+  const dmpi::Comm& job_comm() const { return job_comm_; }
+
+  /// Middleware session (statically assigned accelerators are already
+  /// attached; more can be acquired dynamically).
+  core::Session& session() { return session_; }
+
+  /// Driver for this compute node's node-local GPU (requires
+  /// ClusterConfig::local_gpus). The "CUDA local" baseline path.
+  gpu::Driver local_gpu();
+
+ private:
+  Cluster& cluster_;
+  sim::Context& ctx_;
+  int rank_;
+  int size_;
+  const dmpi::Comm& job_comm_;
+  core::Session& session_;
+  dmpi::Mpi mpi_;
+};
+
+struct JobSpec {
+  std::string name = "job";
+  int ranks = 1;
+  /// Static assignment: leases acquired per rank before the job starts.
+  std::uint32_t accelerators_per_rank = 0;
+  /// Queue at the ARM until the static allocation is satisfiable.
+  bool wait_for_accelerators = true;
+  proto::TransferConfig transfer = proto::TransferConfig::pipeline_adaptive();
+  std::function<void(JobContext&)> body;
+};
+
+/// Completion handle for a submitted job.
+class JobHandle {
+ public:
+  bool done() const { return completion_->done(); }
+  void wait(sim::Context& ctx) { completion_->wait(ctx); }
+
+ private:
+  friend class Cluster;
+  explicit JobHandle(std::shared_ptr<sim::Completion> c)
+      : completion_(std::move(c)) {}
+  std::shared_ptr<sim::Completion> completion_;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- topology -------------------------------------------------------------
+  const ClusterConfig& config() const { return config_; }
+  sim::Engine& engine() { return engine_; }
+  net::Fabric& fabric() { return fabric_; }
+  dmpi::World& world() { return *world_; }
+  dmpi::Rank cn_rank(int cn) const;
+  dmpi::Rank daemon_rank(int ac) const;
+  dmpi::Rank arm_rank() const;
+
+  arm::Arm& arm() { return *arm_; }
+  sim::Tracer& tracer() { return tracer_; }
+  gpu::Device& accelerator_device(int ac);
+  gpu::Device& local_device(int cn);
+  daemon::Daemon& accelerator_daemon(int ac);
+
+  // --- jobs -------------------------------------------------------------------
+  /// Launches `spec.ranks` processes on compute nodes first_cn, first_cn+1,
+  /// ... The job starts at the current simulated time (plus ARM assignment,
+  /// for static allocations).
+  JobHandle submit(JobSpec spec, int first_cn = 0);
+
+  /// Runs the simulation until all submitted jobs are done.
+  void run();
+
+  // --- fault injection ---------------------------------------------------------
+  /// Breaks accelerator `ac` at simulated time `at` (ECC failure).
+  void break_accelerator(int ac, SimTime at);
+
+  // --- reporting ------------------------------------------------------------------
+  struct Report {
+    struct AcceleratorRow {
+      int index = 0;
+      std::string name;
+      double lease_util = 0.0;    ///< fraction of time ARM-assigned
+      double compute_util = 0.0;  ///< fraction of time the GPU computed
+      double copy_util = 0.0;     ///< fraction of time DMA engines were busy
+      std::uint64_t requests = 0; ///< middleware requests served
+    };
+    SimTime now = 0;
+    std::vector<AcceleratorRow> accelerators;
+    std::uint64_t cn_bytes_sent = 0;  ///< aggregate compute-node NIC traffic
+    std::uint64_t ac_bytes_sent = 0;  ///< aggregate accelerator NIC traffic
+
+    void print(std::ostream& os) const;
+  };
+
+  /// Utilization snapshot at the current simulated time.
+  Report report() const;
+
+ private:
+  ClusterConfig config_;
+  sim::Engine engine_;
+  sim::Tracer tracer_;
+  net::Fabric fabric_;
+  std::unique_ptr<dmpi::World> world_;
+  std::shared_ptr<gpu::KernelRegistry> registry_;
+  std::vector<std::unique_ptr<gpu::Device>> ac_devices_;
+  std::vector<std::unique_ptr<gpu::Device>> local_devices_;
+  std::vector<std::unique_ptr<daemon::Daemon>> daemons_;
+  std::unique_ptr<arm::Arm> arm_;
+  std::uint64_t next_job_ = 1;
+};
+
+}  // namespace dacc::rt

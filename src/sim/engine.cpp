@@ -1,0 +1,252 @@
+#include "sim/engine.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace dacc::sim {
+
+// ---------------------------------------------------------------------------
+// Baton: hands execution back and forth between the engine thread and one
+// process thread. Exactly one side runs at a time.
+// ---------------------------------------------------------------------------
+
+struct Process::Baton {
+  std::mutex mutex;
+  std::condition_variable cv;
+  enum class Turn { Engine, Process } turn = Turn::Engine;
+  std::thread thread;
+};
+
+Process::Process(Engine& engine, std::uint64_t id, std::string name,
+                 ProcessFn fn)
+    : engine_(engine),
+      id_(id),
+      name_(std::move(name)),
+      fn_(std::move(fn)),
+      baton_(std::make_unique<Baton>()) {
+  baton_->thread = std::thread([this] { thread_main(); });
+}
+
+Process::~Process() {
+  if (baton_->thread.joinable()) baton_->thread.join();
+}
+
+void Process::thread_main() {
+  // Wait for the engine to hand us the baton for the first time.
+  {
+    std::unique_lock lock(baton_->mutex);
+    baton_->cv.wait(lock, [&] { return baton_->turn == Baton::Turn::Process; });
+  }
+  if (!shutdown_requested_) {
+    started_ = true;
+    try {
+      Context ctx(engine_, *this);
+      fn_(ctx);
+    } catch (const Shutdown&) {
+      // Normal teardown path for blocked service loops.
+    } catch (const std::exception& e) {
+      failure_ = e.what();
+    } catch (...) {
+      failure_ = "unknown exception";
+    }
+  }
+  finished_ = true;
+  std::unique_lock lock(baton_->mutex);
+  baton_->turn = Baton::Turn::Engine;
+  baton_->cv.notify_all();
+}
+
+void Process::yield_to_engine() {
+  std::unique_lock lock(baton_->mutex);
+  baton_->turn = Baton::Turn::Engine;
+  baton_->cv.notify_all();
+  baton_->cv.wait(lock, [&] { return baton_->turn == Baton::Turn::Process; });
+  if (shutdown_requested_) throw Shutdown{};
+}
+
+void Process::run_slice() {
+  std::unique_lock lock(baton_->mutex);
+  baton_->turn = Baton::Turn::Process;
+  baton_->cv.notify_all();
+  baton_->cv.wait(lock, [&] { return baton_->turn == Baton::Turn::Engine; });
+}
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+SimTime Context::now() const { return engine_.now(); }
+
+const std::string& Context::name() const { return self_.name(); }
+
+void Context::wait_for(SimDuration d) { wait_until(engine_.now() + d); }
+
+void Context::wait_until(SimTime t) {
+  if (t <= engine_.now()) return;
+  const std::uint64_t id = engine_.prepare_block(self_);
+  engine_.schedule_resume(self_, id, t);
+  engine_.block(self_);
+}
+
+void Context::suspend() {
+  Process& p = self_;
+  if (p.wake_permits_ > 0) {
+    --p.wake_permits_;
+    return;
+  }
+  engine_.prepare_block(p);
+  p.waiting_for_wake_ = true;
+  engine_.block(p);
+  // Woken by Engine::wake(): the permit granted there is consumed here.
+  --p.wake_permits_;
+}
+
+void Context::yield() {
+  const std::uint64_t id = engine_.prepare_block(self_);
+  engine_.schedule_resume(self_, id, engine_.now());
+  engine_.block(self_);
+}
+
+Process& Engine::current_process() {
+  if (current_ == nullptr) {
+    throw SimError("operation requires process context");
+  }
+  return *current_;
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine() = default;
+
+Engine::~Engine() { shutdown_processes(); }
+
+Process& Engine::spawn(std::string name, ProcessFn fn) {
+  auto proc = std::make_unique<Process>(*this, next_process_id_++,
+                                        std::move(name), std::move(fn));
+  Process& ref = *proc;
+  processes_.push_back(std::move(proc));
+  // First slice runs as a regular event at the current time.
+  schedule_at(now_, [this, &ref] {
+    Process* prev = current_;
+    current_ = &ref;
+    ref.run_slice();
+    current_ = prev;
+  });
+  return ref;
+}
+
+void Engine::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) {
+    throw SimError("schedule_at: time in the past");
+  }
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::schedule_in(SimDuration d, std::function<void()> fn) {
+  schedule_at(now_ + d, std::move(fn));
+}
+
+std::uint64_t Engine::prepare_block(Process& p) {
+  if (current_ != &p) {
+    throw SimError("blocking primitive called outside process context");
+  }
+  p.current_wait_ = ++p.wait_seq_;
+  return p.current_wait_;
+}
+
+void Engine::block(Process& p) {
+  Process* prev = current_;
+  p.yield_to_engine();  // returns when a matching resume hands the baton back
+  current_ = prev;
+  p.current_wait_ = 0;
+}
+
+void Engine::schedule_resume(Process& p, std::uint64_t wait_id, SimTime t) {
+  schedule_at(t, [this, &p, wait_id] {
+    // Stale resumes (process already moved on, or finished) are dropped.
+    if (p.finished_ || p.current_wait_ != wait_id) return;
+    Process* prev = current_;
+    current_ = &p;
+    p.run_slice();
+    current_ = prev;
+  });
+}
+
+void Engine::wake(Process& p) {
+  ++p.wake_permits_;
+  if (p.waiting_for_wake_) {
+    p.waiting_for_wake_ = false;
+    schedule_resume(p, p.current_wait_, now_);
+  }
+}
+
+void Engine::set_daemon(Process& p) { daemons_.push_back(&p); }
+
+void Engine::run() {
+  running_ = true;
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_executed_;
+    ev.fn();
+    for (const auto& proc : processes_) {
+      if (!proc->failure_.empty()) {
+        std::ostringstream os;
+        os << "process '" << proc->name_ << "' failed: " << proc->failure_;
+        proc->failure_.clear();
+        running_ = false;
+        throw SimError(os.str());
+      }
+    }
+  }
+  running_ = false;
+  check_quiescence();
+}
+
+bool Engine::run_until(SimTime t) {
+  running_ = true;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_executed_;
+    ev.fn();
+  }
+  running_ = false;
+  if (queue_.empty() && now_ < t) now_ = t;
+  return !queue_.empty();
+}
+
+void Engine::check_quiescence() {
+  for (const auto& proc : processes_) {
+    if (proc->finished_) continue;
+    bool is_daemon = false;
+    for (Process* d : daemons_) {
+      if (d == proc.get()) {
+        is_daemon = true;
+        break;
+      }
+    }
+    if (!is_daemon) {
+      throw SimError("deadlock: process '" + proc->name_ +
+                     "' is blocked with no pending events");
+    }
+  }
+}
+
+void Engine::shutdown_processes() {
+  shutting_down_ = true;
+  for (const auto& proc : processes_) {
+    if (proc->finished_) continue;
+    proc->shutdown_requested_ = true;
+    // Hand the baton once; the process throws Shutdown and unwinds.
+    proc->run_slice();
+  }
+}
+
+}  // namespace dacc::sim

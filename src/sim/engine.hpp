@@ -1,0 +1,208 @@
+// Deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock by executing events in (time, sequence)
+// order. Simulated "processes" (compute-node application processes, the
+// back-end daemons, the accelerator resource manager) are written as ordinary
+// synchronous C++ functions; each runs on its own OS thread, but the engine
+// hands execution to exactly one thread at a time (SystemC-style baton
+// passing), so the simulation is single-threaded in effect and bit-for-bit
+// reproducible.
+//
+// Threading contract: every callback and every process body executes while
+// holding the (conceptual) simulation baton. It is therefore always safe to
+// touch engine state, schedule events, and wake processes from either engine
+// callbacks or process bodies — but never from threads outside the engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace dacc::sim {
+
+class Engine;
+class Process;
+
+/// Thrown inside process bodies when the engine shuts down while they are
+/// blocked; the process trampoline catches it. User code must not swallow it.
+struct Shutdown {};
+
+/// Raised on simulation-model violations (e.g., calling a process-context
+/// primitive from outside process context).
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The blocking interface available to process bodies. A Context is only
+/// valid inside the process it was created for.
+class Context {
+ public:
+  Context(Engine& engine, Process& self) : engine_(engine), self_(self) {}
+
+  SimTime now() const;
+  Engine& engine() const { return engine_; }
+  Process& self() const { return self_; }
+  const std::string& name() const;
+
+  /// Blocks this process for `d` simulated nanoseconds.
+  void wait_for(SimDuration d);
+
+  /// Blocks this process until absolute simulated time `t` (no-op if past).
+  void wait_until(SimTime t);
+
+  /// Blocks until another party calls Engine::wake() on this process. Each
+  /// wake() delivers one permit; suspend() consumes one permit, blocking only
+  /// when none are banked. This is the primitive on which all higher-level
+  /// synchronization (mailboxes, wait queues) is built.
+  void suspend();
+
+  /// Yields the baton and resumes at the same simulated time, after all
+  /// events already scheduled for this time have run.
+  void yield();
+
+ private:
+  Engine& engine_;
+  Process& self_;
+};
+
+using ProcessFn = std::function<void(Context&)>;
+
+/// A simulated process. Owned by the engine; user code holds references.
+class Process {
+ public:
+  /// Constructed by Engine::spawn() only; public for std::make_unique.
+  Process(Engine& engine, std::uint64_t id, std::string name, ProcessFn fn);
+  ~Process();
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::uint64_t id() const { return id_; }
+  bool finished() const { return finished_; }
+
+  /// Set if the process body exited via an uncaught exception (other than
+  /// engine shutdown); Engine::run rethrows the stored message.
+  const std::string& failure() const { return failure_; }
+
+ private:
+  friend class Engine;
+  friend class Context;
+
+  void thread_main();
+  void yield_to_engine();
+  void run_slice();  // engine side: hand baton to process, wait for it back
+
+  Engine& engine_;
+  std::uint64_t id_;
+  std::string name_;
+  ProcessFn fn_;
+
+  // Baton state, guarded by mutex_ in engine.cpp.
+  struct Baton;
+  std::unique_ptr<Baton> baton_;
+
+  bool started_ = false;
+  bool finished_ = false;
+  bool shutdown_requested_ = false;
+  std::string failure_;
+
+  // Blocking bookkeeping (only touched under the simulation baton).
+  std::uint64_t wait_seq_ = 0;       // increments on every block
+  std::uint64_t current_wait_ = 0;   // nonzero while blocked
+  std::uint64_t wake_permits_ = 0;   // banked wake() calls
+  bool waiting_for_wake_ = false;    // blocked specifically in suspend()
+};
+
+class Engine {
+ public:
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Creates a process that starts at the current simulated time (its first
+  /// slice runs when the start event is dequeued).
+  Process& spawn(std::string name, ProcessFn fn);
+
+  /// Schedules `fn` to run in engine context at absolute time `t` (>= now).
+  void schedule_at(SimTime t, std::function<void()> fn);
+  void schedule_in(SimDuration d, std::function<void()> fn);
+
+  /// Grants one wake permit to `p` and, if `p` is blocked in suspend(),
+  /// schedules its resumption at the current time.
+  void wake(Process& p);
+
+  /// Runs until the event queue is empty. Throws SimError if any process
+  /// body failed, or if processes remain blocked with no pending events
+  /// (deadlock) — unless they are marked as daemons.
+  void run();
+
+  /// Runs until the queue is empty or the clock would pass `t`; returns true
+  /// if events remain.
+  bool run_until(SimTime t);
+
+  /// Marks `p` as a daemon: it is allowed to still be blocked when the
+  /// simulation ends (service loops waiting for requests).
+  void set_daemon(Process& p);
+
+  /// Number of events executed so far (diagnostics).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Currently running process, or nullptr in engine/callback context.
+  Process* current() const { return current_; }
+
+  /// Currently running process; throws SimError outside process context.
+  Process& current_process();
+
+  /// Optional tracer: instrumented components record spans when non-null.
+  /// The engine does not own it.
+  class Tracer* tracer() const { return tracer_; }
+  void set_tracer(class Tracer* tracer) { tracer_ = tracer; }
+
+ private:
+  friend class Context;
+  friend class Process;
+
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Process-context blocking helpers (called via Context).
+  std::uint64_t prepare_block(Process& p);
+  void block(Process& p);  // yields the baton; returns when resumed
+  void schedule_resume(Process& p, std::uint64_t wait_id, SimTime t);
+
+  void shutdown_processes();
+  void check_quiescence();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_process_id_ = 1;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Process*> daemons_;
+  Process* current_ = nullptr;
+  bool running_ = false;
+  bool shutting_down_ = false;
+  class Tracer* tracer_ = nullptr;
+};
+
+}  // namespace dacc::sim

@@ -1,0 +1,54 @@
+// Analytic serialized resources.
+//
+// Timing-relevant hardware that serves one operation at a time — a NIC port,
+// a DMA engine, a GPU's compute pipeline — is modelled as a SerialResource:
+// each operation occupies the resource for a computed busy time, operations
+// queue in FIFO order, and the completion time is derived analytically
+// (start = max(now, next_free)) without extra simulation events. Contention
+// between flows sharing a port falls out of this model naturally.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace dacc::sim {
+
+class SerialResource {
+ public:
+  struct Interval {
+    SimTime start;
+    SimTime end;
+  };
+
+  /// Reserves the resource for `busy` ns, starting no earlier than
+  /// `earliest`. Returns the actual [start, end) interval and advances the
+  /// resource's schedule.
+  Interval occupy(SimTime earliest, SimDuration busy) {
+    const SimTime start = earliest > next_free_ ? earliest : next_free_;
+    next_free_ = start + busy;
+    busy_total_ += busy;
+    ++operations_;
+    return {start, next_free_};
+  }
+
+  /// Time at which the resource next becomes idle.
+  SimTime next_free() const { return next_free_; }
+
+  /// Total busy time accumulated (for utilization reporting).
+  SimDuration busy_total() const { return busy_total_; }
+  std::uint64_t operations() const { return operations_; }
+
+  void reset() {
+    next_free_ = 0;
+    busy_total_ = 0;
+    operations_ = 0;
+  }
+
+ private:
+  SimTime next_free_ = 0;
+  SimDuration busy_total_ = 0;
+  std::uint64_t operations_ = 0;
+};
+
+}  // namespace dacc::sim

@@ -1,0 +1,144 @@
+// Synchronization primitives for simulated processes, built on the engine's
+// suspend()/wake() permits. All of these may only be used from process
+// context (they block the calling process, never the engine).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "sim/engine.hpp"
+
+namespace dacc::sim {
+
+/// FIFO queue of processes waiting for a notification.
+class WaitQueue {
+ public:
+  explicit WaitQueue(Engine& engine) : engine_(engine) {}
+
+  /// Blocks the calling process until notified. May return spuriously (if a
+  /// wake permit was banked elsewhere), so callers must re-check their
+  /// condition in a loop; a spurious return never leaves a stale entry here.
+  void wait(Context& ctx) {
+    Process* self = &ctx.self();
+    waiters_.push_back(self);
+    ctx.suspend();
+    // If we were woken by an unrelated permit, our entry is still queued;
+    // remove it so notify_one never wakes a process that has moved on.
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (*it == self) {
+        waiters_.erase(it);
+        break;
+      }
+    }
+  }
+
+  /// Wakes the longest-waiting process, if any. Safe from any sim context.
+  void notify_one() {
+    if (waiters_.empty()) return;
+    Process* p = waiters_.front();
+    waiters_.pop_front();
+    engine_.wake(*p);
+  }
+
+  void notify_all() {
+    while (!waiters_.empty()) notify_one();
+  }
+
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Engine& engine_;
+  std::deque<Process*> waiters_;
+};
+
+/// Counting semaphore for simulated processes.
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, std::size_t initial)
+      : count_(initial), waiters_(engine) {}
+
+  void acquire(Context& ctx) {
+    while (count_ == 0) waiters_.wait(ctx);
+    --count_;
+  }
+
+  bool try_acquire() {
+    if (count_ == 0) return false;
+    --count_;
+    return true;
+  }
+
+  void release() {
+    ++count_;
+    waiters_.notify_one();
+  }
+
+  std::size_t available() const { return count_; }
+
+ private:
+  std::size_t count_;
+  WaitQueue waiters_;
+};
+
+/// Unbounded typed mailbox: the basic inter-process communication channel.
+/// Delivery is instantaneous (timing is modelled by the network layer, not
+/// here); receive order is FIFO.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Engine& engine) : waiters_(engine) {}
+
+  /// Deposits a message; wakes one waiting receiver. Any sim context.
+  void put(T msg) {
+    queue_.push_back(std::move(msg));
+    waiters_.notify_one();
+  }
+
+  /// Blocks until a message is available, then removes and returns it.
+  T get(Context& ctx) {
+    while (queue_.empty()) waiters_.wait(ctx);
+    T msg = std::move(queue_.front());
+    queue_.pop_front();
+    return msg;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_get() {
+    if (queue_.empty()) return std::nullopt;
+    T msg = std::move(queue_.front());
+    queue_.pop_front();
+    return msg;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+ private:
+  std::deque<T> queue_;
+  WaitQueue waiters_;
+};
+
+/// One-shot completion flag: a producer completes it once; any number of
+/// consumers may wait for it.
+class Completion {
+ public:
+  explicit Completion(Engine& engine) : waiters_(engine) {}
+
+  void complete() {
+    done_ = true;
+    waiters_.notify_all();
+  }
+
+  void wait(Context& ctx) {
+    while (!done_) waiters_.wait(ctx);
+  }
+
+  bool done() const { return done_; }
+
+ private:
+  bool done_ = false;
+  WaitQueue waiters_;
+};
+
+}  // namespace dacc::sim

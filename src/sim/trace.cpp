@@ -1,0 +1,60 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace dacc::sim {
+
+void Tracer::record(std::string track, std::string name, SimTime begin,
+                    SimTime end) {
+  if (end < begin) throw std::invalid_argument("Tracer: span ends early");
+  spans_.push_back(Span{std::move(track), std::move(name), begin, end});
+}
+
+std::vector<Tracer::Span> Tracer::track(const std::string& name) const {
+  std::vector<Span> out;
+  for (const Span& s : spans_) {
+    if (s.track == name) out.push_back(s);
+  }
+  return out;
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  // Stable tid per track, in order of first appearance.
+  std::map<std::string, int> tids;
+  for (const Span& s : spans_) {
+    tids.emplace(s.track, static_cast<int>(tids.size()));
+  }
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [track, tid] : tids) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    write_escaped(os, track);
+    os << "\"}}";
+  }
+  for (const Span& s : spans_) {
+    os << ",{\"ph\":\"X\",\"pid\":0,\"tid\":" << tids[s.track]
+       << ",\"ts\":" << static_cast<double>(s.begin) / 1000.0
+       << ",\"dur\":" << static_cast<double>(s.end - s.begin) / 1000.0
+       << ",\"name\":\"";
+    write_escaped(os, s.name);
+    os << "\"}";
+  }
+  os << "]}\n";
+}
+
+}  // namespace dacc::sim

@@ -1,0 +1,50 @@
+// Execution tracing.
+//
+// When a Tracer is attached to the engine, instrumented components (the
+// back-end daemons, the front-end proxies) record spans of simulated time.
+// The result can be dumped in the Chrome trace-event format
+// (chrome://tracing, Perfetto) to see request pipelines, transfer overlap,
+// and device occupancy on a timeline — the kind of observability a
+// production middleware ships with.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace dacc::sim {
+
+class Tracer {
+ public:
+  struct Span {
+    std::string track;  ///< timeline row, e.g. "daemon-ac0"
+    std::string name;   ///< event label, e.g. "MemcpyHtoD 64MiB"
+    SimTime begin = 0;
+    SimTime end = 0;
+  };
+
+  /// Records one completed span (begin <= end, simulated nanoseconds).
+  void record(std::string track, std::string name, SimTime begin,
+              SimTime end);
+
+  std::size_t size() const { return spans_.size(); }
+  bool empty() const { return spans_.empty(); }
+  const std::vector<Span>& spans() const { return spans_; }
+  void clear() { spans_.clear(); }
+
+  /// Spans recorded on one track, in recording order.
+  std::vector<Span> track(const std::string& name) const;
+
+  /// Chrome trace-event JSON ("traceEvents" with X phases; ts/dur in
+  /// microseconds of simulated time, one tid per track).
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace dacc::sim

@@ -1,0 +1,128 @@
+// Message / memory payloads.
+//
+// dacc runs in two modes that share every code path above the byte level:
+//
+//  * backed  — the buffer owns real bytes; kernels and copies operate on
+//              them, so tests can verify numerics end-to-end.
+//  * phantom — the buffer records only a size; transfers and kernels charge
+//              the same simulated time but move no data. Benchmarks use this
+//              to run paper-scale problem sizes (tens of GiB of traffic)
+//              without the memory or wall-clock cost.
+//
+// A phantom buffer is infectious: slicing or concatenating phantom data
+// yields phantom data. Mixing is an error caught at the point of use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace dacc::util {
+
+class Buffer {
+ public:
+  Buffer() = default;
+
+  /// A buffer owning real bytes.
+  static Buffer backed(std::vector<std::byte> bytes) {
+    Buffer b;
+    b.size_ = bytes.size();
+    b.bytes_ = std::move(bytes);
+    b.is_backed_ = true;
+    return b;
+  }
+
+  /// A zero-initialized backed buffer of `size` bytes.
+  static Buffer backed_zero(std::uint64_t size) {
+    return backed(std::vector<std::byte>(size));
+  }
+
+  /// A backed buffer copied from a raw span.
+  static Buffer backed_copy(std::span<const std::byte> src) {
+    return backed(std::vector<std::byte>(src.begin(), src.end()));
+  }
+
+  /// A size-only buffer (no storage).
+  static Buffer phantom(std::uint64_t size) {
+    Buffer b;
+    b.size_ = size;
+    b.is_backed_ = false;
+    return b;
+  }
+
+  /// A backed buffer viewing a typed object array (copies the bytes).
+  template <typename T>
+  static Buffer of(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return backed_copy(std::as_bytes(values));
+  }
+
+  std::uint64_t size() const { return size_; }
+  bool is_backed() const { return is_backed_; }
+  bool empty() const { return size_ == 0; }
+
+  std::span<const std::byte> bytes() const {
+    require_backed();
+    return bytes_;
+  }
+  std::span<std::byte> mutable_bytes() {
+    require_backed();
+    return bytes_;
+  }
+
+  /// Typed view of the contents (size must be a multiple of sizeof(T)).
+  template <typename T>
+  std::span<const T> as() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require_backed();
+    if (size_ % sizeof(T) != 0) {
+      throw std::logic_error("Buffer::as: size not a multiple of element");
+    }
+    return {reinterpret_cast<const T*>(bytes_.data()), size_ / sizeof(T)};
+  }
+  template <typename T>
+  std::span<T> as_mutable() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require_backed();
+    if (size_ % sizeof(T) != 0) {
+      throw std::logic_error("Buffer::as: size not a multiple of element");
+    }
+    return {reinterpret_cast<T*>(bytes_.data()), size_ / sizeof(T)};
+  }
+
+  /// Copy-out of a byte range [offset, offset+len). Phantom buffers yield
+  /// phantom slices.
+  Buffer slice(std::uint64_t offset, std::uint64_t len) const {
+    if (offset + len > size_) {
+      throw std::out_of_range("Buffer::slice out of range");
+    }
+    if (!is_backed_) return phantom(len);
+    return backed_copy(std::span(bytes_).subspan(offset, len));
+  }
+
+  /// Overwrites [offset, offset+src.size()) with the contents of `src`.
+  /// If either side is phantom, only sizes are checked.
+  void write_at(std::uint64_t offset, const Buffer& src) {
+    if (offset + src.size() > size_) {
+      throw std::out_of_range("Buffer::write_at out of range");
+    }
+    if (!is_backed_ || !src.is_backed_) return;
+    std::memcpy(bytes_.data() + offset, src.bytes_.data(), src.size());
+  }
+
+ private:
+  void require_backed() const {
+    if (!is_backed_) {
+      throw std::logic_error("Buffer: byte access on phantom buffer");
+    }
+  }
+
+  std::uint64_t size_ = 0;
+  bool is_backed_ = true;  // default: empty backed buffer
+  std::vector<std::byte> bytes_;
+};
+
+}  // namespace dacc::util

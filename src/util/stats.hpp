@@ -1,0 +1,34 @@
+// Small statistics helpers used by benchmarks and the resource manager's
+// utilization accounting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dacc::util {
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the p-th percentile (0..100) of `values` by linear interpolation.
+/// The input is copied and sorted; empty input yields 0.
+double percentile(std::vector<double> values, double p);
+
+}  // namespace dacc::util

@@ -1,0 +1,75 @@
+// Units used throughout dacc.
+//
+// All simulated time is an integral count of nanoseconds (SimTime); all data
+// sizes are bytes. The helpers below exist so that model parameters read like
+// the paper ("2 us latency", "128 KiB blocks", "2660 MiB/s") instead of raw
+// integers.
+#pragma once
+
+#include <cstdint>
+
+namespace dacc {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// A duration in simulated nanoseconds.
+using SimDuration = std::uint64_t;
+
+inline constexpr SimTime kSimTimeNever = ~SimTime{0};
+
+// --- data sizes -----------------------------------------------------------
+
+inline constexpr std::uint64_t operator""_KiB(unsigned long long v) {
+  return v * 1024ull;
+}
+inline constexpr std::uint64_t operator""_MiB(unsigned long long v) {
+  return v * 1024ull * 1024ull;
+}
+inline constexpr std::uint64_t operator""_GiB(unsigned long long v) {
+  return v * 1024ull * 1024ull * 1024ull;
+}
+
+// --- durations ------------------------------------------------------------
+
+inline constexpr SimDuration operator""_ns(unsigned long long v) { return v; }
+inline constexpr SimDuration operator""_us(unsigned long long v) {
+  return v * 1000ull;
+}
+inline constexpr SimDuration operator""_ms(unsigned long long v) {
+  return v * 1000ull * 1000ull;
+}
+inline constexpr SimDuration operator""_s(unsigned long long v) {
+  return v * 1000ull * 1000ull * 1000ull;
+}
+
+/// Converts a simulated duration to (floating-point) seconds.
+inline constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) * 1e-9;
+}
+
+/// Converts a simulated duration to microseconds.
+inline constexpr double to_us(SimDuration d) {
+  return static_cast<double>(d) * 1e-3;
+}
+
+/// Converts a simulated duration to milliseconds.
+inline constexpr double to_ms(SimDuration d) {
+  return static_cast<double>(d) * 1e-6;
+}
+
+/// Bandwidth expressed as MiB/s given bytes moved over a simulated duration.
+inline constexpr double mib_per_s(std::uint64_t bytes, SimDuration d) {
+  if (d == 0) return 0.0;
+  return (static_cast<double>(bytes) / (1024.0 * 1024.0)) / to_seconds(d);
+}
+
+/// Time to move `bytes` at `mib_s` MiB/s, rounded up to whole nanoseconds.
+inline constexpr SimDuration transfer_time(std::uint64_t bytes, double mib_s) {
+  if (mib_s <= 0.0) return 0;
+  const double secs =
+      static_cast<double>(bytes) / (mib_s * 1024.0 * 1024.0);
+  return static_cast<SimDuration>(secs * 1e9 + 0.999999);
+}
+
+}  // namespace dacc

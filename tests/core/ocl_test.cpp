@@ -1,0 +1,155 @@
+// The OpenCL-flavoured personality over the same middleware.
+#include "core/ocl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rt/cluster.hpp"
+#include "util/units.hpp"
+
+namespace dacc::ocl {
+namespace {
+
+void run_cl(int accelerators, std::function<void(rt::JobContext&)> body) {
+  rt::ClusterConfig c;
+  c.compute_nodes = 1;
+  c.accelerators = accelerators;
+  rt::Cluster cluster(c);
+  rt::JobSpec spec;
+  spec.body = std::move(body);
+  cluster.submit(spec);
+  cluster.run();
+}
+
+TEST(Ocl, PlatformLeasesDevices) {
+  run_cl(2, [](rt::JobContext& job) {
+    Platform platform(job.session());
+    auto devices = platform.get_device_ids(2);
+    ASSERT_EQ(devices.size(), 2u);
+    EXPECT_EQ(devices[0].name(), "Tesla C1060 (simulated)");
+    // The leases are exclusive; nothing left in the pool.
+    EXPECT_TRUE(platform.get_device_ids(1).empty());
+  });
+}
+
+TEST(Ocl, WriteKernelReadRoundTrip) {
+  run_cl(1, [](rt::JobContext& job) {
+    Platform platform(job.session());
+    Context context(platform.get_device_ids(1));
+    CommandQueue queue = context.create_queue();
+
+    const std::int64_t n = 1024;
+    const auto bytes = static_cast<std::uint64_t>(n) * 8;
+    Mem& x = context.create_buffer(bytes);
+    Mem& y = context.create_buffer(bytes);
+
+    std::vector<double> hx(static_cast<std::size_t>(n), 3.0);
+    std::vector<double> hy(static_cast<std::size_t>(n), 4.0);
+    queue.enqueue_write(x, util::Buffer::of<double>(
+                               std::span<const double>(hx)));
+    queue.enqueue_write(y, util::Buffer::of<double>(
+                               std::span<const double>(hy)));
+
+    Kernel& daxpy = context.create_kernel("daxpy");
+    daxpy.set_arg(0, gpu::KernelArg{n});
+    daxpy.set_arg(1, gpu::KernelArg{2.0});
+    daxpy.set_arg(2, x);
+    daxpy.set_arg(3, y);
+    Event e = queue.enqueue_ndrange(daxpy, static_cast<std::uint64_t>(n));
+    queue.finish();
+    EXPECT_TRUE(e.done());
+
+    auto out = queue.enqueue_read(y, bytes);
+    for (double v : out.as<double>()) EXPECT_DOUBLE_EQ(v, 10.0);  // 4 + 2*3
+  });
+}
+
+TEST(Ocl, UnknownKernelThrowsAtCreate) {
+  run_cl(1, [](rt::JobContext& job) {
+    Platform platform(job.session());
+    Context context(platform.get_device_ids(1));
+    EXPECT_THROW((void)context.create_kernel("clMagic"), core::AcError);
+  });
+}
+
+TEST(Ocl, BuffersMaterializePerDevice) {
+  run_cl(2, [](rt::JobContext& job) {
+    Platform platform(job.session());
+    Context context(platform.get_device_ids(2));
+    CommandQueue q0 = context.create_queue(0);
+    CommandQueue q1 = context.create_queue(1);
+    Mem& buf = context.create_buffer(256);
+    // Writing different contents through each queue lands on each device's
+    // own allocation (OpenCL's per-device lazy materialization).
+    std::vector<double> a(32, 1.0);
+    std::vector<double> b(32, 2.0);
+    q0.enqueue_write(buf, util::Buffer::of<double>(std::span<const double>(a)),
+                     /*blocking=*/true);
+    q1.enqueue_write(buf, util::Buffer::of<double>(std::span<const double>(b)),
+                     true);
+    EXPECT_DOUBLE_EQ(q0.enqueue_read(buf, 256).as<double>()[0], 1.0);
+    EXPECT_DOUBLE_EQ(q1.enqueue_read(buf, 256).as<double>()[0], 2.0);
+  });
+}
+
+TEST(Ocl, QueueOrderIsPreserved) {
+  run_cl(1, [](rt::JobContext& job) {
+    Platform platform(job.session());
+    Context context(platform.get_device_ids(1));
+    CommandQueue queue = context.create_queue();
+    const std::int64_t n = 64;
+    Mem& buf = context.create_buffer(static_cast<std::uint64_t>(n) * 8);
+
+    Kernel& fill = context.create_kernel("fill_f64");
+    fill.set_arg(0, buf);
+    fill.set_arg(1, gpu::KernelArg{n});
+    fill.set_arg(2, gpu::KernelArg{5.0});
+    (void)queue.enqueue_ndrange(fill, static_cast<std::uint64_t>(n));
+
+    Kernel& scale = context.create_kernel("dscal");
+    scale.set_arg(0, gpu::KernelArg{n});
+    scale.set_arg(1, gpu::KernelArg{3.0});
+    scale.set_arg(2, buf);
+    (void)queue.enqueue_ndrange(scale, static_cast<std::uint64_t>(n));
+
+    auto out = queue.enqueue_read(buf, static_cast<std::uint64_t>(n) * 8);
+    for (double v : out.as<double>()) EXPECT_DOUBLE_EQ(v, 15.0);
+  });
+}
+
+TEST(Ocl, ValidationErrors) {
+  run_cl(1, [](rt::JobContext& job) {
+    Platform platform(job.session());
+    Context context(platform.get_device_ids(1));
+    CommandQueue queue = context.create_queue();
+    Mem& small = context.create_buffer(16);
+    EXPECT_THROW(
+        (void)queue.enqueue_write(small, util::Buffer::backed_zero(32)),
+        std::invalid_argument);
+    EXPECT_THROW((void)queue.enqueue_read(small, 32),
+                 std::invalid_argument);
+    EXPECT_THROW(Context({}), std::invalid_argument);
+  });
+}
+
+TEST(Ocl, WorksOnMicPersonality) {
+  rt::ClusterConfig c;
+  c.compute_nodes = 1;
+  c.accelerator_devices = {gpu::mic_knc()};
+  rt::Cluster cluster(c);
+  rt::JobSpec spec;
+  spec.body = [](rt::JobContext& job) {
+    Platform platform(job.session());
+    auto devices = platform.get_device_ids(1, "mic");
+    ASSERT_EQ(devices.size(), 1u);
+    Context context(std::move(devices));
+    CommandQueue queue = context.create_queue();
+    Mem& buf = context.create_buffer(64);
+    queue.enqueue_write(buf, util::Buffer::backed_zero(64), true);
+    EXPECT_EQ(queue.enqueue_read(buf, 64).size(), 64u);
+  };
+  cluster.submit(spec);
+  cluster.run();
+}
+
+}  // namespace
+}  // namespace dacc::ocl

@@ -1,0 +1,162 @@
+// gather / scatter / alltoall / sendrecv.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "testbed.hpp"
+#include "util/units.hpp"
+
+namespace dacc::dmpi {
+namespace {
+
+using testing::TestBed;
+
+util::Buffer one_int(int v) {
+  std::array<int, 1> a{v};
+  return util::Buffer::of<int>(a);
+}
+
+std::vector<std::function<void(Mpi&, sim::Context&)>> replicate(
+    int n, std::function<void(Mpi&, int)> fn) {
+  std::vector<std::function<void(Mpi&, sim::Context&)>> mains;
+  for (int r = 0; r < n; ++r) {
+    mains.emplace_back([fn, r](Mpi& mpi, sim::Context&) { fn(mpi, r); });
+  }
+  return mains;
+}
+
+class Collectives2P : public ::testing::TestWithParam<int> {};
+
+TEST_P(Collectives2P, GatherCollectsInRankOrder) {
+  const int n = GetParam();
+  TestBed bed(n);
+  const int root = n - 1;
+  std::vector<int> seen;
+  bed.run(replicate(n, [&](Mpi& mpi, int r) {
+    auto parts = mpi.gather(bed.comm(), root, one_int(r * 11));
+    if (r == root) {
+      ASSERT_EQ(parts.size(), static_cast<std::size_t>(n));
+      for (auto& b : parts) seen.push_back(b.as<int>()[0]);
+    } else {
+      EXPECT_TRUE(parts.empty());
+    }
+  }));
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(r)], r * 11);
+  }
+}
+
+TEST_P(Collectives2P, ScatterDistributesChunks) {
+  const int n = GetParam();
+  TestBed bed(n);
+  std::vector<int> got(static_cast<std::size_t>(n), -1);
+  bed.run(replicate(n, [&](Mpi& mpi, int r) {
+    std::vector<util::Buffer> chunks;
+    if (r == 0) {
+      for (int i = 0; i < n; ++i) chunks.push_back(one_int(100 + i));
+    }
+    auto mine = mpi.scatter(bed.comm(), 0, std::move(chunks));
+    got[static_cast<std::size_t>(r)] = mine.as<int>()[0];
+  }));
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(got[static_cast<std::size_t>(r)], 100 + r);
+  }
+}
+
+TEST_P(Collectives2P, AlltoallTransposes) {
+  const int n = GetParam();
+  TestBed bed(n);
+  std::vector<std::vector<int>> got(static_cast<std::size_t>(n));
+  bed.run(replicate(n, [&](Mpi& mpi, int r) {
+    std::vector<util::Buffer> chunks;
+    for (int i = 0; i < n; ++i) chunks.push_back(one_int(r * 100 + i));
+    auto in = mpi.alltoall(bed.comm(), std::move(chunks));
+    ASSERT_EQ(in.size(), static_cast<std::size_t>(n));
+    for (auto& b : in) {
+      got[static_cast<std::size_t>(r)].push_back(b.as<int>()[0]);
+    }
+  }));
+  // Rank r must hold {i*100 + r} for every source i.
+  for (int r = 0; r < n; ++r) {
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)],
+                i * 100 + r);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Collectives2P,
+                         ::testing::Values(1, 2, 3, 4, 7));
+
+TEST(Sendrecv, OpposingExchangesDoNotDeadlock) {
+  TestBed bed(2);
+  std::vector<int> got(2, -1);
+  bed.run({[&](Mpi& mpi, sim::Context&) {
+             auto in = mpi.sendrecv(bed.comm(), 1, 5, one_int(10), 1, 5);
+             got[0] = in.as<int>()[0];
+           },
+           [&](Mpi& mpi, sim::Context&) {
+             auto in = mpi.sendrecv(bed.comm(), 0, 5, one_int(20), 0, 5);
+             got[1] = in.as<int>()[0];
+           }});
+  EXPECT_EQ(got[0], 20);
+  EXPECT_EQ(got[1], 10);
+}
+
+TEST(Sendrecv, LargePayloadsBothWays) {
+  // Rendezvous-sized opposing exchanges (the halo-exchange pattern).
+  TestBed bed(2);
+  bed.run({[&](Mpi& mpi, sim::Context&) {
+             auto in = mpi.sendrecv(bed.comm(), 1, 1,
+                                    util::Buffer::phantom(4_MiB), 1, 1);
+             EXPECT_EQ(in.size(), 2_MiB);
+           },
+           [&](Mpi& mpi, sim::Context&) {
+             auto in = mpi.sendrecv(bed.comm(), 0, 1,
+                                    util::Buffer::phantom(2_MiB), 0, 1);
+             EXPECT_EQ(in.size(), 4_MiB);
+           }});
+}
+
+TEST(Sendrecv, RingRotation) {
+  const int n = 5;
+  TestBed bed(n);
+  std::vector<int> got(static_cast<std::size_t>(n), -1);
+  std::vector<std::function<void(Mpi&, sim::Context&)>> mains;
+  for (int r = 0; r < n; ++r) {
+    mains.emplace_back([&, r](Mpi& mpi, sim::Context&) {
+      const Rank right = (r + 1) % n;
+      const Rank left = (r + n - 1) % n;
+      Status st;
+      auto in = mpi.sendrecv(bed.comm(), right, 9, one_int(r), left, 9, &st);
+      got[static_cast<std::size_t>(r)] = in.as<int>()[0];
+      EXPECT_EQ(st.source, left);
+    });
+  }
+  bed.run(std::move(mains));
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(got[static_cast<std::size_t>(r)], (r + n - 1) % n);
+  }
+}
+
+TEST(Collectives2, ScatterValidatesChunkCount) {
+  TestBed bed(2);
+  bed.run({[&](Mpi& mpi, sim::Context&) {
+             std::vector<util::Buffer> chunks;  // wrong: 0 chunks
+             EXPECT_THROW((void)mpi.scatter(bed.comm(), 0, std::move(chunks)),
+                          std::invalid_argument);
+             // Unblock rank 1 with a real scatter.
+             std::vector<util::Buffer> good;
+             good.push_back(one_int(1));
+             good.push_back(one_int(2));
+             (void)mpi.scatter(bed.comm(), 0, std::move(good));
+           },
+           [&](Mpi& mpi, sim::Context&) {
+             auto mine = mpi.scatter(bed.comm(), 0, {});
+             EXPECT_EQ(mine.as<int>()[0], 2);
+           }});
+}
+
+}  // namespace
+}  // namespace dacc::dmpi

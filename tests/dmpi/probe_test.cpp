@@ -1,0 +1,105 @@
+// MPI_Iprobe / MPI_Test semantics.
+#include <gtest/gtest.h>
+
+#include "testbed.hpp"
+#include "util/units.hpp"
+
+namespace dacc::dmpi {
+namespace {
+
+using testing::TestBed;
+
+TEST(Probe, SeesPendingEagerMessage) {
+  TestBed bed(2);
+  bed.run({[&](Mpi& mpi, sim::Context&) {
+             mpi.send(bed.comm(), 1, 7, util::Buffer::backed_zero(100));
+           },
+           [&](Mpi& mpi, sim::Context& ctx) {
+             ctx.wait_for(1'000'000);  // let the message arrive
+             Status st;
+             ASSERT_TRUE(mpi.iprobe(bed.comm(), 0, 7, &st));
+             EXPECT_EQ(st.source, 0);
+             EXPECT_EQ(st.tag, 7);
+             EXPECT_EQ(st.bytes, 100u);
+             // Probing does not consume: a recv still gets the data.
+             auto msg = mpi.recv(bed.comm(), 0, 7);
+             EXPECT_EQ(msg.size(), 100u);
+             // Now nothing is pending.
+             EXPECT_FALSE(mpi.iprobe(bed.comm(), 0, 7));
+           }});
+}
+
+TEST(Probe, SeesPendingRendezvousHeader) {
+  TestBed bed(2);
+  bed.run({[&](Mpi& mpi, sim::Context&) {
+             mpi.send(bed.comm(), 1, 3, util::Buffer::phantom(1_MiB));
+           },
+           [&](Mpi& mpi, sim::Context& ctx) {
+             ctx.wait_for(1'000'000);
+             Status st;
+             ASSERT_TRUE(mpi.iprobe(bed.comm(), kAnySource, kAnyTag, &st));
+             EXPECT_EQ(st.bytes, 1_MiB);  // the RTS carries the size
+             (void)mpi.recv(bed.comm(), 0, 3);
+           }});
+}
+
+TEST(Probe, DoesNotMatchWrongTagOrComm) {
+  TestBed bed(2);
+  const Comm& sub = bed.world().create_comm({0, 1});
+  bed.run({[&](Mpi& mpi, sim::Context&) {
+             mpi.send(bed.comm(), 1, 5, util::Buffer::backed_zero(8));
+           },
+           [&](Mpi& mpi, sim::Context& ctx) {
+             ctx.wait_for(1'000'000);
+             EXPECT_FALSE(mpi.iprobe(bed.comm(), 0, 6));  // wrong tag
+             EXPECT_FALSE(mpi.iprobe(sub, 0, 5));         // wrong comm
+             EXPECT_TRUE(mpi.iprobe(bed.comm(), 0, 5));
+             (void)mpi.recv(bed.comm(), 0, 5);
+           }});
+}
+
+TEST(Probe, PollingLoopWithIprobe) {
+  // The classic server pattern: poll, then receive what showed up.
+  TestBed bed(3);
+  bed.run({[&](Mpi& mpi, sim::Context& ctx) {
+             ctx.wait_for(200'000);
+             std::array<int, 1> v{11};
+             mpi.send(bed.comm(), 2, 1, util::Buffer::of<int>(v));
+           },
+           [&](Mpi& mpi, sim::Context& ctx) {
+             ctx.wait_for(400'000);
+             std::array<int, 1> v{22};
+             mpi.send(bed.comm(), 2, 1, util::Buffer::of<int>(v));
+           },
+           [&](Mpi& mpi, sim::Context& ctx) {
+             int received = 0;
+             int sum = 0;
+             while (received < 2) {
+               Status st;
+               if (mpi.iprobe(bed.comm(), kAnySource, 1, &st)) {
+                 sum += mpi.recv(bed.comm(), st.source, 1).as<int>()[0];
+                 ++received;
+               } else {
+                 ctx.wait_for(50'000);  // poll interval
+               }
+             }
+             EXPECT_EQ(sum, 33);
+           }});
+}
+
+TEST(Probe, TestReportsCompletion) {
+  TestBed bed(2);
+  bed.run({[&](Mpi& mpi, sim::Context& ctx) {
+             Request r = mpi.irecv(bed.comm(), 1, 0);
+             EXPECT_FALSE(mpi.test(r));
+             ctx.wait_for(5'000'000);
+             EXPECT_TRUE(mpi.test(r));
+             (void)r.take_payload();
+           },
+           [&](Mpi& mpi, sim::Context&) {
+             mpi.send(bed.comm(), 0, 0, util::Buffer::backed_zero(64));
+           }});
+}
+
+}  // namespace
+}  // namespace dacc::dmpi

@@ -1,0 +1,50 @@
+// Shared fixture: an N-rank dmpi world with one fabric node per rank.
+#pragma once
+
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "dmpi/mpi.hpp"
+
+namespace dacc::dmpi::testing {
+
+class TestBed {
+ public:
+  explicit TestBed(int ranks, MpiParams params = {},
+                   net::FabricParams fabric_params = {})
+      : fabric_(engine_, ranks, fabric_params),
+        world_(engine_, fabric_, make_nodes(ranks), params) {}
+
+  sim::Engine& engine() { return engine_; }
+  World& world() { return world_; }
+  const Comm& comm() { return world_.world_comm(); }
+
+  /// Spawns one process per entry; entry i runs as world rank i. Runs the
+  /// simulation to completion.
+  void run(std::vector<std::function<void(Mpi&, sim::Context&)>> mains) {
+    for (std::size_t i = 0; i < mains.size(); ++i) {
+      auto fn = std::move(mains[i]);
+      engine_.spawn("rank" + std::to_string(i),
+                    [this, i, fn = std::move(fn)](sim::Context& ctx) {
+                      Mpi mpi(world_, ctx, static_cast<Rank>(i));
+                      fn(mpi, ctx);
+                    });
+    }
+    engine_.run();
+  }
+
+ private:
+  static std::vector<net::NodeId> make_nodes(int ranks) {
+    std::vector<net::NodeId> nodes(static_cast<std::size_t>(ranks));
+    std::iota(nodes.begin(), nodes.end(), 0);
+    return nodes;
+  }
+
+  sim::Engine engine_;
+  net::Fabric fabric_;
+  World world_;
+};
+
+}  // namespace dacc::dmpi::testing

@@ -1,0 +1,127 @@
+// Timing-model checks: the dmpi layer must reproduce the latency/bandwidth
+// envelope the paper reports for its testbed (Section V.A): ~2 us
+// small-message latency, ~2660 MiB/s PingPong bandwidth at 64 MiB.
+#include <gtest/gtest.h>
+
+#include "testbed.hpp"
+#include "util/units.hpp"
+
+namespace dacc::dmpi {
+namespace {
+
+using testing::TestBed;
+
+/// One PingPong: rank 0 sends `bytes`, rank 1 echoes them back. Returns the
+/// half-round-trip time as measured by rank 0 (IMB convention).
+SimDuration pingpong_half_rtt(std::uint64_t bytes, int repetitions = 5) {
+  TestBed bed(2);
+  SimDuration half_rtt = 0;
+  bed.run({[&](Mpi& mpi, sim::Context& ctx) {
+             // Warm-up round, then timed rounds.
+             for (int i = 0; i < repetitions + 1; ++i) {
+               const SimTime start = ctx.now();
+               mpi.send(bed.comm(), 1, 0, util::Buffer::phantom(bytes));
+               (void)mpi.recv(bed.comm(), 1, 0);
+               if (i > 0) half_rtt += (ctx.now() - start) / 2;
+             }
+             half_rtt /= static_cast<SimDuration>(repetitions);
+           },
+           [&](Mpi& mpi, sim::Context&) {
+             for (int i = 0; i < repetitions + 1; ++i) {
+               auto m = mpi.recv(bed.comm(), 0, 0);
+               mpi.send(bed.comm(), 0, 0, std::move(m));
+             }
+           }});
+  return half_rtt;
+}
+
+TEST(Timing, SmallMessageLatencyIsAboutTwoMicroseconds) {
+  const SimDuration lat = pingpong_half_rtt(1);
+  // Paper: "MPI over Infiniband latency of roughly two us".
+  EXPECT_GE(to_us(lat), 1.5);
+  EXPECT_LE(to_us(lat), 2.5);
+}
+
+TEST(Timing, PeakBandwidthMatchesPaper) {
+  const SimDuration t = pingpong_half_rtt(64_MiB, 2);
+  const double bw = mib_per_s(64_MiB, t);
+  // Paper: ~2660 MiB/s at 64 MiB.
+  EXPECT_GE(bw, 2550.0);
+  EXPECT_LE(bw, 2750.0);
+}
+
+TEST(Timing, BandwidthIsMonotoneInMessageSize) {
+  double prev = 0.0;
+  for (std::uint64_t bytes : {4_KiB, 64_KiB, 1_MiB, 16_MiB, 64_MiB}) {
+    const double bw = mib_per_s(bytes, pingpong_half_rtt(bytes, 2));
+    EXPECT_GT(bw, prev);
+    prev = bw;
+  }
+}
+
+TEST(Timing, EagerRendezvousTransitionIsNotPathological) {
+  // Bandwidth must not drop by more than ~40% across the protocol switch.
+  const MpiParams params;
+  const std::uint64_t below = params.eager_threshold;
+  const std::uint64_t above = params.eager_threshold + 1024;
+  const double bw_below = mib_per_s(below, pingpong_half_rtt(below, 3));
+  const double bw_above = mib_per_s(above, pingpong_half_rtt(above, 3));
+  EXPECT_GT(bw_above, bw_below * 0.6);
+}
+
+TEST(Timing, BackToBackSendsPipelineOnTheLink) {
+  // Sending k messages back to back must take far less than k times a
+  // single message's completion (the link serializes, overheads overlap).
+  TestBed bed(2);
+  SimDuration elapsed = 0;
+  const int k = 8;
+  bed.run({[&](Mpi& mpi, sim::Context& ctx) {
+             const SimTime start = ctx.now();
+             std::vector<Request> reqs;
+             for (int i = 0; i < k; ++i) {
+               reqs.push_back(mpi.isend(bed.comm(), 1, i,
+                                        util::Buffer::phantom(1_MiB)));
+             }
+             mpi.wait_all(reqs);
+             // Wait for an ack that everything arrived.
+             (void)mpi.recv(bed.comm(), 1, 99);
+             elapsed = ctx.now() - start;
+           },
+           [&](Mpi& mpi, sim::Context&) {
+             for (int i = 0; i < k; ++i) {
+               (void)mpi.recv(bed.comm(), 0, i);
+             }
+             mpi.send(bed.comm(), 0, 99, util::Buffer{});
+           }});
+  const SimDuration serial_bound =
+      static_cast<SimDuration>(k) * transfer_time(1_MiB, 2700.0);
+  // Everything beyond pure serialization should be small.
+  EXPECT_LT(elapsed, serial_bound + 1_ms);
+}
+
+TEST(Timing, ContentionHalvesPerFlowBandwidth) {
+  // Two senders to one receiver: per-flow bandwidth drops to ~half.
+  TestBed bed(3);
+  SimDuration elapsed = 0;
+  bed.run({[&](Mpi& mpi, sim::Context&) {
+             mpi.send(bed.comm(), 2, 0, util::Buffer::phantom(32_MiB));
+           },
+           [&](Mpi& mpi, sim::Context&) {
+             mpi.send(bed.comm(), 2, 1, util::Buffer::phantom(32_MiB));
+           },
+           [&](Mpi& mpi, sim::Context& ctx) {
+             const SimTime start = ctx.now();
+             Request a = mpi.irecv(bed.comm(), 0, 0);
+             Request b = mpi.irecv(bed.comm(), 1, 1);
+             std::vector<Request> reqs{a, b};
+             mpi.wait_all(reqs);
+             elapsed = ctx.now() - start;
+           }});
+  const double agg_bw = mib_per_s(64_MiB, elapsed);
+  // Aggregate stays near link rate; it cannot exceed it.
+  EXPECT_LE(agg_bw, 2700.0 * 1.01);
+  EXPECT_GE(agg_bw, 2400.0);
+}
+
+}  // namespace
+}  // namespace dacc::dmpi

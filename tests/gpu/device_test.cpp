@@ -1,0 +1,265 @@
+#include "gpu/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace dacc::gpu {
+namespace {
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  DeviceTest()
+      : device_(engine_, tesla_c1060(), KernelRegistry::with_builtins()) {}
+
+  sim::Engine engine_;
+  Device device_;
+};
+
+TEST_F(DeviceTest, AllocateAndFree) {
+  DevPtr p = kNullDevPtr;
+  ASSERT_EQ(device_.mem_alloc(1024, &p), Result::kSuccess);
+  EXPECT_NE(p, kNullDevPtr);
+  EXPECT_EQ(device_.memory_used(), 1024u);
+  EXPECT_EQ(device_.mem_free(p), Result::kSuccess);
+  EXPECT_EQ(device_.memory_used(), 0u);
+}
+
+TEST_F(DeviceTest, AllocationsAreDisjoint) {
+  DevPtr a = kNullDevPtr;
+  DevPtr b = kNullDevPtr;
+  ASSERT_EQ(device_.mem_alloc(100, &a), Result::kSuccess);
+  ASSERT_EQ(device_.mem_alloc(100, &b), Result::kSuccess);
+  EXPECT_TRUE(b >= a + 100 || a >= b + 100);
+}
+
+TEST_F(DeviceTest, OutOfMemoryIsReported) {
+  DevPtr p = kNullDevPtr;
+  EXPECT_EQ(device_.mem_alloc(device_.params().memory_bytes + 1, &p),
+            Result::kOutOfMemory);
+}
+
+TEST_F(DeviceTest, ZeroByteAllocIsInvalid) {
+  DevPtr p = kNullDevPtr;
+  EXPECT_EQ(device_.mem_alloc(0, &p), Result::kInvalidValue);
+}
+
+TEST_F(DeviceTest, FreeOfUnknownPointerFails) {
+  EXPECT_EQ(device_.mem_free(0xdead), Result::kInvalidValue);
+  DevPtr p = kNullDevPtr;
+  ASSERT_EQ(device_.mem_alloc(64, &p), Result::kSuccess);
+  // Interior pointers are not valid free targets (CUDA semantics).
+  EXPECT_EQ(device_.mem_free(p + 8), Result::kInvalidValue);
+}
+
+TEST_F(DeviceTest, InteriorPointerArithmeticIsValidForAccess) {
+  DevPtr p = kNullDevPtr;
+  ASSERT_EQ(device_.mem_alloc(256, &p), Result::kSuccess);
+  EXPECT_TRUE(device_.valid_range(p + 128, 128));
+  EXPECT_FALSE(device_.valid_range(p + 128, 129));
+  EXPECT_FALSE(device_.valid_range(p + 256, 1));
+}
+
+TEST_F(DeviceTest, HtoDCopyWritesDeviceMemory) {
+  DevPtr p = kNullDevPtr;
+  ASSERT_EQ(device_.mem_alloc(16, &p), Result::kSuccess);
+  std::vector<double> host{1.5, -2.5};
+  auto op = device_.memcpy_htod_async(
+      device_.default_stream(), p,
+      util::Buffer::of<double>(std::span<const double>(host)),
+      HostMemType::kPinned, 0);
+  ASSERT_TRUE(op.ok());
+  auto view = device_.span_as<double>(p, 2);
+  EXPECT_EQ(view[0], 1.5);
+  EXPECT_EQ(view[1], -2.5);
+}
+
+TEST_F(DeviceTest, DtoHCopyReadsDeviceMemory) {
+  DevPtr p = kNullDevPtr;
+  ASSERT_EQ(device_.mem_alloc(16, &p), Result::kSuccess);
+  device_.span_as<double>(p, 2)[1] = 7.0;
+  util::Buffer out;
+  auto op = device_.memcpy_dtoh_async(device_.default_stream(), p, 16,
+                                      HostMemType::kPinned, 0, &out);
+  ASSERT_TRUE(op.ok());
+  EXPECT_EQ(out.as<double>()[1], 7.0);
+}
+
+TEST_F(DeviceTest, DtoDCopy) {
+  DevPtr a = kNullDevPtr;
+  DevPtr b = kNullDevPtr;
+  ASSERT_EQ(device_.mem_alloc(8, &a), Result::kSuccess);
+  ASSERT_EQ(device_.mem_alloc(8, &b), Result::kSuccess);
+  device_.span_as<double>(a, 1)[0] = 3.0;
+  auto op = device_.memcpy_dtod_async(device_.default_stream(), b, a, 8, 0);
+  ASSERT_TRUE(op.ok());
+  EXPECT_EQ(device_.span_as<double>(b, 1)[0], 3.0);
+}
+
+TEST_F(DeviceTest, CopyToInvalidRangeFails) {
+  auto op = device_.memcpy_htod_async(device_.default_stream(), 0x42,
+                                      util::Buffer::backed_zero(8),
+                                      HostMemType::kPinned, 0);
+  EXPECT_EQ(op.status, Result::kInvalidValue);
+}
+
+TEST_F(DeviceTest, PinnedCopyIsFasterThanPageable) {
+  DevPtr p = kNullDevPtr;
+  ASSERT_EQ(device_.mem_alloc(64_MiB, &p), Result::kSuccess);
+  Stream s1(device_);
+  Stream s2(device_);
+  auto pinned = device_.memcpy_htod_async(s1, p, util::Buffer::phantom(32_MiB),
+                                          HostMemType::kPinned, 0);
+  auto pageable = device_.memcpy_htod_async(
+      s2, p, util::Buffer::phantom(32_MiB), HostMemType::kPageable, 0);
+  EXPECT_LT(pinned.done_at, pageable.done_at);
+}
+
+TEST_F(DeviceTest, LocalPinnedBandwidthMatchesPaper) {
+  // Paper Fig. 7: ~5700 MiB/s peak for pinned H2D at 64 MiB.
+  DevPtr p = kNullDevPtr;
+  ASSERT_EQ(device_.mem_alloc(64_MiB, &p), Result::kSuccess);
+  Stream s(device_);
+  auto op = device_.memcpy_htod_async(s, p, util::Buffer::phantom(64_MiB),
+                                      HostMemType::kPinned, 0);
+  const double bw = mib_per_s(64_MiB, op.done_at);
+  EXPECT_GE(bw, 5550.0);
+  EXPECT_LE(bw, 5850.0);
+}
+
+TEST_F(DeviceTest, LocalPageableBandwidthMatchesPaper) {
+  // Paper Fig. 7: ~4700 MiB/s peak for pageable (PIO) H2D.
+  DevPtr p = kNullDevPtr;
+  ASSERT_EQ(device_.mem_alloc(64_MiB, &p), Result::kSuccess);
+  Stream s(device_);
+  auto op = device_.memcpy_htod_async(s, p, util::Buffer::phantom(64_MiB),
+                                      HostMemType::kPageable, 0);
+  const double bw = mib_per_s(64_MiB, op.done_at);
+  EXPECT_GE(bw, 4550.0);
+  EXPECT_LE(bw, 4850.0);
+}
+
+TEST_F(DeviceTest, StreamOperationsSerialize) {
+  DevPtr p = kNullDevPtr;
+  ASSERT_EQ(device_.mem_alloc(2_MiB, &p), Result::kSuccess);
+  Stream s(device_);
+  auto op1 = device_.memcpy_htod_async(s, p, util::Buffer::phantom(1_MiB),
+                                       HostMemType::kPinned, 0);
+  auto op2 = device_.memcpy_htod_async(s, p, util::Buffer::phantom(1_MiB),
+                                       HostMemType::kPinned, 0);
+  EXPECT_GE(op2.done_at, op1.done_at + transfer_time(1_MiB, 6000.0));
+  EXPECT_EQ(s.ready_at(), op2.done_at);
+}
+
+TEST_F(DeviceTest, CopyAndComputeOverlapAcrossStreams) {
+  DevPtr p = kNullDevPtr;
+  ASSERT_EQ(device_.mem_alloc(8_MiB, &p), Result::kSuccess);
+  Stream copy_stream(device_);
+  Stream compute_stream(device_);
+  auto copy = device_.memcpy_htod_async(copy_stream, p,
+                                        util::Buffer::phantom(8_MiB),
+                                        HostMemType::kPinned, 0);
+  auto compute = device_.launch_async(
+      compute_stream, "fill_f64", LaunchConfig{},
+      KernelArgs{p, std::int64_t{1024 * 1024}, 0.0}, 0);
+  ASSERT_TRUE(copy.ok());
+  ASSERT_TRUE(compute.ok());
+  // The kernel does not wait for the copy: both start at t=0.
+  EXPECT_LT(compute.done_at, copy.done_at + 1_ms);
+}
+
+TEST_F(DeviceTest, UnknownKernelIsNotFound) {
+  auto op = device_.launch_async(device_.default_stream(), "no_such_kernel",
+                                 LaunchConfig{}, KernelArgs{}, 0);
+  EXPECT_EQ(op.status, Result::kNotFound);
+}
+
+TEST_F(DeviceTest, BrokenDeviceFailsEverything) {
+  DevPtr p = kNullDevPtr;
+  ASSERT_EQ(device_.mem_alloc(64, &p), Result::kSuccess);
+  device_.mark_broken();
+  DevPtr q = kNullDevPtr;
+  EXPECT_EQ(device_.mem_alloc(64, &q), Result::kEccError);
+  EXPECT_EQ(device_.mem_free(p), Result::kEccError);
+  auto op = device_.memcpy_htod_async(device_.default_stream(), p,
+                                      util::Buffer::backed_zero(8),
+                                      HostMemType::kPinned, 0);
+  EXPECT_EQ(op.status, Result::kEccError);
+}
+
+TEST_F(DeviceTest, UtilizationCountersAccumulate) {
+  DevPtr p = kNullDevPtr;
+  ASSERT_EQ(device_.mem_alloc(1_MiB, &p), Result::kSuccess);
+  EXPECT_EQ(device_.copy_busy(), 0u);
+  (void)device_.memcpy_htod_async(device_.default_stream(), p,
+                                  util::Buffer::phantom(1_MiB),
+                                  HostMemType::kPinned, 0);
+  EXPECT_GT(device_.copy_busy(), 0u);
+  (void)device_.launch_async(device_.default_stream(), "fill_f64",
+                             LaunchConfig{},
+                             KernelArgs{p, std::int64_t{128}, 1.0}, 0);
+  EXPECT_GT(device_.compute_busy(), 0u);
+}
+
+TEST(PhantomDevice, AllocationsArePhantom) {
+  sim::Engine engine;
+  Device dev(engine, tesla_c1060(), KernelRegistry::with_builtins(),
+             /*functional=*/false);
+  DevPtr p = kNullDevPtr;
+  ASSERT_EQ(dev.mem_alloc(1_GiB, &p), Result::kSuccess);  // no real memory
+  EXPECT_THROW((void)dev.span_of(p, 16), std::logic_error);
+  util::Buffer out;
+  auto op = dev.memcpy_dtoh_async(dev.default_stream(), p, 1_MiB,
+                                  HostMemType::kPinned, 0, &out);
+  ASSERT_TRUE(op.ok());
+  EXPECT_FALSE(out.is_backed());
+  EXPECT_EQ(out.size(), 1_MiB);
+}
+
+TEST(PhantomDevice, KernelsChargeTimeButSkipExecution) {
+  sim::Engine engine;
+  Device dev(engine, tesla_c1060(), KernelRegistry::with_builtins(), false);
+  DevPtr p = kNullDevPtr;
+  ASSERT_EQ(dev.mem_alloc(8_MiB, &p), Result::kSuccess);
+  auto op = dev.launch_async(dev.default_stream(), "fill_f64", LaunchConfig{},
+                             KernelArgs{p, std::int64_t{1024 * 1024}, 1.0}, 0);
+  ASSERT_TRUE(op.ok());
+  EXPECT_GT(op.done_at, 0u);
+}
+
+TEST(PhantomDevice, TimingMatchesFunctionalDevice) {
+  // The whole point of phantom mode: identical timing, no data.
+  auto run = [](bool functional) {
+    sim::Engine engine;
+    Device dev(engine, tesla_c1060(), KernelRegistry::with_builtins(),
+               functional);
+    DevPtr p = kNullDevPtr;
+    EXPECT_EQ(dev.mem_alloc(8_MiB, &p), Result::kSuccess);
+    Stream s(dev);
+    util::Buffer src = functional ? util::Buffer::backed_zero(8_MiB)
+                                  : util::Buffer::phantom(8_MiB);
+    (void)dev.memcpy_htod_async(s, p, src, HostMemType::kPinned, 0);
+    auto op = dev.launch_async(s, "dscal", LaunchConfig{},
+                               KernelArgs{std::int64_t{1024}, 2.0, p}, 0);
+    return op.done_at;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(MicDevice, PersonalityDiffers) {
+  const DeviceParams mic = mic_knc();
+  const DeviceParams gpu = tesla_c1060();
+  EXPECT_NE(mic.name, gpu.name);
+  EXPECT_GT(mic.compute_scale, gpu.compute_scale);
+  sim::Engine engine;
+  Device dev(engine, mic, KernelRegistry::with_builtins());
+  DevPtr p = kNullDevPtr;
+  ASSERT_EQ(dev.mem_alloc(1_MiB, &p), Result::kSuccess);
+  // Faster compute_scale => shorter kernel for identical work.
+  auto op = dev.launch_async(dev.default_stream(), "fill_f64", LaunchConfig{},
+                             KernelArgs{p, std::int64_t{1024}, 1.0}, 0);
+  ASSERT_TRUE(op.ok());
+}
+
+}  // namespace
+}  // namespace dacc::gpu

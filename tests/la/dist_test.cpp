@@ -1,0 +1,63 @@
+#include "la/dist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dacc::la {
+namespace {
+
+TEST(BlockCyclic, SingleGpuOwnsEverything) {
+  const BlockCyclic d(100, 16, 1);
+  EXPECT_EQ(d.nblocks(), 7);
+  for (int b = 0; b < d.nblocks(); ++b) {
+    EXPECT_EQ(d.owner(b), 0);
+    EXPECT_EQ(d.local_col(b), b * 16);
+  }
+  EXPECT_EQ(d.local_cols(0), 100);
+  EXPECT_EQ(d.block_width(6), 4);  // 100 - 96
+}
+
+TEST(BlockCyclic, RoundRobinOwnership) {
+  const BlockCyclic d(128, 16, 3);
+  EXPECT_EQ(d.owner(0), 0);
+  EXPECT_EQ(d.owner(1), 1);
+  EXPECT_EQ(d.owner(2), 2);
+  EXPECT_EQ(d.owner(3), 0);
+  EXPECT_EQ(d.local_block(3), 1);
+  EXPECT_EQ(d.local_col(3), 16);
+}
+
+TEST(BlockCyclic, LocalColsSumToN) {
+  for (int g = 1; g <= 4; ++g) {
+    const BlockCyclic d(130, 16, g);
+    int total = 0;
+    for (int me = 0; me < g; ++me) total += d.local_cols(me);
+    EXPECT_EQ(total, 130) << "g=" << g;
+  }
+}
+
+TEST(BlockCyclic, TrailingColsCountsOnlyLaterBlocks) {
+  const BlockCyclic d(96, 16, 2);  // 6 blocks: 0,2,4 -> gpu0; 1,3,5 -> gpu1
+  EXPECT_EQ(d.trailing_cols(0, 0), 32);  // blocks 2, 4
+  EXPECT_EQ(d.trailing_cols(1, 0), 48);  // blocks 1, 3, 5
+  EXPECT_EQ(d.trailing_cols(0, 4), 0);
+  EXPECT_EQ(d.trailing_cols(1, 4), 16);  // block 5
+  EXPECT_EQ(d.next_owned_after(0, 0), 2);
+  EXPECT_EQ(d.next_owned_after(1, 3), 5);
+  EXPECT_EQ(d.next_owned_after(0, 4), 6);  // none
+}
+
+TEST(BlockCyclic, PartialLastBlockWidths) {
+  const BlockCyclic d(50, 16, 2);  // blocks 0,2 -> gpu0; 1,3 (width 2) -> gpu1
+  EXPECT_EQ(d.block_width(3), 2);
+  EXPECT_EQ(d.local_cols(0), 32);
+  EXPECT_EQ(d.local_cols(1), 18);
+}
+
+TEST(BlockCyclic, InvalidParamsThrow) {
+  EXPECT_THROW(BlockCyclic(-1, 16, 1), std::invalid_argument);
+  EXPECT_THROW(BlockCyclic(10, 0, 1), std::invalid_argument);
+  EXPECT_THROW(BlockCyclic(10, 16, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dacc::la

@@ -1,0 +1,193 @@
+// MD solutes: Lennard-Jones dynamics, domain decomposition, and the
+// mass-weighted SRD coupling.
+#include "mdsim/solutes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mdsim/mp2c.hpp"
+#include "mdsim/srd.hpp"
+#include "util/units.hpp"
+
+namespace dacc::mdsim {
+namespace {
+
+// --- coupled collision invariants -------------------------------------------
+
+TEST(CoupledSrd, ConservesTotalMomentumAndEnergy) {
+  util::Rng rng(4);
+  const std::uint64_t nf = 3000;
+  const std::uint64_t ns = 120;
+  const double ms = 10.0;
+  std::vector<double> fluid(nf * 6);
+  std::vector<double> sol(ns * 6);
+  auto init = [&](std::vector<double>& v, std::uint64_t n, double mass) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      double* p = v.data() + i * 6;
+      for (int d = 0; d < 3; ++d) p[d] = rng.uniform(0, 8);
+      for (int d = 3; d < 6; ++d) p[d] = rng.normal() / std::sqrt(mass);
+    }
+  };
+  init(fluid, nf, 1.0);
+  init(sol, ns, ms);
+
+  auto totals = [&] {
+    double mom[4] = {0, 0, 0, 0};  // px, py, pz, ke
+    for (std::uint64_t i = 0; i < nf; ++i) {
+      const double* v = fluid.data() + i * 6 + 3;
+      for (int d = 0; d < 3; ++d) mom[d] += v[d];
+      mom[3] += 0.5 * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]);
+    }
+    for (std::uint64_t i = 0; i < ns; ++i) {
+      const double* v = sol.data() + i * 6 + 3;
+      for (int d = 0; d < 3; ++d) mom[d] += ms * v[d];
+      mom[3] += 0.5 * ms * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]);
+    }
+    return std::array<double, 4>{mom[0], mom[1], mom[2], mom[3]};
+  };
+
+  SrdGrid grid;
+  grid.cell = 1.0;
+  grid.nc[0] = grid.nc[1] = grid.nc[2] = 8;
+  grid.shift[0] = 0.4;
+  const auto before = totals();
+  const double a = 130.0 * M_PI / 180.0;
+  srd_collide_coupled(fluid, nf, sol, ns, ms, grid, std::cos(a), std::sin(a),
+                      17);
+  const auto after = totals();
+  for (int d = 0; d < 3; ++d) EXPECT_NEAR(after[d], before[d], 1e-8);
+  EXPECT_NEAR(after[3], before[3], 1e-8 * before[3]);
+}
+
+TEST(CoupledSrd, MomentumActuallyFlowsBetweenSpecies) {
+  // Fluid at rest + moving solutes: after a collision the fluid moves.
+  const std::uint64_t nf = 500;
+  const std::uint64_t ns = 50;
+  util::Rng rng(5);
+  std::vector<double> fluid(nf * 6, 0.0);
+  std::vector<double> sol(ns * 6, 0.0);
+  for (std::uint64_t i = 0; i < nf; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      fluid[i * 6 + d] = rng.uniform(0, 4);
+    }
+  }
+  for (std::uint64_t i = 0; i < ns; ++i) {
+    for (int d = 0; d < 3; ++d) sol[i * 6 + d] = rng.uniform(0, 4);
+    sol[i * 6 + 3] = 1.0;  // solutes drift in +x
+  }
+  SrdGrid grid;
+  grid.cell = 1.0;
+  grid.nc[0] = grid.nc[1] = grid.nc[2] = 4;
+  const double a = 130.0 * M_PI / 180.0;
+  srd_collide_coupled(fluid, nf, sol, ns, 10.0, grid, std::cos(a),
+                      std::sin(a), 3);
+  double fluid_px = 0.0;
+  for (std::uint64_t i = 0; i < nf; ++i) fluid_px += fluid[i * 6 + 3];
+  EXPECT_GT(std::abs(fluid_px), 1.0);  // solvent picked up solute momentum
+}
+
+// --- LJ dynamics through the full mp2c run ----------------------------------
+
+std::shared_ptr<gpu::KernelRegistry> registry() {
+  auto reg = gpu::KernelRegistry::with_builtins();
+  register_mdsim_kernels(*reg);
+  return reg;
+}
+
+struct CoupledRun {
+  std::vector<Mp2cResult> per_rank;
+};
+
+CoupledRun run_coupled(int ranks, std::uint64_t fluid_n,
+                       std::uint64_t solute_n, int steps,
+                       std::uint32_t acs_per_rank) {
+  rt::ClusterConfig c;
+  c.compute_nodes = ranks;
+  c.accelerators = ranks * static_cast<int>(acs_per_rank);
+  c.registry = registry();
+  rt::Cluster cluster(c);
+  CoupledRun out;
+  out.per_rank.resize(static_cast<std::size_t>(ranks));
+  rt::JobSpec spec;
+  spec.ranks = ranks;
+  spec.accelerators_per_rank = acs_per_rank;
+  spec.body = [&](rt::JobContext& job) {
+    SrdParams srd;
+    srd.steps = steps;
+    srd.solutes.count = solute_n;
+    srd.dt = 0.002;  // small dt keeps the Verlet energy drift tiny
+    std::unique_ptr<core::DeviceLink> link;
+    if (acs_per_rank > 0) {
+      link = std::make_unique<core::RemoteDeviceLink>(job.session()[0],
+                                                      job.ctx());
+    }
+    out.per_rank[static_cast<std::size_t>(job.rank())] =
+        run_mp2c(job, link.get(), fluid_n, srd);
+  };
+  cluster.submit(spec);
+  cluster.run();
+  return out;
+}
+
+TEST(Solutes, CountConservedAcrossMigration) {
+  const auto out = run_coupled(2, 3000, 100, 15, 1);
+  const std::uint64_t total =
+      out.per_rank[0].local_solutes + out.per_rank[1].local_solutes;
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(Solutes, TotalMomentumStaysZero) {
+  const auto out = run_coupled(2, 3000, 100, 15, 1);
+  // Fluid starts at zero net momentum, solutes add a small random net; the
+  // combined total must be conserved (it is whatever it started as, which
+  // is O(sqrt(n_s * m)) — just check it does not grow).
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_LT(std::abs(out.per_rank[0].momentum[static_cast<std::size_t>(d)]),
+              200.0);
+  }
+}
+
+TEST(Solutes, CoupledEnergyApproximatelyConserved) {
+  // SRD conserves KE exactly; Verlet conserves KE_s + PE to O(dt^2). The
+  // total (fluid KE + solute KE + LJ PE) must drift by well under 1%.
+  const auto a = run_coupled(1, 4000, 150, 2, 1);
+  const auto b = run_coupled(1, 4000, 150, 40, 1);
+  const double e_a = a.per_rank[0].kinetic_energy +
+                     a.per_rank[0].solute_potential;
+  const double e_b = b.per_rank[0].kinetic_energy +
+                     b.per_rank[0].solute_potential;
+  EXPECT_NEAR(e_b, e_a, 0.01 * std::abs(e_a));
+}
+
+TEST(Solutes, GpuAndCpuCollisionsAgree) {
+  const auto gpu_run = run_coupled(2, 2000, 80, 10, 1);
+  const auto cpu_run = run_coupled(2, 2000, 80, 10, 0);
+  EXPECT_NEAR(gpu_run.per_rank[0].kinetic_energy,
+              cpu_run.per_rank[0].kinetic_energy,
+              1e-6 * cpu_run.per_rank[0].kinetic_energy);
+  EXPECT_NEAR(gpu_run.per_rank[0].solute_potential,
+              cpu_run.per_rank[0].solute_potential,
+              1e-6 * std::abs(cpu_run.per_rank[0].solute_potential) + 1e-6);
+}
+
+TEST(Solutes, SolutesExchangeEnergyWithFluid) {
+  // With coupling, solute kinetic energy moves toward equipartition
+  // (1.5 kT per particle, kT = 1): it must change from its initial value.
+  const auto short_run = run_coupled(1, 4000, 150, 2, 1);
+  const auto long_run = run_coupled(1, 4000, 150, 100, 1);
+  EXPECT_NE(short_run.per_rank[0].solute_kinetic,
+            long_run.per_rank[0].solute_kinetic);
+  EXPECT_GT(long_run.per_rank[0].solute_kinetic, 0.0);
+}
+
+TEST(Solutes, RejectsCutoffWiderThanSlab) {
+  SoluteParams p;
+  p.count = 10;
+  p.rcut = 10.0;
+  EXPECT_THROW(SoluteSystem(p, 0, 2, 0.0, 4.0, 8.0, 8.0, 8.0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dacc::mdsim

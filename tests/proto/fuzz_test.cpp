@@ -1,0 +1,129 @@
+// Robustness: the wire decoder must reject arbitrary garbage with clean
+// exceptions (never crash, never read out of bounds), and random
+// payload/config combinations must round-trip through the block engine.
+#include <gtest/gtest.h>
+
+#include "proto/transfer.hpp"
+#include "proto/wire.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace dacc::proto {
+namespace {
+
+TEST(WireFuzz, RandomBytesNeverCrashTheDecoder) {
+  util::Rng rng(0xf022);
+  int clean_throws = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t len = rng.next_below(64);
+    std::vector<std::byte> junk(len);
+    for (auto& b : junk) {
+      b = static_cast<std::byte>(rng.next_below(256));
+    }
+    WireReader r(util::Buffer::backed(std::move(junk)));
+    try {
+      // Interpret as a middleware request, which is how the daemon reads.
+      const Op op = r.op();
+      (void)op;
+      (void)r.u64();
+      (void)r.u64();
+      (void)r.transfer_config();
+      (void)r.str();
+      (void)r.kernel_args();
+    } catch (const std::runtime_error&) {
+      ++clean_throws;  // truncation / bad tags are reported, not UB
+    }
+  }
+  EXPECT_GT(clean_throws, 0);
+}
+
+TEST(WireFuzz, EveryTruncationPointThrows) {
+  // A valid message truncated at every byte boundary must throw cleanly.
+  const util::Buffer full = WireWriter{}
+                                .op(Op::kKernelRun)
+                                .str("la_dgemm")
+                                .launch_config({})
+                                .kernel_args({gpu::DevPtr{1}, 2.0,
+                                              std::int64_t{3}})
+                                .finish();
+  for (std::uint64_t cut = 0; cut < full.size(); ++cut) {
+    WireReader r(full.slice(0, cut));
+    EXPECT_THROW(
+        {
+          (void)r.op();
+          (void)r.str();
+          (void)r.launch_config();
+          (void)r.kernel_args();
+        },
+        std::runtime_error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(TransferProperty, RandomSizesAndBlocksRoundTrip) {
+  util::Rng rng(77);
+  for (int round = 0; round < 25; ++round) {
+    const std::uint64_t total = 1 + rng.next_below(512 * 1024);
+    TransferConfig config;
+    switch (rng.next_below(3)) {
+      case 0:
+        config = TransferConfig::naive();
+        break;
+      case 1:
+        config = TransferConfig::pipeline(
+            1024 * (1 + rng.next_below(256)));
+        break;
+      default:
+        config = TransferConfig::pipeline_adaptive();
+        break;
+    }
+    config.gpudirect = rng.next_below(2) == 0;
+
+    std::vector<std::byte> payload(total);
+    for (auto& b : payload) {
+      b = static_cast<std::byte>(rng.next_below(256));
+    }
+
+    sim::Engine engine;
+    net::Fabric fabric(engine, 2);
+    dmpi::World world(engine, fabric, {0, 1});
+    util::Buffer got;
+    engine.spawn("tx", [&](sim::Context& ctx) {
+      dmpi::Mpi mpi(world, ctx, 0);
+      send_blocks(mpi, world.world_comm(), 1,
+                  util::Buffer::backed(std::vector<std::byte>(payload)),
+                  config);
+    });
+    engine.spawn("rx", [&](sim::Context& ctx) {
+      dmpi::Mpi mpi(world, ctx, 1);
+      got = recv_assemble(mpi, world.world_comm(), 0, total, config);
+    });
+    engine.run();
+    ASSERT_EQ(got.size(), total) << "round " << round;
+    EXPECT_TRUE(
+        std::equal(payload.begin(), payload.end(), got.bytes().begin()))
+        << "round " << round;
+  }
+}
+
+TEST(TransferProperty, PlanCoversEveryByteExactlyOnce) {
+  util::Rng rng(99);
+  for (int round = 0; round < 200; ++round) {
+    const std::uint64_t total = rng.next_below(1_MiB);
+    const std::uint64_t block = 1 + rng.next_below(64_KiB);
+    const BlockPlan plan(total, TransferConfig::pipeline(block));
+    std::uint64_t covered = 0;
+    std::uint64_t expected_offset = 0;
+    for (std::size_t i = 0; i < plan.count(); ++i) {
+      EXPECT_EQ(plan.offset(i), expected_offset);
+      covered += plan.size(i);
+      expected_offset += plan.size(i);
+      EXPECT_GT(plan.size(i), 0u);
+      EXPECT_LE(plan.size(i), plan.block_bytes());
+    }
+    EXPECT_EQ(covered, total);
+  }
+}
+
+}  // namespace
+}  // namespace dacc::proto

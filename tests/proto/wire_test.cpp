@@ -1,0 +1,121 @@
+#include "proto/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dacc::proto {
+namespace {
+
+TEST(Wire, ScalarsRoundTrip) {
+  auto buf = WireWriter{}
+                 .u32(0xdeadbeef)
+                 .u64(0x0123456789abcdefull)
+                 .f64(-2.5)
+                 .finish();
+  WireReader r(buf);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.f64(), -2.5);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, StringsRoundTrip) {
+  auto buf = WireWriter{}.str("").str("dgemm_nt").finish();
+  WireReader r(buf);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "dgemm_nt");
+}
+
+TEST(Wire, OpAndResultRoundTrip) {
+  auto buf = WireWriter{}
+                 .op(Op::kMemcpyHtoD)
+                 .result(gpu::Result::kOutOfMemory)
+                 .finish();
+  WireReader r(buf);
+  EXPECT_EQ(r.op(), Op::kMemcpyHtoD);
+  EXPECT_EQ(r.result(), gpu::Result::kOutOfMemory);
+}
+
+TEST(Wire, TransferConfigRoundTrip) {
+  TransferConfig c;
+  c.mode = TransferConfig::Mode::kPipeline;
+  c.block_bytes = 123456;
+  c.adaptive = true;
+  c.adaptive_small_bytes = 111;
+  c.adaptive_large_bytes = 222;
+  c.adaptive_cutoff_bytes = 333;
+  c.gpudirect = false;
+  auto buf = WireWriter{}.transfer_config(c).finish();
+  const TransferConfig d = WireReader(buf).transfer_config();
+  EXPECT_EQ(d.mode, c.mode);
+  EXPECT_EQ(d.block_bytes, c.block_bytes);
+  EXPECT_EQ(d.adaptive, c.adaptive);
+  EXPECT_EQ(d.adaptive_small_bytes, c.adaptive_small_bytes);
+  EXPECT_EQ(d.adaptive_large_bytes, c.adaptive_large_bytes);
+  EXPECT_EQ(d.adaptive_cutoff_bytes, c.adaptive_cutoff_bytes);
+  EXPECT_EQ(d.gpudirect, c.gpudirect);
+}
+
+TEST(Wire, LaunchConfigRoundTrip) {
+  gpu::LaunchConfig c;
+  c.grid = {10, 20, 30};
+  c.block = {256, 1, 2};
+  auto buf = WireWriter{}.launch_config(c).finish();
+  const gpu::LaunchConfig d = WireReader(buf).launch_config();
+  EXPECT_EQ(d.grid.x, 10u);
+  EXPECT_EQ(d.grid.y, 20u);
+  EXPECT_EQ(d.grid.z, 30u);
+  EXPECT_EQ(d.block.x, 256u);
+  EXPECT_EQ(d.block.z, 2u);
+}
+
+TEST(Wire, KernelArgsRoundTrip) {
+  gpu::KernelArgs args{gpu::DevPtr{0x1000}, std::int64_t{-42}, 3.75};
+  auto buf = WireWriter{}.kernel_args(args).finish();
+  const gpu::KernelArgs out = WireReader(buf).kernel_args();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(gpu::arg_ptr(out, 0), 0x1000u);
+  EXPECT_EQ(gpu::arg_i64(out, 1), -42);
+  EXPECT_EQ(gpu::arg_f64(out, 2), 3.75);
+}
+
+TEST(Wire, TruncatedMessageThrows) {
+  auto buf = WireWriter{}.u32(1).finish();
+  WireReader r(buf);
+  (void)r.u32();
+  EXPECT_THROW((void)r.u64(), std::runtime_error);
+}
+
+TEST(Wire, TruncatedStringThrows) {
+  // Length prefix promises more bytes than present.
+  auto buf = WireWriter{}.u32(100).finish();
+  WireReader r(buf);
+  EXPECT_THROW((void)r.str(), std::runtime_error);
+}
+
+TEST(Wire, BadKernelArgKindThrows) {
+  auto buf = WireWriter{}.u32(1).u32(99).finish();
+  WireReader r(buf);
+  EXPECT_THROW((void)r.kernel_args(), std::runtime_error);
+}
+
+TEST(TransferConfig, EffectiveBlockFixed) {
+  const auto c = TransferConfig::pipeline(128 * 1024);
+  EXPECT_EQ(c.effective_block(1024), 128u * 1024);
+  EXPECT_EQ(c.effective_block(64u * 1024 * 1024), 128u * 1024);
+}
+
+TEST(TransferConfig, EffectiveBlockNaiveIsWholePayload) {
+  const auto c = TransferConfig::naive();
+  EXPECT_EQ(c.effective_block(777), 777u);
+}
+
+TEST(TransferConfig, AdaptiveSwitchesAtCutoff) {
+  const auto c = TransferConfig::pipeline_adaptive();
+  EXPECT_EQ(c.effective_block(1024 * 1024), c.adaptive_small_bytes);
+  EXPECT_EQ(c.effective_block(c.adaptive_cutoff_bytes),
+            c.adaptive_large_bytes);
+  EXPECT_EQ(c.effective_block(64u * 1024 * 1024), c.adaptive_large_bytes);
+}
+
+}  // namespace
+}  // namespace dacc::proto

@@ -1,0 +1,77 @@
+// Tracing through the full middleware: a traced job leaves a coherent
+// timeline behind (daemon spans nested within the front-end spans that
+// caused them).
+#include <gtest/gtest.h>
+
+#include "rt/cluster.hpp"
+#include "util/units.hpp"
+
+namespace dacc::rt {
+namespace {
+
+TEST(TraceIntegration, MiddlewareSpansAreRecorded) {
+  ClusterConfig c;
+  c.compute_nodes = 1;
+  c.accelerators = 1;
+  c.trace = true;
+  Cluster cluster(c);
+  JobSpec spec;
+  spec.accelerators_per_rank = 1;
+  spec.body = [](JobContext& job) {
+    auto& ac = job.session()[0];
+    const gpu::DevPtr p = ac.mem_alloc(4_MiB);
+    ac.memcpy_h2d(p, util::Buffer::backed_zero(4_MiB));
+    ac.launch("dscal", {}, {std::int64_t{1024}, 2.0, p});
+    (void)ac.memcpy_d2h(p, 4_MiB);
+    ac.mem_free(p);
+  };
+  cluster.submit(spec);
+  cluster.run();
+
+  sim::Tracer& tracer = cluster.tracer();
+  ASSERT_FALSE(tracer.empty());
+
+  const auto daemon = tracer.track("daemon-r1");
+  const auto fe = tracer.track("fe-r0-ac1");
+  ASSERT_GE(daemon.size(), 5u);  // alloc, h2d, launch, d2h, free
+  ASSERT_GE(fe.size(), 5u);
+
+  // Every daemon span lies inside some front-end span (the request that
+  // triggered it), and all spans are well-formed and time-ordered.
+  for (const auto& d : daemon) {
+    EXPECT_LE(d.begin, d.end);
+    bool contained = false;
+    for (const auto& f : fe) {
+      if (f.begin <= d.begin && d.end <= f.end) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << d.name;
+  }
+
+  // The big copy dominates the timeline.
+  SimDuration h2d_span = 0;
+  for (const auto& d : daemon) {
+    if (d.name == "MemcpyHtoD") h2d_span = d.end - d.begin;
+  }
+  EXPECT_GT(h2d_span, 1_ms);  // 4 MiB at ~2.5 GiB/s
+}
+
+TEST(TraceIntegration, UntracedClusterRecordsNothing) {
+  ClusterConfig c;
+  c.compute_nodes = 1;
+  c.accelerators = 1;
+  Cluster cluster(c);
+  JobSpec spec;
+  spec.accelerators_per_rank = 1;
+  spec.body = [](JobContext& job) {
+    (void)job.session()[0].mem_alloc(64);
+  };
+  cluster.submit(spec);
+  cluster.run();
+  EXPECT_TRUE(cluster.tracer().empty());
+}
+
+}  // namespace
+}  // namespace dacc::rt

@@ -1,0 +1,280 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dacc::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0u);
+}
+
+TEST(Engine, CallbackRunsAtScheduledTime) {
+  Engine engine;
+  SimTime observed = kSimTimeNever;
+  engine.schedule_at(1500, [&] { observed = engine.now(); });
+  engine.run();
+  EXPECT_EQ(observed, 1500u);
+  EXPECT_EQ(engine.now(), 1500u);
+}
+
+TEST(Engine, CallbacksRunInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(300, [&] { order.push_back(3); });
+  engine.schedule_at(100, [&] { order.push_back(1); });
+  engine.schedule_at(200, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, SimultaneousEventsRunInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_at(42, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine engine;
+  engine.schedule_at(100, [&] {
+    EXPECT_THROW(engine.schedule_at(50, [] {}), SimError);
+  });
+  engine.run();
+}
+
+TEST(Engine, ProcessWaitForAdvancesClock) {
+  Engine engine;
+  SimTime after = 0;
+  engine.spawn("p", [&](Context& ctx) {
+    ctx.wait_for(2500);
+    after = ctx.now();
+  });
+  engine.run();
+  EXPECT_EQ(after, 2500u);
+}
+
+TEST(Engine, WaitUntilPastIsNoop) {
+  Engine engine;
+  engine.schedule_at(1000, [] {});
+  engine.spawn("p", [&](Context& ctx) {
+    ctx.wait_for(5000);
+    const SimTime before = ctx.now();
+    ctx.wait_until(10);  // already past
+    EXPECT_EQ(ctx.now(), before);
+  });
+  engine.run();
+}
+
+TEST(Engine, NestedWaitsAccumulate) {
+  Engine engine;
+  engine.spawn("p", [&](Context& ctx) {
+    for (int i = 0; i < 10; ++i) ctx.wait_for(100);
+    EXPECT_EQ(ctx.now(), 1000u);
+  });
+  engine.run();
+}
+
+TEST(Engine, TwoProcessesInterleaveDeterministically) {
+  Engine engine;
+  std::vector<std::string> trace;
+  engine.spawn("a", [&](Context& ctx) {
+    for (int i = 0; i < 3; ++i) {
+      ctx.wait_for(100);
+      trace.push_back("a" + std::to_string(ctx.now()));
+    }
+  });
+  engine.spawn("b", [&](Context& ctx) {
+    for (int i = 0; i < 3; ++i) {
+      ctx.wait_for(150);
+      trace.push_back("b" + std::to_string(ctx.now()));
+    }
+  });
+  engine.run();
+  // At t=300 both processes resume; ties resolve by schedule order, and b's
+  // resume was scheduled (at t=150) before a's (at t=200).
+  EXPECT_EQ(trace, (std::vector<std::string>{"a100", "b150", "a200", "b300",
+                                             "a300", "b450"}));
+}
+
+TEST(Engine, WakePermitsAreBanked) {
+  Engine engine;
+  Process* sleeper = nullptr;
+  int wakeups = 0;
+  sleeper = &engine.spawn("sleeper", [&](Context& ctx) {
+    ctx.wait_for(100);  // let the waker run first
+    // Two permits were banked while we were sleeping; both suspends return
+    // immediately without blocking.
+    ctx.suspend();
+    ++wakeups;
+    ctx.suspend();
+    ++wakeups;
+  });
+  engine.spawn("waker", [&](Context& ctx) {
+    ctx.engine().wake(*sleeper);
+    ctx.engine().wake(*sleeper);
+    (void)ctx;
+  });
+  engine.run();
+  EXPECT_EQ(wakeups, 2);
+}
+
+TEST(Engine, SuspendBlocksUntilWake) {
+  Engine engine;
+  Process* sleeper = nullptr;
+  SimTime woke_at = 0;
+  sleeper = &engine.spawn("sleeper", [&](Context& ctx) {
+    ctx.suspend();
+    woke_at = ctx.now();
+  });
+  engine.spawn("waker", [&](Context& ctx) {
+    ctx.wait_for(777);
+    ctx.engine().wake(*sleeper);
+  });
+  engine.run();
+  EXPECT_EQ(woke_at, 777u);
+}
+
+TEST(Engine, YieldRunsAfterSameTimeEvents) {
+  Engine engine;
+  std::vector<int> order;
+  engine.spawn("p", [&](Context& ctx) {
+    ctx.engine().schedule_at(ctx.now(), [&] { order.push_back(1); });
+    order.push_back(0);
+    ctx.yield();
+    order.push_back(2);
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Engine, DeadlockedProcessIsReported) {
+  Engine engine;
+  engine.spawn("stuck", [](Context& ctx) { ctx.suspend(); });
+  EXPECT_THROW(engine.run(), SimError);
+}
+
+TEST(Engine, DaemonMayRemainBlocked) {
+  Engine engine;
+  Process& d = engine.spawn("daemon", [](Context& ctx) {
+    while (true) ctx.suspend();
+  });
+  engine.set_daemon(d);
+  engine.spawn("worker", [](Context& ctx) { ctx.wait_for(10); });
+  EXPECT_NO_THROW(engine.run());
+}
+
+TEST(Engine, ProcessExceptionSurfacesAsSimError) {
+  Engine engine;
+  engine.spawn("bad", [](Context& ctx) {
+    ctx.wait_for(1);
+    throw std::runtime_error("boom");
+  });
+  try {
+    engine.run();
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bad"), std::string::npos);
+  }
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(100, [&] { ++fired; });
+  engine.schedule_at(200, [&] { ++fired; });
+  EXPECT_TRUE(engine.run_until(150));
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(engine.run_until(1000));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine engine;
+  engine.run_until(5000);
+  EXPECT_EQ(engine.now(), 5000u);
+}
+
+TEST(Engine, SpawnFromProcessContext) {
+  Engine engine;
+  SimTime child_ran_at = kSimTimeNever;
+  engine.spawn("parent", [&](Context& ctx) {
+    ctx.wait_for(100);
+    ctx.engine().spawn("child", [&](Context& cctx) {
+      child_ran_at = cctx.now();
+    });
+    ctx.wait_for(100);
+  });
+  engine.run();
+  EXPECT_EQ(child_ran_at, 100u);
+}
+
+TEST(Engine, EventsExecutedCounts) {
+  Engine engine;
+  for (int i = 0; i < 7; ++i) engine.schedule_at(i, [] {});
+  engine.run();
+  EXPECT_EQ(engine.events_executed(), 7u);
+}
+
+TEST(Engine, BlockingOutsideProcessContextThrows) {
+  Engine engine;
+  Process& p = engine.spawn("p", [](Context& ctx) { ctx.wait_for(1); });
+  Context bogus(engine, p);
+  engine.schedule_at(0, [&] { EXPECT_THROW(bogus.suspend(), SimError); });
+  engine.run();
+}
+
+TEST(Engine, ShutdownUnwindsBlockedProcessesCleanly) {
+  bool unwound = false;
+  {
+    Engine engine;
+    Process& d = engine.spawn("svc", [&](Context& ctx) {
+      struct Guard {
+        bool* flag;
+        ~Guard() { *flag = true; }
+      } guard{&unwound};
+      while (true) ctx.suspend();
+    });
+    engine.set_daemon(d);
+    engine.spawn("w", [](Context& ctx) { ctx.wait_for(5); });
+    engine.run();
+  }  // ~Engine delivers Shutdown to the blocked daemon
+  EXPECT_TRUE(unwound);
+}
+
+// Determinism: identical scenarios produce identical event traces.
+TEST(Engine, DeterministicReplay) {
+  auto run_once = [] {
+    Engine engine;
+    std::vector<std::string> trace;
+    Process* svc = nullptr;
+    svc = &engine.spawn("svc", [&](Context& ctx) {
+      for (int i = 0; i < 5; ++i) {
+        ctx.suspend();
+        trace.push_back("svc@" + std::to_string(ctx.now()));
+        ctx.wait_for(13);
+      }
+    });
+    engine.spawn("gen", [&](Context& ctx) {
+      for (int i = 0; i < 5; ++i) {
+        ctx.wait_for(31);
+        ctx.engine().wake(*svc);
+        trace.push_back("gen@" + std::to_string(ctx.now()));
+      }
+    });
+    engine.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace dacc::sim

@@ -1,0 +1,52 @@
+#include "sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dacc::sim {
+namespace {
+
+TEST(SerialResource, FirstOccupancyStartsImmediately) {
+  SerialResource r;
+  const auto iv = r.occupy(100, 50);
+  EXPECT_EQ(iv.start, 100u);
+  EXPECT_EQ(iv.end, 150u);
+}
+
+TEST(SerialResource, BackToBackOperationsSerialize) {
+  SerialResource r;
+  (void)r.occupy(0, 100);
+  const auto second = r.occupy(0, 100);
+  EXPECT_EQ(second.start, 100u);
+  EXPECT_EQ(second.end, 200u);
+}
+
+TEST(SerialResource, IdleGapIsNotBackfilled) {
+  SerialResource r;
+  (void)r.occupy(0, 10);
+  const auto late = r.occupy(1000, 10);
+  EXPECT_EQ(late.start, 1000u);
+  // A later request for an earlier time still queues after the last one.
+  const auto after = r.occupy(5, 10);
+  EXPECT_EQ(after.start, 1010u);
+}
+
+TEST(SerialResource, TracksUtilization) {
+  SerialResource r;
+  (void)r.occupy(0, 30);
+  (void)r.occupy(0, 20);
+  EXPECT_EQ(r.busy_total(), 50u);
+  EXPECT_EQ(r.operations(), 2u);
+  r.reset();
+  EXPECT_EQ(r.busy_total(), 0u);
+  EXPECT_EQ(r.next_free(), 0u);
+}
+
+TEST(SerialResource, ZeroBusyOccupancy) {
+  SerialResource r;
+  const auto iv = r.occupy(42, 0);
+  EXPECT_EQ(iv.start, 42u);
+  EXPECT_EQ(iv.end, 42u);
+}
+
+}  // namespace
+}  // namespace dacc::sim

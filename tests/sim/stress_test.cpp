@@ -1,0 +1,84 @@
+// Engine stress: many processes, many events, deterministic outcome.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "util/rng.hpp"
+
+namespace dacc::sim {
+namespace {
+
+TEST(EngineStress, HundredProcessesTokenRing) {
+  // A token circulates a ring of 100 processes 50 times.
+  Engine engine;
+  const int n = 100;
+  const int laps = 50;
+  std::vector<std::unique_ptr<Mailbox<int>>> boxes;
+  for (int i = 0; i < n; ++i) {
+    boxes.push_back(std::make_unique<Mailbox<int>>(engine));
+  }
+  int final_hops = 0;
+  for (int i = 0; i < n; ++i) {
+    engine.spawn("ring" + std::to_string(i), [&, i](Context& ctx) {
+      const int rounds = laps + (i == 0 ? 1 : 0);
+      for (int r = 0; r < rounds; ++r) {
+        if (i == 0 && r == 0) {
+          boxes[1]->put(1);  // inject the token
+          continue;
+        }
+        const int hops = boxes[static_cast<std::size_t>(i)]->get(ctx);
+        if (i == 0 && r == rounds - 1) {
+          final_hops = hops;
+          return;
+        }
+        ctx.wait_for(10);
+        boxes[static_cast<std::size_t>((i + 1) % n)]->put(hops + 1);
+      }
+    });
+  }
+  engine.run();
+  EXPECT_EQ(final_hops, n * laps);
+  EXPECT_GT(engine.events_executed(), static_cast<std::uint64_t>(n * laps));
+}
+
+TEST(EngineStress, RandomWorkloadIsDeterministic) {
+  auto run_once = [] {
+    Engine engine;
+    util::Rng rng(12345);
+    Semaphore sem(engine, 3);
+    std::uint64_t checksum = 0;
+    for (int i = 0; i < 60; ++i) {
+      const auto start = static_cast<SimDuration>(rng.next_below(10'000));
+      const auto work = static_cast<SimDuration>(1 + rng.next_below(5'000));
+      engine.spawn("w" + std::to_string(i), [&, start, work, i](Context& ctx) {
+        ctx.wait_for(start);
+        sem.acquire(ctx);
+        ctx.wait_for(work);
+        checksum ^= ctx.now() * static_cast<std::uint64_t>(i + 1);
+        sem.release();
+      });
+    }
+    engine.run();
+    return std::pair(checksum, engine.now());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(EngineStress, DeepEventChains) {
+  // 100k chained events: the queue must not degrade or overflow.
+  Engine engine;
+  std::uint64_t count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100'000) engine.schedule_in(1, chain);
+  };
+  engine.schedule_at(0, chain);
+  engine.run();
+  EXPECT_EQ(count, 100'000u);
+  EXPECT_EQ(engine.now(), 99'999u);
+}
+
+}  // namespace
+}  // namespace dacc::sim

@@ -1,0 +1,55 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dacc::sim {
+namespace {
+
+TEST(Tracer, RecordsSpans) {
+  Tracer t;
+  EXPECT_TRUE(t.empty());
+  t.record("daemon-r1", "MemAlloc", 100, 200);
+  t.record("daemon-r1", "MemcpyHtoD", 200, 5000);
+  t.record("fe-r0-ac1", "h2d 8MiB", 150, 5100);
+  EXPECT_EQ(t.size(), 3u);
+  const auto daemon = t.track("daemon-r1");
+  ASSERT_EQ(daemon.size(), 2u);
+  EXPECT_EQ(daemon[0].name, "MemAlloc");
+  EXPECT_EQ(daemon[1].end, 5000u);
+  EXPECT_EQ(t.track("nope").size(), 0u);
+}
+
+TEST(Tracer, RejectsBackwardsSpans) {
+  Tracer t;
+  EXPECT_THROW(t.record("x", "y", 10, 5), std::invalid_argument);
+}
+
+TEST(Tracer, ChromeJsonContainsEventsAndTrackNames) {
+  Tracer t;
+  t.record("daemon-r1", "KernelRun", 1000, 8000);
+  t.record("fe-r0-ac1", "launch \"quoted\"", 500, 9000);
+  std::ostringstream os;
+  t.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("KernelRun"), std::string::npos);
+  EXPECT_NE(json.find("daemon-r1"), std::string::npos);
+  // Quotes in names are escaped.
+  EXPECT_NE(json.find("launch \\\"quoted\\\""), std::string::npos);
+  // ts/dur are in microseconds of simulated time.
+  EXPECT_NE(json.find("\"ts\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":7"), std::string::npos);
+}
+
+TEST(Tracer, ClearEmpties) {
+  Tracer t;
+  t.record("a", "b", 0, 1);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+}
+
+}  // namespace
+}  // namespace dacc::sim

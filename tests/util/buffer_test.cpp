@@ -1,0 +1,94 @@
+#include "util/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace dacc::util {
+namespace {
+
+TEST(Buffer, DefaultIsEmptyBacked) {
+  Buffer b;
+  EXPECT_TRUE(b.is_backed());
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Buffer, BackedZeroInitializes) {
+  auto b = Buffer::backed_zero(16);
+  EXPECT_EQ(b.size(), 16u);
+  for (std::byte x : b.bytes()) EXPECT_EQ(x, std::byte{0});
+}
+
+TEST(Buffer, TypedRoundTrip) {
+  std::array<double, 3> values{1.0, 2.5, -7.0};
+  auto b = Buffer::of<double>(values);
+  EXPECT_EQ(b.size(), 24u);
+  auto view = b.as<double>();
+  EXPECT_EQ(view[0], 1.0);
+  EXPECT_EQ(view[1], 2.5);
+  EXPECT_EQ(view[2], -7.0);
+}
+
+TEST(Buffer, MutableTypedView) {
+  auto b = Buffer::backed_zero(8);
+  b.as_mutable<double>()[0] = 42.0;
+  EXPECT_EQ(b.as<double>()[0], 42.0);
+}
+
+TEST(Buffer, AsRejectsMisalignedSize) {
+  auto b = Buffer::backed_zero(10);
+  EXPECT_THROW((void)b.as<double>(), std::logic_error);
+}
+
+TEST(Buffer, PhantomHasSizeButNoBytes) {
+  auto b = Buffer::phantom(1024);
+  EXPECT_EQ(b.size(), 1024u);
+  EXPECT_FALSE(b.is_backed());
+  EXPECT_THROW((void)b.bytes(), std::logic_error);
+}
+
+TEST(Buffer, SliceOfBackedCopies) {
+  std::array<std::uint32_t, 4> values{10, 20, 30, 40};
+  auto b = Buffer::of<std::uint32_t>(values);
+  auto s = b.slice(4, 8);
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.as<std::uint32_t>()[0], 20u);
+  EXPECT_EQ(s.as<std::uint32_t>()[1], 30u);
+}
+
+TEST(Buffer, SliceOfPhantomIsPhantom) {
+  auto b = Buffer::phantom(100);
+  auto s = b.slice(10, 20);
+  EXPECT_EQ(s.size(), 20u);
+  EXPECT_FALSE(s.is_backed());
+}
+
+TEST(Buffer, SliceOutOfRangeThrows) {
+  auto b = Buffer::backed_zero(10);
+  EXPECT_THROW((void)b.slice(5, 6), std::out_of_range);
+}
+
+TEST(Buffer, WriteAtCopiesBytes) {
+  auto dst = Buffer::backed_zero(16);
+  std::array<std::uint64_t, 1> v{0xdeadbeefull};
+  dst.write_at(8, Buffer::of<std::uint64_t>(v));
+  EXPECT_EQ(dst.as<std::uint64_t>()[0], 0u);
+  EXPECT_EQ(dst.as<std::uint64_t>()[1], 0xdeadbeefull);
+}
+
+TEST(Buffer, WriteAtPhantomOnlyChecksBounds) {
+  auto dst = Buffer::phantom(16);
+  EXPECT_NO_THROW(dst.write_at(8, Buffer::backed_zero(8)));
+  EXPECT_THROW(dst.write_at(9, Buffer::backed_zero(8)), std::out_of_range);
+}
+
+TEST(Buffer, WriteBackedFromPhantomKeepsData) {
+  auto dst = Buffer::backed_zero(8);
+  dst.as_mutable<std::uint64_t>()[0] = 7;
+  // Phantom source: size-checked no-op (used when mixing modes in tests).
+  dst.write_at(0, Buffer::phantom(8));
+  EXPECT_EQ(dst.as<std::uint64_t>()[0], 7u);
+}
+
+}  // namespace
+}  // namespace dacc::util

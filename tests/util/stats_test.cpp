@@ -1,0 +1,52 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dacc::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance of this classic sequence is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Percentile, EmptyIsZero) { EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0); }
+
+TEST(Percentile, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(percentile({3, 1, 2}, 50), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  EXPECT_DOUBLE_EQ(percentile({0, 10}, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({0, 10}, 50), 5.0);
+}
+
+TEST(Percentile, Extremes) {
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 100), 9.0);
+}
+
+}  // namespace
+}  // namespace dacc::util

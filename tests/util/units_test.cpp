@@ -1,0 +1,46 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dacc {
+namespace {
+
+TEST(Units, SizeLiterals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(1_MiB, 1024u * 1024u);
+  EXPECT_EQ(1_GiB, 1024u * 1024u * 1024u);
+  EXPECT_EQ(64_MiB, 67108864u);
+}
+
+TEST(Units, TimeLiterals) {
+  EXPECT_EQ(1_us, 1000u);
+  EXPECT_EQ(1_ms, 1000000u);
+  EXPECT_EQ(1_s, 1000000000u);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(1_s), 1.0);
+  EXPECT_DOUBLE_EQ(to_us(5_us), 5.0);
+  EXPECT_DOUBLE_EQ(to_ms(2_ms), 2.0);
+}
+
+TEST(Units, BandwidthCalculation) {
+  // 1 MiB in 1 ms = 1000 MiB/s (within rounding).
+  EXPECT_NEAR(mib_per_s(1_MiB, 1_ms), 1000.0, 0.01);
+  EXPECT_DOUBLE_EQ(mib_per_s(123, 0), 0.0);
+}
+
+TEST(Units, TransferTimeRoundsUp) {
+  // 1 MiB at 1024 MiB/s is exactly 1/1024 s.
+  EXPECT_EQ(transfer_time(1_MiB, 1024.0), 976563u);
+  EXPECT_EQ(transfer_time(0, 1024.0), 0u);
+  EXPECT_EQ(transfer_time(100, 0.0), 0u);
+}
+
+TEST(Units, TransferTimeRoundTripsBandwidth) {
+  const auto t = transfer_time(64_MiB, 2660.0);
+  EXPECT_NEAR(mib_per_s(64_MiB, t), 2660.0, 0.1);
+}
+
+}  // namespace
+}  // namespace dacc
