@@ -1,0 +1,194 @@
+// Wall-clock throughput of the simulation core (not a paper figure: this
+// measures the simulator itself). Three probes:
+//
+//   * process-switch throughput — a process yielding in a tight loop; every
+//     yield is one block + one resume event + one slice. Run under both
+//     execution backends, so the printed ratio is the coroutine speedup
+//     over the one-OS-thread-per-process baton baseline.
+//   * event throughput — a self-rescheduling callback chain, no processes:
+//     the pooled event queue in isolation.
+//   * figure-9 wall time — one QR factorization point (N x N phantom, 3
+//     network-attached GPUs) end to end: the user-visible effect on the
+//     paper sweeps.
+//
+// Emits BENCH_engine.json (override with --out PATH); --quick shrinks the
+// iteration counts for use as a ctest smoke test.
+//
+//   $ ./bench/wallclock_engine [--quick] [--out BENCH_engine.json]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "la_util.hpp"
+#include "sim/engine.hpp"
+#include "sim/exec.hpp"
+
+namespace dacc::bench {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct SwitchProbe {
+  std::uint64_t switches = 0;
+  double wall_s = 0.0;
+  double per_sec = 0.0;
+};
+
+SwitchProbe switch_throughput(sim::ExecBackend backend, std::uint64_t iters) {
+  sim::Engine engine(backend);
+  engine.spawn("pinger", [iters](sim::Context& ctx) {
+    for (std::uint64_t i = 0; i < iters; ++i) ctx.yield();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.run();
+  SwitchProbe p;
+  p.wall_s = seconds_since(t0);
+  p.switches = engine.process_switches();
+  p.per_sec = static_cast<double>(p.switches) / p.wall_s;
+  return p;
+}
+
+struct EventProbe {
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+  double per_sec = 0.0;
+  std::uint64_t pool_nodes = 0;
+  std::uint64_t heap_fallbacks = 0;
+};
+
+EventProbe event_throughput(std::uint64_t count) {
+  sim::Engine engine;
+  std::uint64_t fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < count) engine.schedule_in(1, chain);
+  };
+  engine.schedule_at(0, chain);
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.run();
+  EventProbe p;
+  p.wall_s = seconds_since(t0);
+  p.events = engine.events_executed();
+  p.per_sec = static_cast<double>(p.events) / p.wall_s;
+  p.pool_nodes = engine.event_stats().pool_nodes;
+  p.heap_fallbacks = engine.event_stats().heap_fallbacks;
+  return p;
+}
+
+struct QrProbe {
+  int n = 0;
+  double sim_ms = 0.0;
+  double wall_s = 0.0;
+};
+
+QrProbe qr_wall_time(int n) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const la::FactorResult r = la_point(Routine::kQr, n, /*g=*/3,
+                                      /*local=*/false);
+  QrProbe p;
+  p.wall_s = seconds_since(t0);
+  p.n = n;
+  p.sim_ms = to_ms(r.factor_time);
+  return p;
+}
+
+void print_switch(const char* label, const SwitchProbe& p) {
+  std::printf("  %-10s %9llu switches in %.3f s  ->  %.0f switches/s\n",
+              label, static_cast<unsigned long long>(p.switches), p.wall_s,
+              p.per_sec);
+}
+
+int run(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::uint64_t coro_iters = quick ? 50'000 : 500'000;
+  const std::uint64_t thread_iters = quick ? 5'000 : 50'000;
+  const std::uint64_t event_count = quick ? 200'000 : 2'000'000;
+  const int qr_n = quick ? 2048 : 8064;
+
+#if defined(DACC_SIM_FORCE_THREAD_BACKEND)
+  const bool have_coro = false;
+#else
+  const bool have_coro = true;
+#endif
+
+  std::printf("engine wall-clock benchmark%s\n", quick ? " (quick)" : "");
+
+  std::printf("process-switch throughput:\n");
+  SwitchProbe coro;
+  if (have_coro) {
+    coro = switch_throughput(sim::ExecBackend::kCoroutine, coro_iters);
+    print_switch("coroutine", coro);
+  } else {
+    std::printf("  coroutine  disabled (sanitizer build)\n");
+  }
+  const SwitchProbe thread =
+      switch_throughput(sim::ExecBackend::kThread, thread_iters);
+  print_switch("thread", thread);
+  const double speedup = have_coro ? coro.per_sec / thread.per_sec : 0.0;
+  if (have_coro) std::printf("  speedup    %.1fx\n", speedup);
+
+  const EventProbe ev = event_throughput(event_count);
+  std::printf("event throughput: %llu events in %.3f s  ->  %.2fM events/s "
+              "(pool %llu nodes, %llu heap fallbacks)\n",
+              static_cast<unsigned long long>(ev.events), ev.wall_s,
+              ev.per_sec / 1e6,
+              static_cast<unsigned long long>(ev.pool_nodes),
+              static_cast<unsigned long long>(ev.heap_fallbacks));
+
+  const QrProbe qr = qr_wall_time(qr_n);
+  std::printf("figure-9 QR point: N=%d, 3 GPUs  ->  %.1f ms simulated, "
+              "%.3f s wall\n",
+              qr.n, qr.sim_ms, qr.wall_s);
+
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"bench\": \"wallclock_engine\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"switch_throughput\": {\n";
+  if (have_coro) {
+    json << "    \"coroutine\": {\"switches\": " << coro.switches
+         << ", \"wall_s\": " << coro.wall_s
+         << ", \"per_sec\": " << coro.per_sec << "},\n";
+  }
+  json << "    \"thread\": {\"switches\": " << thread.switches
+       << ", \"wall_s\": " << thread.wall_s
+       << ", \"per_sec\": " << thread.per_sec << "}";
+  if (have_coro) json << ",\n    \"coroutine_speedup\": " << speedup;
+  json << "\n  },\n"
+       << "  \"event_throughput\": {\"events\": " << ev.events
+       << ", \"wall_s\": " << ev.wall_s << ", \"per_sec\": " << ev.per_sec
+       << ", \"pool_nodes\": " << ev.pool_nodes
+       << ", \"heap_fallbacks\": " << ev.heap_fallbacks << "},\n"
+       << "  \"fig09_qr\": {\"n\": " << qr.n << ", \"gpus\": 3"
+       << ", \"sim_ms\": " << qr.sim_ms << ", \"wall_s\": " << qr.wall_s
+       << "}\n"
+       << "}\n";
+  json.flush();
+  if (!json) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace dacc::bench
+
+int main(int argc, char** argv) { return dacc::bench::run(argc, argv); }

@@ -54,7 +54,7 @@ void Daemon::run(sim::Context& ctx) {
     const SimTime begin = ctx.now();
     ctx.wait_for(params_.be_dispatch);
     ++requests_served_;
-    WireReader req(msg);
+    WireReader req(std::move(msg));
     const Op op = req.op();
     bool shutdown = false;
     switch (op) {

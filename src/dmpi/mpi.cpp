@@ -163,12 +163,13 @@ std::shared_ptr<Request::State> World::post_send(sim::Context& ctx,
 
   if (bytes <= params_.eager_threshold) {
     // Eager: inject immediately; the send is buffered and completes locally.
-    auto payload = std::make_shared<util::Buffer>(std::move(data));
+    // The payload moves through the event — no shared_ptr wrapper, no copy.
     fabric_.deliver(src_node, dst_node, bytes + params_.ctrl_bytes,
-                    engine_.now(), [this, dst_w, context_id, src_w, tag,
-                                    payload]() mutable {
+                    engine_.now(),
+                    [this, dst_w, context_id, src_w, tag,
+                     payload = std::move(data)]() mutable {
                       arrive_eager(dst_w, context_id, src_w, tag,
-                                   std::move(*payload));
+                                   std::move(payload));
                     });
     state->complete(Status{src_w, tag, bytes}, util::Buffer{});
     return state;
@@ -303,17 +304,17 @@ void World::arrive_cts(Rank src_w, std::uint64_t send_id, int tag,
 
   const std::uint64_t bytes = pending->data.size();
   const Rank dst_w = pending->dst_w;
-  auto payload = std::make_shared<util::Buffer>(std::move(pending->data));
   auto send_state = pending->send_state;
   const Rank sender = pending->src_w;
 
   fabric_.deliver(
       node_of(src_w), node_of(dst_w), bytes + params_.ctrl_bytes,
       engine_.now(),
-      [this, recv_state, send_state, payload, sender, tag, bytes]() mutable {
+      [this, recv_state = std::move(recv_state), send_state,
+       payload = std::move(pending->data), sender, tag, bytes]() mutable {
         send_state->complete(Status{sender, tag, bytes}, util::Buffer{});
         complete_recv(recv_state, sender, recv_state->context_id, tag,
-                      std::move(*payload), params_.recv_overhead);
+                      std::move(payload), params_.recv_overhead);
       });
 }
 
@@ -322,10 +323,10 @@ void World::complete_recv(std::shared_ptr<Request::State> state, Rank src_w,
                           SimDuration extra_delay) {
   (void)context_id;
   const std::uint64_t bytes = payload.size();
-  auto shared_payload = std::make_shared<util::Buffer>(std::move(payload));
-  engine_.schedule_in(extra_delay, [state, src_w, tag, bytes,
-                                    shared_payload]() mutable {
-    state->complete(Status{src_w, tag, bytes}, std::move(*shared_payload));
+  engine_.schedule_in(extra_delay,
+                      [state = std::move(state), src_w, tag, bytes,
+                       payload = std::move(payload)]() mutable {
+    state->complete(Status{src_w, tag, bytes}, std::move(payload));
   });
 }
 
@@ -483,7 +484,8 @@ util::Buffer Mpi::bcast(const Comm& comm, Rank root, util::Buffer data) {
     if (rel < hop) {
       const int child = rel + hop;
       if (child < n) {
-        send(comm, (child + root) % n, kBcastTag, data.slice(0, data.size()));
+        // Zero-copy alias: each child gets a view of the same store.
+        send(comm, (child + root) % n, kBcastTag, data.view());
       }
     } else if (rel < 2 * hop) {
       // This is the round in which we receive from our parent; afterwards we

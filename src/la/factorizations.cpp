@@ -163,7 +163,7 @@ FactorResult dgeqrf_hybrid(sim::Context& ctx, std::span<Gpu* const> gpus,
     std::vector<std::function<void()>> waiters;
     for (std::size_t me = 0; me < gpus.size(); ++me) {
       waiters.push_back(
-          gpus[me]->h2d_async(d_vt[me], vt.slice(0, vt.size())));
+          gpus[me]->h2d_async(d_vt[me], vt.view()));
     }
     waiters.push_back(owner.h2d_async(d_panel[o], std::move(panel)));
     owner.launch("la_unpack",
@@ -302,7 +302,7 @@ FactorResult dpotrf_hybrid(sim::Context& ctx, std::span<Gpu* const> gpus,
     for (std::size_t me = 0; me < gpus.size(); ++me) {
       if (me == o) continue;  // the owner already has it on device
       waiters.push_back(
-          gpus[me]->h2d_async(d_l21[me], l21.slice(0, l21.size())));
+          gpus[me]->h2d_async(d_l21[me], l21.view()));
     }
     for (auto& wait : waiters) wait();
 
@@ -407,9 +407,9 @@ FactorResult dgetrf_hybrid(sim::Context& ctx, std::span<Gpu* const> gpus,
     std::vector<std::function<void()>> waiters;
     for (std::size_t me = 0; me < gpus.size(); ++me) {
       waiters.push_back(
-          gpus[me]->h2d_async(d_panel[me], panel.slice(0, panel.size())));
+          gpus[me]->h2d_async(d_panel[me], panel.view()));
       waiters.push_back(
-          gpus[me]->h2d_async(d_ipiv[me], piv_buf.slice(0, piv_buf.size())));
+          gpus[me]->h2d_async(d_ipiv[me], piv_buf.view()));
     }
     owner.launch("la_unpack", {std::int64_t{rows}, std::int64_t{jb},
                                d_panel[o], panel_dev, std::int64_t{m}});

@@ -42,12 +42,6 @@ SimTime Fabric::transfer(NodeId src, NodeId dst, std::uint64_t bytes,
   return rx.end;
 }
 
-void Fabric::deliver(NodeId src, NodeId dst, std::uint64_t bytes,
-                     SimTime earliest, std::function<void()> on_delivered) {
-  const SimTime done = transfer(src, dst, bytes, earliest);
-  engine_.schedule_at(done, std::move(on_delivered));
-}
-
 std::uint64_t Fabric::bytes_sent(NodeId node) const {
   check_node(node);
   return nics_[static_cast<std::size_t>(node)].bytes_sent;

@@ -38,9 +38,15 @@ class Fabric {
   SimTime transfer(NodeId src, NodeId dst, std::uint64_t bytes,
                    SimTime earliest);
 
-  /// transfer() plus an engine callback at the delivery time.
+  /// transfer() plus an engine callback at the delivery time. Templated so
+  /// move-only callbacks (carrying payload buffers by value) go straight
+  /// into the engine's pooled event storage without a std::function box.
+  template <typename F>
   void deliver(NodeId src, NodeId dst, std::uint64_t bytes, SimTime earliest,
-               std::function<void()> on_delivered);
+               F&& on_delivered) {
+    const SimTime done = transfer(src, dst, bytes, earliest);
+    engine_.schedule_at(done, std::forward<F>(on_delivered));
+  }
 
   /// Per-node traffic counters (diagnostics / utilization reporting).
   std::uint64_t bytes_sent(NodeId node) const;

@@ -38,8 +38,10 @@ void send_blocks(dmpi::Mpi& mpi, const dmpi::Comm& comm, dmpi::Rank dst,
   std::vector<dmpi::Request> sends;
   sends.reserve(plan.count());
   for (std::size_t i = 0; i < plan.count(); ++i) {
+    // Zero-copy carve: each block is a view over the payload's store. The
+    // store is freed once the last in-flight block is consumed.
     sends.push_back(mpi.isend(comm, dst, kDataTag,
-                              payload.slice(plan.offset(i), plan.size(i))));
+                              payload.view(plan.offset(i), plan.size(i))));
   }
   mpi.wait_all(sends);
 }

@@ -58,9 +58,14 @@ WireWriter& WireWriter::f64(double v) {
 }
 
 WireWriter& WireWriter::str(const std::string& s) {
+  reserve(4 + s.size());
   u32(static_cast<std::uint32_t>(s.size()));
   const auto* p = reinterpret_cast<const std::byte*>(s.data());
-  bytes_.insert(bytes_.end(), p, p + s.size());
+  return bytes(std::span(p, s.size()));
+}
+
+WireWriter& WireWriter::bytes(std::span<const std::byte> src) {
+  bytes_.insert(bytes_.end(), src.begin(), src.end());
   return *this;
 }
 
@@ -82,6 +87,7 @@ WireWriter& WireWriter::launch_config(const gpu::LaunchConfig& c) {
 }
 
 WireWriter& WireWriter::kernel_args(const gpu::KernelArgs& args) {
+  reserve(4 + args.size() * 12);  // tag + payload per argument
   u32(static_cast<std::uint32_t>(args.size()));
   for (const gpu::KernelArg& a : args) {
     if (std::holds_alternative<gpu::DevPtr>(a)) {

@@ -107,10 +107,24 @@ struct ProtoParams {
 
 class WireWriter {
  public:
+  /// Every request header fits in ~100 bytes; reserving up front means a
+  /// typical message is built with exactly one allocation and no
+  /// grow-and-copy cycles.
+  WireWriter() { bytes_.reserve(kInitialCapacity); }
+
   WireWriter& u32(std::uint32_t v);
   WireWriter& u64(std::uint64_t v);
   WireWriter& f64(double v);
   WireWriter& str(const std::string& s);  ///< length-prefixed
+
+  /// Bulk append of raw bytes (single insert, no per-byte growth).
+  WireWriter& bytes(std::span<const std::byte> src);
+
+  /// Pre-grow for `n` more bytes (callers that know their message size).
+  WireWriter& reserve(std::size_t n) {
+    bytes_.reserve(bytes_.size() + n);
+    return *this;
+  }
   WireWriter& op(Op o) { return u32(static_cast<std::uint32_t>(o)); }
   WireWriter& result(gpu::Result r) {
     return u32(static_cast<std::uint32_t>(r));
@@ -122,6 +136,8 @@ class WireWriter {
   util::Buffer finish();
 
  private:
+  static constexpr std::size_t kInitialCapacity = 112;
+
   std::vector<std::byte> bytes_;
 };
 

@@ -58,6 +58,7 @@ ClusterConfig normalize(ClusterConfig config) {
 
 Cluster::Cluster(ClusterConfig config)
     : config_(normalize(std::move(config))),
+      engine_(config_.sim_backend),
       fabric_(engine_, config_.compute_nodes + config_.accelerators + 1,
               config_.fabric),
       registry_(config_.registry ? config_.registry

@@ -62,6 +62,10 @@ struct ClusterConfig {
   /// Kernel registry shared by all devices; defaults to the builtins.
   /// Workloads (la, mdsim) add their kernels before constructing a Cluster.
   std::shared_ptr<gpu::KernelRegistry> registry;
+
+  /// Execution backend for the simulation engine (coroutines by default;
+  /// see sim/exec.hpp). Results are identical under either backend.
+  sim::ExecBackend sim_backend = sim::default_exec_backend();
 };
 
 class Cluster;

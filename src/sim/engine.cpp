@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include <ucontext.h>
+
 #include <condition_variable>
 #include <mutex>
 #include <sstream>
@@ -8,37 +10,149 @@
 namespace dacc::sim {
 
 // ---------------------------------------------------------------------------
-// Baton: hands execution back and forth between the engine thread and one
-// process thread. Exactly one side runs at a time.
+// Strands: hand execution back and forth between the engine and one process.
+// Exactly one side runs at a time; the two implementations differ only in
+// the mechanics of the hand-off.
 // ---------------------------------------------------------------------------
 
-struct Process::Baton {
-  std::mutex mutex;
-  std::condition_variable cv;
-  enum class Turn { Engine, Process } turn = Turn::Engine;
-  std::thread thread;
+class Process::Strand {
+ public:
+  virtual ~Strand() = default;
+  virtual void run_slice(Process& p) = 0;        // engine side
+  virtual void yield_to_engine(Process& p) = 0;  // process side
+
+ protected:
+  // Nested-class access to Process internals, forwarded for the concrete
+  // strands in the anonymous namespace below.
+  static void run_body(Process& p) { p.body_main(); }
+  static bool is_shutdown_requested(const Process& p) {
+    return p.shutdown_requested_;
+  }
 };
+
+namespace {
+
+// Stackful coroutine strand: the process body runs on a pooled stack; a
+// switch is swapcontext() in user space, no OS scheduler involvement. The
+// stack returns to the pool the moment the body finishes, so long-running
+// engines reuse a small working set of stacks.
+class CoroStrand final : public Process::Strand {
+ public:
+  CoroStrand(StackPool& pool, Process& p) : pool_(pool), process_(&p) {}
+
+  ~CoroStrand() override {
+    if (stack_.map_base != nullptr) pool_.release(stack_);
+  }
+
+  void run_slice(Process& p) override {
+    if (!entered_) {
+      entered_ = true;
+      stack_ = pool_.acquire();
+      ::getcontext(&coro_);
+      coro_.uc_stack.ss_sp = stack_.base;
+      coro_.uc_stack.ss_size = stack_.size;
+      coro_.uc_link = &engine_;  // body return resumes the engine side
+      const auto self = reinterpret_cast<std::uintptr_t>(this);
+      ::makecontext(&coro_, reinterpret_cast<void (*)()>(&CoroStrand::entry),
+                    2, static_cast<unsigned>(self >> 32),
+                    static_cast<unsigned>(self & 0xffffffffu));
+    }
+    ::swapcontext(&engine_, &coro_);
+    if (p.finished() && stack_.map_base != nullptr) {
+      pool_.release(stack_);
+      stack_ = StackPool::Stack{};
+    }
+  }
+
+  void yield_to_engine(Process& p) override {
+    ::swapcontext(&coro_, &engine_);
+    if (is_shutdown_requested(p)) throw Shutdown{};
+  }
+
+ private:
+  // makecontext passes int arguments only; the strand pointer travels as two
+  // 32-bit halves (the standard 64-bit ucontext idiom).
+  static void entry(unsigned hi, unsigned lo) {
+    auto* self = reinterpret_cast<CoroStrand*>(
+        (static_cast<std::uintptr_t>(hi) << 32) | lo);
+    run_body(*self->process_);
+    // Falling off the end switches to uc_link == the engine context.
+  }
+
+  StackPool& pool_;
+  Process* process_;
+  StackPool::Stack stack_{};
+  ucontext_t engine_{};
+  ucontext_t coro_{};
+  bool entered_ = false;
+};
+
+// OS-thread strand: the original SystemC-style baton (mutex/condvar). Kept
+// as the sanitizer- and debugger-friendly fallback; selected per engine or
+// globally via -DDACC_SANITIZE / DACC_SIM_BACKEND=thread.
+class ThreadStrand final : public Process::Strand {
+ public:
+  explicit ThreadStrand(Process& p) {
+    thread_ = std::thread([this, &p] { main(p); });
+  }
+
+  ~ThreadStrand() override {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  void run_slice(Process&) override {
+    std::unique_lock lock(mutex_);
+    turn_ = Turn::kProcess;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return turn_ == Turn::kEngine; });
+  }
+
+  void yield_to_engine(Process& p) override {
+    std::unique_lock lock(mutex_);
+    turn_ = Turn::kEngine;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return turn_ == Turn::kProcess; });
+    if (is_shutdown_requested(p)) throw Shutdown{};
+  }
+
+ private:
+  void main(Process& p) {
+    // Wait for the engine to hand us the baton for the first time.
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return turn_ == Turn::kProcess; });
+    }
+    run_body(p);
+    std::unique_lock lock(mutex_);
+    turn_ = Turn::kEngine;
+    cv_.notify_all();
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  enum class Turn { kEngine, kProcess } turn_ = Turn::kEngine;
+  std::thread thread_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
 
 Process::Process(Engine& engine, std::uint64_t id, std::string name,
                  ProcessFn fn)
-    : engine_(engine),
-      id_(id),
-      name_(std::move(name)),
-      fn_(std::move(fn)),
-      baton_(std::make_unique<Baton>()) {
-  baton_->thread = std::thread([this] { thread_main(); });
-}
-
-Process::~Process() {
-  if (baton_->thread.joinable()) baton_->thread.join();
-}
-
-void Process::thread_main() {
-  // Wait for the engine to hand us the baton for the first time.
-  {
-    std::unique_lock lock(baton_->mutex);
-    baton_->cv.wait(lock, [&] { return baton_->turn == Baton::Turn::Process; });
+    : engine_(engine), id_(id), name_(std::move(name)), fn_(std::move(fn)) {
+  if (engine.backend() == ExecBackend::kThread) {
+    strand_ = std::make_unique<ThreadStrand>(*this);
+  } else {
+    strand_ = std::make_unique<CoroStrand>(engine.stack_pool_, *this);
   }
+}
+
+Process::~Process() = default;
+
+void Process::body_main() {
   if (!shutdown_requested_) {
     started_ = true;
     try {
@@ -48,30 +162,18 @@ void Process::thread_main() {
       // Normal teardown path for blocked service loops.
     } catch (const std::exception& e) {
       failure_ = e.what();
+      engine_.any_failure_ = true;
     } catch (...) {
       failure_ = "unknown exception";
+      engine_.any_failure_ = true;
     }
   }
   finished_ = true;
-  std::unique_lock lock(baton_->mutex);
-  baton_->turn = Baton::Turn::Engine;
-  baton_->cv.notify_all();
 }
 
-void Process::yield_to_engine() {
-  std::unique_lock lock(baton_->mutex);
-  baton_->turn = Baton::Turn::Engine;
-  baton_->cv.notify_all();
-  baton_->cv.wait(lock, [&] { return baton_->turn == Baton::Turn::Process; });
-  if (shutdown_requested_) throw Shutdown{};
-}
+void Process::yield_to_engine() { strand_->yield_to_engine(*this); }
 
-void Process::run_slice() {
-  std::unique_lock lock(baton_->mutex);
-  baton_->turn = Baton::Turn::Process;
-  baton_->cv.notify_all();
-  baton_->cv.wait(lock, [&] { return baton_->turn == Baton::Turn::Engine; });
-}
+void Process::run_slice() { strand_->run_slice(*this); }
 
 // ---------------------------------------------------------------------------
 // Context
@@ -120,7 +222,7 @@ Process& Engine::current_process() {
 // Engine
 // ---------------------------------------------------------------------------
 
-Engine::Engine() = default;
+Engine::Engine(ExecBackend backend) : backend_(backend) {}
 
 Engine::~Engine() { shutdown_processes(); }
 
@@ -130,24 +232,16 @@ Process& Engine::spawn(std::string name, ProcessFn fn) {
   Process& ref = *proc;
   processes_.push_back(std::move(proc));
   // First slice runs as a regular event at the current time.
-  schedule_at(now_, [this, &ref] {
-    Process* prev = current_;
-    current_ = &ref;
-    ref.run_slice();
-    current_ = prev;
-  });
+  schedule_at(now_, [this, &ref] { resume_slice(ref); });
   return ref;
 }
 
-void Engine::schedule_at(SimTime t, std::function<void()> fn) {
-  if (t < now_) {
-    throw SimError("schedule_at: time in the past");
-  }
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
-}
-
-void Engine::schedule_in(SimDuration d, std::function<void()> fn) {
-  schedule_at(now_ + d, std::move(fn));
+void Engine::resume_slice(Process& p) {
+  Process* prev = current_;
+  current_ = &p;
+  ++process_switches_;
+  p.run_slice();
+  current_ = prev;
 }
 
 std::uint64_t Engine::prepare_block(Process& p) {
@@ -169,10 +263,7 @@ void Engine::schedule_resume(Process& p, std::uint64_t wait_id, SimTime t) {
   schedule_at(t, [this, &p, wait_id] {
     // Stale resumes (process already moved on, or finished) are dropped.
     if (p.finished_ || p.current_wait_ != wait_id) return;
-    Process* prev = current_;
-    current_ = &p;
-    p.run_slice();
-    current_ = prev;
+    resume_slice(p);
   });
 }
 
@@ -189,19 +280,12 @@ void Engine::set_daemon(Process& p) { daemons_.push_back(&p); }
 void Engine::run() {
   running_ = true;
   while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
+    EventQueue::Node* ev = queue_.pop();
+    now_ = ev->time;
     ++events_executed_;
-    ev.fn();
-    for (const auto& proc : processes_) {
-      if (!proc->failure_.empty()) {
-        std::ostringstream os;
-        os << "process '" << proc->name_ << "' failed: " << proc->failure_;
-        proc->failure_.clear();
-        running_ = false;
-        throw SimError(os.str());
-      }
+    queue_.run_and_recycle(ev);
+    if (any_failure_) [[unlikely]] {
+      rethrow_failure();
     }
   }
   running_ = false;
@@ -210,16 +294,28 @@ void Engine::run() {
 
 bool Engine::run_until(SimTime t) {
   running_ = true;
-  while (!queue_.empty() && queue_.top().time <= t) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
+  while (!queue_.empty() && queue_.top_time() <= t) {
+    EventQueue::Node* ev = queue_.pop();
+    now_ = ev->time;
     ++events_executed_;
-    ev.fn();
+    queue_.run_and_recycle(ev);
   }
   running_ = false;
   if (queue_.empty() && now_ < t) now_ = t;
   return !queue_.empty();
+}
+
+void Engine::rethrow_failure() {
+  any_failure_ = false;
+  for (const auto& proc : processes_) {
+    if (proc->failure_.empty()) continue;
+    std::ostringstream os;
+    os << "process '" << proc->name_ << "' failed: " << proc->failure_;
+    proc->failure_.clear();
+    running_ = false;
+    throw SimError(os.str());
+  }
+  throw SimError("process failure flag set without a stored failure");
 }
 
 void Engine::check_quiescence() {

@@ -3,10 +3,15 @@
 // The engine advances a virtual clock by executing events in (time, sequence)
 // order. Simulated "processes" (compute-node application processes, the
 // back-end daemons, the accelerator resource manager) are written as ordinary
-// synchronous C++ functions; each runs on its own OS thread, but the engine
-// hands execution to exactly one thread at a time (SystemC-style baton
-// passing), so the simulation is single-threaded in effect and bit-for-bit
-// reproducible.
+// synchronous C++ functions; the engine hands execution to exactly one of
+// them at a time, so the simulation is single-threaded in effect and
+// bit-for-bit reproducible.
+//
+// Two execution backends implement the hand-off (see sim/exec.hpp): stackful
+// coroutines on pooled stacks (default — a process switch is two user-space
+// context swaps), or one OS thread per process with mutex/condvar baton
+// passing (sanitizer-friendly fallback). Both produce identical event
+// sequences; tests/sim/determinism_test.cpp enforces that contract.
 //
 // Threading contract: every callback and every process body executes while
 // holding the (conceptual) simulation baton. It is therefore always safe to
@@ -17,11 +22,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "sim/event_queue.hpp"
+#include "sim/exec.hpp"
+#include "sim/stack_pool.hpp"
 #include "util/units.hpp"
 
 namespace dacc::sim {
@@ -91,22 +98,24 @@ class Process {
   /// engine shutdown); Engine::run rethrows the stored message.
   const std::string& failure() const { return failure_; }
 
+  /// Backend-specific suspension state (coroutine or thread); implemented in
+  /// engine.cpp. Public so the concrete strands can derive from it.
+  class Strand;
+
  private:
   friend class Engine;
   friend class Context;
 
-  void thread_main();
-  void yield_to_engine();
-  void run_slice();  // engine side: hand baton to process, wait for it back
+  void body_main();        // runs fn_ under the backend's trampoline
+  void yield_to_engine();  // process side: give the baton back
+  void run_slice();        // engine side: hand baton to process, wait for it
 
   Engine& engine_;
   std::uint64_t id_;
   std::string name_;
   ProcessFn fn_;
 
-  // Baton state, guarded by mutex_ in engine.cpp.
-  struct Baton;
-  std::unique_ptr<Baton> baton_;
+  std::unique_ptr<Strand> strand_;
 
   bool started_ = false;
   bool finished_ = false;
@@ -122,20 +131,33 @@ class Process {
 
 class Engine {
  public:
-  Engine();
+  explicit Engine(ExecBackend backend = default_exec_backend());
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   SimTime now() const { return now_; }
+  ExecBackend backend() const { return backend_; }
 
   /// Creates a process that starts at the current simulated time (its first
   /// slice runs when the start event is dequeued).
   Process& spawn(std::string name, ProcessFn fn);
 
   /// Schedules `fn` to run in engine context at absolute time `t` (>= now).
-  void schedule_at(SimTime t, std::function<void()> fn);
-  void schedule_in(SimDuration d, std::function<void()> fn);
+  /// Accepts any callable, including move-only ones (payload buffers move
+  /// through events without shared_ptr wrapping).
+  template <typename F>
+  void schedule_at(SimTime t, F&& fn) {
+    if (t < now_) {
+      throw SimError("schedule_at: time in the past");
+    }
+    queue_.push(t, next_seq_++, std::forward<F>(fn));
+  }
+
+  template <typename F>
+  void schedule_in(SimDuration d, F&& fn) {
+    schedule_at(now_ + d, std::forward<F>(fn));
+  }
 
   /// Grants one wake permit to `p` and, if `p` is blocked in suspend(),
   /// schedules its resumption at the current time.
@@ -157,6 +179,19 @@ class Engine {
   /// Number of events executed so far (diagnostics).
   std::uint64_t events_executed() const { return events_executed_; }
 
+  /// Number of process slices resumed so far (one per baton hand-off to a
+  /// process; the unit of the wall-clock switch benchmarks).
+  std::uint64_t process_switches() const { return process_switches_; }
+
+  /// Event-pool occupancy (live, high-water, pool capacity, heap
+  /// fallbacks) — the stress tests assert these stay flat in steady state.
+  const EventQueue::Stats& event_stats() const { return queue_.stats(); }
+  void reset_event_high_water() { queue_.reset_high_water(); }
+
+  /// Coroutine stacks ever created (stable once the pool is warm; always 0
+  /// under the thread backend).
+  std::uint64_t stacks_created() const { return stack_pool_.created(); }
+
   /// Currently running process, or nullptr in engine/callback context.
   Process* current() const { return current_; }
 
@@ -172,36 +207,34 @@ class Engine {
   friend class Context;
   friend class Process;
 
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
   // Process-context blocking helpers (called via Context).
   std::uint64_t prepare_block(Process& p);
   void block(Process& p);  // yields the baton; returns when resumed
   void schedule_resume(Process& p, std::uint64_t wait_id, SimTime t);
 
+  // Hands the baton to `p` for one slice (tracks current_ and the switch
+  // counter).
+  void resume_slice(Process& p);
+
   void shutdown_processes();
   void check_quiescence();
+  [[noreturn]] void rethrow_failure();
 
+  ExecBackend backend_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_process_id_ = 1;
   std::uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::uint64_t process_switches_ = 0;
+  EventQueue queue_;
+  StackPool stack_pool_;  // declared before processes_: strands release into
+                          // it during ~Process
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Process*> daemons_;
   Process* current_ = nullptr;
   bool running_ = false;
   bool shutting_down_ = false;
+  bool any_failure_ = false;  // set by process trampolines; checked O(1)
   class Tracer* tracer_ = nullptr;
 };
 

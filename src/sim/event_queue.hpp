@@ -1,0 +1,198 @@
+// Pooled discrete-event priority queue.
+//
+// The engine executes hundreds of thousands of events per simulated second
+// of a paper-scale sweep, and the original std::priority_queue<Event> paid
+// one heap allocation per event for its std::function callback. This queue
+// removes that cost from the steady-state path:
+//
+//  * event nodes come from a chunked free list that is recycled after each
+//    event fires — once warm, pushing an event allocates nothing;
+//  * callbacks are constructed in place in a fixed inline buffer (move-only
+//    callables welcome — this is what lets the message layer move payload
+//    buffers through events instead of wrapping them in shared_ptrs);
+//    oversized callables fall back to the heap and are counted, so tests can
+//    assert the hot path stays allocation-free;
+//  * ordering is a binary heap over (time, seq) — seq is unique, so the
+//    order is total and independent of node addresses (determinism).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace dacc::sim {
+
+class EventQueue {
+ public:
+  /// Inline callback storage. Sized for the largest steady-state callback in
+  /// the message layer (a moved-in payload buffer plus two shared_ptrs and
+  /// addressing scalars).
+  static constexpr std::size_t kInlineBytes = 128;
+
+  struct Node {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    void (*invoke)(Node&) = nullptr;
+    void (*destroy)(Node&) = nullptr;
+    Node* next_free = nullptr;
+    alignas(std::max_align_t) std::byte storage[kInlineBytes];
+  };
+
+  struct Stats {
+    std::uint64_t live = 0;            ///< events currently queued
+    std::uint64_t high_water = 0;      ///< max live since last reset
+    std::uint64_t pool_nodes = 0;      ///< nodes ever allocated (capacity)
+    std::uint64_t heap_fallbacks = 0;  ///< callbacks too big for inline
+  };
+
+  EventQueue() = default;
+  ~EventQueue() {
+    for (Node* n : heap_) n->destroy(*n);
+  }
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  bool empty() const { return heap_.empty(); }
+  SimTime top_time() const { return heap_.front()->time; }
+
+  template <typename F>
+  void push(SimTime time, std::uint64_t seq, F&& fn) {
+    Node* n = allocate();
+    n->time = time;
+    n->seq = seq;
+    bind(*n, std::forward<F>(fn));
+    heap_.push_back(n);
+    sift_up(heap_.size() - 1);
+    ++stats_.live;
+    if (stats_.live > stats_.high_water) stats_.high_water = stats_.live;
+  }
+
+  /// Removes the earliest event. Invoke it with run_and_recycle().
+  Node* pop() {
+    Node* top = heap_.front();
+    Node* last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_.front() = last;
+      sift_down(0);
+    }
+    --stats_.live;
+    return top;
+  }
+
+  /// Calls the node's callback, then returns the node to the free list —
+  /// also on exception. The callback may push further events.
+  void run_and_recycle(Node* n) {
+    struct Recycle {
+      EventQueue* q;
+      Node* n;
+      ~Recycle() {
+        n->destroy(*n);
+        q->free(n);
+      }
+    } recycle{this, n};
+    n->invoke(*n);
+  }
+
+  const Stats& stats() const { return stats_; }
+  void reset_high_water() { stats_.high_water = stats_.live; }
+
+ private:
+  static constexpr std::size_t kChunkNodes = 256;
+
+  template <typename F>
+  void bind(Node& n, F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(n.storage)) Fn(std::forward<F>(fn));
+      n.invoke = [](Node& m) {
+        (*std::launder(reinterpret_cast<Fn*>(m.storage)))();
+      };
+      n.destroy = [](Node& m) {
+        std::launder(reinterpret_cast<Fn*>(m.storage))->~Fn();
+      };
+    } else {
+      auto* boxed = new Fn(std::forward<F>(fn));
+      std::memcpy(n.storage, &boxed, sizeof(boxed));
+      n.invoke = [](Node& m) { (*unbox<Fn>(m))(); };
+      n.destroy = [](Node& m) { delete unbox<Fn>(m); };
+      ++stats_.heap_fallbacks;
+    }
+  }
+
+  template <typename Fn>
+  static Fn* unbox(Node& n) {
+    Fn* p;
+    std::memcpy(&p, n.storage, sizeof(p));
+    return p;
+  }
+
+  Node* allocate() {
+    if (free_list_ == nullptr) grow();
+    Node* n = free_list_;
+    free_list_ = n->next_free;
+    return n;
+  }
+
+  void free(Node* n) {
+    n->next_free = free_list_;
+    free_list_ = n;
+  }
+
+  void grow() {
+    chunks_.push_back(std::make_unique<Node[]>(kChunkNodes));
+    Node* chunk = chunks_.back().get();
+    for (std::size_t i = 0; i < kChunkNodes; ++i) {
+      chunk[i].next_free = free_list_;
+      free_list_ = &chunk[i];
+    }
+    stats_.pool_nodes += kChunkNodes;
+  }
+
+  static bool before(const Node* a, const Node* b) {
+    if (a->time != b->time) return a->time < b->time;
+    return a->seq < b->seq;
+  }
+
+  void sift_up(std::size_t i) {
+    Node* n = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(n, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = n;
+  }
+
+  void sift_down(std::size_t i) {
+    Node* n = heap_[i];
+    const std::size_t size = heap_.size();
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= size) break;
+      if (child + 1 < size && before(heap_[child + 1], heap_[child])) {
+        ++child;
+      }
+      if (!before(heap_[child], n)) break;
+      heap_[i] = heap_[child];
+      i = child;
+    }
+    heap_[i] = n;
+  }
+
+  std::vector<Node*> heap_;  // binary min-heap; capacity is retained
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  Node* free_list_ = nullptr;
+  Stats stats_;
+};
+
+}  // namespace dacc::sim

@@ -1,0 +1,35 @@
+#include "sim/exec.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dacc::sim {
+
+const char* to_string(ExecBackend backend) {
+  switch (backend) {
+    case ExecBackend::kCoroutine:
+      return "coroutine";
+    case ExecBackend::kThread:
+      return "thread";
+  }
+  return "unknown";
+}
+
+ExecBackend default_exec_backend() {
+  if (const char* env = std::getenv("DACC_SIM_BACKEND")) {
+    if (std::strcmp(env, "thread") == 0) return ExecBackend::kThread;
+    if (std::strcmp(env, "coroutine") == 0) return ExecBackend::kCoroutine;
+    std::fprintf(stderr,
+                 "dacc: ignoring DACC_SIM_BACKEND='%s' "
+                 "(expected 'coroutine' or 'thread')\n",
+                 env);
+  }
+#if defined(DACC_SIM_FORCE_THREAD_BACKEND)
+  return ExecBackend::kThread;
+#else
+  return ExecBackend::kCoroutine;
+#endif
+}
+
+}  // namespace dacc::sim

@@ -1,0 +1,34 @@
+// Execution backend selection for the simulation engine.
+//
+// Simulated processes are synchronous C++ functions that must be suspended
+// and resumed at blocking points. Two interchangeable backends implement
+// that suspension; both execute the exact same event sequence, so simulated
+// results are bit-for-bit identical either way:
+//
+//  * kCoroutine — stackful coroutines (ucontext swapcontext on a pooled,
+//                 guard-paged stack). No OS scheduler involvement: a process
+//                 switch is two user-space context swaps, which is what makes
+//                 paper-scale sweeps wall-clock fast. The default.
+//  * kThread    — one OS thread per process with mutex/condvar baton passing
+//                 (the original engine). ~an order of magnitude slower per
+//                 switch, but friendly to sanitizers and debuggers that do
+//                 not understand stack switching. Forced as the default by
+//                 building with -DDACC_SANITIZE=....
+#pragma once
+
+namespace dacc::sim {
+
+enum class ExecBackend {
+  kCoroutine,
+  kThread,
+};
+
+const char* to_string(ExecBackend backend);
+
+/// The backend new Engines use unless one is passed explicitly: kCoroutine,
+/// unless the build forces the thread backend (sanitizer builds define
+/// DACC_SIM_FORCE_THREAD_BACKEND) or the environment variable
+/// DACC_SIM_BACKEND is set to "thread" or "coroutine".
+ExecBackend default_exec_backend();
+
+}  // namespace dacc::sim

@@ -1,0 +1,60 @@
+#include "sim/stack_pool.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <new>
+
+namespace dacc::sim {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t size =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return size;
+}
+
+std::size_t round_up(std::size_t n, std::size_t page) {
+  return (n + page - 1) / page * page;
+}
+
+}  // namespace
+
+StackPool::StackPool(std::size_t stack_bytes)
+    : stack_bytes_(round_up(stack_bytes, page_size())) {}
+
+StackPool::~StackPool() {
+  for (const Stack& s : free_) {
+    ::munmap(s.map_base, s.map_size);
+  }
+}
+
+StackPool::Stack StackPool::acquire() {
+  if (!free_.empty()) {
+    Stack s = free_.back();
+    free_.pop_back();
+    return s;
+  }
+  const std::size_t page = page_size();
+  const std::size_t map_size = stack_bytes_ + page;  // +1 guard page
+  void* map = ::mmap(nullptr, map_size, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (map == MAP_FAILED) throw std::bad_alloc();
+  // Guard at the low end: stacks grow downward on every platform we target.
+  ::mprotect(map, page, PROT_NONE);
+  ++created_;
+  Stack s;
+  s.map_base = map;
+  s.map_size = map_size;
+  s.base = static_cast<std::byte*>(map) + page;
+  s.size = stack_bytes_;
+  return s;
+}
+
+void StackPool::release(Stack stack) {
+  if (stack.map_base == nullptr) return;
+  free_.push_back(stack);
+}
+
+}  // namespace dacc::sim

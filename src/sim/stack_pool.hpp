@@ -1,0 +1,48 @@
+// Coroutine stack allocator with free-list recycling.
+//
+// Stacks are mmap'd with a PROT_NONE guard page below the usable range, so a
+// runaway process body faults instead of silently corrupting a neighbouring
+// stack. Anonymous mappings are committed lazily by the kernel, so a large
+// default stack costs only the pages a process actually touches — which is
+// what lets a single engine host tens of thousands of simulated processes.
+// Finished processes return their stack to the pool; steady-state spawning
+// performs no new mappings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dacc::sim {
+
+class StackPool {
+ public:
+  /// Usable bytes per stack (excluding the guard page).
+  static constexpr std::size_t kDefaultStackBytes = 512 * 1024;
+
+  struct Stack {
+    void* base = nullptr;       ///< lowest usable address
+    std::size_t size = 0;       ///< usable bytes
+    void* map_base = nullptr;   ///< mmap base (guard page included)
+    std::size_t map_size = 0;
+  };
+
+  explicit StackPool(std::size_t stack_bytes = kDefaultStackBytes);
+  ~StackPool();
+  StackPool(const StackPool&) = delete;
+  StackPool& operator=(const StackPool&) = delete;
+
+  Stack acquire();
+  void release(Stack stack);
+
+  /// Stacks ever mmap'd (monotonic; stable once the pool is warm).
+  std::uint64_t created() const { return created_; }
+  std::size_t free_count() const { return free_.size(); }
+
+ private:
+  std::size_t stack_bytes_;
+  std::vector<Stack> free_;
+  std::uint64_t created_ = 0;
+};
+
+}  // namespace dacc::sim

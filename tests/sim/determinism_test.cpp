@@ -1,0 +1,185 @@
+// Cross-backend determinism contract (sim/exec.hpp): the coroutine and the
+// thread execution backends must produce bit-identical simulations — same
+// event count, same final clock, same trace span sequence, same numerical
+// results — and every backend must reproduce itself exactly across runs.
+//
+// The workload deliberately mixes everything that exercises event ordering:
+// a functional QR factorization on network-attached GPUs (bulk pipelined
+// transfers + kernel streams), an MP2C fluid mini-run over two ranks
+// (halo exchange, migration, collective reductions), and fault injection
+// mid-transfer (error unwinding through the wire protocol).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "la/factorizations.hpp"
+#include "la/kernels.hpp"
+#include "la/matrix.hpp"
+#include "mdsim/mp2c.hpp"
+#include "rt/cluster.hpp"
+#include "sim/exec.hpp"
+#include "util/units.hpp"
+
+namespace dacc {
+namespace {
+
+struct Fingerprint {
+  std::uint64_t events = 0;
+  std::uint64_t switches = 0;
+  SimTime final_now = 0;
+  SimDuration qr_time = 0;
+  double qr_gflops = 0.0;
+  SimDuration mp2c_elapsed = 0;
+  double mp2c_ke = 0.0;
+  double mp2c_px = 0.0;
+  std::uint64_t mp2c_particles0 = 0;
+  std::uint64_t mp2c_migrated0 = 0;
+  bool fault_seen = false;
+  std::vector<std::string> spans;
+};
+
+Fingerprint run_mixed(sim::ExecBackend backend) {
+  auto registry = la::la_registry();
+  mdsim::register_mdsim_kernels(*registry);
+
+  rt::ClusterConfig config;
+  config.compute_nodes = 3;
+  config.accelerators = 3;
+  config.functional_gpus = true;
+  config.trace = true;
+  config.registry = registry;
+  config.sim_backend = backend;
+  rt::Cluster cluster(config);
+
+  Fingerprint fp;
+
+  // Phase 1: QR and MP2C run concurrently, contending for the fabric.
+  la::FactorResult qr;
+  rt::JobSpec qr_job;
+  qr_job.name = "qr";
+  qr_job.accelerators_per_rank = 1;
+  qr_job.body = [&](rt::JobContext& job) {
+    core::RemoteDeviceLink gpu(job.session()[0], job.ctx());
+    std::vector<core::DeviceLink*> gpus{&gpu};
+    la::HostMatrix a(96, 96, /*functional=*/true);
+    qr = la::dgeqrf_hybrid(job.ctx(), gpus, a, /*nb=*/32);
+  };
+  cluster.submit(qr_job, /*first_cn=*/0);
+
+  std::array<mdsim::Mp2cResult, 2> mp2c;
+  rt::JobSpec mp2c_job;
+  mp2c_job.name = "mp2c";
+  mp2c_job.ranks = 2;
+  mp2c_job.accelerators_per_rank = 1;
+  mp2c_job.body = [&](rt::JobContext& job) {
+    core::RemoteDeviceLink gpu(job.session()[0], job.ctx());
+    mdsim::SrdParams srd;
+    srd.steps = 6;
+    mp2c[static_cast<std::size_t>(job.rank())] =
+        mdsim::run_mp2c(job, &gpu, /*total_particles=*/2000, srd);
+  };
+  cluster.submit(mp2c_job, /*first_cn=*/1);
+  cluster.run();
+
+  // Phase 2: fault injection — the leased accelerator breaks mid-D2H and
+  // the error must unwind cleanly through the middleware.
+  rt::JobSpec fault_job;
+  fault_job.name = "fault";
+  fault_job.accelerators_per_rank = 1;
+  fault_job.body = [&](rt::JobContext& job) {
+    core::Accelerator& ac = job.session()[0];
+    const gpu::DevPtr p = ac.mem_alloc(64_MiB);
+    for (int i = 0; i < 3; ++i) {
+      job.cluster().break_accelerator(i, job.ctx().now() + 5_ms);
+    }
+    try {
+      (void)ac.memcpy_d2h(p, 64_MiB);
+    } catch (const core::AcError&) {
+      fp.fault_seen = true;
+    }
+  };
+  cluster.submit(fault_job, /*first_cn=*/2);
+  cluster.run();
+
+  fp.events = cluster.engine().events_executed();
+  fp.switches = cluster.engine().process_switches();
+  fp.final_now = cluster.engine().now();
+  fp.qr_time = qr.factor_time;
+  fp.qr_gflops = qr.gflops;
+  fp.mp2c_elapsed = mp2c[0].elapsed;
+  fp.mp2c_ke = mp2c[0].kinetic_energy;
+  fp.mp2c_px = mp2c[0].momentum[0];
+  fp.mp2c_particles0 = mp2c[0].local_particles;
+  fp.mp2c_migrated0 = mp2c[0].migrated_out;
+  fp.spans.reserve(cluster.tracer().spans().size());
+  for (const auto& s : cluster.tracer().spans()) {
+    std::ostringstream os;
+    os << s.track << '|' << s.name << '|' << s.begin << '|' << s.end;
+    fp.spans.push_back(os.str());
+  }
+  return fp;
+}
+
+void expect_identical(const Fingerprint& a, const Fingerprint& b,
+                      const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.switches, b.switches);
+  EXPECT_EQ(a.final_now, b.final_now);
+  EXPECT_EQ(a.qr_time, b.qr_time);
+  EXPECT_EQ(a.qr_gflops, b.qr_gflops);  // bit-identical, not approximate
+  EXPECT_EQ(a.mp2c_elapsed, b.mp2c_elapsed);
+  EXPECT_EQ(a.mp2c_ke, b.mp2c_ke);
+  EXPECT_EQ(a.mp2c_px, b.mp2c_px);
+  EXPECT_EQ(a.mp2c_particles0, b.mp2c_particles0);
+  EXPECT_EQ(a.mp2c_migrated0, b.mp2c_migrated0);
+  EXPECT_EQ(a.spans, b.spans);
+}
+
+void expect_sane(const Fingerprint& fp) {
+  EXPECT_GT(fp.events, 1000u);
+  EXPECT_GT(fp.switches, 100u);
+  EXPECT_GT(fp.qr_time, 0);
+  EXPECT_GT(fp.mp2c_elapsed, 0);
+  EXPECT_TRUE(fp.fault_seen);
+  EXPECT_FALSE(fp.spans.empty());
+}
+
+#if defined(DACC_SIM_FORCE_THREAD_BACKEND)
+constexpr bool kCoroutineAvailable = false;
+#else
+constexpr bool kCoroutineAvailable = true;
+#endif
+
+TEST(Determinism, ThreadBackendReplaysExactly) {
+  const Fingerprint a = run_mixed(sim::ExecBackend::kThread);
+  const Fingerprint b = run_mixed(sim::ExecBackend::kThread);
+  expect_sane(a);
+  expect_identical(a, b, "thread vs thread");
+}
+
+TEST(Determinism, CoroutineBackendReplaysExactly) {
+  if (!kCoroutineAvailable) {
+    GTEST_SKIP() << "coroutine backend disabled (sanitizer build)";
+  }
+  const Fingerprint a = run_mixed(sim::ExecBackend::kCoroutine);
+  const Fingerprint b = run_mixed(sim::ExecBackend::kCoroutine);
+  expect_sane(a);
+  expect_identical(a, b, "coroutine vs coroutine");
+}
+
+TEST(Determinism, BackendsProduceIdenticalSimulations) {
+  if (!kCoroutineAvailable) {
+    GTEST_SKIP() << "coroutine backend disabled (sanitizer build)";
+  }
+  const Fingerprint coro = run_mixed(sim::ExecBackend::kCoroutine);
+  const Fingerprint thread = run_mixed(sim::ExecBackend::kThread);
+  expect_sane(coro);
+  expect_identical(coro, thread, "coroutine vs thread");
+}
+
+}  // namespace
+}  // namespace dacc

@@ -67,6 +67,55 @@ TEST(EngineStress, RandomWorkloadIsDeterministic) {
   EXPECT_EQ(a.second, b.second);
 }
 
+TEST(EngineStress, TenThousandProcessesSteadyState) {
+  // Two identical waves of processes on one engine. The second wave must
+  // run entirely out of recycled resources: no new event-pool chunks, no
+  // new coroutine stacks, no heap-boxed callbacks, and no growth in the
+  // live-event high-water mark — the "zero allocations per event in steady
+  // state" contract of the pooled queue.
+  Engine engine;
+  const bool coro = engine.backend() == ExecBackend::kCoroutine;
+  // The thread backend would need one OS thread per process; keep it to a
+  // size a sanitizer build can host.
+  const int n = coro ? 10'000 : 500;
+
+  std::uint64_t done = 0;
+  const auto wave = [&](int salt) {
+    for (int i = 0; i < n; ++i) {
+      engine.spawn("p" + std::to_string(salt) + "-" + std::to_string(i),
+                   [&done, i, salt](Context& ctx) {
+                     for (int hop = 0; hop < 4; ++hop) {
+                       ctx.wait_for(1 + (i * 7 + salt + hop) % 97);
+                     }
+                     ctx.yield();
+                     ++done;
+                   });
+    }
+    engine.run();
+  };
+
+  wave(0);
+  EXPECT_EQ(done, static_cast<std::uint64_t>(n));
+  const EventQueue::Stats after_first = engine.event_stats();
+  const std::uint64_t stacks_first = engine.stacks_created();
+  EXPECT_EQ(after_first.heap_fallbacks, 0u);
+  EXPECT_EQ(after_first.live, 0u);
+
+  engine.reset_event_high_water();
+  wave(1);
+  EXPECT_EQ(done, static_cast<std::uint64_t>(2 * n));
+  const EventQueue::Stats after_second = engine.event_stats();
+  EXPECT_EQ(after_second.pool_nodes, after_first.pool_nodes);
+  EXPECT_LE(after_second.high_water, after_first.high_water);
+  EXPECT_EQ(after_second.heap_fallbacks, 0u);
+  EXPECT_EQ(engine.stacks_created(), stacks_first);
+  if (coro) {
+    EXPECT_GE(stacks_first, static_cast<std::uint64_t>(n));
+  } else {
+    EXPECT_EQ(stacks_first, 0u);
+  }
+}
+
 TEST(EngineStress, DeepEventChains) {
   // 100k chained events: the queue must not degrade or overflow.
   Engine engine;
