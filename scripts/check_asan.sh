@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 test suite under AddressSanitizer.
+#
+# The simulator's coroutine backend hand-switches stacks, which ASan cannot
+# track, so the build pins the thread execution backend
+# (DACC_SIM_FORCE_THREAD_BACKEND is set automatically by CMake when
+# DACC_SANITIZE is active). Benchmarks and examples are skipped: they add
+# nothing to the memory-safety surface and triple the build time.
+#
+#   $ scripts/check_asan.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="${1:-$repo/build-asan}"
+
+cmake -B "$build" -S "$repo" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDACC_SANITIZE=address \
+  -DDACC_BUILD_BENCHMARKS=OFF \
+  -DDACC_BUILD_EXAMPLES=OFF
+cmake --build "$build" -j "$(nproc)"
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"

@@ -1,6 +1,8 @@
 #include "arm/arm.hpp"
 
-#include "proto/wire.hpp"
+#include <algorithm>
+
+#include "sim/trace.hpp"
 
 namespace dacc::arm {
 
@@ -17,8 +19,92 @@ const char* to_string(ArmResult r) {
       return "unknown handle";
     case ArmResult::kNotOwner:
       return "not the owner";
+    case ArmResult::kRevoked:
+      return "lease revoked";
   }
   return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Liveness wire messages. Full frames (op + reply tag + payload) so the
+// fuzz suite round-trips exactly what travels on kArmRequestTag; one-way
+// messages carry reply tag 0.
+// ---------------------------------------------------------------------------
+
+util::Buffer Heartbeat::encode() const {
+  return WireWriter{}
+      .u32(static_cast<std::uint32_t>(ArmOp::kHeartbeat))
+      .u32(0)
+      .u64(static_cast<std::uint64_t>(daemon_rank))
+      .u64(seq)
+      .u32(device_ok ? 1 : 0)
+      .finish();
+}
+
+Heartbeat Heartbeat::decode(proto::WireReader& r) {
+  Heartbeat hb;
+  hb.daemon_rank = static_cast<dmpi::Rank>(r.u64());
+  hb.seq = r.u64();
+  hb.device_ok = r.u32() != 0;
+  return hb;
+}
+
+util::Buffer SweepRequest::encode() const {
+  return WireWriter{}
+      .u32(static_cast<std::uint32_t>(ArmOp::kSweep))
+      .u32(0)
+      .u64(period)
+      .u32(miss_threshold)
+      .u32(fresh ? 1 : 0)
+      .finish();
+}
+
+SweepRequest SweepRequest::decode(proto::WireReader& r) {
+  SweepRequest s;
+  s.period = r.u64();
+  s.miss_threshold = r.u32();
+  s.fresh = r.u32() != 0;
+  return s;
+}
+
+util::Buffer RevokeNotice::encode() const {
+  return WireWriter{}
+      .u64(static_cast<std::uint64_t>(daemon_rank))
+      .u64(lease_id)
+      .u64(job)
+      .u64(revoked_at)
+      .finish();
+}
+
+RevokeNotice RevokeNotice::decode(proto::WireReader& r) {
+  RevokeNotice n;
+  n.daemon_rank = static_cast<dmpi::Rank>(r.u64());
+  n.lease_id = r.u64();
+  n.job = r.u64();
+  n.revoked_at = r.u64();
+  return n;
+}
+
+util::Buffer ReplayReport::encode(int reply_tag) const {
+  return WireWriter{}
+      .u32(static_cast<std::uint32_t>(ArmOp::kReplaced))
+      .u32(static_cast<std::uint32_t>(reply_tag))
+      .u64(static_cast<std::uint64_t>(failed_rank))
+      .u64(static_cast<std::uint64_t>(replacement_rank))
+      .u64(job)
+      .u32(replayed_ops)
+      .u64(replayed_bytes)
+      .finish();
+}
+
+ReplayReport ReplayReport::decode(proto::WireReader& r) {
+  ReplayReport rep;
+  rep.failed_rank = static_cast<dmpi::Rank>(r.u64());
+  rep.replacement_rank = static_cast<dmpi::Rank>(r.u64());
+  rep.job = r.u64();
+  rep.replayed_ops = r.u32();
+  rep.replayed_bytes = r.u64();
+  return rep;
 }
 
 Arm::Arm(dmpi::World& world, dmpi::Rank self_world_rank,
@@ -54,6 +140,92 @@ void Arm::release_slot(Slot& slot, SimTime now) {
   slot.state = State::kFree;
   slot.job = 0;
   slot.lease_id = 0;
+  slot.owner = -1;
+}
+
+bool Arm::was_revoked(std::uint64_t lease_id) const {
+  return std::find(revoked_leases_.begin(), revoked_leases_.end(), lease_id) !=
+         revoked_leases_.end();
+}
+
+void Arm::revoke_slot(dmpi::Mpi& mpi, Slot& slot, SimTime now,
+                      const char* cause) {
+  if (slot.state == State::kBroken) return;
+  if (slot.state == State::kAssigned) {
+    slot.assigned_total += now - slot.assigned_since;
+    ++revocations_;
+    revoked_leases_.push_back(slot.lease_id);
+    // Unsolicited push so the owner learns of the failure even between its
+    // own requests; the tag encodes the daemon so a session holding several
+    // leases can tell which one died.
+    RevokeNotice notice{slot.info.daemon_rank, slot.lease_id, slot.job, now};
+    mpi.send(world_.world_comm(), slot.owner,
+             kArmRevokeTagBase + slot.info.daemon_rank, notice.encode());
+  }
+  if (sim::Tracer* tracer = world_.engine().tracer()) {
+    tracer->record("arm", std::string(cause) + "-ac" +
+                              std::to_string(slot.info.daemon_rank),
+                   now, now);
+  }
+  slot.state = State::kBroken;
+  slot.job = 0;
+  slot.lease_id = 0;
+  slot.owner = -1;
+}
+
+void Arm::fail_unsatisfiable(dmpi::Mpi& mpi) {
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    std::uint32_t alive = 0;
+    for (const Slot& s : slots_) {
+      if (s.state != State::kBroken &&
+          (it->kind.empty() || s.info.kind == it->kind)) {
+        ++alive;
+      }
+    }
+    if (it->count > alive) {
+      mpi.send(world_.world_comm(), it->client, it->reply_tag,
+               WireWriter{}
+                   .u32(static_cast<std::uint32_t>(ArmResult::kInsufficient))
+                   .u32(0)
+                   .finish());
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Arm::handle_heartbeat(dmpi::Mpi& mpi, const Heartbeat& hb, SimTime now) {
+  ++heartbeats_;
+  Slot* slot = find_slot(hb.daemon_rank);
+  if (slot == nullptr || slot->state == State::kBroken) return;
+  slot->last_beat = now;
+  if (!hb.device_ok) {
+    // The daemon is alive but its device is dead — no need to wait for the
+    // miss threshold.
+    revoke_slot(mpi, *slot, now, "device-fault");
+    fail_unsatisfiable(mpi);
+  }
+}
+
+void Arm::handle_sweep(dmpi::Mpi& mpi, const SweepRequest& sweep,
+                       SimTime now) {
+  if (sweep.fresh) {
+    // First sweep after an idle phase: restart every beat clock instead of
+    // comparing against timestamps from the previous activity burst.
+    for (Slot& s : slots_) s.last_beat = now;
+    return;
+  }
+  const SimDuration allowance = sweep.period * sweep.miss_threshold;
+  bool revoked = false;
+  for (Slot& s : slots_) {
+    if (s.state == State::kBroken) continue;
+    if (now - s.last_beat > allowance) {
+      revoke_slot(mpi, s, now, "hb-miss");
+      revoked = true;
+    }
+  }
+  if (revoked) fail_unsatisfiable(mpi);
 }
 
 bool Arm::try_grant(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
@@ -70,6 +242,7 @@ bool Arm::try_grant(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
     s.state = State::kAssigned;
     s.job = job;
     s.lease_id = next_lease_++;
+    s.owner = client;
     s.assigned_since = now;
     resp.u64(static_cast<std::uint64_t>(s.info.daemon_rank)).u64(s.lease_id);
     ++granted;
@@ -148,7 +321,10 @@ void Arm::run(sim::Context& ctx) {
         Slot* slot = find_slot(rank);
         if (slot == nullptr || slot->state != State::kAssigned ||
             slot->lease_id != lease_id) {
-          r = ArmResult::kUnknownHandle;
+          // Distinguish "that lease was revoked under you" from plain
+          // misuse so recovering clients can treat it as already-released.
+          r = was_revoked(lease_id) ? ArmResult::kRevoked
+                                    : ArmResult::kUnknownHandle;
         } else if (slot->job != job) {
           r = ArmResult::kNotOwner;
         } else {
@@ -185,9 +361,16 @@ void Arm::run(sim::Context& ctx) {
           }
           slot->state = State::kBroken;
           slot->job = 0;
+          slot->lease_id = 0;
+          slot->owner = -1;
+          if (sim::Tracer* tracer = world_.engine().tracer()) {
+            tracer->record("arm", "reported-ac" + std::to_string(rank),
+                           ctx.now(), ctx.now());
+          }
         }
         mpi.send(comm, st.source, reply_tag,
                  WireWriter{}.u32(static_cast<std::uint32_t>(r)).finish());
+        fail_unsatisfiable(mpi);
         break;
       }
       case ArmOp::kStats: {
@@ -201,6 +384,33 @@ void Arm::run(sim::Context& ctx) {
                      .u32(s.broken)
                      .u64(s.acquisitions)
                      .u32(s.queued_requests)
+                     .u64(s.heartbeats)
+                     .u32(s.revocations)
+                     .u32(s.replacements)
+                     .finish());
+        break;
+      }
+      case ArmOp::kHeartbeat: {
+        handle_heartbeat(mpi, Heartbeat::decode(req), ctx.now());
+        break;  // one-way, no reply
+      }
+      case ArmOp::kSweep: {
+        handle_sweep(mpi, SweepRequest::decode(req), ctx.now());
+        break;  // one-way, no reply
+      }
+      case ArmOp::kReplaced: {
+        const ReplayReport report = ReplayReport::decode(req);
+        ++replacements_;
+        if (sim::Tracer* tracer = world_.engine().tracer()) {
+          tracer->record("arm",
+                         "replaced-ac" + std::to_string(report.failed_rank) +
+                             "->ac" +
+                             std::to_string(report.replacement_rank),
+                         ctx.now(), ctx.now());
+        }
+        mpi.send(comm, st.source, reply_tag,
+                 WireWriter{}
+                     .u32(static_cast<std::uint32_t>(ArmResult::kOk))
                      .finish());
         break;
       }
@@ -232,6 +442,9 @@ PoolStats Arm::stats() const {
   }
   s.acquisitions = acquisitions_;
   s.queued_requests = static_cast<std::uint32_t>(queue_.size());
+  s.heartbeats = heartbeats_;
+  s.revocations = revocations_;
+  s.replacements = replacements_;
   return s;
 }
 
@@ -344,7 +557,17 @@ PoolStats ArmClient::stats() {
   s.broken = resp.u32();
   s.acquisitions = resp.u64();
   s.queued_requests = resp.u32();
+  s.heartbeats = resp.u64();
+  s.revocations = resp.u32();
+  s.replacements = resp.u32();
   return s;
+}
+
+ArmResult ArmClient::report_replaced(const ReplayReport& report) {
+  const int reply_tag = fresh_reply_tag();
+  mpi_.send(comm_, arm_, kArmRequestTag, report.encode(reply_tag));
+  return static_cast<ArmResult>(
+      WireReader(mpi_.recv(comm_, arm_, reply_tag)).u32());
 }
 
 void ArmClient::shutdown() {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "dmpi/mpi.hpp"
+#include "proto/wire.hpp"
 #include "util/units.hpp"
 
 namespace dacc::arm {
@@ -28,9 +29,11 @@ namespace dacc::arm {
 /// Tags for ARM traffic on the middleware communicator. Requests carry a
 /// per-request reply tag (>= kArmReplyTagBase) so that several clients
 /// sharing one rank endpoint (a job launcher and a running session, say)
-/// can never receive each other's responses.
+/// can never receive each other's responses. Revocation notices are pushed
+/// (unsolicited) to the lease holder on kArmRevokeTagBase + daemon_rank.
 inline constexpr int kArmRequestTag = 200;
 inline constexpr int kArmReplyTagBase = 2'000'000;
+inline constexpr int kArmRevokeTagBase = 3'000'000;
 
 enum class ArmOp : std::uint32_t {
   kAcquire = 1,
@@ -39,6 +42,9 @@ enum class ArmOp : std::uint32_t {
   kReportBroken = 4,
   kStats = 5,
   kShutdown = 6,
+  kHeartbeat = 7,  ///< daemon liveness beat (one-way, no reply)
+  kSweep = 8,      ///< monitor tick: revoke slots whose beats went missing
+  kReplaced = 9,   ///< front-end reports a completed transparent replacement
 };
 
 enum class ArmResult : std::uint32_t {
@@ -46,9 +52,69 @@ enum class ArmResult : std::uint32_t {
   kInsufficient = 1,   ///< not enough free accelerators (non-waiting mode)
   kUnknownHandle = 2,
   kNotOwner = 3,
+  kRevoked = 4,  ///< the lease was already revoked by the liveness sweep
 };
 
 const char* to_string(ArmResult r);
+
+/// Liveness protocol knobs (paper Section III.A: failed accelerators leave
+/// the pool without taking the compute node down). Daemon-side pacers beat
+/// every `period`; the monitor sweeps on the same period and revokes a slot
+/// once its last beat is older than `miss_threshold` periods.
+struct HeartbeatParams {
+  bool enabled = false;
+  SimDuration period = 1_ms;
+  std::uint32_t miss_threshold = 3;
+};
+
+// --- liveness wire messages (flat frames on kArmRequestTag) ----------------
+
+/// One daemon liveness beat. `device_ok == false` short-circuits the miss
+/// threshold: the daemon itself reports its device dead (ECC error).
+struct Heartbeat {
+  dmpi::Rank daemon_rank = -1;
+  std::uint64_t seq = 0;
+  bool device_ok = true;
+
+  util::Buffer encode() const;
+  static Heartbeat decode(proto::WireReader& r);
+};
+
+/// Monitor tick. Carries the policy so the ARM itself stays stateless about
+/// timing; `fresh` grants one round of amnesty after an idle phase (every
+/// slot's beat clock restarts instead of tripping on stale timestamps).
+struct SweepRequest {
+  SimDuration period = 0;
+  std::uint32_t miss_threshold = 0;
+  bool fresh = false;
+
+  util::Buffer encode() const;
+  static SweepRequest decode(proto::WireReader& r);
+};
+
+/// Unsolicited push to a lease owner when its slot is revoked.
+struct RevokeNotice {
+  dmpi::Rank daemon_rank = -1;
+  std::uint64_t lease_id = 0;
+  std::uint64_t job = 0;
+  SimTime revoked_at = 0;
+
+  util::Buffer encode() const;
+  static RevokeNotice decode(proto::WireReader& r);
+};
+
+/// Front-end -> ARM report that a transparent replacement completed and what
+/// the replay cost (surfaces in PoolStats::replacements and the trace).
+struct ReplayReport {
+  dmpi::Rank failed_rank = -1;
+  dmpi::Rank replacement_rank = -1;
+  std::uint64_t job = 0;
+  std::uint32_t replayed_ops = 0;
+  std::uint64_t replayed_bytes = 0;
+
+  util::Buffer encode(int reply_tag) const;
+  static ReplayReport decode(proto::WireReader& r);
+};
 
 /// One accelerator as the ARM sees it.
 struct AcceleratorInfo {
@@ -71,6 +137,9 @@ struct PoolStats {
   std::uint32_t broken = 0;
   std::uint64_t acquisitions = 0;
   std::uint32_t queued_requests = 0;
+  std::uint64_t heartbeats = 0;     ///< liveness beats processed
+  std::uint32_t revocations = 0;    ///< leases revoked by the sweep
+  std::uint32_t replacements = 0;   ///< transparent replacements reported
 };
 
 class Arm {
@@ -101,8 +170,10 @@ class Arm {
     State state = State::kFree;
     std::uint64_t job = 0;
     std::uint64_t lease_id = 0;
+    dmpi::Rank owner = -1;  ///< client world rank holding the lease
     SimTime assigned_since = 0;
     SimDuration assigned_total = 0;
+    SimTime last_beat = 0;
   };
   struct PendingAcquire {
     dmpi::Rank client = -1;
@@ -122,14 +193,29 @@ class Arm {
   std::uint32_t free_count(const std::string& kind) const;
   Slot* find_slot(dmpi::Rank daemon_rank);
   void release_slot(Slot& slot, SimTime now);
+  void handle_heartbeat(dmpi::Mpi& mpi, const Heartbeat& hb, SimTime now);
+  void handle_sweep(dmpi::Mpi& mpi, const SweepRequest& sweep, SimTime now);
+  /// Marks the slot broken; an assigned slot additionally has its lease
+  /// revoked: the owner is notified and the lease id remembered so a late
+  /// release gets kRevoked instead of kUnknownHandle.
+  void revoke_slot(dmpi::Mpi& mpi, Slot& slot, SimTime now,
+                   const char* cause);
+  /// After the pool shrinks, queued acquires that can never be satisfied any
+  /// more (count > surviving slots of that kind) are failed immediately.
+  void fail_unsatisfiable(dmpi::Mpi& mpi);
+  bool was_revoked(std::uint64_t lease_id) const;
 
   dmpi::World& world_;
   dmpi::Rank self_;
   QueuePolicy policy_;
   std::vector<Slot> slots_;
   std::deque<PendingAcquire> queue_;
+  std::vector<std::uint64_t> revoked_leases_;
   std::uint64_t next_lease_ = 1;
   std::uint64_t acquisitions_ = 0;
+  std::uint64_t heartbeats_ = 0;
+  std::uint32_t revocations_ = 0;
+  std::uint32_t replacements_ = 0;
 };
 
 /// Front-end side of the ARM protocol: the paper's resource-management API.
@@ -154,6 +240,9 @@ class ArmClient {
 
   /// Reports an accelerator broken; it leaves the pool permanently.
   ArmResult report_broken(dmpi::Rank daemon_rank);
+
+  /// Reports a completed transparent replacement (replay statistics).
+  ArmResult report_replaced(const ReplayReport& report);
 
   PoolStats stats();
 

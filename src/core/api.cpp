@@ -1,6 +1,7 @@
 #include "core/api.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "proto/transfer.hpp"
 #include "sim/trace.hpp"
@@ -14,6 +15,16 @@ using proto::kResponseTag;
 using proto::Op;
 using proto::WireReader;
 using proto::WireWriter;
+
+namespace {
+/// Front-end reply tags: each request attempt takes a fresh (reply, data)
+/// tag pair so a response that arrives after its deadline can never be
+/// mistaken for the answer to a retry. Daemon replies land on the even tag,
+/// bulk data on the odd one (reply_tag + 1). The range stays below
+/// dmpi::kMaxUserTag and clear of the ARM tag bases.
+constexpr int kFeReplyTagBase = 4'000'000;
+constexpr std::uint64_t kFeTagSpan = 100'000'000;
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Future
@@ -154,19 +165,23 @@ Future Accelerator::enqueue(ProxyOp op) {
   return Future(state);
 }
 
+/// What one wire exchange produced (exec_op copies it into the Future once
+/// the op is final — only then do virtual-pointer rewrites apply).
+struct Accelerator::AttemptOut {
+  Result status = Result::kSuccess;
+  gpu::DevPtr ptr = gpu::kNullDevPtr;
+  util::Buffer data;
+  DeviceInfo info;
+};
+
 void Accelerator::proxy_main(sim::Context& ctx) {
   dmpi::Mpi mpi(session_->world_, ctx, session_->self_);
-  const dmpi::Comm& comm = session_->comm_;
-  const dmpi::Rank d = lease_.daemon_rank;
   const proto::ProtoParams& pp = session_->config().proto;
-  const std::string track = "fe-r" + std::to_string(session_->self_) +
-                            "-ac" + std::to_string(d);
 
   for (;;) {
     std::unique_ptr<ProxyOp> op = ops_->get(ctx);
-    Future::State& res = *op->result;
     if (op->kind == ProxyOp::Kind::kStop) {
-      res.complete(Result::kSuccess);
+      op->result->complete(Result::kSuccess);
       return;
     }
     const SimTime op_begin = ctx.now();
@@ -174,101 +189,344 @@ void Accelerator::proxy_main(sim::Context& ctx) {
     const std::string label = session_->world_.engine().tracer() != nullptr
                                   ? op_label(*op)
                                   : std::string{};
-    switch (op->kind) {
-      case ProxyOp::Kind::kAlloc: {
-        mpi.send(comm, d, kRequestTag,
-                 WireWriter{}.op(Op::kMemAlloc).u64(op->bytes).finish());
-        WireReader r(mpi.recv(comm, d, kResponseTag));
-        const Result status = r.result();
-        res.ptr = r.u64();
-        res.complete(status);
-        break;
-      }
-      case ProxyOp::Kind::kFree: {
-        mpi.send(comm, d, kRequestTag,
-                 WireWriter{}.op(Op::kMemFree).u64(op->dst).finish());
-        res.complete(WireReader(mpi.recv(comm, d, kResponseTag)).result());
-        break;
-      }
-      case ProxyOp::Kind::kH2D: {
-        mpi.send(comm, d, kRequestTag,
-                 WireWriter{}
-                     .op(Op::kMemcpyHtoD)
-                     .u64(op->dst)
-                     .u64(op->data.size())
-                     .transfer_config(op->transfer)
-                     .finish());
-        proto::send_blocks(mpi, comm, d, std::move(op->data), op->transfer);
-        res.complete(WireReader(mpi.recv(comm, d, kResponseTag)).result());
-        break;
-      }
-      case ProxyOp::Kind::kD2H: {
-        mpi.send(comm, d, kRequestTag,
-                 WireWriter{}
-                     .op(Op::kMemcpyDtoH)
-                     .u64(op->src)
-                     .u64(op->bytes)
-                     .transfer_config(op->transfer)
-                     .finish());
-        const Result pre = WireReader(mpi.recv(comm, d, kResponseTag)).result();
-        if (pre != Result::kSuccess) {
-          res.complete(pre);
-          break;
-        }
-        res.data =
-            proto::recv_assemble(mpi, comm, d, op->bytes, op->transfer);
-        res.complete(WireReader(mpi.recv(comm, d, kResponseTag)).result());
-        break;
-      }
-      case ProxyOp::Kind::kLaunch: {
-        mpi.send(comm, d, kRequestTag,
-                 WireWriter{}
-                     .op(Op::kKernelRun)
-                     .str(op->kernel)
-                     .launch_config(op->launch)
-                     .kernel_args(op->args)
-                     .finish());
-        res.complete(WireReader(mpi.recv(comm, d, kResponseTag)).result());
-        break;
-      }
-      case ProxyOp::Kind::kKernelCheck: {
-        mpi.send(comm, d, kRequestTag,
-                 WireWriter{}.op(Op::kKernelCreate).str(op->kernel).finish());
-        res.complete(WireReader(mpi.recv(comm, d, kResponseTag)).result());
-        break;
-      }
-      case ProxyOp::Kind::kInfo: {
-        mpi.send(comm, d, kRequestTag,
-                 WireWriter{}.op(Op::kDeviceInfo).finish());
-        WireReader r(mpi.recv(comm, d, kResponseTag));
-        const Result status = r.result();
-        if (status == Result::kSuccess) {
-          res.info.name = r.str();
-          res.info.memory_bytes = r.u64();
-          res.info.memory_free = r.u64();
-        }
-        res.complete(status);
-        break;
-      }
-      case ProxyOp::Kind::kPeer: {
-        mpi.send(comm, d, kRequestTag,
-                 WireWriter{}
-                     .op(Op::kPeerSend)
-                     .u64(op->src)
-                     .u64(op->bytes)
-                     .u64(static_cast<std::uint64_t>(op->peer))
-                     .u64(op->peer_dst)
-                     .transfer_config(op->transfer)
-                     .finish());
-        res.complete(WireReader(mpi.recv(comm, d, kResponseTag)).result());
-        break;
-      }
-      case ProxyOp::Kind::kStop:
-        break;  // handled above
-    }
+    exec_op(mpi, ctx, *op);
     if (sim::Tracer* tracer = session_->world_.engine().tracer()) {
+      const std::string track = "fe-r" + std::to_string(session_->self_) +
+                                "-ac" + std::to_string(lease_.daemon_rank);
       tracer->record(track, label, op_begin, ctx.now());
     }
+  }
+}
+
+gpu::DevPtr Accelerator::to_device(gpu::DevPtr app) const {
+  if (allocs_.empty()) return app;  // policy off or nothing tracked: identity
+  auto it = allocs_.upper_bound(app);
+  if (it == allocs_.begin()) return app;
+  --it;
+  const gpu::DevPtr base = it->first;
+  const AllocSpan& span = it->second;
+  if (app >= base + span.bytes) return app;
+  return span.device_ptr + (app - base);  // interior pointers translate too
+}
+
+bool Accelerator::attempt_op(dmpi::Mpi& mpi, sim::Context& ctx,
+                             const ProxyOp& op, AttemptOut* out,
+                             SimTime deadline) {
+  (void)ctx;
+  const dmpi::Comm& comm = session_->comm_;
+  const dmpi::Rank d = lease_.daemon_rank;
+  const int reply_tag =
+      kFeReplyTagBase + 2 * static_cast<int>(fe_seq_++ % kFeTagSpan);
+  const int data_tag = reply_tag + 1;
+
+  // One request/response exchange on this attempt's private tag. The reply
+  // receive is posted before the request goes out; on deadline expiry it is
+  // cancelled, so a late response parks harmlessly on an abandoned tag.
+  auto exchange = [&](util::Buffer request) -> std::optional<util::Buffer> {
+    dmpi::Request reply = mpi.irecv(comm, d, reply_tag);
+    mpi.send(comm, d, kRequestTag, std::move(request));
+    if (!mpi.wait_until(reply, deadline)) {
+      mpi.cancel(reply);
+      return std::nullopt;
+    }
+    return reply.take_payload();
+  };
+  auto header = [&](Op o) {
+    WireWriter w;
+    w.op(o).u32(static_cast<std::uint32_t>(reply_tag));
+    return w;
+  };
+
+  switch (op.kind) {
+    case ProxyOp::Kind::kAlloc: {
+      auto resp = exchange(header(Op::kMemAlloc).u64(op.bytes).finish());
+      if (!resp) return false;
+      WireReader r(std::move(*resp));
+      out->status = r.result();
+      out->ptr = r.u64();
+      return true;
+    }
+    case ProxyOp::Kind::kFree: {
+      auto resp =
+          exchange(header(Op::kMemFree).u64(to_device(op.dst)).finish());
+      if (!resp) return false;
+      out->status = WireReader(std::move(*resp)).result();
+      return true;
+    }
+    case ProxyOp::Kind::kH2D: {
+      dmpi::Request reply = mpi.irecv(comm, d, reply_tag);
+      mpi.send(comm, d, kRequestTag,
+               header(Op::kMemcpyHtoD)
+                   .u64(to_device(op.dst))
+                   .u64(op.data.size())
+                   .transfer_config(op.transfer)
+                   .finish());
+      try {
+        // view(): the payload stays in the op so a retry (or a replacement
+        // replay) can resend it.
+        proto::send_blocks(mpi, comm, d, op.data.view(), op.transfer,
+                           data_tag, deadline);
+      } catch (const proto::TransferTimeout&) {
+        mpi.cancel(reply);
+        return false;
+      }
+      if (!mpi.wait_until(reply, deadline)) {
+        mpi.cancel(reply);
+        return false;
+      }
+      out->status = WireReader(reply.take_payload()).result();
+      return true;
+    }
+    case ProxyOp::Kind::kD2H: {
+      auto resp = exchange(header(Op::kMemcpyDtoH)
+                               .u64(to_device(op.src))
+                               .u64(op.bytes)
+                               .transfer_config(op.transfer)
+                               .finish());
+      if (!resp) return false;
+      const Result pre = WireReader(std::move(*resp)).result();
+      if (pre != Result::kSuccess) {
+        out->status = pre;
+        return true;
+      }
+      try {
+        out->data = proto::recv_assemble(mpi, comm, d, op.bytes, op.transfer,
+                                         data_tag, deadline);
+      } catch (const proto::TransferTimeout&) {
+        return false;
+      }
+      dmpi::Request fin = mpi.irecv(comm, d, reply_tag);
+      if (!mpi.wait_until(fin, deadline)) {
+        mpi.cancel(fin);
+        return false;
+      }
+      out->status = WireReader(fin.take_payload()).result();
+      return true;
+    }
+    case ProxyOp::Kind::kLaunch: {
+      gpu::KernelArgs args = op.args;
+      for (gpu::KernelArg& a : args) {
+        if (auto* p = std::get_if<gpu::DevPtr>(&a)) *p = to_device(*p);
+      }
+      auto resp = exchange(header(Op::kKernelRun)
+                               .str(op.kernel)
+                               .launch_config(op.launch)
+                               .kernel_args(args)
+                               .finish());
+      if (!resp) return false;
+      out->status = WireReader(std::move(*resp)).result();
+      return true;
+    }
+    case ProxyOp::Kind::kKernelCheck: {
+      auto resp = exchange(header(Op::kKernelCreate).str(op.kernel).finish());
+      if (!resp) return false;
+      out->status = WireReader(std::move(*resp)).result();
+      return true;
+    }
+    case ProxyOp::Kind::kInfo: {
+      auto resp = exchange(header(Op::kDeviceInfo).finish());
+      if (!resp) return false;
+      WireReader r(std::move(*resp));
+      out->status = r.result();
+      if (out->status == Result::kSuccess) {
+        out->info.name = r.str();
+        out->info.memory_bytes = r.u64();
+        out->info.memory_free = r.u64();
+      }
+      return true;
+    }
+    case ProxyOp::Kind::kPeer: {
+      auto resp = exchange(
+          header(Op::kPeerSend)
+              .u64(to_device(op.src))
+              .u64(op.bytes)
+              .u64(static_cast<std::uint64_t>(op.peer))
+              .u64(session_->peer_device_ptr(op.peer, op.peer_dst))
+              .transfer_config(op.transfer)
+              .finish());
+      if (!resp) return false;
+      out->status = WireReader(std::move(*resp)).result();
+      return true;
+    }
+    case ProxyOp::Kind::kStop:
+      break;  // never reaches the wire
+  }
+  return true;
+}
+
+bool Accelerator::attempt_with_retry(dmpi::Mpi& mpi, sim::Context& ctx,
+                                     const ProxyOp& op, AttemptOut* out) {
+  const RetryPolicy& rp = session_->config().retry;
+  const int attempts = rp.request_timeout > 0 ? rp.max_retries + 1 : 1;
+  for (int a = 0; a < attempts; ++a) {
+    if (a > 0) {
+      const int shift = std::min(a - 1, 20);
+      const SimDuration backoff =
+          std::min(rp.backoff_cap, rp.backoff_base << shift);
+      ctx.wait_for(backoff);
+    }
+    const SimTime deadline =
+        rp.request_timeout > 0 ? ctx.now() + rp.request_timeout : kSimTimeNever;
+    if (attempt_op(mpi, ctx, op, out, deadline)) return true;
+  }
+  return false;  // every attempt timed out: the daemon is unreachable
+}
+
+bool Accelerator::consume_revocation(dmpi::Mpi& mpi) {
+  const dmpi::Rank arm_rank = session_->config().arm_rank;
+  if (arm_rank < 0) return false;
+  const int tag = arm::kArmRevokeTagBase + lease_.daemon_rank;
+  if (!mpi.iprobe(session_->comm_, arm_rank, tag)) return false;
+  (void)mpi.recv(session_->comm_, arm_rank, tag);
+  return true;
+}
+
+bool Accelerator::replay(dmpi::Mpi& mpi, sim::Context& ctx,
+                         std::uint32_t* ops, std::uint64_t* bytes) {
+  // Rebuild the virtual->physical table from scratch; entries re-insert in
+  // original order, so interleaved alloc/free histories replay cleanly.
+  allocs_.clear();
+  for (const std::unique_ptr<ProxyOp>& e : replay_log_) {
+    AttemptOut out;
+    if (!attempt_with_retry(mpi, ctx, *e, &out)) return false;
+    if (out.status != Result::kSuccess) return false;
+    switch (e->kind) {
+      case ProxyOp::Kind::kAlloc:
+        allocs_[e->dst] = AllocSpan{e->bytes, out.ptr};
+        break;
+      case ProxyOp::Kind::kFree:
+        allocs_.erase(e->dst);
+        break;
+      default:
+        break;
+    }
+    ++*ops;
+    if (e->kind == ProxyOp::Kind::kH2D) *bytes += e->data.size();
+  }
+  return true;
+}
+
+bool Accelerator::try_replace(dmpi::Mpi& mpi, sim::Context& ctx) {
+  const RetryPolicy& rp = session_->config().retry;
+  if (!rp.replace_on_failure || replacements_ >= rp.max_replacements) {
+    return false;
+  }
+  const dmpi::Rank arm_rank = session_->config().arm_rank;
+  if (arm_rank < 0) return false;
+
+  const arm::Lease failed = lease_;
+  const std::uint64_t job = session_->config().job_id;
+  const SimTime begin = ctx.now();
+  arm::ArmClient arm_client(mpi, session_->comm_, arm_rank);
+
+  // Make sure the pool knows (idempotent if the liveness sweep beat us to
+  // it), give the dead lease back, and take any healthy accelerator.
+  (void)arm_client.report_broken(failed.daemon_rank);
+  (void)arm_client.release(job, failed);  // kRevoked/kUnknownHandle: fine
+  const std::vector<arm::Lease> leases = arm_client.acquire(job, 1, true);
+  if (leases.empty()) return false;  // pool can never satisfy us again
+  lease_ = leases[0];
+  ++replacements_;
+
+  // Drop a revocation notice for the dead lease that raced with us.
+  const int stale_tag = arm::kArmRevokeTagBase + failed.daemon_rank;
+  while (mpi.iprobe(session_->comm_, arm_rank, stale_tag)) {
+    (void)mpi.recv(session_->comm_, arm_rank, stale_tag);
+  }
+
+  std::uint32_t replayed_ops = 0;
+  std::uint64_t replayed_bytes = 0;
+  if (!replay(mpi, ctx, &replayed_ops, &replayed_bytes)) return false;
+
+  arm::ReplayReport report;
+  report.failed_rank = failed.daemon_rank;
+  report.replacement_rank = lease_.daemon_rank;
+  report.job = job;
+  report.replayed_ops = replayed_ops;
+  report.replayed_bytes = replayed_bytes;
+  (void)arm_client.report_replaced(report);
+
+  if (sim::Tracer* tracer = session_->world_.engine().tracer()) {
+    tracer->record("fe-r" + std::to_string(session_->self_) + "-ac" +
+                       std::to_string(failed.daemon_rank),
+                   "replace-ac" + std::to_string(failed.daemon_rank) +
+                       "->ac" + std::to_string(lease_.daemon_rank),
+                   begin, ctx.now());
+  }
+  return true;
+}
+
+void Accelerator::commit(const ProxyOp& op, AttemptOut& out) {
+  if (!session_->config().retry.replace_on_failure) return;
+  using Kind = ProxyOp::Kind;
+  auto clone = std::make_unique<ProxyOp>();
+  clone->kind = op.kind;
+  switch (op.kind) {
+    case Kind::kAlloc: {
+      // Hand the app a virtual pointer; the physical one goes in the table
+      // so a replacement can rebind every later use. Alignment mirrors the
+      // device allocator so interior arithmetic stays in range.
+      const gpu::DevPtr app = next_virtual_;
+      next_virtual_ += ((op.bytes + 255) / 256) * 256 + 256;
+      allocs_[app] = AllocSpan{op.bytes, out.ptr};
+      clone->bytes = op.bytes;
+      clone->dst = app;
+      replay_log_.push_back(std::move(clone));
+      out.ptr = app;
+      return;
+    }
+    case Kind::kFree:
+      allocs_.erase(op.dst);
+      clone->dst = op.dst;
+      replay_log_.push_back(std::move(clone));
+      return;
+    case Kind::kH2D:
+      clone->dst = op.dst;
+      clone->data = op.data.view();  // shares the payload store, no copy
+      clone->transfer = op.transfer;
+      replay_log_.push_back(std::move(clone));
+      return;
+    case Kind::kLaunch:
+      clone->kernel = op.kernel;
+      clone->launch = op.launch;
+      clone->args = op.args;  // app-level pointers; translated per attempt
+      replay_log_.push_back(std::move(clone));
+      return;
+    default:
+      // D2H / info / kernel-check are reads, peer copies are not replayable
+      // (the peer's memory is not ours to restore — documented limitation).
+      return;
+  }
+}
+
+void Accelerator::exec_op(dmpi::Mpi& mpi, sim::Context& ctx, ProxyOp& op) {
+  Future::State& res = *op.result;
+  const RetryPolicy& rp = session_->config().retry;
+  for (;;) {
+    if (rp.replace_on_failure && consume_revocation(mpi)) {
+      // The liveness sweep revoked our lease; replace before touching the
+      // wire (the daemon may even still answer, but the slot is gone).
+      if (!try_replace(mpi, ctx)) {
+        res.complete(Result::kUnavailable);
+        return;
+      }
+    }
+    AttemptOut out;
+    const bool answered = attempt_with_retry(mpi, ctx, op, &out);
+    if (answered && out.status == Result::kSuccess) {
+      commit(op, out);
+      res.ptr = out.ptr;
+      res.data = std::move(out.data);
+      res.info = std::move(out.info);
+      res.complete(Result::kSuccess);
+      return;
+    }
+    const bool device_dead = answered && out.status == Result::kEccError;
+    if ((device_dead || !answered) && try_replace(mpi, ctx)) {
+      continue;  // state replayed; re-execute this op on the replacement
+    }
+    res.complete(answered ? out.status : Result::kUnavailable);
+    return;
   }
 }
 
@@ -462,6 +720,14 @@ void Session::close() {
   }
   accelerators_.clear();
   (void)arm_client_.release_job(config_.job_id);
+}
+
+gpu::DevPtr Session::peer_device_ptr(dmpi::Rank peer_daemon,
+                                     gpu::DevPtr app) const {
+  for (const auto& acc : accelerators_) {
+    if (acc->lease_.daemon_rank == peer_daemon) return acc->to_device(app);
+  }
+  return app;  // peer unknown to this session: assume a physical pointer
 }
 
 void Session::wait_all(std::vector<Future>& futures) {

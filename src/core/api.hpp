@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,6 +39,28 @@ namespace dacc::core {
 
 class Session;
 class Accelerator;
+
+/// Failure-handling policy for front-end requests (paper Section III.A: a
+/// broken accelerator is replaced from the pool without losing the compute
+/// node). All requests are idempotent from the daemon's perspective, so the
+/// semantics are at-least-once.
+struct RetryPolicy {
+  /// Per-request response deadline; 0 disables timeouts (wait forever).
+  /// Timeouts detect *loss* (dead link/daemon), not slowness — pick a value
+  /// comfortably above the largest expected transfer time.
+  SimDuration request_timeout = 0;
+  /// Additional attempts after the first one times out.
+  int max_retries = 3;
+  /// Exponential backoff between attempts: base, base*2, base*4, ... capped.
+  SimDuration backoff_base = 50'000;  // 50 us
+  SimDuration backoff_cap = 2'000'000;  // 2 ms
+  /// Transparently re-acquire a healthy accelerator when the leased one
+  /// dies: the session's allocation table and operation log are replayed on
+  /// the replacement and the failed request re-executed there.
+  bool replace_on_failure = false;
+  /// How many device deaths one accelerator handle survives.
+  int max_replacements = 3;
+};
 
 /// Raised by the synchronous API on any middleware or device failure.
 class AcError : public std::runtime_error {
@@ -141,6 +164,14 @@ class Accelerator {
  private:
   friend class Session;
   struct ProxyOp;
+  struct AttemptOut;
+  /// Replay-table entry: one live allocation, keyed by its app-visible
+  /// (virtual) pointer; device_ptr is the current physical pointer on the
+  /// leased accelerator and is rewritten wholesale by replay().
+  struct AllocSpan {
+    std::uint64_t bytes = 0;
+    gpu::DevPtr device_ptr = 0;
+  };
 
   Accelerator(Session& session, arm::Lease lease);
   Future enqueue(ProxyOp op);
@@ -150,12 +181,44 @@ class Accelerator {
   /// context is given (release paths) and not from the destructor.
   void stop_proxy(sim::Context* ctx = nullptr);
 
+  // --- failure handling (RetryPolicy) --------------------------------------
+  /// One wire exchange against the current lease. Returns false on deadline
+  /// expiry (outstanding requests cancelled); otherwise fills `out`.
+  bool attempt_op(dmpi::Mpi& mpi, sim::Context& ctx, const ProxyOp& op,
+                  AttemptOut* out, SimTime deadline);
+  /// attempt_op + the policy's timeout/backoff retry loop.
+  bool attempt_with_retry(dmpi::Mpi& mpi, sim::Context& ctx,
+                          const ProxyOp& op, AttemptOut* out);
+  /// Full execution of one queued op: retries, revocation handling,
+  /// transparent replacement, result completion.
+  void exec_op(dmpi::Mpi& mpi, sim::Context& ctx, ProxyOp& op);
+  /// Drains a pending revocation notice for the current lease, if any.
+  bool consume_revocation(dmpi::Mpi& mpi);
+  /// report_broken + release + re-acquire + replay + report_replaced.
+  bool try_replace(dmpi::Mpi& mpi, sim::Context& ctx);
+  /// Re-executes the operation log against the (fresh) current lease,
+  /// rebuilding the virtual->physical allocation table.
+  bool replay(dmpi::Mpi& mpi, sim::Context& ctx, std::uint32_t* ops,
+              std::uint64_t* bytes);
+  /// Successful-op bookkeeping: appends to the replay log, maintains the
+  /// allocation table, and rewrites alloc results to virtual pointers.
+  void commit(const ProxyOp& op, AttemptOut& out);
+  /// Virtual -> physical pointer translation (identity off-policy or for
+  /// pointers outside the table).
+  gpu::DevPtr to_device(gpu::DevPtr app) const;
+
   Session* session_;
   arm::Lease lease_;
   proto::TransferConfig transfer_;
   std::unique_ptr<sim::Mailbox<std::unique_ptr<ProxyOp>>> ops_;
   sim::Process* proxy_ = nullptr;
   bool stopped_ = false;
+
+  std::map<gpu::DevPtr, AllocSpan> allocs_;  // keyed by app (virtual) pointer
+  std::vector<std::unique_ptr<ProxyOp>> replay_log_;
+  gpu::DevPtr next_virtual_ = 0x5f00'0000'0000ull;
+  int replacements_ = 0;
+  std::uint64_t fe_seq_ = 0;  ///< per-attempt reply-tag sequence
 };
 
 /// Per-compute-node-process middleware session.
@@ -166,6 +229,7 @@ class Session {
     std::uint64_t job_id = 1;
     proto::TransferConfig transfer = proto::TransferConfig::pipeline_adaptive();
     proto::ProtoParams proto;
+    RetryPolicy retry;
   };
 
   /// `ctx` is the owning compute-node process; `self` its world rank; `comm`
@@ -208,6 +272,10 @@ class Session {
 
  private:
   friend class Accelerator;
+
+  /// Translates a peer-side app pointer to that accelerator's current
+  /// physical pointer (identity when the peer is unknown or untranslated).
+  gpu::DevPtr peer_device_ptr(dmpi::Rank peer_daemon, gpu::DevPtr app) const;
 
   dmpi::World& world_;
   sim::Context& ctx_;

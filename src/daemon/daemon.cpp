@@ -38,9 +38,9 @@ SimDuration Daemon::copy_extra_busy(std::uint64_t bytes, bool gpudirect,
   return gd > base ? gd - base : 0;
 }
 
-void Daemon::respond_status(dmpi::Mpi& mpi, dmpi::Rank client,
+void Daemon::respond_status(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
                             gpu::Result r) {
-  mpi.send(world_.world_comm(), client, kResponseTag,
+  mpi.send(world_.world_comm(), client, reply_tag,
            WireWriter{}.result(r).finish());
 }
 
@@ -55,38 +55,64 @@ void Daemon::run(sim::Context& ctx) {
     ctx.wait_for(params_.be_dispatch);
     ++requests_served_;
     WireReader req(std::move(msg));
-    const Op op = req.op();
+    // Frame header: op code + the tag the client wants the reply on (bulk
+    // data travels on reply_tag + 1). A frame too short to carry the header
+    // cannot even be answered — count it and stay alive.
+    Op op{};
+    int reply_tag = 0;
+    try {
+      op = req.op();
+      reply_tag = static_cast<int>(req.u32());
+    } catch (const proto::WireError&) {
+      ++malformed_requests_;
+      continue;
+    }
+    if (reply_tag < 1 || reply_tag >= dmpi::kMaxUserTag * 2) {
+      ++malformed_requests_;
+      continue;
+    }
     bool shutdown = false;
-    switch (op) {
-      case Op::kMemAlloc:
-        handle_mem_alloc(mpi, st.source, req);
-        break;
-      case Op::kMemFree:
-        handle_mem_free(mpi, st.source, req);
-        break;
-      case Op::kMemcpyHtoD:
-      case Op::kPeerPut:  // peer puts are H2D copies fed by a peer daemon
-        handle_htod(mpi, ctx, st.source, req);
-        break;
-      case Op::kMemcpyDtoH:
-        handle_dtoh(mpi, ctx, st.source, req);
-        break;
-      case Op::kKernelCreate:
-        handle_kernel_create(mpi, st.source, req);
-        break;
-      case Op::kKernelRun:
-        handle_kernel_run(mpi, st.source, req);
-        break;
-      case Op::kDeviceInfo:
-        handle_device_info(mpi, st.source);
-        break;
-      case Op::kPeerSend:
-        handle_peer_send(mpi, ctx, st.source, req);
-        break;
-      case Op::kShutdown:
-        respond_status(mpi, st.source, Result::kSuccess);
-        shutdown = true;
-        break;
+    try {
+      switch (op) {
+        case Op::kMemAlloc:
+          handle_mem_alloc(mpi, st.source, reply_tag, req);
+          break;
+        case Op::kMemFree:
+          handle_mem_free(mpi, st.source, reply_tag, req);
+          break;
+        case Op::kMemcpyHtoD:
+        case Op::kPeerPut:  // peer puts are H2D copies fed by a peer daemon
+          handle_htod(mpi, ctx, st.source, reply_tag, req);
+          break;
+        case Op::kMemcpyDtoH:
+          handle_dtoh(mpi, ctx, st.source, reply_tag, req);
+          break;
+        case Op::kKernelCreate:
+          handle_kernel_create(mpi, st.source, reply_tag, req);
+          break;
+        case Op::kKernelRun:
+          handle_kernel_run(mpi, st.source, reply_tag, req);
+          break;
+        case Op::kDeviceInfo:
+          handle_device_info(mpi, st.source, reply_tag);
+          break;
+        case Op::kPeerSend:
+          handle_peer_send(mpi, ctx, st.source, reply_tag, req);
+          break;
+        case Op::kShutdown:
+          respond_status(mpi, st.source, reply_tag, Result::kSuccess);
+          shutdown = true;
+          break;
+        default:
+          ++malformed_requests_;
+          respond_status(mpi, st.source, reply_tag, Result::kInvalidValue);
+          break;
+      }
+    } catch (const proto::WireError&) {
+      // Handlers decode their full payload before sending anything, so a
+      // decode failure here has produced no partial reply yet.
+      ++malformed_requests_;
+      respond_status(mpi, st.source, reply_tag, Result::kInvalidValue);
     }
     if (sim::Tracer* tracer = world_.engine().tracer()) {
       tracer->record(track, proto::to_string(op), begin, ctx.now());
@@ -96,22 +122,22 @@ void Daemon::run(sim::Context& ctx) {
 }
 
 void Daemon::handle_mem_alloc(dmpi::Mpi& mpi, dmpi::Rank client,
-                              WireReader& req) {
+                              int reply_tag, WireReader& req) {
   const std::uint64_t bytes = req.u64();
   gpu::DevPtr ptr = gpu::kNullDevPtr;
   const Result r = device_.mem_alloc(bytes, &ptr);
-  mpi.send(world_.world_comm(), client, kResponseTag,
+  mpi.send(world_.world_comm(), client, reply_tag,
            WireWriter{}.result(r).u64(ptr).finish());
 }
 
-void Daemon::handle_mem_free(dmpi::Mpi& mpi, dmpi::Rank client,
+void Daemon::handle_mem_free(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
                              WireReader& req) {
   const gpu::DevPtr ptr = req.u64();
-  respond_status(mpi, client, device_.mem_free(ptr));
+  respond_status(mpi, client, reply_tag, device_.mem_free(ptr));
 }
 
 void Daemon::handle_htod(dmpi::Mpi& mpi, sim::Context& ctx,
-                         dmpi::Rank client, WireReader& req) {
+                         dmpi::Rank client, int reply_tag, WireReader& req) {
   const gpu::DevPtr dst = req.u64();
   const std::uint64_t bytes = req.u64();
   const TransferConfig config = req.transfer_config();
@@ -130,14 +156,15 @@ void Daemon::handle_htod(dmpi::Mpi& mpi, sim::Context& ctx,
             ctx.now(),
             copy_extra_busy(block.size(), config.gpudirect, /*h2d=*/true));
         if (!op.ok() && fail == Result::kSuccess) fail = op.status;
-      });
+      },
+      reply_tag + 1);
   // Drain the DMA chain before acknowledging.
   ctx.wait_until(stream_.ready_at());
-  respond_status(mpi, client, fail);
+  respond_status(mpi, client, reply_tag, fail);
 }
 
 void Daemon::handle_dtoh(dmpi::Mpi& mpi, sim::Context& ctx,
-                         dmpi::Rank client, WireReader& req) {
+                         dmpi::Rank client, int reply_tag, WireReader& req) {
   const gpu::DevPtr src = req.u64();
   const std::uint64_t bytes = req.u64();
   const TransferConfig config = req.transfer_config();
@@ -146,14 +173,14 @@ void Daemon::handle_dtoh(dmpi::Mpi& mpi, sim::Context& ctx,
   // Validate up front so the client learns about errors before it starts
   // waiting for data blocks.
   if (device_.broken() || !device_.valid_range(src, bytes)) {
-    mpi.send(comm, client, kResponseTag,
+    mpi.send(comm, client, reply_tag,
              WireWriter{}
                  .result(device_.broken() ? Result::kEccError
                                           : Result::kInvalidValue)
                  .finish());
     return;
   }
-  mpi.send(comm, client, kResponseTag,
+  mpi.send(comm, client, reply_tag,
            WireWriter{}.result(Result::kSuccess).finish());
 
   const proto::BlockPlan plan(bytes, config);
@@ -174,23 +201,23 @@ void Daemon::handle_dtoh(dmpi::Mpi& mpi, sim::Context& ctx,
     } else {
       ctx.wait_until(op.done_at);
     }
-    sends.push_back(mpi.isend(comm, client, kDataTag, std::move(block)));
+    sends.push_back(mpi.isend(comm, client, reply_tag + 1, std::move(block)));
   }
   mpi.wait_all(sends);
-  respond_status(mpi, client, fail);
+  respond_status(mpi, client, reply_tag, fail);
 }
 
 void Daemon::handle_kernel_create(dmpi::Mpi& mpi, dmpi::Rank client,
-                                  WireReader& req) {
+                                  int reply_tag, WireReader& req) {
   const std::string name = req.str();
   const Result r = device_.broken() ? Result::kEccError
                   : device_.registry().contains(name) ? Result::kSuccess
                                                       : Result::kNotFound;
-  respond_status(mpi, client, r);
+  respond_status(mpi, client, reply_tag, r);
 }
 
 void Daemon::handle_kernel_run(dmpi::Mpi& mpi, dmpi::Rank client,
-                               WireReader& req) {
+                               int reply_tag, WireReader& req) {
   const std::string name = req.str();
   const gpu::LaunchConfig config = req.launch_config();
   const gpu::KernelArgs args = req.kernel_args();
@@ -199,11 +226,12 @@ void Daemon::handle_kernel_run(dmpi::Mpi& mpi, dmpi::Rank client,
   // operations on this daemon's stream order behind it.
   const gpu::OpHandle op =
       device_.launch_async(stream_, name, config, args, mpi.context().now());
-  respond_status(mpi, client, op.status);
+  respond_status(mpi, client, reply_tag, op.status);
 }
 
-void Daemon::handle_device_info(dmpi::Mpi& mpi, dmpi::Rank client) {
-  mpi.send(world_.world_comm(), client, kResponseTag,
+void Daemon::handle_device_info(dmpi::Mpi& mpi, dmpi::Rank client,
+                                int reply_tag) {
+  mpi.send(world_.world_comm(), client, reply_tag,
            WireWriter{}
                .result(device_.broken() ? Result::kEccError : Result::kSuccess)
                .str(device_.params().name)
@@ -213,7 +241,8 @@ void Daemon::handle_device_info(dmpi::Mpi& mpi, dmpi::Rank client) {
 }
 
 void Daemon::handle_peer_send(dmpi::Mpi& mpi, sim::Context& ctx,
-                              dmpi::Rank client, WireReader& req) {
+                              dmpi::Rank client, int reply_tag,
+                              WireReader& req) {
   const gpu::DevPtr src = req.u64();
   const std::uint64_t bytes = req.u64();
   const auto peer = static_cast<dmpi::Rank>(req.u64());
@@ -222,7 +251,7 @@ void Daemon::handle_peer_send(dmpi::Mpi& mpi, sim::Context& ctx,
   const dmpi::Comm& comm = world_.world_comm();
 
   if (device_.broken() || !device_.valid_range(src, bytes)) {
-    respond_status(mpi, client,
+    respond_status(mpi, client, reply_tag,
                    device_.broken() ? Result::kEccError
                                     : Result::kInvalidValue);
     return;
@@ -231,10 +260,12 @@ void Daemon::handle_peer_send(dmpi::Mpi& mpi, sim::Context& ctx,
   // Head of the daemon-to-daemon leg: the peer executes it as an H2D copy
   // whose payload we stream directly from our device — the compute node is
   // not involved, which is the point of the paper's accelerator-to-
-  // accelerator transfer claim (Section III.C).
+  // accelerator transfer claim (Section III.C). The fixed legacy tag pair
+  // is fine here: the leg is source-disambiguated daemon-to-daemon traffic.
   mpi.send(comm, peer, kRequestTag,
            WireWriter{}
                .op(Op::kPeerPut)
+               .u32(kResponseTag)
                .u64(peer_dst)
                .u64(bytes)
                .transfer_config(config)
@@ -256,7 +287,7 @@ void Daemon::handle_peer_send(dmpi::Mpi& mpi, sim::Context& ctx,
 
   // The peer acknowledges the put to us; relay the verdict to the client.
   WireReader resp(mpi.recv(comm, peer, kResponseTag));
-  respond_status(mpi, client, resp.result());
+  respond_status(mpi, client, reply_tag, resp.result());
 }
 
 }  // namespace dacc::daemon

@@ -24,27 +24,30 @@ class Daemon {
   void run(sim::Context& ctx);
 
   std::uint64_t requests_served() const { return requests_served_; }
+  /// Frames rejected because they failed to decode (fuzzed/corrupted wire).
+  std::uint64_t malformed_requests() const { return malformed_requests_; }
   gpu::Device& device() { return device_; }
   dmpi::Rank rank() const { return self_; }
 
  private:
-  void handle_mem_alloc(dmpi::Mpi& mpi, dmpi::Rank client,
+  void handle_mem_alloc(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
                         proto::WireReader& req);
-  void handle_mem_free(dmpi::Mpi& mpi, dmpi::Rank client,
+  void handle_mem_free(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
                        proto::WireReader& req);
   void handle_htod(dmpi::Mpi& mpi, sim::Context& ctx, dmpi::Rank client,
-                   proto::WireReader& req);
+                   int reply_tag, proto::WireReader& req);
   void handle_dtoh(dmpi::Mpi& mpi, sim::Context& ctx, dmpi::Rank client,
-                   proto::WireReader& req);
-  void handle_kernel_create(dmpi::Mpi& mpi, dmpi::Rank client,
+                   int reply_tag, proto::WireReader& req);
+  void handle_kernel_create(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
                             proto::WireReader& req);
-  void handle_kernel_run(dmpi::Mpi& mpi, dmpi::Rank client,
+  void handle_kernel_run(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
                          proto::WireReader& req);
-  void handle_device_info(dmpi::Mpi& mpi, dmpi::Rank client);
+  void handle_device_info(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag);
   void handle_peer_send(dmpi::Mpi& mpi, sim::Context& ctx, dmpi::Rank client,
-                        proto::WireReader& req);
+                        int reply_tag, proto::WireReader& req);
 
-  void respond_status(dmpi::Mpi& mpi, dmpi::Rank client, gpu::Result r);
+  void respond_status(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
+                      gpu::Result r);
 
   /// Serialized host-side cost added to a block's DMA: the GPUDirect v1
   /// shared-page rate penalty, or (without GPUDirect) the staging copy.
@@ -57,6 +60,7 @@ class Daemon {
   proto::ProtoParams params_;
   gpu::Stream stream_;  ///< single in-order op stream (CUDA default-stream)
   std::uint64_t requests_served_ = 0;
+  std::uint64_t malformed_requests_ = 0;
 };
 
 }  // namespace dacc::daemon

@@ -297,7 +297,9 @@ void World::arrive_cts(Rank src_w, std::uint64_t send_id, int tag,
       pending_sends_.begin(), pending_sends_.end(),
       [&](const auto& p) { return p->id == send_id && p->src_w == src_w; });
   if (it == pending_sends_.end()) {
-    throw std::logic_error("arrive_cts: unknown pending send");
+    // The sender cancelled (timeout/retry path) between RTS and CTS; the
+    // receiver's reserved recv stays pending — its owner times out too.
+    return;
   }
   auto pending = std::move(*it);
   pending_sends_.erase(it);
@@ -316,6 +318,28 @@ void World::arrive_cts(Rank src_w, std::uint64_t send_id, int tag,
         complete_recv(recv_state, sender, recv_state->context_id, tag,
                       std::move(payload), params_.recv_overhead);
       });
+}
+
+void World::cancel_request(Rank me_w,
+                           const std::shared_ptr<Request::State>& state) {
+  if (state->done) return;
+  // Posted-but-unmatched receive?
+  Endpoint& ep = *endpoints_[static_cast<std::size_t>(me_w)];
+  for (auto it = ep.posted.begin(); it != ep.posted.end(); ++it) {
+    if (it->state == state) {
+      ep.posted.erase(it);
+      return;
+    }
+  }
+  // Unanswered rendezvous send? Withdraw it; a CTS arriving later finds no
+  // pending send and is ignored.
+  for (auto it = pending_sends_.begin(); it != pending_sends_.end(); ++it) {
+    if ((*it)->send_state == state) {
+      pending_sends_.erase(it);
+      return;
+    }
+  }
+  // Reserved recv (data already inbound) or eager send: nothing to undo.
 }
 
 void World::complete_recv(std::shared_ptr<Request::State> state, Rank src_w,
@@ -418,6 +442,38 @@ std::size_t Mpi::wait_any(std::span<Request> requests) {
     }
     ctx_.suspend();
   }
+}
+
+bool Mpi::wait_until(Request& request, SimTime deadline) {
+  if (!request.valid()) {
+    throw std::logic_error("wait_until on invalid request");
+  }
+  if (deadline == kSimTimeNever) {
+    wait(request);
+    return true;
+  }
+  sim::Process* self = &ctx_.self();
+  bool timer_armed = false;
+  while (!request.state_->done && ctx_.now() < deadline) {
+    if (!timer_armed) {
+      // One wake event at the deadline; if the request completes first the
+      // event fires as a harmless spurious wake (banked permit).
+      timer_armed = true;
+      sim::Engine& eng = world_.engine();
+      eng.schedule_at(deadline, [&eng, self] { eng.wake(*self); });
+    }
+    auto& w = request.state_->waiters;
+    if (std::find(w.begin(), w.end(), self) == w.end()) w.push_back(self);
+    ctx_.suspend();
+  }
+  auto& w = request.state_->waiters;
+  w.erase(std::remove(w.begin(), w.end(), self), w.end());
+  return request.state_->done;
+}
+
+void Mpi::cancel(Request& request) {
+  if (!request.valid()) throw std::logic_error("cancel on invalid request");
+  world_.cancel_request(rank_, request.state_);
 }
 
 void Mpi::send(const Comm& comm, Rank dst, int tag, util::Buffer data) {

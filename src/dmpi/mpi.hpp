@@ -153,6 +153,7 @@ class World {
   void complete_recv(std::shared_ptr<Request::State> state, Rank src_w,
                      int context_id, int tag, util::Buffer payload,
                      SimDuration extra_delay);
+  void cancel_request(Rank me_w, const std::shared_ptr<Request::State>& state);
 
   sim::Engine& engine_;
   net::Fabric& fabric_;
@@ -194,6 +195,19 @@ class Mpi {
   void wait_all(std::span<Request> requests);
   /// Waits for any one request to finish; returns its index.
   std::size_t wait_any(std::span<Request> requests);
+  /// Waits until `request` completes or the simulated clock reaches
+  /// `deadline`; returns whether it completed. On timeout the request is
+  /// left pending — cancel() it before abandoning the handle, or the
+  /// message can still match later. `kSimTimeNever` waits forever.
+  bool wait_until(Request& request, SimTime deadline);
+  bool wait_for(Request& request, SimDuration timeout) {
+    return wait_until(request, ctx_.now() + timeout);
+  }
+  /// Cancels a pending nonblocking operation (MPI_Cancel): a not-yet-matched
+  /// receive is removed from the posted queue; an unanswered rendezvous send
+  /// is withdrawn. Completed or already-matched requests are left alone (the
+  /// data is in flight and will land; the caller simply ignores it).
+  void cancel(Request& request);
 
   /// Combined send + receive (halo-exchange staple); posts the receive
   /// first so opposing sendrecvs never deadlock.

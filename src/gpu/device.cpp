@@ -20,6 +20,8 @@ const char* to_string(Result r) {
       return "not found";
     case Result::kEccError:
       return "uncorrectable ECC error";
+    case Result::kUnavailable:
+      return "accelerator unreachable";
   }
   return "unknown";
 }

@@ -55,7 +55,8 @@ enum class Result : std::uint32_t {
   kInvalidValue = 11,
   kInvalidHandle = 400,
   kNotFound = 500,
-  kEccError = 214,  // used by fault injection
+  kEccError = 214,     // used by fault injection
+  kUnavailable = 999,  // daemon unreachable: retries exhausted, no response
 };
 
 const char* to_string(Result r);

@@ -17,21 +17,47 @@ void Fabric::check_node(NodeId node) const {
   }
 }
 
-SimTime Fabric::transfer(NodeId src, NodeId dst, std::uint64_t bytes,
-                         SimTime earliest) {
+Fabric::Outcome Fabric::transfer_outcome(NodeId src, NodeId dst,
+                                         std::uint64_t bytes,
+                                         SimTime earliest) {
   check_node(src);
   check_node(dst);
   if (src == dst) {
-    // Loopback: memory-to-memory, no NIC involvement.
+    // Loopback: memory-to-memory, no NIC involvement — immune to NIC faults.
     const SimDuration busy =
         transfer_time(bytes, params_.loopback_bandwidth_mib_s);
-    return earliest + params_.loopback_latency + busy;
+    return {earliest + params_.loopback_latency + busy, true};
   }
   Nic& s = nics_[static_cast<std::size_t>(src)];
   Nic& d = nics_[static_cast<std::size_t>(dst)];
+  if (earliest >= s.down_at) {
+    // A dead source NIC injects nothing; no port time is consumed.
+    ++s.drops;
+    ++total_drops_;
+    return {earliest, false};
+  }
   SimDuration busy = transfer_time(bytes, params_.link_bandwidth_mib_s);
   if (bytes >= params_.per_message_overhead_min_bytes) {
     busy += params_.per_message_overhead;
+  }
+  // A degraded NIC on either end stretches the serialization time; the
+  // slower endpoint governs.
+  double factor = 1.0;
+  if (earliest >= s.degraded_at) factor = s.degrade_factor;
+  if (earliest >= d.degraded_at && d.degrade_factor < factor) {
+    factor = d.degrade_factor;
+  }
+  if (factor < 1.0) {
+    busy = static_cast<SimDuration>(static_cast<double>(busy) / factor);
+  }
+  if (earliest >= d.down_at) {
+    // The sender transmits into a dead receiver: tx time is consumed, but
+    // nothing lands on the rx side.
+    const auto tx = s.tx.occupy(earliest, busy);
+    s.bytes_sent += bytes;
+    ++d.drops;
+    ++total_drops_;
+    return {tx.end + params_.wire_latency, false};
   }
   const auto tx = s.tx.occupy(earliest, busy);
   // Cut-through: the rx occupancy mirrors the tx occupancy shifted by the
@@ -39,7 +65,44 @@ SimTime Fabric::transfer(NodeId src, NodeId dst, std::uint64_t bytes,
   const auto rx = d.rx.occupy(tx.start + params_.wire_latency, busy);
   s.bytes_sent += bytes;
   d.bytes_received += bytes;
-  return rx.end;
+  // Link failure mid-flight: the transfer was cut before it drained.
+  if (tx.end > s.down_at) {
+    ++s.drops;
+    ++total_drops_;
+    return {rx.end, false};
+  }
+  if (rx.end > d.down_at) {
+    ++d.drops;
+    ++total_drops_;
+    return {rx.end, false};
+  }
+  return {rx.end, true};
+}
+
+void Fabric::fail_link(NodeId node, SimTime at) {
+  check_node(node);
+  Nic& n = nics_[static_cast<std::size_t>(node)];
+  if (at < n.down_at) n.down_at = at;
+}
+
+void Fabric::degrade_link(NodeId node, SimTime at, double bandwidth_factor) {
+  check_node(node);
+  if (bandwidth_factor <= 0.0 || bandwidth_factor > 1.0) {
+    throw std::invalid_argument("degrade_link: factor must be in (0, 1]");
+  }
+  Nic& n = nics_[static_cast<std::size_t>(node)];
+  n.degraded_at = at;
+  n.degrade_factor = bandwidth_factor;
+}
+
+bool Fabric::link_failed(NodeId node, SimTime at) const {
+  check_node(node);
+  return at >= nics_[static_cast<std::size_t>(node)].down_at;
+}
+
+std::uint64_t Fabric::drops(NodeId node) const {
+  check_node(node);
+  return nics_[static_cast<std::size_t>(node)].drops;
 }
 
 std::uint64_t Fabric::bytes_sent(NodeId node) const {

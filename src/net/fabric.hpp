@@ -19,6 +19,7 @@
 #include "net/model_params.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
+#include "util/units.hpp"
 
 namespace dacc::net {
 
@@ -26,6 +27,14 @@ using NodeId = int;
 
 class Fabric {
  public:
+  /// Result of routing one transfer: when it ends on the wire, and whether
+  /// the payload actually arrived (a transfer whose NIC fails before it
+  /// drains is lost in flight).
+  struct Outcome {
+    SimTime at = 0;
+    bool delivered = true;
+  };
+
   Fabric(sim::Engine& engine, int num_nodes, FabricParams params = {});
 
   int num_nodes() const { return static_cast<int>(nics_.size()); }
@@ -34,19 +43,49 @@ class Fabric {
 
   /// Reserves fabric resources for moving `bytes` from `src` to `dst`,
   /// starting no earlier than `earliest`, and returns the delivery
-  /// completion time. Does not schedule any event.
-  SimTime transfer(NodeId src, NodeId dst, std::uint64_t bytes,
-                   SimTime earliest);
+  /// completion time and whether the payload survived the link. Does not
+  /// schedule any event.
+  Outcome transfer_outcome(NodeId src, NodeId dst, std::uint64_t bytes,
+                           SimTime earliest);
 
-  /// transfer() plus an engine callback at the delivery time. Templated so
-  /// move-only callbacks (carrying payload buffers by value) go straight
-  /// into the engine's pooled event storage without a std::function box.
+  /// Outcome-blind convenience wrapper (legacy callers that model
+  /// fault-free paths).
+  SimTime transfer(NodeId src, NodeId dst, std::uint64_t bytes,
+                   SimTime earliest) {
+    return transfer_outcome(src, dst, bytes, earliest).at;
+  }
+
+  /// transfer() plus an engine callback at the delivery time; the callback
+  /// is silently discarded when the transfer is dropped by a failed link
+  /// (the wire model of message loss). Templated so move-only callbacks
+  /// (carrying payload buffers by value) go straight into the engine's
+  /// pooled event storage without a std::function box.
   template <typename F>
   void deliver(NodeId src, NodeId dst, std::uint64_t bytes, SimTime earliest,
                F&& on_delivered) {
-    const SimTime done = transfer(src, dst, bytes, earliest);
-    engine_.schedule_at(done, std::forward<F>(on_delivered));
+    const Outcome out = transfer_outcome(src, dst, bytes, earliest);
+    if (out.delivered) {
+      engine_.schedule_at(out.at, std::forward<F>(on_delivered));
+    }
   }
+
+  // --- deterministic fault injection (mirrors rt break_accelerator) -------
+
+  /// The node's NIC goes dark at simulated time `at`: transfers that would
+  /// start or still be draining past `at` are dropped. Loopback traffic is
+  /// unaffected (it never touches the NIC). Repeated calls keep the
+  /// earliest failure time.
+  void fail_link(NodeId node, SimTime at);
+
+  /// From `at` on, the node's NIC runs at `bandwidth_factor` (0 < f <= 1)
+  /// of the calibrated link rate (degraded link, e.g. a flapping cable
+  /// renegotiating a lower speed).
+  void degrade_link(NodeId node, SimTime at, double bandwidth_factor);
+
+  bool link_failed(NodeId node, SimTime at) const;
+  /// Transfers dropped because this node's NIC was down.
+  std::uint64_t drops(NodeId node) const;
+  std::uint64_t total_drops() const { return total_drops_; }
 
   /// Per-node traffic counters (diagnostics / utilization reporting).
   std::uint64_t bytes_sent(NodeId node) const;
@@ -60,6 +99,10 @@ class Fabric {
     sim::SerialResource rx;
     std::uint64_t bytes_sent = 0;
     std::uint64_t bytes_received = 0;
+    std::uint64_t drops = 0;
+    SimTime down_at = kSimTimeNever;
+    SimTime degraded_at = kSimTimeNever;
+    double degrade_factor = 1.0;
   };
 
   void check_node(NodeId node) const;
@@ -67,6 +110,7 @@ class Fabric {
   sim::Engine& engine_;
   FabricParams params_;
   std::vector<Nic> nics_;
+  std::uint64_t total_drops_ = 0;
 };
 
 }  // namespace dacc::net

@@ -27,12 +27,24 @@ std::uint64_t BlockPlan::size(std::size_t i) const {
   return std::min(block_, total_ - off);
 }
 
+namespace {
+
+// Cancels every not-yet-finished request (timeout unwind path).
+void cancel_outstanding(dmpi::Mpi& mpi, std::vector<dmpi::Request>& reqs) {
+  for (dmpi::Request& r : reqs) {
+    if (r.valid() && !r.done()) mpi.cancel(r);
+  }
+}
+
+}  // namespace
+
 void send_blocks(dmpi::Mpi& mpi, const dmpi::Comm& comm, dmpi::Rank dst,
-                 util::Buffer payload, const TransferConfig& config) {
+                 util::Buffer payload, const TransferConfig& config,
+                 int data_tag, SimTime deadline) {
   const BlockPlan plan(payload.size(), config);
   if (plan.count() == 0) return;
-  if (plan.count() == 1) {
-    mpi.send(comm, dst, kDataTag, std::move(payload));
+  if (plan.count() == 1 && deadline == kSimTimeNever) {
+    mpi.send(comm, dst, data_tag, std::move(payload));
     return;
   }
   std::vector<dmpi::Request> sends;
@@ -40,16 +52,22 @@ void send_blocks(dmpi::Mpi& mpi, const dmpi::Comm& comm, dmpi::Rank dst,
   for (std::size_t i = 0; i < plan.count(); ++i) {
     // Zero-copy carve: each block is a view over the payload's store. The
     // store is freed once the last in-flight block is consumed.
-    sends.push_back(mpi.isend(comm, dst, kDataTag,
+    sends.push_back(mpi.isend(comm, dst, data_tag,
                               payload.view(plan.offset(i), plan.size(i))));
   }
-  mpi.wait_all(sends);
+  for (dmpi::Request& s : sends) {
+    if (!mpi.wait_until(s, deadline)) {
+      cancel_outstanding(mpi, sends);
+      throw TransferTimeout{};
+    }
+  }
 }
 
 void recv_blocks(dmpi::Mpi& mpi, const dmpi::Comm& comm, dmpi::Rank src,
                  std::uint64_t total, const TransferConfig& config,
                  const std::function<void(std::uint64_t, util::Buffer)>&
-                     on_block) {
+                     on_block,
+                 int data_tag, SimTime deadline) {
   const BlockPlan plan(total, config);
   if (plan.count() == 0) return;
   // Pre-post every receive so rendezvous handshakes are never on the
@@ -57,10 +75,13 @@ void recv_blocks(dmpi::Mpi& mpi, const dmpi::Comm& comm, dmpi::Rank src,
   std::vector<dmpi::Request> recvs;
   recvs.reserve(plan.count());
   for (std::size_t i = 0; i < plan.count(); ++i) {
-    recvs.push_back(mpi.irecv(comm, src, kDataTag));
+    recvs.push_back(mpi.irecv(comm, src, data_tag));
   }
   for (std::size_t i = 0; i < plan.count(); ++i) {
-    mpi.wait(recvs[i]);
+    if (!mpi.wait_until(recvs[i], deadline)) {
+      cancel_outstanding(mpi, recvs);
+      throw TransferTimeout{};
+    }
     util::Buffer block = recvs[i].take_payload();
     if (block.size() != plan.size(i)) {
       throw std::runtime_error("recv_blocks: block size mismatch");
@@ -71,18 +92,21 @@ void recv_blocks(dmpi::Mpi& mpi, const dmpi::Comm& comm, dmpi::Rank src,
 
 util::Buffer recv_assemble(dmpi::Mpi& mpi, const dmpi::Comm& comm,
                            dmpi::Rank src, std::uint64_t total,
-                           const TransferConfig& config) {
+                           const TransferConfig& config, int data_tag,
+                           SimTime deadline) {
   util::Buffer out;
   bool initialized = false;
-  recv_blocks(mpi, comm, src, total, config,
-              [&](std::uint64_t offset, util::Buffer block) {
-                if (!initialized) {
-                  out = block.is_backed() ? util::Buffer::backed_zero(total)
-                                          : util::Buffer::phantom(total);
-                  initialized = true;
-                }
-                out.write_at(offset, block);
-              });
+  recv_blocks(
+      mpi, comm, src, total, config,
+      [&](std::uint64_t offset, util::Buffer block) {
+        if (!initialized) {
+          out = block.is_backed() ? util::Buffer::backed_zero(total)
+                                  : util::Buffer::phantom(total);
+          initialized = true;
+        }
+        out.write_at(offset, block);
+      },
+      data_tag, deadline);
   return out;
 }
 

@@ -31,11 +31,21 @@ class BlockPlan {
   std::size_t count_;
 };
 
-/// Sends `payload` to `dst` as the plan's sequence of kDataTag messages.
+/// A bulk transfer did not drain before its deadline (typically because the
+/// peer's link failed mid-stream). Outstanding requests are cancelled before
+/// this is thrown, so the caller can retry on fresh tags.
+class TransferTimeout : public std::runtime_error {
+ public:
+  TransferTimeout() : std::runtime_error("transfer: deadline exceeded") {}
+};
+
+/// Sends `payload` to `dst` as the plan's sequence of `data_tag` messages.
 /// All sends are posted nonblocking and then awaited, so consecutive blocks
-/// stream back to back on the link.
+/// stream back to back on the link. With a finite `deadline`, blocks not
+/// completed in time are cancelled and TransferTimeout is thrown.
 void send_blocks(dmpi::Mpi& mpi, const dmpi::Comm& comm, dmpi::Rank dst,
-                 util::Buffer payload, const TransferConfig& config);
+                 util::Buffer payload, const TransferConfig& config,
+                 int data_tag = kDataTag, SimTime deadline = kSimTimeNever);
 
 /// Receives `total` bytes from `src` under the same plan. All receives are
 /// pre-posted; `on_block(offset, data)` runs in block order, at the
@@ -44,12 +54,15 @@ void send_blocks(dmpi::Mpi& mpi, const dmpi::Comm& comm, dmpi::Rank dst,
 void recv_blocks(dmpi::Mpi& mpi, const dmpi::Comm& comm, dmpi::Rank src,
                  std::uint64_t total, const TransferConfig& config,
                  const std::function<void(std::uint64_t, util::Buffer)>&
-                     on_block);
+                     on_block,
+                 int data_tag = kDataTag, SimTime deadline = kSimTimeNever);
 
 /// recv_blocks() assembling everything into one buffer (front-end side of a
 /// device-to-host copy). Phantom blocks yield a phantom result.
 util::Buffer recv_assemble(dmpi::Mpi& mpi, const dmpi::Comm& comm,
                            dmpi::Rank src, std::uint64_t total,
-                           const TransferConfig& config);
+                           const TransferConfig& config,
+                           int data_tag = kDataTag,
+                           SimTime deadline = kSimTimeNever);
 
 }  // namespace dacc::proto

@@ -110,7 +110,7 @@ WireReader::WireReader(util::Buffer buffer)
 
 void WireReader::need(std::size_t n) const {
   if (offset_ + n > bytes_.size()) {
-    throw std::runtime_error("wire: truncated message");
+    throw WireError("wire: truncated message");
   }
 }
 
@@ -186,7 +186,7 @@ gpu::KernelArgs WireReader::kernel_args() {
         args.emplace_back(f64());
         break;
       default:
-        throw std::runtime_error("wire: bad kernel arg kind");
+        throw WireError("wire: bad kernel arg kind");
     }
   }
   return args;

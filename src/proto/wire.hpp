@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "gpu/device.hpp"
@@ -17,10 +18,21 @@
 
 namespace dacc::proto {
 
-/// Message tags on the middleware communicator.
+/// Message tags on the middleware communicator. Requests carry a per-request
+/// reply tag right after the op code; the daemon answers on that tag and
+/// streams bulk data on reply_tag + 1. The legacy constants follow the same
+/// pairing (kDataTag == kResponseTag + 1), so hand-rolled clients that pass
+/// kResponseTag as their reply tag get data exactly where they always did.
 inline constexpr int kRequestTag = 100;   ///< FE -> daemon request headers
 inline constexpr int kResponseTag = 101;  ///< daemon -> FE responses
 inline constexpr int kDataTag = 102;      ///< bulk payload blocks
+
+/// Malformed frame: truncated message or out-of-range field. Decoders throw
+/// this instead of crashing; servers treat it as a rejectable request.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 enum class Op : std::uint32_t {
   kMemAlloc = 1,

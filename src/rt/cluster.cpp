@@ -104,6 +104,59 @@ Cluster::Cluster(ClusterConfig config)
   sim::Process& armp = engine_.spawn(
       "arm", [this](sim::Context& ctx) { arm_->run(ctx); });
   engine_.set_daemon(armp);
+
+  // Liveness protocol: one pacer per accelerator node plus one sweep
+  // monitor co-located with the ARM. All are engine daemons gated on
+  // running jobs, so an idle cluster generates no heartbeat traffic.
+  idle_gate_ = std::make_unique<sim::WaitQueue>(engine_);
+  if (config_.heartbeat.enabled) {
+    for (int ac = 0; ac < config_.accelerators; ++ac) {
+      sim::Process& hb = engine_.spawn(
+          "hb-pacer-ac" + std::to_string(ac),
+          [this, ac](sim::Context& ctx) { heartbeat_pacer(ctx, ac); });
+      engine_.set_daemon(hb);
+    }
+    sim::Process& mon = engine_.spawn(
+        "hb-monitor", [this](sim::Context& ctx) { heartbeat_monitor(ctx); });
+    engine_.set_daemon(mon);
+  }
+}
+
+void Cluster::heartbeat_pacer(sim::Context& ctx, int ac) {
+  dmpi::Mpi mpi(*world_, ctx, daemon_rank(ac));
+  gpu::Device* dev = ac_devices_[static_cast<std::size_t>(ac)].get();
+  std::uint64_t seq = 0;
+  for (;;) {
+    while (active_jobs_ == 0) idle_gate_->wait(ctx);
+    ctx.wait_for(config_.heartbeat.period);
+    if (active_jobs_ == 0) continue;  // drained while we slept
+    arm::Heartbeat beat;
+    beat.daemon_rank = daemon_rank(ac);
+    beat.seq = ++seq;
+    beat.device_ok = !dev->broken();
+    mpi.send(world_->world_comm(), arm_rank(), arm::kArmRequestTag,
+             beat.encode());
+  }
+}
+
+void Cluster::heartbeat_monitor(sim::Context& ctx) {
+  dmpi::Mpi mpi(*world_, ctx, arm_rank());
+  bool fresh = true;
+  for (;;) {
+    while (active_jobs_ == 0) {
+      idle_gate_->wait(ctx);
+      fresh = true;  // amnesty: beat clocks restart after an idle phase
+    }
+    ctx.wait_for(config_.heartbeat.period);
+    if (active_jobs_ == 0) continue;
+    arm::SweepRequest sweep;
+    sweep.period = config_.heartbeat.period;
+    sweep.miss_threshold = config_.heartbeat.miss_threshold;
+    sweep.fresh = fresh;
+    fresh = false;
+    mpi.send(world_->world_comm(), arm_rank(), arm::kArmRequestTag,
+             sweep.encode());
+  }
 }
 
 Cluster::~Cluster() = default;
@@ -161,6 +214,12 @@ JobHandle Cluster::submit(JobSpec spec, int first_cn) {
   auto remaining = std::make_shared<int>(spec.ranks);
   auto shared_spec = std::make_shared<JobSpec>(std::move(spec));
 
+  // Un-gate the heartbeat pacers for the duration of this job. The wake is
+  // routed through an event so submit() also works from outside process
+  // context (before run()).
+  ++active_jobs_;
+  engine_.schedule_at(engine_.now(), [this] { idle_gate_->notify_all(); });
+
   // The launcher performs the static assignment before starting the ranks
   // (paper Figure 3(a)); it speaks to the ARM with the first rank's
   // endpoint, strictly before any rank runs.
@@ -198,6 +257,7 @@ JobHandle Cluster::submit(JobSpec spec, int first_cn) {
                 sc.job_id = job_base + static_cast<std::uint64_t>(r);
                 sc.transfer = shared_spec->transfer;
                 sc.proto = config_.proto;
+                sc.retry = config_.retry;
                 core::Session session(*world_, ctx, world_rank,
                                       world_->world_comm(), sc);
                 for (const arm::Lease& lease : leases) {
@@ -208,7 +268,10 @@ JobHandle Cluster::submit(JobSpec spec, int first_cn) {
                 shared_spec->body(jctx);
                 // Automatic end-of-job release (paper Section III.C).
                 session.close();
-                if (--*remaining == 0) completion->complete();
+                if (--*remaining == 0) {
+                  --active_jobs_;
+                  completion->complete();
+                }
               });
         }
       });
@@ -220,6 +283,14 @@ void Cluster::run() { engine_.run(); }
 void Cluster::break_accelerator(int ac, SimTime at) {
   gpu::Device* dev = &accelerator_device(ac);
   engine_.schedule_at(at, [dev] { dev->mark_broken(); });
+}
+
+void Cluster::fail_link(net::NodeId node, SimTime at) {
+  fabric_.fail_link(node, at);
+}
+
+void Cluster::fail_accelerator_link(int ac, SimTime at) {
+  fabric_.fail_link(static_cast<net::NodeId>(daemon_rank(ac)), at);
 }
 
 Cluster::Report Cluster::report() const {

@@ -55,6 +55,17 @@ struct ClusterConfig {
   /// How the ARM serves queued allocations.
   arm::Arm::QueuePolicy arm_policy = arm::Arm::QueuePolicy::kFcfs;
 
+  /// Liveness protocol: when enabled, every accelerator node runs a
+  /// heartbeat pacer and the ARM node a sweep monitor, so leases on dead
+  /// accelerators are revoked after `heartbeat.period * miss_threshold`.
+  /// Pacers only beat while jobs are running (the simulation still
+  /// terminates when all work drains).
+  arm::HeartbeatParams heartbeat;
+
+  /// Front-end failure policy handed to every job's Session (timeouts,
+  /// retries, transparent replacement).
+  core::RetryPolicy retry;
+
   /// Record middleware spans (daemon requests, front-end proxy ops) into
   /// Cluster::tracer() for timeline inspection / Chrome-trace export.
   bool trace = false;
@@ -162,6 +173,14 @@ class Cluster {
   /// Breaks accelerator `ac` at simulated time `at` (ECC failure).
   void break_accelerator(int ac, SimTime at);
 
+  /// Fails fabric node `node`'s NIC at `at`: every transfer that would still
+  /// be in flight then (or starts later) is dropped.
+  void fail_link(net::NodeId node, SimTime at);
+
+  /// fail_link for accelerator `ac`'s node — the daemon falls silent
+  /// (requests and heartbeats stop flowing) without the device breaking.
+  void fail_accelerator_link(int ac, SimTime at);
+
   // --- reporting ------------------------------------------------------------------
   struct Report {
     struct AcceleratorRow {
@@ -184,6 +203,11 @@ class Cluster {
   Report report() const;
 
  private:
+  /// Sends one liveness beat per period for accelerator `ac` while jobs run.
+  void heartbeat_pacer(sim::Context& ctx, int ac);
+  /// Periodically asks the ARM to sweep for missed beats while jobs run.
+  void heartbeat_monitor(sim::Context& ctx);
+
   ClusterConfig config_;
   sim::Engine engine_;
   sim::Tracer tracer_;
@@ -195,6 +219,10 @@ class Cluster {
   std::vector<std::unique_ptr<daemon::Daemon>> daemons_;
   std::unique_ptr<arm::Arm> arm_;
   std::uint64_t next_job_ = 1;
+  /// Heartbeat traffic is gated on running jobs so the event queue drains
+  /// (and engine.run() returns) once all submitted work completes.
+  int active_jobs_ = 0;
+  std::unique_ptr<sim::WaitQueue> idle_gate_;
 };
 
 }  // namespace dacc::rt

@@ -2,28 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include "common/testbed.hpp"
 #include "rt/cluster.hpp"
 #include "util/units.hpp"
 
 namespace dacc::arm {
 namespace {
 
-rt::ClusterConfig small_cluster(int cns = 2, int acs = 3) {
-  rt::ClusterConfig c;
-  c.compute_nodes = cns;
-  c.accelerators = acs;
-  return c;
-}
-
-/// Runs `body` as a single job rank on a fresh cluster.
-void run_job(rt::ClusterConfig config,
-             std::function<void(rt::JobContext&)> body) {
-  rt::Cluster cluster(std::move(config));
-  rt::JobSpec spec;
-  spec.body = std::move(body);
-  cluster.submit(spec);
-  cluster.run();
-}
+using dacc::testing::run_job;
+using dacc::testing::small_cluster;
 
 TEST(Arm, AcquireGrantsExclusiveLeases) {
   run_job(small_cluster(), [](rt::JobContext& job) {

@@ -1,0 +1,80 @@
+// Shared test scaffolding: a bare N-rank dmpi world (MpiBed) and
+// whole-cluster helpers (small_cluster / run_job), so the dmpi, arm, rt and
+// recovery suites stop growing private copies of the same fixtures.
+#pragma once
+
+#include <functional>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dmpi/mpi.hpp"
+#include "rt/cluster.hpp"
+
+namespace dacc::testing {
+
+/// An N-rank dmpi world with one fabric node per rank.
+class MpiBed {
+ public:
+  explicit MpiBed(int ranks, dmpi::MpiParams params = {},
+                  net::FabricParams fabric_params = {})
+      : fabric_(engine_, ranks, fabric_params),
+        world_(engine_, fabric_, make_nodes(ranks), params) {}
+
+  sim::Engine& engine() { return engine_; }
+  net::Fabric& fabric() { return fabric_; }
+  dmpi::World& world() { return world_; }
+  const dmpi::Comm& comm() { return world_.world_comm(); }
+
+  /// Spawns one process per entry; entry i runs as world rank i. Runs the
+  /// simulation to completion.
+  void run(std::vector<std::function<void(dmpi::Mpi&, sim::Context&)>> mains) {
+    for (std::size_t i = 0; i < mains.size(); ++i) {
+      auto fn = std::move(mains[i]);
+      engine_.spawn("rank" + std::to_string(i),
+                    [this, i, fn = std::move(fn)](sim::Context& ctx) {
+                      dmpi::Mpi mpi(world_, ctx, static_cast<dmpi::Rank>(i));
+                      fn(mpi, ctx);
+                    });
+    }
+    engine_.run();
+  }
+
+ private:
+  static std::vector<net::NodeId> make_nodes(int ranks) {
+    std::vector<net::NodeId> nodes(static_cast<std::size_t>(ranks));
+    std::iota(nodes.begin(), nodes.end(), 0);
+    return nodes;
+  }
+
+  sim::Engine engine_;
+  net::Fabric fabric_;
+  dmpi::World world_;
+};
+
+/// Default small cluster used by the middleware suites.
+inline rt::ClusterConfig small_cluster(int cns = 2, int acs = 3) {
+  rt::ClusterConfig c;
+  c.compute_nodes = cns;
+  c.accelerators = acs;
+  return c;
+}
+
+/// Runs `body` as a single job rank on a fresh cluster.
+inline void run_job(rt::ClusterConfig config,
+                    std::function<void(rt::JobContext&)> body) {
+  rt::Cluster cluster(std::move(config));
+  rt::JobSpec spec;
+  spec.body = std::move(body);
+  cluster.submit(spec);
+  cluster.run();
+}
+
+}  // namespace dacc::testing
+
+namespace dacc::dmpi::testing {
+// Compatibility alias for the suites written against the old per-directory
+// fixture name.
+using TestBed = dacc::testing::MpiBed;
+}  // namespace dacc::dmpi::testing

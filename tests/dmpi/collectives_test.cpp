@@ -3,7 +3,7 @@
 #include <array>
 #include <vector>
 
-#include "testbed.hpp"
+#include "common/testbed.hpp"
 #include "util/units.hpp"
 
 namespace dacc::dmpi {

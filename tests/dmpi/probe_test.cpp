@@ -1,7 +1,7 @@
 // MPI_Iprobe / MPI_Test semantics.
 #include <gtest/gtest.h>
 
-#include "testbed.hpp"
+#include "common/testbed.hpp"
 #include "util/units.hpp"
 
 namespace dacc::dmpi {

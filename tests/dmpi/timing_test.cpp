@@ -3,7 +3,7 @@
 // small-message latency, ~2660 MiB/s PingPong bandwidth at 64 MiB.
 #include <gtest/gtest.h>
 
-#include "testbed.hpp"
+#include "common/testbed.hpp"
 #include "util/units.hpp"
 
 namespace dacc::dmpi {

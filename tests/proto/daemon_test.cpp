@@ -50,7 +50,7 @@ class DaemonBed {
       for (std::size_t i = 0; i < daemons_.size(); ++i) {
         const auto d = static_cast<dmpi::Rank>(i + 1);
         mpi.send(comm(), d, kRequestTag,
-                 WireWriter{}.op(Op::kShutdown).finish());
+                 WireWriter{}.op(Op::kShutdown).u32(kResponseTag).finish());
         (void)mpi.recv(comm(), d, kResponseTag);
       }
     });
@@ -65,7 +65,7 @@ class DaemonBed {
   gpu::DevPtr remote_alloc(dmpi::Mpi& mpi, dmpi::Rank d, std::uint64_t bytes,
                            Result* status = nullptr) {
     mpi.send(comm(), d, kRequestTag,
-             WireWriter{}.op(Op::kMemAlloc).u64(bytes).finish());
+             WireWriter{}.op(Op::kMemAlloc).u32(kResponseTag).u64(bytes).finish());
     WireReader r(mpi.recv(comm(), d, kResponseTag));
     const Result res = r.result();
     if (status != nullptr) *status = res;
@@ -74,7 +74,7 @@ class DaemonBed {
 
   Result remote_free(dmpi::Mpi& mpi, dmpi::Rank d, gpu::DevPtr ptr) {
     mpi.send(comm(), d, kRequestTag,
-             WireWriter{}.op(Op::kMemFree).u64(ptr).finish());
+             WireWriter{}.op(Op::kMemFree).u32(kResponseTag).u64(ptr).finish());
     return WireReader(mpi.recv(comm(), d, kResponseTag)).result();
   }
 
@@ -84,6 +84,7 @@ class DaemonBed {
     mpi.send(comm(), d, kRequestTag,
              WireWriter{}
                  .op(Op::kMemcpyHtoD)
+                 .u32(kResponseTag)
                  .u64(dst)
                  .u64(data.size())
                  .transfer_config(config)
@@ -98,6 +99,7 @@ class DaemonBed {
     mpi.send(comm(), d, kRequestTag,
              WireWriter{}
                  .op(Op::kMemcpyDtoH)
+                 .u32(kResponseTag)
                  .u64(src)
                  .u64(bytes)
                  .transfer_config(config)
@@ -113,6 +115,7 @@ class DaemonBed {
     mpi.send(comm(), d, kRequestTag,
              WireWriter{}
                  .op(Op::kKernelRun)
+                 .u32(kResponseTag)
                  .str(name)
                  .launch_config({})
                  .kernel_args(args)
@@ -250,7 +253,7 @@ TEST(Daemon, DeviceInfo) {
   DaemonBed bed;
   bed.run([&](dmpi::Mpi& mpi, sim::Context&) {
     mpi.send(bed.comm(), 1, kRequestTag,
-             WireWriter{}.op(Op::kDeviceInfo).finish());
+             WireWriter{}.op(Op::kDeviceInfo).u32(kResponseTag).finish());
     WireReader r(mpi.recv(bed.comm(), 1, kResponseTag));
     EXPECT_EQ(r.result(), Result::kSuccess);
     EXPECT_EQ(r.str(), "Tesla C1060 (simulated)");
@@ -291,6 +294,7 @@ TEST(Daemon, PeerSendMovesDataBetweenAccelerators) {
     mpi.send(bed.comm(), 1, kRequestTag,
              WireWriter{}
                  .op(Op::kPeerSend)
+                 .u32(kResponseTag)
                  .u64(src)
                  .u64(bytes)
                  .u64(2)
@@ -312,6 +316,7 @@ TEST(Daemon, PeerSendFromInvalidRangeFails) {
     mpi.send(bed.comm(), 1, kRequestTag,
              WireWriter{}
                  .op(Op::kPeerSend)
+                 .u32(kResponseTag)
                  .u64(0xbad)
                  .u64(1024)
                  .u64(2)
@@ -339,14 +344,14 @@ TEST(Daemon, ServesMultipleClientsSequentially) {
       dmpi::Mpi mpi(world, ctx, c);
       for (int i = 0; i < 5; ++i) {
         mpi.send(world.world_comm(), 2, kRequestTag,
-                 WireWriter{}.op(Op::kMemAlloc).u64(256).finish());
+                 WireWriter{}.op(Op::kMemAlloc).u32(kResponseTag).u64(256).finish());
         WireReader r(mpi.recv(world.world_comm(), 2, kResponseTag));
         EXPECT_EQ(r.result(), Result::kSuccess);
       }
       ++done;
       if (done == 2) {
         mpi.send(world.world_comm(), 2, kRequestTag,
-                 WireWriter{}.op(Op::kShutdown).finish());
+                 WireWriter{}.op(Op::kShutdown).u32(kResponseTag).finish());
         (void)mpi.recv(world.world_comm(), 2, kResponseTag);
       }
     });

@@ -3,6 +3,8 @@
 // payload/config combinations must round-trip through the block engine.
 #include <gtest/gtest.h>
 
+#include "arm/arm.hpp"
+#include "daemon/daemon.hpp"
 #include "proto/transfer.hpp"
 #include "proto/wire.hpp"
 #include "util/rng.hpp"
@@ -58,6 +60,179 @@ TEST(WireFuzz, EveryTruncationPointThrows) {
         std::runtime_error)
         << "cut at " << cut;
   }
+}
+
+// Consume the liveness frame header (op + reply tag) the way the ARM's
+// dispatch loop does before handing the reader to the payload decoder.
+WireReader payload_reader(const util::Buffer& frame) {
+  WireReader r(frame.slice(0, frame.size()));
+  (void)r.u32();  // op
+  (void)r.u32();  // reply tag
+  return r;
+}
+
+TEST(WireFuzz, LivenessMessagesRoundTrip) {
+  const arm::Heartbeat hb{.daemon_rank = 7, .seq = 42, .device_ok = false};
+  util::Buffer hb_frame = hb.encode();
+  WireReader hr = payload_reader(hb_frame);
+  const arm::Heartbeat hb2 = arm::Heartbeat::decode(hr);
+  EXPECT_EQ(hb2.daemon_rank, hb.daemon_rank);
+  EXPECT_EQ(hb2.seq, hb.seq);
+  EXPECT_EQ(hb2.device_ok, hb.device_ok);
+
+  const arm::SweepRequest sweep{.period = 1_ms, .miss_threshold = 3,
+                                .fresh = true};
+  util::Buffer sw_frame = sweep.encode();
+  WireReader sr = payload_reader(sw_frame);
+  const arm::SweepRequest sweep2 = arm::SweepRequest::decode(sr);
+  EXPECT_EQ(sweep2.period, sweep.period);
+  EXPECT_EQ(sweep2.miss_threshold, sweep.miss_threshold);
+  EXPECT_EQ(sweep2.fresh, sweep.fresh);
+
+  // Revoke notices are unsolicited pushes: payload only, no op header.
+  const arm::RevokeNotice notice{.daemon_rank = 3, .lease_id = 99,
+                                 .job = 12, .revoked_at = 5'000'000};
+  WireReader nr(notice.encode());
+  const arm::RevokeNotice notice2 = arm::RevokeNotice::decode(nr);
+  EXPECT_EQ(notice2.daemon_rank, notice.daemon_rank);
+  EXPECT_EQ(notice2.lease_id, notice.lease_id);
+  EXPECT_EQ(notice2.job, notice.job);
+  EXPECT_EQ(notice2.revoked_at, notice.revoked_at);
+
+  const arm::ReplayReport report{.failed_rank = 2, .replacement_rank = 5,
+                                 .job = 12, .replayed_ops = 17,
+                                 .replayed_bytes = 64_MiB};
+  util::Buffer rp_frame = report.encode(/*reply_tag=*/321);
+  WireReader rr = payload_reader(rp_frame);
+  const arm::ReplayReport report2 = arm::ReplayReport::decode(rr);
+  EXPECT_EQ(report2.failed_rank, report.failed_rank);
+  EXPECT_EQ(report2.replacement_rank, report.replacement_rank);
+  EXPECT_EQ(report2.job, report.job);
+  EXPECT_EQ(report2.replayed_ops, report.replayed_ops);
+  EXPECT_EQ(report2.replayed_bytes, report.replayed_bytes);
+}
+
+TEST(WireFuzz, LivenessTruncationThrowsAtEveryByte) {
+  // Each frame truncated at every byte boundary must throw from its own
+  // decoder (after the op + reply-tag header the dispatch loop consumes).
+  auto expect_all_cuts_throw = [](const util::Buffer& full, auto decode,
+                                  bool header) {
+    for (std::uint64_t cut = 0; cut < full.size(); ++cut) {
+      WireReader r(full.slice(0, cut));
+      EXPECT_THROW(
+          {
+            if (header) {
+              (void)r.u32();
+              (void)r.u32();
+            }
+            (void)decode(r);
+          },
+          std::runtime_error)
+          << "cut at " << cut;
+    }
+  };
+  expect_all_cuts_throw(arm::Heartbeat{.daemon_rank = 1, .seq = 9}.encode(),
+                        [](WireReader& r) { return arm::Heartbeat::decode(r); },
+                        /*header=*/true);
+  expect_all_cuts_throw(
+      arm::SweepRequest{.period = 1_ms, .miss_threshold = 3}.encode(),
+      [](WireReader& r) { return arm::SweepRequest::decode(r); },
+      /*header=*/true);
+  expect_all_cuts_throw(
+      arm::ReplayReport{.failed_rank = 1, .replacement_rank = 2}.encode(7),
+      [](WireReader& r) { return arm::ReplayReport::decode(r); },
+      /*header=*/true);
+  expect_all_cuts_throw(
+      arm::RevokeNotice{.daemon_rank = 1, .lease_id = 2}.encode(),
+      [](WireReader& r) { return arm::RevokeNotice::decode(r); },
+      /*header=*/false);
+}
+
+TEST(WireFuzz, CorruptedLivenessFramesNeverCrash) {
+  util::Rng rng(0xbeef);
+  for (int round = 0; round < 500; ++round) {
+    util::Buffer frame =
+        arm::Heartbeat{.daemon_rank = 4, .seq = rng.next_u64()}.encode();
+    std::vector<std::byte> bytes(frame.bytes().begin(), frame.bytes().end());
+    // Corrupt 1-4 random bytes (possibly the header), then truncate maybe.
+    const int flips = 1 + static_cast<int>(rng.next_below(4));
+    for (int f = 0; f < flips; ++f) {
+      bytes[rng.next_below(bytes.size())] =
+          static_cast<std::byte>(rng.next_below(256));
+    }
+    if (rng.next_below(4) == 0) {
+      bytes.resize(rng.next_below(bytes.size() + 1));
+    }
+    WireReader r(util::Buffer::backed(std::move(bytes)));
+    try {
+      (void)r.u32();
+      (void)r.u32();
+      const arm::Heartbeat hb = arm::Heartbeat::decode(r);
+      (void)hb;  // garbage values are fine; UB / crashes are not
+    } catch (const std::runtime_error&) {
+      // clean rejection
+    }
+  }
+}
+
+TEST(DaemonFuzz, GarbageFramesAreCountedNotFatal) {
+  // Blast a live daemon with random frames on the request tag: it must
+  // count them as malformed (or answer kInvalidValue) and keep serving
+  // well-formed requests interleaved with the junk.
+  sim::Engine engine;
+  net::Fabric fabric(engine, 2);
+  dmpi::World world(engine, fabric, {0, 1});
+  auto registry = gpu::KernelRegistry::with_builtins();
+  gpu::Device device(engine, gpu::tesla_c1060(), registry, true);
+  daemon::Daemon daemon(device, world, /*self=*/1);
+  engine.spawn("daemon", [&](sim::Context& ctx) { daemon.run(ctx); });
+  engine.spawn("client", [&](sim::Context& ctx) {
+    dmpi::Mpi mpi(world, ctx, 0);
+    util::Rng rng(0xfeed);
+    for (int round = 0; round < 300; ++round) {
+      const std::size_t len = rng.next_below(48);
+      std::vector<std::byte> junk(len);
+      for (auto& b : junk) {
+        b = static_cast<std::byte>(rng.next_below(256));
+      }
+      if (len >= 4) {
+        // Two ops would stall the fuzz loop rather than exercise the error
+        // path: kShutdown stops the daemon, kMemcpyHtoD makes it wait for
+        // payload blocks we will never send. Mask the header away from both.
+        const auto first = static_cast<std::uint32_t>(junk[0]) |
+                           (static_cast<std::uint32_t>(junk[1]) << 8) |
+                           (static_cast<std::uint32_t>(junk[2]) << 16) |
+                           (static_cast<std::uint32_t>(junk[3]) << 24);
+        if (first == static_cast<std::uint32_t>(Op::kShutdown) ||
+            first == static_cast<std::uint32_t>(Op::kMemcpyHtoD)) {
+          junk[3] = std::byte{0x7f};
+        }
+      }
+      mpi.send(world.world_comm(), 1, kRequestTag,
+               util::Buffer::backed(std::move(junk)));
+      if (round % 60 == 0) {
+        // The daemon still answers a well-formed request after the junk.
+        mpi.send(world.world_comm(), 1, kRequestTag,
+                 WireWriter{}.op(Op::kMemAlloc).u32(kResponseTag).u64(256)
+                     .finish());
+        WireReader r(mpi.recv(world.world_comm(), 1, kResponseTag));
+        ASSERT_EQ(r.result(), gpu::Result::kSuccess);
+        const gpu::DevPtr p = r.u64();
+        mpi.send(world.world_comm(), 1, kRequestTag,
+                 WireWriter{}.op(Op::kMemFree).u32(kResponseTag).u64(p)
+                     .finish());
+        ASSERT_EQ(WireReader(mpi.recv(world.world_comm(), 1, kResponseTag))
+                      .result(),
+                  gpu::Result::kSuccess);
+      }
+    }
+    mpi.send(world.world_comm(), 1, kRequestTag,
+             WireWriter{}.op(Op::kShutdown).u32(kResponseTag).finish());
+    (void)mpi.recv(world.world_comm(), 1, kResponseTag);
+  });
+  engine.run();
+  EXPECT_GT(daemon.malformed_requests(), 0u);
+  EXPECT_EQ(device.memory_used(), 0u);
 }
 
 TEST(TransferProperty, RandomSizesAndBlocksRoundTrip) {

@@ -3,6 +3,7 @@
 // usable (the paper's fault-tolerance claim, Section III.A).
 #include <gtest/gtest.h>
 
+#include "common/testbed.hpp"
 #include "core/api.hpp"
 #include "rt/cluster.hpp"
 #include "util/units.hpp"
@@ -10,10 +11,10 @@
 namespace dacc::rt {
 namespace {
 
+using dacc::testing::small_cluster;
+
 TEST(Fault, DeviceBreaksMidD2HTransfer) {
-  ClusterConfig c;
-  c.compute_nodes = 1;
-  c.accelerators = 2;
+  ClusterConfig c = small_cluster(/*cns=*/1, /*acs=*/2);
   c.functional_gpus = false;
   Cluster cluster(c);
   // A 64 MiB D2H takes ~25 ms; break the device 5 ms into it.
@@ -43,9 +44,7 @@ TEST(Fault, DeviceBreaksMidD2HTransfer) {
 }
 
 TEST(Fault, DeviceBreaksMidH2DTransfer) {
-  ClusterConfig c;
-  c.compute_nodes = 1;
-  c.accelerators = 1;
+  ClusterConfig c = small_cluster(/*cns=*/1, /*acs=*/1);
   c.functional_gpus = false;
   Cluster cluster(c);
   JobSpec spec;
@@ -67,10 +66,7 @@ TEST(Fault, DeviceBreaksMidH2DTransfer) {
 }
 
 TEST(Fault, BrokenAcceleratorDuringQueuedAsyncOps) {
-  ClusterConfig c;
-  c.compute_nodes = 1;
-  c.accelerators = 1;
-  Cluster cluster(c);
+  Cluster cluster(small_cluster(/*cns=*/1, /*acs=*/1));
   JobSpec spec;
   spec.accelerators_per_rank = 1;
   spec.body = [&](JobContext& job) {
@@ -105,10 +101,7 @@ TEST(Fault, BrokenAcceleratorDuringQueuedAsyncOps) {
 TEST(Fault, JobCompletesDespiteBrokenPoolMember) {
   // The launcher's static assignment skips nothing — but a job using the
   // dynamic API can simply route around a pre-broken accelerator.
-  ClusterConfig c;
-  c.compute_nodes = 1;
-  c.accelerators = 3;
-  Cluster cluster(c);
+  Cluster cluster(small_cluster(/*cns=*/1, /*acs=*/3));
   cluster.break_accelerator(1, 0);
   JobSpec spec;
   spec.body = [&](JobContext& job) {

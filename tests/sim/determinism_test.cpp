@@ -39,6 +39,14 @@ struct Fingerprint {
   std::uint64_t mp2c_migrated0 = 0;
   bool fault_seen = false;
   std::vector<std::string> spans;
+  // Recovery phase (heartbeats, revocation, transparent replacement).
+  SimTime rec_final_now = 0;
+  SimTime rec_replaced_at = 0;
+  std::uint64_t rec_events = 0;
+  std::uint64_t rec_heartbeats = 0;
+  std::uint32_t rec_revocations = 0;
+  std::uint32_t rec_replacements = 0;
+  double rec_checksum = 0.0;
 };
 
 Fingerprint run_mixed(sim::ExecBackend backend) {
@@ -120,6 +128,47 @@ Fingerprint run_mixed(sim::ExecBackend backend) {
     os << s.track << '|' << s.name << '|' << s.begin << '|' << s.end;
     fp.spans.push_back(os.str());
   }
+
+  // Phase 3: failure recovery on a fresh cluster — heartbeat-driven
+  // revocation plus transparent replacement must replay identically under
+  // either backend (timer events from pacers, sweeps, timeouts and the
+  // retry/backoff ladder all interleave here).
+  rt::ClusterConfig rec_config;
+  rec_config.compute_nodes = 1;
+  rec_config.accelerators = 2;
+  rec_config.functional_gpus = true;
+  rec_config.sim_backend = backend;
+  rec_config.heartbeat.enabled = true;
+  rec_config.heartbeat.period = 1_ms;
+  rec_config.heartbeat.miss_threshold = 3;
+  rec_config.retry.request_timeout = 5_ms;
+  rec_config.retry.replace_on_failure = true;
+  rt::Cluster rec(rec_config);
+  rt::JobSpec rec_job;
+  rec_job.name = "recovery";
+  rec_job.body = [&](rt::JobContext& job) {
+    auto accs = job.session().acquire(1);
+    core::Accelerator& ac = *accs[0];
+    const std::int64_t n = 4096;
+    const gpu::DevPtr p = ac.mem_alloc(static_cast<std::uint64_t>(n) * 8);
+    ac.launch("fill_f64", {}, {p, n, 1.5});
+    job.cluster().fail_accelerator_link(0, job.ctx().now());
+    job.ctx().wait_for(10_ms);  // let the sweep revoke and notify
+    ac.launch("dscal", {}, {n, 2.0, p});  // consumed notice -> replacement
+    fp.rec_replaced_at = job.ctx().now();
+    const util::Buffer out =
+        ac.memcpy_d2h(p, static_cast<std::uint64_t>(n) * 8);
+    for (const double v : out.as<double>()) fp.rec_checksum += v;
+    ac.mem_free(p);
+  };
+  rec.submit(rec_job);
+  rec.run();
+  fp.rec_final_now = rec.engine().now();
+  fp.rec_events = rec.engine().events_executed();
+  const arm::PoolStats rec_stats = rec.arm().stats();
+  fp.rec_heartbeats = rec_stats.heartbeats;
+  fp.rec_revocations = rec_stats.revocations;
+  fp.rec_replacements = rec_stats.replacements;
   return fp;
 }
 
@@ -137,6 +186,13 @@ void expect_identical(const Fingerprint& a, const Fingerprint& b,
   EXPECT_EQ(a.mp2c_particles0, b.mp2c_particles0);
   EXPECT_EQ(a.mp2c_migrated0, b.mp2c_migrated0);
   EXPECT_EQ(a.spans, b.spans);
+  EXPECT_EQ(a.rec_final_now, b.rec_final_now);
+  EXPECT_EQ(a.rec_replaced_at, b.rec_replaced_at);
+  EXPECT_EQ(a.rec_events, b.rec_events);
+  EXPECT_EQ(a.rec_heartbeats, b.rec_heartbeats);
+  EXPECT_EQ(a.rec_revocations, b.rec_revocations);
+  EXPECT_EQ(a.rec_replacements, b.rec_replacements);
+  EXPECT_EQ(a.rec_checksum, b.rec_checksum);  // bit-identical
 }
 
 void expect_sane(const Fingerprint& fp) {
@@ -146,6 +202,11 @@ void expect_sane(const Fingerprint& fp) {
   EXPECT_GT(fp.mp2c_elapsed, 0);
   EXPECT_TRUE(fp.fault_seen);
   EXPECT_FALSE(fp.spans.empty());
+  EXPECT_EQ(fp.rec_revocations, 1u);
+  EXPECT_EQ(fp.rec_replacements, 1u);
+  EXPECT_GT(fp.rec_heartbeats, 0u);
+  EXPECT_GT(fp.rec_replaced_at, 10'000'000u);  // after the idle wait
+  EXPECT_DOUBLE_EQ(fp.rec_checksum, 4096 * 3.0);  // 1.5 * 2.0 per element
 }
 
 #if defined(DACC_SIM_FORCE_THREAD_BACKEND)
