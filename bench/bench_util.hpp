@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -114,10 +115,25 @@ inline Probe mpi_pingpong(std::uint64_t bytes,
   return probe;
 }
 
+/// Everything register_result() has seen, in registration order — the
+/// source for the machine-readable JSON finish() can emit.
+struct Result {
+  std::string name;
+  SimDuration simulated = 0;
+  double mib_s = 0.0;
+  double gflops = 0.0;
+};
+
+inline std::vector<Result>& results() {
+  static std::vector<Result> cache;
+  return cache;
+}
+
 /// One cached result registered as a google-benchmark entry whose manual
-/// time is the simulated duration.
+/// time is the simulated duration; also recorded for finish()'s JSON file.
 inline void register_result(const std::string& name, SimDuration simulated,
                             double mib_s = 0.0, double gflops = 0.0) {
+  results().push_back({name, simulated, mib_s, gflops});
   benchmark::RegisterBenchmark(
       name.c_str(),
       [simulated, mib_s, gflops](benchmark::State& state) {
@@ -142,10 +158,34 @@ inline std::string size_label(std::uint64_t bytes) {
   return std::to_string(bytes / 1_KiB) + "KiB";
 }
 
-inline int finish(int argc, char** argv) {
+/// Runs the registered google-benchmark entries; when json_path is
+/// non-empty, additionally writes every register_result() entry to that
+/// file as one JSON object per series point (the BENCH_fig*.json files
+/// committed at the repo root — simulated nanoseconds plus whichever of
+/// MiB/s and GFlop/s the figure reports).
+inline int finish(int argc, char** argv, const std::string& json_path = "") {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (json_path.empty()) return 0;
+  std::ofstream json(json_path);
+  json << "{\n  \"results\": [\n";
+  const std::vector<Result>& all = results();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Result& r = all[i];
+    json << "    {\"name\": \"" << r.name
+         << "\", \"sim_ns\": " << r.simulated;
+    if (r.mib_s > 0.0) json << ", \"mib_s\": " << r.mib_s;
+    if (r.gflops > 0.0) json << ", \"gflops\": " << r.gflops;
+    json << '}' << (i + 1 < all.size() ? "," : "") << '\n';
+  }
+  json << "  ]\n}\n";
+  json.flush();
+  if (!json) {
+    std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }
 

@@ -47,5 +47,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::printf("\nmeasured 3-GPU speedup over local at N=10240: %.2fx\n\n",
               speedup_at_max);
-  return bench::finish(argc, argv);
+  return bench::finish(argc, argv, "BENCH_fig09.json");
 }

@@ -70,5 +70,5 @@ int main(int argc, char** argv) {
       "(paper: ~13/17/22 minutes; dynamic architecture at most +4%%)\n\n");
   table.print(std::cout);
   std::printf("\n");
-  return bench::finish(argc, argv);
+  return bench::finish(argc, argv, "BENCH_fig11.json");
 }

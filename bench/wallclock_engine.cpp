@@ -10,18 +10,29 @@
 //   * figure-9 wall time — one QR factorization point (N x N phantom, 3
 //     network-attached GPUs) end to end: the user-visible effect on the
 //     paper sweeps.
+//   * parallel cluster scenario — an MP2C-style job over a ≥128-node
+//     fabric (64 CNs + 64 ACs + ARM) with lease churn across waves, run
+//     under the serial baseline and the sharded parallel backend. Besides
+//     wall time it reports the engine's exposed parallelism (parallel
+//     events / critical-path events): wall speedup is bounded by
+//     min(exposed parallelism, host cores), so on a 1-core host the wall
+//     ratio reflects pure scheduling overhead while the exposed figure is
+//     the speedup a multi-core host can realize.
 //
 // Emits BENCH_engine.json (override with --out PATH); --quick shrinks the
 // iteration counts for use as a ctest smoke test.
 //
 //   $ ./bench/wallclock_engine [--quick] [--out BENCH_engine.json]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "la_util.hpp"
+#include "mdsim/mp2c.hpp"
 #include "sim/engine.hpp"
 #include "sim/exec.hpp"
 
@@ -96,6 +107,60 @@ QrProbe qr_wall_time(int n) {
   return p;
 }
 
+struct ChurnProbe {
+  std::uint64_t events = 0;
+  std::uint64_t switches = 0;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  double sim_ms = 0.0;
+  sim::Engine::ParallelStats pstats;  // zeros under the serial backends
+};
+
+/// MP2C-style cluster scenario: `nodes` compute nodes each leasing one of
+/// `nodes` accelerators (2*nodes+1 fabric nodes including the ARM), running
+/// the MP2C halo/migration/SRD loop on phantom GPUs. Each wave is a fresh
+/// job, so the ARM lease/release path churns nodes-many sessions per wave.
+ChurnProbe cluster_churn(sim::ExecBackend backend, int shards, int nodes,
+                         int waves, int steps) {
+  auto registry = gpu::KernelRegistry::with_builtins();
+  mdsim::register_mdsim_kernels(*registry);
+  rt::ClusterConfig cc;
+  cc.compute_nodes = nodes;
+  cc.accelerators = nodes;
+  cc.functional_gpus = false;
+  cc.registry = registry;
+  cc.sim_backend = backend;
+  cc.sim_shards = shards;
+  rt::Cluster cluster(cc);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int w = 0; w < waves; ++w) {
+    rt::JobSpec spec;
+    spec.name = "mp2c-w" + std::to_string(w);
+    spec.ranks = nodes;
+    spec.accelerators_per_rank = 1;
+    spec.body = [steps](rt::JobContext& job) {
+      core::RemoteDeviceLink gpu(job.session()[0], job.ctx());
+      mdsim::SrdParams srd;
+      srd.steps = steps;
+      (void)mdsim::run_mp2c(job, &gpu,
+                            /*total_particles=*/20'000u *
+                                static_cast<std::uint64_t>(job.size()),
+                            srd);
+    };
+    cluster.submit(spec);
+    cluster.run();
+  }
+  ChurnProbe p;
+  p.wall_s = seconds_since(t0);
+  p.events = cluster.engine().events_executed();
+  p.switches = cluster.engine().process_switches();
+  p.events_per_sec = static_cast<double>(p.events) / p.wall_s;
+  p.sim_ms = to_ms(cluster.engine().now());
+  p.pstats = cluster.engine().parallel_stats();
+  return p;
+}
+
 void print_switch(const char* label, const SwitchProbe& p) {
   std::printf("  %-10s %9llu switches in %.3f s  ->  %.0f switches/s\n",
               label, static_cast<unsigned long long>(p.switches), p.wall_s,
@@ -156,6 +221,59 @@ int run(int argc, char** argv) {
               "%.3f s wall\n",
               qr.n, qr.sim_ms, qr.wall_s);
 
+  // Parallel cluster scenario. 64 CNs + 64 ACs + the ARM = 129 fabric
+  // nodes in the full run; the serial baseline is the coroutine backend
+  // (thread under sanitizer builds).
+  const int churn_nodes = quick ? 16 : 64;
+  const int churn_waves = quick ? 1 : 3;
+  const int churn_steps = quick ? 10 : 30;
+  const int churn_shards = 8;
+  const int host_cores = static_cast<int>(std::thread::hardware_concurrency());
+  const sim::ExecBackend base_backend =
+      have_coro ? sim::ExecBackend::kCoroutine : sim::ExecBackend::kThread;
+  const char* base_label = have_coro ? "coroutine" : "thread";
+  std::printf(
+      "parallel cluster scenario: %d fabric nodes (%d CN + %d AC + ARM), "
+      "%d wave(s) x %d MP2C steps, lease churn per wave\n",
+      2 * churn_nodes + 1, churn_nodes, churn_nodes, churn_waves,
+      churn_steps);
+  const ChurnProbe base =
+      cluster_churn(base_backend, 0, churn_nodes, churn_waves, churn_steps);
+  std::printf("  %-10s %9llu events in %.3f s  ->  %.2fM events/s\n",
+              base_label, static_cast<unsigned long long>(base.events),
+              base.wall_s, base.events_per_sec / 1e6);
+  const ChurnProbe par = cluster_churn(sim::ExecBackend::kParallel,
+                                       churn_shards, churn_nodes, churn_waves,
+                                       churn_steps);
+  const double exposed =
+      par.pstats.critical_path_events == 0
+          ? 1.0
+          : static_cast<double>(par.pstats.parallel_events) /
+                static_cast<double>(par.pstats.critical_path_events);
+  const double wall_speedup = base.wall_s / par.wall_s;
+  std::printf(
+      "  parallel:%d %9llu events in %.3f s  ->  %.2fM events/s  "
+      "(%llu windows, exposed parallelism %.2fx)\n",
+      churn_shards, static_cast<unsigned long long>(par.events), par.wall_s,
+      par.events_per_sec / 1e6,
+      static_cast<unsigned long long>(par.pstats.windows), exposed);
+  std::printf(
+      "  wall speedup %.2fx on %d host core(s); multi-core bound is "
+      "min(exposed parallelism, cores) = %.2fx\n",
+      wall_speedup, host_cores,
+      std::min(exposed, static_cast<double>(host_cores)));
+  if (base.events != par.events || base.switches != par.switches) {
+    std::fprintf(stderr,
+                 "warning: backend divergence (events %llu vs %llu, "
+                 "switches %llu vs %llu) — determinism contract violated\n",
+                 static_cast<unsigned long long>(base.events),
+                 static_cast<unsigned long long>(par.events),
+                 static_cast<unsigned long long>(base.switches),
+                 static_cast<unsigned long long>(par.switches));
+    return 1;
+  }
+  std::printf("  determinism cross-check: event and switch counts match\n");
+
   std::ofstream json(out_path);
   json << "{\n"
        << "  \"bench\": \"wallclock_engine\",\n"
@@ -177,7 +295,27 @@ int run(int argc, char** argv) {
        << ", \"heap_fallbacks\": " << ev.heap_fallbacks << "},\n"
        << "  \"fig09_qr\": {\"n\": " << qr.n << ", \"gpus\": 3"
        << ", \"sim_ms\": " << qr.sim_ms << ", \"wall_s\": " << qr.wall_s
-       << "}\n"
+       << "},\n"
+       << "  \"parallel_cluster\": {\n"
+       << "    \"fabric_nodes\": " << 2 * churn_nodes + 1
+       << ", \"compute_nodes\": " << churn_nodes
+       << ", \"accelerators\": " << churn_nodes
+       << ", \"waves\": " << churn_waves << ", \"steps\": " << churn_steps
+       << ",\n"
+       << "    \"host_cores\": " << host_cores << ",\n"
+       << "    \"" << base_label << "\": {\"events\": " << base.events
+       << ", \"wall_s\": " << base.wall_s
+       << ", \"events_per_sec\": " << base.events_per_sec << "},\n"
+       << "    \"parallel\": {\"shards\": " << churn_shards
+       << ", \"events\": " << par.events << ", \"wall_s\": " << par.wall_s
+       << ", \"events_per_sec\": " << par.events_per_sec
+       << ", \"windows\": " << par.pstats.windows
+       << ", \"parallel_events\": " << par.pstats.parallel_events
+       << ", \"critical_path_events\": " << par.pstats.critical_path_events
+       << "},\n"
+       << "    \"wall_speedup\": " << wall_speedup
+       << ", \"exposed_parallelism\": " << exposed << "\n"
+       << "  }\n"
        << "}\n";
   json.flush();
   if (!json) {

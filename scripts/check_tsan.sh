@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 test suite under ThreadSanitizer.
+#
+# TSan is the proof vehicle for the parallel execution backend: the build
+# pins thread strands (DACC_SIM_FORCE_THREAD_BACKEND, set automatically by
+# CMake when DACC_SANITIZE is active) so every context switch is a real OS
+# hand-off TSan can follow, and the run exports DACC_SIM_BACKEND=parallel
+# with a multi-thread worker pool so the window barriers, staged inboxes
+# and cross-shard wakes all execute on genuinely concurrent threads.
+# Benchmarks and examples are skipped: they add nothing to the
+# thread-safety surface and triple the build time.
+#
+#   $ scripts/check_tsan.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="${1:-$repo/build-tsan}"
+
+cmake -B "$build" -S "$repo" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDACC_SANITIZE=thread \
+  -DDACC_BUILD_BENCHMARKS=OFF \
+  -DDACC_BUILD_EXAMPLES=OFF
+cmake --build "$build" -j "$(nproc)"
+
+# Pass 1: default backend selection (thread strands, serial scheduler).
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+
+# Pass 2: the parallel scheduler with real worker threads — four shards,
+# two workers, so shard execution crosses OS threads even on small hosts.
+DACC_SIM_BACKEND=parallel:4 DACC_SIM_PARALLEL_WORKERS=2 \
+  ctest --test-dir "$build" --output-on-failure -j "$(nproc)"

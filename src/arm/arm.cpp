@@ -465,16 +465,10 @@ std::vector<double> Arm::utilization(SimTime now) const {
 // ArmClient
 // ---------------------------------------------------------------------------
 
-namespace {
-
-/// Process-wide reply-tag source. The simulation is effectively
-/// single-threaded (baton-passed), so a plain counter is race-free.
-int fresh_reply_tag() {
-  static int counter = 0;
-  return kArmReplyTagBase + (counter++ % 1'000'000);
+int ArmClient::fresh_reply_tag() {
+  return kArmReplyTagBase +
+         static_cast<int>(mpi_.fresh_tag_seed() % 1'000'000);
 }
-
-}  // namespace
 
 std::vector<Lease> ArmClient::acquire(std::uint64_t job, std::uint32_t count,
                                       bool wait, const std::string& kind) {

@@ -249,6 +249,14 @@ class ArmClient {
   void shutdown();
 
  private:
+  /// Reply-tag source, backed by the rank's endpoint counter
+  /// (dmpi::Mpi::fresh_tag_seed): unique across every client sharing this
+  /// rank — several launchers can hold queued acquires on one endpoint at
+  /// once — race-free under the parallel execution backend (all users of
+  /// an endpoint run on the rank's home shard), and deterministic (the
+  /// sequence does not depend on how other shards interleave).
+  int fresh_reply_tag();
+
   dmpi::Mpi& mpi_;
   const dmpi::Comm& comm_;
   dmpi::Rank arm_;

@@ -96,6 +96,15 @@ struct World::Endpoint {
   };
   std::deque<Posted> posted;
   std::deque<Unexpected> unexpected;
+  // Rendezvous bookkeeping lives on the *sender's* endpoint: post_send,
+  // arrive_cts (the CTS is delivered to the sender's node) and
+  // cancel_request all run in that rank's node context, so under the
+  // parallel backend no two shards ever touch the same send list.
+  std::uint64_t next_send_id = 1;
+  std::vector<std::unique_ptr<PendingSend>> pending_sends;
+  // User-level tag seed (Mpi::fresh_tag_seed); same shard-ownership
+  // argument as above.
+  std::uint64_t next_tag_seed = 0;
 };
 
 struct World::PendingSend {
@@ -176,14 +185,15 @@ std::shared_ptr<Request::State> World::post_send(sim::Context& ctx,
   }
 
   // Rendezvous: RTS -> (match) -> CTS -> data.
+  Endpoint& sender_ep = *endpoints_[static_cast<std::size_t>(src_w)];
   auto pending = std::make_unique<PendingSend>();
-  pending->id = next_send_id_++;
+  pending->id = sender_ep.next_send_id++;
   pending->src_w = src_w;
   pending->dst_w = dst_w;
   pending->data = std::move(data);
   pending->send_state = state;
   const std::uint64_t send_id = pending->id;
-  pending_sends_.push_back(std::move(pending));
+  sender_ep.pending_sends.push_back(std::move(pending));
 
   fabric_.deliver(src_node, dst_node, params_.ctrl_bytes, engine_.now(),
                   [this, dst_w, context_id, src_w, tag, send_id, bytes] {
@@ -293,16 +303,18 @@ void World::send_cts(Rank dst_w, Rank src_w, std::uint64_t send_id, int tag,
 
 void World::arrive_cts(Rank src_w, std::uint64_t send_id, int tag,
                        std::shared_ptr<Request::State> recv_state) {
+  Endpoint& sender_ep = *endpoints_[static_cast<std::size_t>(src_w)];
+  auto& sends = sender_ep.pending_sends;
   const auto it = std::find_if(
-      pending_sends_.begin(), pending_sends_.end(),
+      sends.begin(), sends.end(),
       [&](const auto& p) { return p->id == send_id && p->src_w == src_w; });
-  if (it == pending_sends_.end()) {
+  if (it == sends.end()) {
     // The sender cancelled (timeout/retry path) between RTS and CTS; the
     // receiver's reserved recv stays pending — its owner times out too.
     return;
   }
   auto pending = std::move(*it);
-  pending_sends_.erase(it);
+  sends.erase(it);
 
   const std::uint64_t bytes = pending->data.size();
   const Rank dst_w = pending->dst_w;
@@ -314,7 +326,15 @@ void World::arrive_cts(Rank src_w, std::uint64_t send_id, int tag,
       engine_.now(),
       [this, recv_state = std::move(recv_state), send_state,
        payload = std::move(pending->data), sender, tag, bytes]() mutable {
-        send_state->complete(Status{sender, tag, bytes}, util::Buffer{});
+        // This runs at the receiver. The send request belongs to the sender,
+        // so its completion (and the wake of anyone waiting on it) is posted
+        // back to the sender's node — under the parallel backend the state is
+        // only ever touched from its owner's shard.
+        engine_.post(node_of(sender), engine_.now(),
+                     [send_state, sender, tag, bytes] {
+                       send_state->complete(Status{sender, tag, bytes},
+                                            util::Buffer{});
+                     });
         complete_recv(recv_state, sender, recv_state->context_id, tag,
                       std::move(payload), params_.recv_overhead);
       });
@@ -333,9 +353,10 @@ void World::cancel_request(Rank me_w,
   }
   // Unanswered rendezvous send? Withdraw it; a CTS arriving later finds no
   // pending send and is ignored.
-  for (auto it = pending_sends_.begin(); it != pending_sends_.end(); ++it) {
+  auto& sends = ep.pending_sends;
+  for (auto it = sends.begin(); it != sends.end(); ++it) {
     if ((*it)->send_state == state) {
-      pending_sends_.erase(it);
+      sends.erase(it);
       return;
     }
   }
@@ -363,6 +384,10 @@ Mpi::Mpi(World& world, sim::Context& ctx, Rank world_rank)
   if (world_rank < 0 || world_rank >= world.size()) {
     throw std::out_of_range("Mpi: invalid world rank");
   }
+}
+
+std::uint64_t Mpi::fresh_tag_seed() {
+  return world_.endpoints_[static_cast<std::size_t>(rank_)]->next_tag_seed++;
 }
 
 Rank Mpi::require_member(const Comm& comm) const {

@@ -162,8 +162,6 @@ class World {
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::vector<std::unique_ptr<Comm>> comms_;
   const Comm* world_comm_ = nullptr;
-  std::uint64_t next_send_id_ = 1;
-  std::vector<std::unique_ptr<PendingSend>> pending_sends_;
   int next_context_id_ = 0;
 };
 
@@ -208,6 +206,14 @@ class Mpi {
   /// is withdrawn. Completed or already-matched requests are left alone (the
   /// data is in flight and will land; the caller simply ignores it).
   void cancel(Request& request);
+
+  /// Monotonic per-rank sequence for building unique user-level reply tags
+  /// (the ARM request/reply pairing). Shared by every Mpi view of this
+  /// rank — several processes may borrow one endpoint (e.g. job launchers
+  /// queueing concurrent acquires) and must never mint the same tag. All
+  /// of them execute on the rank's home shard, so the counter needs no
+  /// lock and its values are deterministic under every backend.
+  std::uint64_t fresh_tag_seed();
 
   /// Combined send + receive (halo-exchange staple); posts the receive
   /// first so opposing sendrecvs never deadlock.

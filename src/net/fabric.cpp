@@ -9,6 +9,11 @@ Fabric::Fabric(sim::Engine& engine, int num_nodes, FabricParams params)
   if (num_nodes <= 0) {
     throw std::invalid_argument("Fabric: need at least one node");
   }
+  // Declare the node topology to the engine: this homes per-node events on
+  // their shards under the parallel backend and sizes the per-node ordering
+  // counters everywhere. Must precede any node-homed scheduling, which
+  // constructing the fabric before any traffic guarantees.
+  engine.set_node_count(num_nodes);
 }
 
 void Fabric::check_node(NodeId node) const {
@@ -33,7 +38,6 @@ Fabric::Outcome Fabric::transfer_outcome(NodeId src, NodeId dst,
   if (earliest >= s.down_at) {
     // A dead source NIC injects nothing; no port time is consumed.
     ++s.drops;
-    ++total_drops_;
     return {earliest, false};
   }
   SimDuration busy = transfer_time(bytes, params_.link_bandwidth_mib_s);
@@ -56,7 +60,6 @@ Fabric::Outcome Fabric::transfer_outcome(NodeId src, NodeId dst,
     const auto tx = s.tx.occupy(earliest, busy);
     s.bytes_sent += bytes;
     ++d.drops;
-    ++total_drops_;
     return {tx.end + params_.wire_latency, false};
   }
   const auto tx = s.tx.occupy(earliest, busy);
@@ -68,15 +71,63 @@ Fabric::Outcome Fabric::transfer_outcome(NodeId src, NodeId dst,
   // Link failure mid-flight: the transfer was cut before it drained.
   if (tx.end > s.down_at) {
     ++s.drops;
-    ++total_drops_;
     return {rx.end, false};
   }
   if (rx.end > d.down_at) {
     ++d.drops;
-    ++total_drops_;
     return {rx.end, false};
   }
   return {rx.end, true};
+}
+
+Fabric::TxPlan Fabric::plan_transfer(NodeId src, NodeId dst,
+                                     std::uint64_t bytes, SimTime earliest) {
+  check_node(src);
+  check_node(dst);
+  const SimTime now = engine_.now();
+  if (earliest < now) earliest = now;
+  if (src == dst) {
+    // Loopback: memory-to-memory, no NIC involvement — immune to NIC faults.
+    const SimDuration busy =
+        transfer_time(bytes, params_.loopback_bandwidth_mib_s);
+    return {TxPlan::Kind::kLoopback, earliest + params_.loopback_latency + busy,
+            busy, false};
+  }
+  Nic& s = nics_[static_cast<std::size_t>(src)];
+  const Nic& d = nics_[static_cast<std::size_t>(dst)];
+  if (earliest >= s.down_at) {
+    // A dead source NIC injects nothing; no port time is consumed.
+    ++s.drops;
+    return {TxPlan::Kind::kSrcDead, earliest, 0, false};
+  }
+  SimDuration busy = transfer_time(bytes, params_.link_bandwidth_mib_s);
+  if (bytes >= params_.per_message_overhead_min_bytes) {
+    busy += params_.per_message_overhead;
+  }
+  // A degraded NIC on either end stretches the serialization time; the
+  // slower endpoint governs (the destination's marks are only written from
+  // the serial global band, so reading them here is backend-invariant).
+  double factor = 1.0;
+  if (earliest >= s.degraded_at) factor = s.degrade_factor;
+  if (earliest >= d.degraded_at && d.degrade_factor < factor) {
+    factor = d.degrade_factor;
+  }
+  if (factor < 1.0) {
+    busy = static_cast<SimDuration>(static_cast<double>(busy) / factor);
+  }
+  const auto tx = s.tx.occupy(earliest, busy);
+  s.bytes_sent += bytes;
+  if (earliest >= d.down_at) {
+    // Transmitting into a dead receiver: tx time is consumed, nothing lands.
+    return {TxPlan::Kind::kDstDead, tx.end + params_.wire_latency, busy,
+            false};
+  }
+  // Cut-through: the wire front reaches the receiver one latency after the
+  // tx occupancy starts; the rx port is charged there, in arrival order.
+  const bool src_dropped = tx.end > s.down_at;
+  if (src_dropped) ++s.drops;
+  return {TxPlan::Kind::kSend, tx.start + params_.wire_latency, busy,
+          src_dropped};
 }
 
 void Fabric::fail_link(NodeId node, SimTime at) {

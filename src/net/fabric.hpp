@@ -55,17 +55,47 @@ class Fabric {
     return transfer_outcome(src, dst, bytes, earliest).at;
   }
 
-  /// transfer() plus an engine callback at the delivery time; the callback
-  /// is silently discarded when the transfer is dropped by a failed link
-  /// (the wire model of message loss). Templated so move-only callbacks
+  /// Asynchronous transfer with an engine callback at the delivery time; the
+  /// callback is silently discarded when the transfer is dropped by a failed
+  /// link (the wire model of message loss). Templated so move-only callbacks
   /// (carrying payload buffers by value) go straight into the engine's
   /// pooled event storage without a std::function box.
+  ///
+  /// Runs in two phases so each NIC is only ever touched from its own node's
+  /// context (the parallel backend's isolation invariant): the send phase
+  /// executes here — in the caller's (src) context — consuming tx-port time
+  /// and source-side accounting; the receive phase rides the payload to the
+  /// destination node one wire latency later and consumes rx-port time
+  /// there. Receive-port contention therefore resolves in arrival order,
+  /// which is identical under every backend. The sync transfer_outcome()
+  /// API keeps the original one-shot semantics for fault-free modelling and
+  /// tests.
   template <typename F>
   void deliver(NodeId src, NodeId dst, std::uint64_t bytes, SimTime earliest,
                F&& on_delivered) {
-    const Outcome out = transfer_outcome(src, dst, bytes, earliest);
-    if (out.delivered) {
-      engine_.schedule_at(out.at, std::forward<F>(on_delivered));
+    const TxPlan plan = plan_transfer(src, dst, bytes, earliest);
+    switch (plan.kind) {
+      case TxPlan::Kind::kLoopback:
+        engine_.schedule_at(plan.at, std::forward<F>(on_delivered));
+        break;
+      case TxPlan::Kind::kSrcDead:
+        break;  // nothing was injected; drop already accounted at src
+      case TxPlan::Kind::kDstDead:
+        // tx time was consumed; the wire front reaches a dark NIC. The
+        // drop is accounted on the destination's shard.
+        engine_.post(dst, plan.at, [this, dst] {
+          ++nics_[static_cast<std::size_t>(dst)].drops;
+        });
+        break;
+      case TxPlan::Kind::kSend:
+        engine_.post(dst, plan.at,
+                     [this, dst, bytes, busy = plan.busy,
+                      src_dropped = plan.src_dropped,
+                      cb = std::forward<F>(on_delivered)]() mutable {
+                       finish_receive(dst, bytes, busy, src_dropped,
+                                      std::move(cb));
+                     });
+        break;
     }
   }
 
@@ -85,7 +115,11 @@ class Fabric {
   bool link_failed(NodeId node, SimTime at) const;
   /// Transfers dropped because this node's NIC was down.
   std::uint64_t drops(NodeId node) const;
-  std::uint64_t total_drops() const { return total_drops_; }
+  std::uint64_t total_drops() const {
+    std::uint64_t total = 0;
+    for (const Nic& n : nics_) total += n.drops;
+    return total;
+  }
 
   /// Per-node traffic counters (diagnostics / utilization reporting).
   std::uint64_t bytes_sent(NodeId node) const;
@@ -105,12 +139,42 @@ class Fabric {
     double degrade_factor = 1.0;
   };
 
+  /// Send-phase result for the two-phase deliver() path.
+  struct TxPlan {
+    enum class Kind { kLoopback, kSrcDead, kDstDead, kSend } kind;
+    SimTime at = 0;            ///< delivery (loopback) or wire-arrival time
+    SimDuration busy = 0;      ///< serialization time to charge the rx port
+    bool src_dropped = false;  ///< src NIC died while the tx port drained
+  };
+
+  /// Source-side half of deliver(): consumes tx-port time and src-side
+  /// accounting in the caller's context. Reads the destination NIC's fault
+  /// and degrade marks, which is safe under every backend because those are
+  /// only written from the serial global band (or before the run).
+  TxPlan plan_transfer(NodeId src, NodeId dst, std::uint64_t bytes,
+                       SimTime earliest);
+
+  /// Destination-side half: runs in the destination node's context at the
+  /// wire-arrival time.
+  template <typename F>
+  void finish_receive(NodeId dst, std::uint64_t bytes, SimDuration busy,
+                      bool src_dropped, F&& cb) {
+    Nic& d = nics_[static_cast<std::size_t>(dst)];
+    const auto rx = d.rx.occupy(engine_.now(), busy);
+    d.bytes_received += bytes;
+    if (src_dropped) return;  // cut before it drained; src already accounted
+    if (rx.end > d.down_at) {
+      ++d.drops;
+      return;
+    }
+    engine_.schedule_at(rx.end, std::forward<F>(cb));
+  }
+
   void check_node(NodeId node) const;
 
   sim::Engine& engine_;
   FabricParams params_;
   std::vector<Nic> nics_;
-  std::uint64_t total_drops_ = 0;
 };
 
 }  // namespace dacc::net

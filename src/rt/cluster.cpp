@@ -58,7 +58,7 @@ ClusterConfig normalize(ClusterConfig config) {
 
 Cluster::Cluster(ClusterConfig config)
     : config_(normalize(std::move(config))),
-      engine_(config_.sim_backend),
+      engine_(config_.sim_backend, config_.sim_shards),
       fabric_(engine_, config_.compute_nodes + config_.accelerators + 1,
               config_.fabric),
       registry_(config_.registry ? config_.registry
@@ -66,6 +66,10 @@ Cluster::Cluster(ClusterConfig config)
   if (config_.compute_nodes <= 0) {
     throw std::invalid_argument("Cluster: need at least one compute node");
   }
+  // Conservative lookahead: no cross-node effect can land sooner than one
+  // wire latency, so shards may safely advance that far per window. The
+  // clamp applies under every backend, keeping results bit-identical.
+  engine_.set_lookahead(config_.fabric.wire_latency);
   if (config_.trace) engine_.set_tracer(&tracer_);
   world_ = std::make_unique<dmpi::World>(
       engine_, fabric_,
@@ -83,8 +87,10 @@ Cluster::Cluster(ClusterConfig config)
     daemons_.push_back(std::make_unique<daemon::Daemon>(
         *ac_devices_.back(), *world_, daemon_rank(ac), config_.proto));
     daemon::Daemon* d = daemons_.back().get();
-    sim::Process& p = engine_.spawn("daemon-ac" + std::to_string(ac),
-                                    [d](sim::Context& ctx) { d->run(ctx); });
+    sim::Process& p = engine_.spawn_on(
+        static_cast<std::int32_t>(daemon_rank(ac)),
+        "daemon-ac" + std::to_string(ac),
+        [d](sim::Context& ctx) { d->run(ctx); });
     engine_.set_daemon(p);
     pool.push_back(arm::AcceleratorInfo{daemon_rank(ac), dev_params.name,
                                         dev_params.kind});
@@ -101,23 +107,28 @@ Cluster::Cluster(ClusterConfig config)
   // The accelerator resource manager.
   arm_ = std::make_unique<arm::Arm>(*world_, arm_rank(), std::move(pool),
                                     config_.arm_policy);
-  sim::Process& armp = engine_.spawn(
-      "arm", [this](sim::Context& ctx) { arm_->run(ctx); });
+  sim::Process& armp = engine_.spawn_on(
+      static_cast<std::int32_t>(arm_rank()), "arm",
+      [this](sim::Context& ctx) { arm_->run(ctx); });
   engine_.set_daemon(armp);
 
   // Liveness protocol: one pacer per accelerator node plus one sweep
   // monitor co-located with the ARM. All are engine daemons gated on
   // running jobs, so an idle cluster generates no heartbeat traffic.
-  idle_gate_ = std::make_unique<sim::WaitQueue>(engine_);
+  for (int i = 0; i < config_.accelerators + 1; ++i) {
+    hb_gates_.push_back(std::make_unique<sim::WaitQueue>(engine_));
+  }
   if (config_.heartbeat.enabled) {
     for (int ac = 0; ac < config_.accelerators; ++ac) {
-      sim::Process& hb = engine_.spawn(
+      sim::Process& hb = engine_.spawn_on(
+          static_cast<std::int32_t>(daemon_rank(ac)),
           "hb-pacer-ac" + std::to_string(ac),
           [this, ac](sim::Context& ctx) { heartbeat_pacer(ctx, ac); });
       engine_.set_daemon(hb);
     }
-    sim::Process& mon = engine_.spawn(
-        "hb-monitor", [this](sim::Context& ctx) { heartbeat_monitor(ctx); });
+    sim::Process& mon = engine_.spawn_on(
+        static_cast<std::int32_t>(arm_rank()), "hb-monitor",
+        [this](sim::Context& ctx) { heartbeat_monitor(ctx); });
     engine_.set_daemon(mon);
   }
 }
@@ -125,9 +136,10 @@ Cluster::Cluster(ClusterConfig config)
 void Cluster::heartbeat_pacer(sim::Context& ctx, int ac) {
   dmpi::Mpi mpi(*world_, ctx, daemon_rank(ac));
   gpu::Device* dev = ac_devices_[static_cast<std::size_t>(ac)].get();
+  sim::WaitQueue& gate = *hb_gates_[static_cast<std::size_t>(ac)];
   std::uint64_t seq = 0;
   for (;;) {
-    while (active_jobs_ == 0) idle_gate_->wait(ctx);
+    while (active_jobs_ == 0) gate.wait(ctx);
     ctx.wait_for(config_.heartbeat.period);
     if (active_jobs_ == 0) continue;  // drained while we slept
     arm::Heartbeat beat;
@@ -141,10 +153,12 @@ void Cluster::heartbeat_pacer(sim::Context& ctx, int ac) {
 
 void Cluster::heartbeat_monitor(sim::Context& ctx) {
   dmpi::Mpi mpi(*world_, ctx, arm_rank());
+  sim::WaitQueue& gate =
+      *hb_gates_[static_cast<std::size_t>(config_.accelerators)];
   bool fresh = true;
   for (;;) {
     while (active_jobs_ == 0) {
-      idle_gate_->wait(ctx);
+      gate.wait(ctx);
       fresh = true;  // amnesty: beat clocks restart after an idle phase
     }
     ctx.wait_for(config_.heartbeat.period);
@@ -215,15 +229,19 @@ JobHandle Cluster::submit(JobSpec spec, int first_cn) {
   auto shared_spec = std::make_shared<JobSpec>(std::move(spec));
 
   // Un-gate the heartbeat pacers for the duration of this job. The wake is
-  // routed through an event so submit() also works from outside process
-  // context (before run()).
+  // routed through an event (the serial global band under the parallel
+  // backend) so submit() also works from outside process context.
   ++active_jobs_;
-  engine_.schedule_at(engine_.now(), [this] { idle_gate_->notify_all(); });
+  engine_.schedule_at(engine_.now(), [this] {
+    for (auto& gate : hb_gates_) gate->notify_all();
+  });
 
   // The launcher performs the static assignment before starting the ranks
   // (paper Figure 3(a)); it speaks to the ARM with the first rank's
-  // endpoint, strictly before any rank runs.
-  engine_.spawn(
+  // endpoint, strictly before any rank runs. It is homed on the first
+  // rank's node, matching the endpoint it borrows.
+  engine_.spawn_on(
+      static_cast<std::int32_t>(members.front()),
       shared_spec->name + "-launcher",
       [this, shared_spec, job_base, members, &job_comm, completion,
        remaining](sim::Context& lctx) {
@@ -248,7 +266,8 @@ JobHandle Cluster::submit(JobSpec spec, int first_cn) {
         for (int r = 0; r < shared_spec->ranks; ++r) {
           const dmpi::Rank world_rank = members[static_cast<std::size_t>(r)];
           auto leases = static_leases[static_cast<std::size_t>(r)];
-          engine_.spawn(
+          engine_.spawn_on(
+              static_cast<std::int32_t>(world_rank),
               shared_spec->name + "-r" + std::to_string(r),
               [this, shared_spec, job_base, r, world_rank, &job_comm,
                completion, remaining, leases](sim::Context& ctx) {
@@ -268,10 +287,15 @@ JobHandle Cluster::submit(JobSpec spec, int first_cn) {
                 shared_spec->body(jctx);
                 // Automatic end-of-job release (paper Section III.C).
                 session.close();
-                if (--*remaining == 0) {
-                  --active_jobs_;
-                  completion->complete();
-                }
+                // Rank-done accounting is shared by ranks on different
+                // shards; serialize it on the global band.
+                engine_.post(sim::kGlobalNode, ctx.now(),
+                             [this, completion, remaining] {
+                               if (--*remaining == 0) {
+                                 --active_jobs_;
+                                 completion->complete();
+                               }
+                             });
               });
         }
       });
@@ -282,11 +306,25 @@ void Cluster::run() { engine_.run(); }
 
 void Cluster::break_accelerator(int ac, SimTime at) {
   gpu::Device* dev = &accelerator_device(ac);
-  engine_.schedule_at(at, [dev] { dev->mark_broken(); });
+  // The device lives on the accelerator's shard; run the fault there. When
+  // called from a job rank the cross-node lookahead clamp applies, exactly
+  // as it would for any message the rank could send.
+  engine_.post(static_cast<std::int32_t>(daemon_rank(ac)), at,
+               [dev] { dev->mark_broken(); });
 }
 
 void Cluster::fail_link(net::NodeId node, SimTime at) {
-  fabric_.fail_link(node, at);
+  if (engine_.current() == nullptr) {
+    // Configured up front (no events are running): write the fault mark
+    // directly, preserving the exact in-flight-cut semantics for transfers
+    // that straddle `at`.
+    fabric_.fail_link(node, at);
+    return;
+  }
+  // Mid-run injection from a process: the NIC fault marks are read by every
+  // shard's send planning, so the write must run on the serial global band.
+  engine_.post(sim::kGlobalNode, at,
+               [this, node, at] { fabric_.fail_link(node, at); });
 }
 
 void Cluster::fail_accelerator_link(int ac, SimTime at) {

@@ -75,8 +75,14 @@ struct ClusterConfig {
   std::shared_ptr<gpu::KernelRegistry> registry;
 
   /// Execution backend for the simulation engine (coroutines by default;
-  /// see sim/exec.hpp). Results are identical under either backend.
+  /// see sim/exec.hpp). Results are identical under every backend.
   sim::ExecBackend sim_backend = sim::default_exec_backend();
+
+  /// Shard count for the parallel backend: simulated nodes are partitioned
+  /// into this many event queues (0 = one shard per fabric node). Honors
+  /// DACC_SIM_BACKEND=parallel:N by default. Ignored by the sequential
+  /// backends. Results are bit-identical for every shard count.
+  int sim_shards = sim::default_parallel_shards();
 };
 
 class Cluster;
@@ -221,8 +227,15 @@ class Cluster {
   std::uint64_t next_job_ = 1;
   /// Heartbeat traffic is gated on running jobs so the event queue drains
   /// (and engine.run() returns) once all submitted work completes.
+  /// `active_jobs_` is written from the engine's serial global band only
+  /// (submit runs before the engine does; rank completion is posted to the
+  /// band), so the liveness processes on accelerator shards can read it
+  /// without racing under the parallel backend.
   int active_jobs_ = 0;
-  std::unique_ptr<sim::WaitQueue> idle_gate_;
+  /// One idle gate per liveness process (pacers, then the monitor): each
+  /// gate's wait list is touched only by its owning process's shard and the
+  /// global band, never by two shards.
+  std::vector<std::unique_ptr<sim::WaitQueue>> hb_gates_;
 };
 
 }  // namespace dacc::rt

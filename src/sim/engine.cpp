@@ -2,17 +2,42 @@
 
 #include <ucontext.h>
 
+#include <algorithm>
 #include <condition_variable>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
+#include "sim/trace.hpp"
+
 namespace dacc::sim {
+
+namespace detail {
+namespace {
+thread_local ExecCursor* t_cursor = nullptr;
+}  // namespace
+
+// Deliberately not inlined: a coroutine that suspends on one worker thread
+// and resumes on another must re-derive the thread-local address after the
+// stack switch; an out-of-line call is the portable way to defeat cached
+// TLS address computations.
+__attribute__((noinline)) ExecCursor* exec_cursor() noexcept {
+  return t_cursor;
+}
+
+__attribute__((noinline)) void set_exec_cursor(ExecCursor* c) noexcept {
+  t_cursor = c;
+}
+
+}  // namespace detail
 
 // ---------------------------------------------------------------------------
 // Strands: hand execution back and forth between the engine and one process.
 // Exactly one side runs at a time; the two implementations differ only in
-// the mechanics of the hand-off.
+// the mechanics of the hand-off. Under the parallel backend consecutive
+// slices of one process may be driven by different worker threads; the
+// barrier between windows orders those drives, so each strand still sees a
+// strictly alternating engine/process hand-off.
 // ---------------------------------------------------------------------------
 
 class Process::Strand {
@@ -57,6 +82,8 @@ class CoroStrand final : public Process::Strand {
                     2, static_cast<unsigned>(self >> 32),
                     static_cast<unsigned>(self & 0xffffffffu));
     }
+    // engine_ is overwritten on every slice, so it always names the worker
+    // that drove this slice — the coroutine returns to whoever resumed it.
     ::swapcontext(&engine_, &coro_);
     if (p.finished() && stack_.map_base != nullptr) {
       pool_.release(stack_);
@@ -90,6 +117,11 @@ class CoroStrand final : public Process::Strand {
 // OS-thread strand: the original SystemC-style baton (mutex/condvar). Kept
 // as the sanitizer- and debugger-friendly fallback; selected per engine or
 // globally via -DDACC_SANITIZE / DACC_SIM_BACKEND=thread.
+//
+// Because the process body runs on its own OS thread, the worker's
+// execution cursor must follow the baton: run_slice() publishes the
+// driving thread's cursor and the process side installs it after every
+// baton receipt, so Engine::now() etc. resolve against the running window.
 class ThreadStrand final : public Process::Strand {
  public:
   explicit ThreadStrand(Process& p) {
@@ -101,6 +133,7 @@ class ThreadStrand final : public Process::Strand {
   }
 
   void run_slice(Process&) override {
+    cursor_ = detail::exec_cursor();
     std::unique_lock lock(mutex_);
     turn_ = Turn::kProcess;
     cv_.notify_all();
@@ -112,6 +145,8 @@ class ThreadStrand final : public Process::Strand {
     turn_ = Turn::kEngine;
     cv_.notify_all();
     cv_.wait(lock, [&] { return turn_ == Turn::kProcess; });
+    lock.unlock();
+    detail::set_exec_cursor(cursor_);
     if (is_shutdown_requested(p)) throw Shutdown{};
   }
 
@@ -122,6 +157,7 @@ class ThreadStrand final : public Process::Strand {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [&] { return turn_ == Turn::kProcess; });
     }
+    detail::set_exec_cursor(cursor_);
     run_body(p);
     std::unique_lock lock(mutex_);
     turn_ = Turn::kEngine;
@@ -132,6 +168,7 @@ class ThreadStrand final : public Process::Strand {
   std::condition_variable cv_;
   enum class Turn { kEngine, kProcess } turn_ = Turn::kEngine;
   std::thread thread_;
+  detail::ExecCursor* cursor_ = nullptr;  // driving worker's cursor
 };
 
 }  // namespace
@@ -143,11 +180,17 @@ class ThreadStrand final : public Process::Strand {
 Process::Process(Engine& engine, std::uint64_t id, std::string name,
                  ProcessFn fn)
     : engine_(engine), id_(id), name_(std::move(name)), fn_(std::move(fn)) {
+#if defined(DACC_SIM_FORCE_THREAD_BACKEND)
+  // Sanitizer builds cannot track hand-switched stacks regardless of the
+  // engine's nominal backend.
+  strand_ = std::make_unique<ThreadStrand>(*this);
+#else
   if (engine.backend() == ExecBackend::kThread) {
     strand_ = std::make_unique<ThreadStrand>(*this);
   } else {
     strand_ = std::make_unique<CoroStrand>(engine.stack_pool_, *this);
   }
+#endif
 }
 
 Process::~Process() = default;
@@ -162,10 +205,10 @@ void Process::body_main() {
       // Normal teardown path for blocked service loops.
     } catch (const std::exception& e) {
       failure_ = e.what();
-      engine_.any_failure_ = true;
+      engine_.any_failure_.store(true, std::memory_order_release);
     } catch (...) {
       failure_ = "unknown exception";
-      engine_.any_failure_ = true;
+      engine_.any_failure_.store(true, std::memory_order_release);
     }
   }
   finished_ = true;
@@ -212,40 +255,133 @@ void Context::yield() {
 }
 
 Process& Engine::current_process() {
-  if (current_ == nullptr) {
+  Process* p = executing();
+  if (p == nullptr) {
     throw SimError("operation requires process context");
   }
-  return *current_;
+  return *p;
 }
 
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
 
-Engine::Engine(ExecBackend backend) : backend_(backend) {}
+/// Worker pool for the parallel backend. Workers sleep between windows; the
+/// coordinator publishes (epoch, window_end) and waits for every worker to
+/// check back in. The mutex hand-offs double as the happens-before edges
+/// that make shard state written in window N visible to whichever worker
+/// drives the shard in window N+1.
+struct Engine::ParallelRt {
+  std::mutex m;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::uint64_t epoch = 0;
+  int pending = 0;
+  SimTime window_end = 0;
+  bool quit = false;
+  std::exception_ptr failure;
+  std::vector<std::thread> threads;
+};
 
-Engine::~Engine() { shutdown_processes(); }
+Engine::Engine(ExecBackend backend, int shards)
+    : backend_(backend), shards_hint_(shards) {}
+
+Engine::~Engine() {
+  stop_workers();
+  shutdown_processes();
+}
+
+void Engine::set_node_count(int nodes) {
+  if (nodes > node_count_) {
+    node_count_ = nodes;
+    node_seq_.resize(static_cast<std::size_t>(node_count_) + 1, 0);
+  }
+  if (backend_ != ExecBackend::kParallel || node_count_ == 0) return;
+  const int want = shards_hint_ > 0 ? shards_hint_ : node_count_;
+  if (want == num_shards_) return;
+  for (const auto& sh : shards_) {
+    if (!sh->q.empty()) {
+      throw SimError("set_node_count: cannot re-shard with node events pending");
+    }
+  }
+  stop_workers();
+  shards_.clear();
+  shards_.reserve(static_cast<std::size_t>(want));
+  for (int i = 0; i < want; ++i) shards_.push_back(std::make_unique<Shard>());
+  num_shards_ = want;
+}
+
+void Engine::set_tracer(Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer != nullptr) tracer->attach(this);
+}
+
+bool Engine::parallel_trace_key(SimTime* t, std::uint64_t* ord,
+                                std::uint32_t* seq, int* buffer) {
+  if (num_shards_ == 0) return false;
+  detail::ExecCursor* c = detail::exec_cursor();
+  if (c != nullptr && c->engine == this) {
+    *t = c->now;
+    *ord = c->ord;
+    *seq = c->trace_seq++;
+    *buffer = c->shard;
+    return true;
+  }
+  // Serial global band between windows.
+  *t = now_;
+  *ord = band_ord_;
+  *seq = band_trace_seq_++;
+  *buffer = num_shards_;
+  return true;
+}
 
 Process& Engine::spawn(std::string name, ProcessFn fn) {
-  auto proc = std::make_unique<Process>(*this, next_process_id_++,
-                                        std::move(name), std::move(fn));
-  Process& ref = *proc;
-  processes_.push_back(std::move(proc));
-  // First slice runs as a regular event at the current time.
-  schedule_at(now_, [this, &ref] { resume_slice(ref); });
-  return ref;
+  return spawn_on(context_node(), std::move(name), std::move(fn));
+}
+
+Process& Engine::spawn_on(std::int32_t node, std::string name, ProcessFn fn) {
+  if (node != kGlobalNode && (node < 0 || node >= node_count_)) {
+    throw SimError("spawn_on: node out of range (declare the topology with "
+                   "set_node_count first)");
+  }
+  Process* ref = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(spawn_mutex_);
+    auto proc = std::make_unique<Process>(*this, next_process_id_++,
+                                          std::move(name), std::move(fn));
+    ref = proc.get();
+    ref->home_node_ = node;
+    processes_.push_back(std::move(proc));
+  }
+  // First slice runs as a regular event at the current time on the home
+  // node (one lookahead later when spawning across nodes).
+  post(node, now(), [this, ref] { resume_slice(*ref); });
+  return *ref;
 }
 
 void Engine::resume_slice(Process& p) {
-  Process* prev = current_;
-  current_ = &p;
-  ++process_switches_;
-  p.run_slice();
-  current_ = prev;
+  detail::ExecCursor* c = nullptr;
+  if (par_active_) [[unlikely]] {
+    c = detail::exec_cursor();
+    if (c != nullptr && c->engine != this) c = nullptr;
+  }
+  if (c != nullptr) {
+    Process* prev = c->current;
+    c->current = &p;
+    ++c->switches;
+    p.run_slice();
+    c->current = prev;
+  } else {
+    Process* prev = current_;
+    current_ = &p;
+    ++process_switches_;
+    p.run_slice();
+    current_ = prev;
+  }
 }
 
 std::uint64_t Engine::prepare_block(Process& p) {
-  if (current_ != &p) {
+  if (executing() != &p) {
     throw SimError("blocking primitive called outside process context");
   }
   p.current_wait_ = ++p.wait_seq_;
@@ -253,60 +389,361 @@ std::uint64_t Engine::prepare_block(Process& p) {
 }
 
 void Engine::block(Process& p) {
-  Process* prev = current_;
   p.yield_to_engine();  // returns when a matching resume hands the baton back
-  current_ = prev;
   p.current_wait_ = 0;
 }
 
 void Engine::schedule_resume(Process& p, std::uint64_t wait_id, SimTime t) {
-  schedule_at(t, [this, &p, wait_id] {
+  post(p.home_node_, t, [this, &p, wait_id] {
     // Stale resumes (process already moved on, or finished) are dropped.
     if (p.finished_ || p.current_wait_ != wait_id) return;
     resume_slice(p);
   });
 }
 
-void Engine::wake(Process& p) {
+void Engine::local_wake(Process& p) {
   ++p.wake_permits_;
   if (p.waiting_for_wake_) {
     p.waiting_for_wake_ = false;
-    schedule_resume(p, p.current_wait_, now_);
+    schedule_resume(p, p.current_wait_, now());
   }
 }
 
-void Engine::set_daemon(Process& p) { daemons_.push_back(&p); }
+void Engine::wake(Process& p) {
+  const std::int32_t src = context_node();
+  if (src == kGlobalNode || p.home_node_ == src) {
+    // Same baton as the target: deliver immediately.
+    local_wake(p);
+    return;
+  }
+  if (p.home_node_ == kGlobalNode) {
+    // A node context waking a node-less process. The sequential backends
+    // (including the merged no-lookahead drain) share one baton so
+    // immediate delivery is safe and keeps historical timings; the windowed
+    // parallel driver cannot reach the global band from inside a window
+    // without breaking the canonical order.
+    if (backend_ != ExecBackend::kParallel || num_shards_ == 0 ||
+        lookahead_ == 0) {
+      local_wake(p);
+      return;
+    }
+    throw SimError("cross-node wake of a node-less process '" + p.name_ +
+                   "' is not supported under the parallel backend; home the "
+                   "process on a node with spawn_on()");
+  }
+  // Cross-node wake: no interaction crosses nodes faster than the lookahead.
+  post(p.home_node_, now() + lookahead_, [this, &p] { local_wake(p); });
+}
+
+void Engine::set_daemon(Process& p) {
+  std::lock_guard<std::mutex> lock(spawn_mutex_);
+  daemons_.push_back(&p);
+}
 
 void Engine::run() {
+  if (backend_ == ExecBackend::kParallel && num_shards_ > 0) {
+    if (lookahead_ > 0) {
+      run_parallel(kSimTimeNever);
+    } else {
+      run_merged(kSimTimeNever);
+    }
+    check_quiescence();
+    return;
+  }
   running_ = true;
   while (!queue_.empty()) {
     EventQueue::Node* ev = queue_.pop();
     now_ = ev->time;
+    cur_node_ = ev->node;
     ++events_executed_;
     queue_.run_and_recycle(ev);
-    if (any_failure_) [[unlikely]] {
+    if (any_failure_.load(std::memory_order_acquire)) [[unlikely]] {
+      cur_node_ = kGlobalNode;
       rethrow_failure();
     }
   }
+  cur_node_ = kGlobalNode;
   running_ = false;
   check_quiescence();
 }
 
 bool Engine::run_until(SimTime t) {
+  if (backend_ == ExecBackend::kParallel && num_shards_ > 0) {
+    return lookahead_ > 0 ? run_parallel(t) : run_merged(t);
+  }
   running_ = true;
   while (!queue_.empty() && queue_.top_time() <= t) {
     EventQueue::Node* ev = queue_.pop();
     now_ = ev->time;
+    cur_node_ = ev->node;
     ++events_executed_;
     queue_.run_and_recycle(ev);
+    if (any_failure_.load(std::memory_order_acquire)) [[unlikely]] {
+      cur_node_ = kGlobalNode;
+      rethrow_failure();
+    }
   }
+  cur_node_ = kGlobalNode;
   running_ = false;
   if (queue_.empty() && now_ < t) now_ = t;
   return !queue_.empty();
 }
 
+// ---------------------------------------------------------------------------
+// Parallel driver
+// ---------------------------------------------------------------------------
+
+bool Engine::run_merged(SimTime limit) {
+  // The canonical (time, ord) key totally orders events regardless of which
+  // queue holds them, so a least-key scan over the band queue plus every
+  // shard replays exactly the sequence the windowed driver executes — and
+  // the one the sequential backends produce.
+  running_ = true;
+  bool more = false;
+  for (;;) {
+    EventQueue* best = queue_.empty() ? nullptr : &queue_;
+    for (const auto& sh : shards_) {
+      EventQueue& q = sh->q;
+      if (q.empty()) continue;
+      if (best == nullptr || q.top_time() < best->top_time() ||
+          (q.top_time() == best->top_time() &&
+           q.top_ord() < best->top_ord())) {
+        best = &q;
+      }
+    }
+    if (best == nullptr) break;
+    if (best->top_time() > limit) {
+      more = true;
+      break;
+    }
+    EventQueue::Node* ev = best->pop();
+    now_ = ev->time;
+    cur_node_ = ev->node;
+    ++events_executed_;
+    best->run_and_recycle(ev);
+    if (any_failure_.load(std::memory_order_acquire)) [[unlikely]] {
+      cur_node_ = kGlobalNode;
+      rethrow_failure();
+    }
+  }
+  cur_node_ = kGlobalNode;
+  running_ = false;
+  if (!more && limit != kSimTimeNever && now_ < limit) now_ = limit;
+  return more;
+}
+
+void Engine::ensure_workers() {
+  if (rt_ != nullptr) return;
+  int w = std::min(default_parallel_workers(), num_shards_);
+  if (w <= 1) return;  // inline single-worker mode
+  rt_ = std::make_unique<ParallelRt>();
+  workers_started_ = w;
+  rt_->threads.reserve(static_cast<std::size_t>(w));
+  for (int i = 0; i < w; ++i) {
+    rt_->threads.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+void Engine::stop_workers() {
+  if (rt_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(rt_->m);
+    rt_->quit = true;
+  }
+  rt_->cv_work.notify_all();
+  for (auto& t : rt_->threads) t.join();
+  rt_.reset();
+  workers_started_ = 0;
+}
+
+void Engine::drain_shard(int shard, SimTime window_end,
+                         detail::ExecCursor& cursor) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  cursor.engine = this;
+  cursor.shard = shard;
+  EventQueue& q = sh.q;
+  while (!q.empty() && q.top_time() < window_end) {
+    EventQueue::Node* ev = q.pop();
+    cursor.now = ev->time;
+    cursor.node = ev->node;
+    cursor.ord = ev->ord;
+    cursor.trace_seq = 0;
+    sh.last_time = ev->time;
+    ++sh.events;
+    q.run_and_recycle(ev);
+  }
+  cursor.engine = nullptr;
+}
+
+void Engine::worker_main(int index) {
+  detail::ExecCursor cursor;
+  detail::set_exec_cursor(&cursor);
+  std::uint64_t seen = 0;
+  for (;;) {
+    SimTime window_end = 0;
+    {
+      std::unique_lock<std::mutex> lock(rt_->m);
+      rt_->cv_work.wait(lock,
+                        [&] { return rt_->quit || rt_->epoch != seen; });
+      if (rt_->quit) break;
+      seen = rt_->epoch;
+      window_end = rt_->window_end;
+    }
+    for (int s = index; s < num_shards_; s += workers_started_) {
+      try {
+        cursor.switches = 0;
+        drain_shard(s, window_end, cursor);
+        shards_[static_cast<std::size_t>(s)]->switches += cursor.switches;
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(rt_->m);
+        if (!rt_->failure) rt_->failure = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(rt_->m);
+      if (--rt_->pending == 0) rt_->cv_done.notify_all();
+    }
+  }
+  detail::set_exec_cursor(nullptr);
+}
+
+void Engine::run_window(SimTime window_end) {
+  par_active_ = true;
+  if (workers_started_ == 0) {
+    // Single-worker mode: drain every shard on this thread. Still runs the
+    // full routing/staging machinery, so shard placement is exercised (and
+    // the output provably shard-count-invariant) even on one core.
+    struct Scoped {
+      Engine* e;
+      detail::ExecCursor* prev;
+      ~Scoped() {
+        detail::set_exec_cursor(prev);
+        e->par_active_ = false;
+      }
+    } scoped{this, detail::exec_cursor()};
+    detail::ExecCursor cursor;
+    detail::set_exec_cursor(&cursor);
+    for (int s = 0; s < num_shards_; ++s) {
+      cursor.switches = 0;
+      drain_shard(s, window_end, cursor);
+      shards_[static_cast<std::size_t>(s)]->switches += cursor.switches;
+    }
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(rt_->m);
+      rt_->window_end = window_end;
+      rt_->pending = workers_started_;
+      ++rt_->epoch;
+    }
+    rt_->cv_work.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(rt_->m);
+      rt_->cv_done.wait(lock, [this] { return rt_->pending == 0; });
+    }
+    par_active_ = false;
+    if (rt_->failure) {
+      std::exception_ptr f = rt_->failure;
+      rt_->failure = nullptr;
+      std::rethrow_exception(f);
+    }
+  }
+  // Barrier passed: fold staged cross-shard events into their heaps and the
+  // per-shard counters into the engine totals.
+  queue_.absorb_staged();
+  std::uint64_t total = 0;
+  std::uint64_t busiest = 0;
+  for (const auto& sh : shards_) {
+    sh->q.absorb_staged();
+    events_executed_ += sh->events;
+    process_switches_ += sh->switches;
+    if (sh->last_time > now_) now_ = sh->last_time;
+    total += sh->events;
+    busiest = std::max(busiest, sh->events);
+    sh->events = 0;
+    sh->switches = 0;
+  }
+  if (total > 0) {
+    ++pstats_.windows;
+    pstats_.parallel_events += total;
+    pstats_.critical_path_events += busiest;
+  }
+}
+
+bool Engine::run_parallel(SimTime limit) {
+  running_ = true;
+  if (tracer_ != nullptr) tracer_->begin_parallel(num_shards_ + 1);
+  ensure_workers();
+  bool more = false;
+  try {
+    for (;;) {
+      if (any_failure_.load(std::memory_order_acquire)) [[unlikely]] {
+        rethrow_failure();
+      }
+      const SimTime global_top =
+          queue_.empty() ? kSimTimeNever : queue_.top_time();
+      SimTime shard_top = kSimTimeNever;
+      for (const auto& sh : shards_) {
+        if (!sh->q.empty() && sh->q.top_time() < shard_top) {
+          shard_top = sh->q.top_time();
+        }
+      }
+      const SimTime t = std::min(global_top, shard_top);
+      if (t == kSimTimeNever || t > limit) {
+        more = (t != kSimTimeNever);
+        break;
+      }
+      if (global_top <= shard_top) {
+        // Global band: runs serially between windows. The canonical order
+        // puts global-context events ahead of node events at equal times
+        // ((node + 1) packs to 0 in the key), so shared control state
+        // written here is safe for every shard to read in the next window.
+        EventQueue::Node* ev = queue_.pop();
+        now_ = ev->time;
+        cur_node_ = ev->node;
+        band_ord_ = ev->ord;
+        band_trace_seq_ = 0;
+        ++events_executed_;
+        queue_.run_and_recycle(ev);
+        cur_node_ = kGlobalNode;
+        continue;
+      }
+      if (lookahead_ == 0) {
+        throw SimError(
+            "parallel backend requires a positive lookahead: call "
+            "Engine::set_lookahead() with the minimum cross-node latency");
+      }
+      // Conservative window: no event dated before shard_top exists
+      // anywhere, and nothing a shard does before shard_top + lookahead can
+      // affect another node inside the window — so every shard may run
+      // independently up to (exclusive) the window end.
+      SimTime window_end = shard_top > kSimTimeNever - lookahead_
+                               ? kSimTimeNever
+                               : shard_top + lookahead_;
+      window_end = std::min(window_end, global_top);
+      if (limit != kSimTimeNever && window_end > limit) {
+        window_end = limit + 1;  // run_until is inclusive of `limit`
+      }
+      run_window(window_end);
+    }
+  } catch (...) {
+    running_ = false;
+    cur_node_ = kGlobalNode;
+    if (tracer_ != nullptr) tracer_->merge_parallel();
+    throw;
+  }
+  running_ = false;
+  cur_node_ = kGlobalNode;
+  if (tracer_ != nullptr) tracer_->merge_parallel();
+  if (!more && limit != kSimTimeNever && now_ < limit) now_ = limit;
+  return more;
+}
+
+// ---------------------------------------------------------------------------
+// Teardown and failure paths
+// ---------------------------------------------------------------------------
+
 void Engine::rethrow_failure() {
-  any_failure_ = false;
+  any_failure_.store(false, std::memory_order_relaxed);
   for (const auto& proc : processes_) {
     if (proc->failure_.empty()) continue;
     std::ostringstream os;

@@ -1,27 +1,40 @@
 // Deterministic discrete-event simulation engine.
 //
-// The engine advances a virtual clock by executing events in (time, sequence)
-// order. Simulated "processes" (compute-node application processes, the
-// back-end daemons, the accelerator resource manager) are written as ordinary
-// synchronous C++ functions; the engine hands execution to exactly one of
-// them at a time, so the simulation is single-threaded in effect and
-// bit-for-bit reproducible.
+// The engine advances a virtual clock by executing events in a canonical
+// (time, source-node, sequence) order. Simulated "processes" (compute-node
+// application processes, the back-end daemons, the accelerator resource
+// manager) are written as ordinary synchronous C++ functions; execution of
+// any one event is always single-threaded, and the canonical order makes the
+// simulation bit-for-bit reproducible.
 //
-// Two execution backends implement the hand-off (see sim/exec.hpp): stackful
-// coroutines on pooled stacks (default — a process switch is two user-space
-// context swaps), or one OS thread per process with mutex/condvar baton
-// passing (sanitizer-friendly fallback). Both produce identical event
-// sequences; tests/sim/determinism_test.cpp enforces that contract.
+// Three execution backends implement process suspension and event dispatch
+// (see sim/exec.hpp): stackful coroutines on pooled stacks (default — a
+// process switch is two user-space context swaps), one OS thread per process
+// with mutex/condvar baton passing (sanitizer-friendly fallback), and a
+// conservative parallel backend that partitions node-homed work into
+// per-shard event queues driven by a worker pool in lookahead-wide windows
+// (DESIGN.md §5.2). All three produce identical event sequences;
+// tests/sim/determinism_test.cpp enforces that contract three ways.
 //
 // Threading contract: every callback and every process body executes while
-// holding the (conceptual) simulation baton. It is therefore always safe to
-// touch engine state, schedule events, and wake processes from either engine
+// holding the (conceptual) simulation baton for its node. Under the
+// sequential backends there is one global baton, so it is always safe to
+// touch engine state, schedule events, and wake processes from engine
 // callbacks or process bodies — but never from threads outside the engine.
+// Under the parallel backend the baton is per node: callbacks and processes
+// may freely touch state homed on their own node; effects that target
+// another node (fabric delivery, cross-node wakes, posts) are routed through
+// staged inboxes and take effect no earlier than one lookahead later, which
+// is exactly the calibrated cross-node latency floor, so the sequential
+// backends observe the same times.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -36,6 +49,13 @@ namespace dacc::sim {
 class Engine;
 class Process;
 
+/// Execution affinity of contexts that belong to no cluster node: the main
+/// thread between runs, plain engine callbacks, and processes spawned before
+/// any node topology exists. Under the parallel backend the global context
+/// runs serially between windows and its events sort ahead of same-time node
+/// events, which is what makes it safe to keep shared control state there.
+inline constexpr std::int32_t kGlobalNode = -1;
+
 /// Thrown inside process bodies when the engine shuts down while they are
 /// blocked; the process trampoline catches it. User code must not swallow it.
 struct Shutdown {};
@@ -46,6 +66,28 @@ class SimError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+namespace detail {
+
+/// Per-worker execution state for the parallel backend. Lives on the worker
+/// thread's stack during a window drain; the thread-local pointer to it is
+/// re-read through a non-inlined accessor so coroutine stacks that migrate
+/// between workers never see a stale thread-local address.
+struct ExecCursor {
+  Engine* engine = nullptr;
+  SimTime now = 0;
+  std::int32_t node = kGlobalNode;
+  int shard = -1;
+  Process* current = nullptr;
+  std::uint64_t ord = 0;        ///< canonical key of the running event
+  std::uint32_t trace_seq = 0;  ///< intra-event tracer record index
+  std::uint64_t switches = 0;   ///< slice hand-offs during this drain
+};
+
+ExecCursor* exec_cursor() noexcept;  ///< null outside parallel drains
+void set_exec_cursor(ExecCursor* c) noexcept;
+
+}  // namespace detail
 
 /// The blocking interface available to process bodies. A Context is only
 /// valid inside the process it was created for.
@@ -94,6 +136,11 @@ class Process {
   std::uint64_t id() const { return id_; }
   bool finished() const { return finished_; }
 
+  /// Cluster node this process executes on (kGlobalNode if spawned outside
+  /// any node context). All of the process's events run on its home node's
+  /// shard under the parallel backend.
+  std::int32_t home_node() const { return home_node_; }
+
   /// Set if the process body exited via an uncaught exception (other than
   /// engine shutdown); Engine::run rethrows the stored message.
   const std::string& failure() const { return failure_; }
@@ -117,12 +164,13 @@ class Process {
 
   std::unique_ptr<Strand> strand_;
 
+  std::int32_t home_node_ = kGlobalNode;
   bool started_ = false;
   bool finished_ = false;
   bool shutdown_requested_ = false;
   std::string failure_;
 
-  // Blocking bookkeeping (only touched under the simulation baton).
+  // Blocking bookkeeping (only touched under the home node's baton).
   std::uint64_t wait_seq_ = 0;       // increments on every block
   std::uint64_t current_wait_ = 0;   // nonzero while blocked
   std::uint64_t wake_permits_ = 0;   // banked wake() calls
@@ -131,36 +179,86 @@ class Process {
 
 class Engine {
  public:
-  explicit Engine(ExecBackend backend = default_exec_backend());
+  /// `shards` is the parallel backend's shard count (0 = one shard per
+  /// cluster node); ignored by the sequential backends.
+  explicit Engine(ExecBackend backend = default_exec_backend(),
+                  int shards = default_parallel_shards());
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  SimTime now() const { return now_; }
+  /// Simulated time of the calling context: the running event's time during
+  /// a parallel window, the engine clock otherwise.
+  SimTime now() const {
+    if (par_active_) [[unlikely]] {
+      const detail::ExecCursor* c = detail::exec_cursor();
+      if (c != nullptr && c->engine == this) return c->now;
+    }
+    return now_;
+  }
+
   ExecBackend backend() const { return backend_; }
 
+  // --- cluster topology (parallel backend) --------------------------------
+
+  /// Declares the number of cluster nodes (net::Fabric calls this from its
+  /// constructor). Under the parallel backend this also sizes the shard set;
+  /// it must happen before any node-homed event is scheduled.
+  void set_node_count(int nodes);
+  int node_count() const { return node_count_; }
+
+  /// Minimum simulated latency of any cross-node interaction — the
+  /// conservative lookahead. Cross-node effects scheduled sooner are clamped
+  /// up to now + lookahead in EVERY backend, so the parallel windows and the
+  /// sequential replay agree bit for bit. Defaults to 0 (purely sequential
+  /// semantics); rt::Cluster sets it to the fabric wire latency.
+  void set_lookahead(SimDuration l) { lookahead_ = l; }
+  SimDuration lookahead() const { return lookahead_; }
+
+  /// Execution affinity of the calling context.
+  std::int32_t current_node() const { return context_node(); }
+
+  int shard_count() const { return num_shards_; }
+  int worker_count() const { return workers_started_ > 0 ? workers_started_ : 1; }
+
+  // --- scheduling ---------------------------------------------------------
+
   /// Creates a process that starts at the current simulated time (its first
-  /// slice runs when the start event is dequeued).
+  /// slice runs when the start event is dequeued). The process is homed on
+  /// the calling context's node.
   Process& spawn(std::string name, ProcessFn fn);
 
-  /// Schedules `fn` to run in engine context at absolute time `t` (>= now).
-  /// Accepts any callable, including move-only ones (payload buffers move
-  /// through events without shared_ptr wrapping).
+  /// Creates a process homed on `node` (kGlobalNode for node-less service
+  /// processes). Its events execute on that node's shard under the parallel
+  /// backend.
+  Process& spawn_on(std::int32_t node, std::string name, ProcessFn fn);
+
+  /// Schedules `fn` to run in engine context at absolute time `t` (>= now)
+  /// on the calling context's node. Accepts any callable, including
+  /// move-only ones (payload buffers move through events without shared_ptr
+  /// wrapping).
   template <typename F>
   void schedule_at(SimTime t, F&& fn) {
-    if (t < now_) {
-      throw SimError("schedule_at: time in the past");
-    }
-    queue_.push(t, next_seq_++, std::forward<F>(fn));
+    route(context_node(), t, std::forward<F>(fn));
   }
 
   template <typename F>
   void schedule_in(SimDuration d, F&& fn) {
-    schedule_at(now_ + d, std::forward<F>(fn));
+    route(context_node(), now() + d, std::forward<F>(fn));
+  }
+
+  /// Schedules `fn` to run at time `t` with execution affinity `node`.
+  /// When the target differs from the calling context's node, `t` is
+  /// clamped up to now + lookahead — in every backend — because no
+  /// cross-node interaction can be faster than the latency floor.
+  template <typename F>
+  void post(std::int32_t node, SimTime t, F&& fn) {
+    route(node, t, std::forward<F>(fn));
   }
 
   /// Grants one wake permit to `p` and, if `p` is blocked in suspend(),
-  /// schedules its resumption at the current time.
+  /// schedules its resumption (at the current time when the caller shares
+  /// `p`'s node; one lookahead later across nodes).
   void wake(Process& p);
 
   /// Runs until the event queue is empty. Throws SimError if any process
@@ -175,6 +273,8 @@ class Engine {
   /// Marks `p` as a daemon: it is allowed to still be blocked when the
   /// simulation ends (service loops waiting for requests).
   void set_daemon(Process& p);
+
+  // --- diagnostics --------------------------------------------------------
 
   /// Number of events executed so far (diagnostics).
   std::uint64_t events_executed() const { return events_executed_; }
@@ -192,8 +292,20 @@ class Engine {
   /// under the thread backend).
   std::uint64_t stacks_created() const { return stack_pool_.created(); }
 
+  /// Window accounting for the parallel backend. critical_path_events is
+  /// the sum over windows of the busiest shard's event count: the events
+  /// that cannot overlap anything. parallel_events / critical_path_events
+  /// is the exposed parallelism — the speedup an unloaded multi-core host
+  /// can realize on this scenario.
+  struct ParallelStats {
+    std::uint64_t windows = 0;
+    std::uint64_t parallel_events = 0;
+    std::uint64_t critical_path_events = 0;
+  };
+  const ParallelStats& parallel_stats() const { return pstats_; }
+
   /// Currently running process, or nullptr in engine/callback context.
-  Process* current() const { return current_; }
+  Process* current() const { return executing(); }
 
   /// Currently running process; throws SimError outside process context.
   Process& current_process();
@@ -201,41 +313,161 @@ class Engine {
   /// Optional tracer: instrumented components record spans when non-null.
   /// The engine does not own it.
   class Tracer* tracer() const { return tracer_; }
-  void set_tracer(class Tracer* tracer) { tracer_ = tracer; }
+  void set_tracer(class Tracer* tracer);
+
+  /// Tracer hook: canonical ordering key for a record emitted by the
+  /// calling context when a parallel run is in flight (records are buffered
+  /// per shard and merged deterministically at the end of the run).
+  /// Returns false when the record can be appended directly.
+  bool parallel_trace_key(SimTime* t, std::uint64_t* ord, std::uint32_t* seq,
+                          int* buffer);
 
  private:
   friend class Context;
   friend class Process;
 
+  struct Shard {
+    EventQueue q;
+    SimTime last_time = 0;
+    std::uint64_t events = 0;
+    std::uint64_t switches = 0;
+  };
+  struct ParallelRt;  // worker pool (engine.cpp)
+
+  /// Execution affinity of the calling context.
+  std::int32_t context_node() const {
+    if (par_active_) [[unlikely]] {
+      const detail::ExecCursor* c = detail::exec_cursor();
+      if (c != nullptr && c->engine == this) return c->node;
+    }
+    return cur_node_;
+  }
+
+  Process* executing() const {
+    if (par_active_) [[unlikely]] {
+      const detail::ExecCursor* c = detail::exec_cursor();
+      if (c != nullptr && c->engine == this) return c->current;
+    }
+    return current_;
+  }
+
+  /// Canonical ordering key: (src_node + 1) << 48 | per-node sequence. The
+  /// per-node counters advance identically under every backend and shard
+  /// count (each node's events execute in the same order everywhere), so
+  /// the key — and with it the merged event order — is backend-invariant.
+  std::uint64_t next_ord(std::int32_t src) {
+    std::uint64_t& ctr = node_seq_[static_cast<std::size_t>(src + 1)];
+    return (static_cast<std::uint64_t>(src + 1) << 48) | ctr++;
+  }
+
+  /// Single funnel for every schedule/post/spawn/resume: applies the
+  /// cross-node lookahead clamp, assigns the canonical key, and places the
+  /// event in the right queue (directly when the caller owns it, staged
+  /// when another worker does).
+  template <typename F>
+  void route(std::int32_t node, SimTime t, F&& fn) {
+    std::int32_t src = cur_node_;
+    SimTime ref = now_;
+    detail::ExecCursor* c = nullptr;
+    if (par_active_) [[unlikely]] {
+      c = detail::exec_cursor();
+      if (c != nullptr && c->engine == this) {
+        src = c->node;
+        ref = c->now;
+      } else {
+        c = nullptr;
+      }
+    }
+    if (src != kGlobalNode && node != src) {
+      const SimTime floor = ref + lookahead_;
+      if (t < floor) t = floor;
+    }
+    if (t < ref) {
+      throw SimError("schedule_at: time in the past");
+    }
+    const std::uint64_t ord = next_ord(src);
+    const int target =
+        (node == kGlobalNode || num_shards_ == 0)
+            ? -1
+            : static_cast<int>(node % num_shards_);
+    if (c == nullptr) {
+      // Serial context: sequential backends, the global band, between runs.
+      if (target < 0) {
+        queue_.push(t, ord, node, std::forward<F>(fn));
+      } else {
+        shards_[static_cast<std::size_t>(target)]->q.push(
+            t, ord, node, std::forward<F>(fn));
+      }
+    } else if (target == c->shard) {
+      shards_[static_cast<std::size_t>(target)]->q.push(
+          t, ord, node, std::forward<F>(fn));
+    } else if (target < 0) {
+      queue_.stage(t, ord, node, std::forward<F>(fn));
+    } else {
+      shards_[static_cast<std::size_t>(target)]->q.stage(
+          t, ord, node, std::forward<F>(fn));
+    }
+  }
+
   // Process-context blocking helpers (called via Context).
   std::uint64_t prepare_block(Process& p);
   void block(Process& p);  // yields the baton; returns when resumed
   void schedule_resume(Process& p, std::uint64_t wait_id, SimTime t);
+  void local_wake(Process& p);
 
-  // Hands the baton to `p` for one slice (tracks current_ and the switch
-  // counter).
+  // Hands the baton to `p` for one slice (tracks the executing process and
+  // the switch counter).
   void resume_slice(Process& p);
+
+  // Parallel driver (engine.cpp).
+  bool run_parallel(SimTime limit);
+  /// Sequential drain of the sharded queues in canonical merged order —
+  /// used when the parallel layout exists but no lookahead was declared
+  /// (there is no safe window width, so concurrency is surrendered, not
+  /// correctness).
+  bool run_merged(SimTime limit);
+  void run_window(SimTime window_end);
+  void drain_shard(int shard, SimTime window_end, detail::ExecCursor& cursor);
+  void worker_main(int index);
+  void ensure_workers();
+  void stop_workers();
 
   void shutdown_processes();
   void check_quiescence();
   [[noreturn]] void rethrow_failure();
 
   ExecBackend backend_;
+  int shards_hint_;  // requested shard count (0 = one per node)
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
+  std::int32_t cur_node_ = kGlobalNode;  // affinity of the running event
+  int node_count_ = 0;
+  SimDuration lookahead_ = 0;
+  std::vector<std::uint64_t> node_seq_{0};  // per-node ord counters; [0] is
+                                            // the global context
   std::uint64_t next_process_id_ = 1;
   std::uint64_t events_executed_ = 0;
   std::uint64_t process_switches_ = 0;
-  EventQueue queue_;
+  EventQueue queue_;  // global-context events; the only queue when sequential
   StackPool stack_pool_;  // declared before processes_: strands release into
                           // it during ~Process
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Process*> daemons_;
+  std::mutex spawn_mutex_;  // guards processes_/daemons_/next_process_id_
   Process* current_ = nullptr;
   bool running_ = false;
   bool shutting_down_ = false;
-  bool any_failure_ = false;  // set by process trampolines; checked O(1)
+  std::atomic<bool> any_failure_{false};  // set by process trampolines
   class Tracer* tracer_ = nullptr;
+
+  // Parallel backend state.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  int num_shards_ = 0;
+  int workers_started_ = 0;  // 0 = inline single-worker mode
+  bool par_active_ = false;  // a window is draining on the workers
+  std::unique_ptr<ParallelRt> rt_;
+  ParallelStats pstats_;
+  std::uint64_t band_ord_ = 0;        // key of the running global-band event
+  std::uint32_t band_trace_seq_ = 0;  // tracer records within that event
 };
 
 }  // namespace dacc::sim

@@ -12,14 +12,22 @@
 //    buffers through events instead of wrapping them in shared_ptrs);
 //    oversized callables fall back to the heap and are counted, so tests can
 //    assert the hot path stays allocation-free;
-//  * ordering is a binary heap over (time, seq) — seq is unique, so the
-//    order is total and independent of node addresses (determinism).
+//  * ordering is a binary heap over (time, ord) — ord packs the scheduling
+//    node and a per-node sequence number (see Engine), so it is unique, the
+//    order is total and independent of node addresses, and — because the
+//    per-node counters advance identically under every execution backend —
+//    the order is also independent of backend and shard count (determinism);
+//  * for the parallel backend, stage() enqueues an event from a foreign
+//    worker thread into a mutex-protected side list with its own node pool
+//    (the owner's free list stays uncontended); the owner folds staged
+//    events into the heap at the next window barrier via absorb_staged().
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -38,10 +46,11 @@ class EventQueue {
 
   struct Node {
     SimTime time = 0;
-    std::uint64_t seq = 0;
+    std::uint64_t ord = 0;      ///< canonical tie-break: (node+1)<<48 | seq
     void (*invoke)(Node&) = nullptr;
     void (*destroy)(Node&) = nullptr;
     Node* next_free = nullptr;
+    std::int32_t node = -1;     ///< execution affinity (-1 = global context)
     alignas(std::max_align_t) std::byte storage[kInlineBytes];
   };
 
@@ -55,22 +64,65 @@ class EventQueue {
   EventQueue() = default;
   ~EventQueue() {
     for (Node* n : heap_) n->destroy(*n);
+    for (Node* n = staged_; n != nullptr; n = n->next_free) n->destroy(*n);
   }
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
   bool empty() const { return heap_.empty(); }
   SimTime top_time() const { return heap_.front()->time; }
+  std::uint64_t top_ord() const { return heap_.front()->ord; }
 
   template <typename F>
-  void push(SimTime time, std::uint64_t seq, F&& fn) {
+  void push(SimTime time, std::uint64_t ord, std::int32_t node, F&& fn) {
     Node* n = allocate();
     n->time = time;
-    n->seq = seq;
-    bind(*n, std::forward<F>(fn));
+    n->ord = ord;
+    n->node = node;
+    if (bind(*n, std::forward<F>(fn))) ++stats_.heap_fallbacks;
     heap_.push_back(n);
     sift_up(heap_.size() - 1);
     ++stats_.live;
+    if (stats_.live > stats_.high_water) stats_.high_water = stats_.live;
+  }
+
+  /// Thread-safe enqueue from a foreign worker: the event lands in a staged
+  /// side list (LIFO; order is irrelevant because absorb_staged() heapifies
+  /// by the canonical key) built from a separate node pool so the owner's
+  /// hot-path free list is never contended.
+  template <typename F>
+  void stage(SimTime time, std::uint64_t ord, std::int32_t node, F&& fn) {
+    std::lock_guard<std::mutex> lock(stage_mutex_);
+    Node* n = staged_allocate();
+    n->time = time;
+    n->ord = ord;
+    n->node = node;
+    if (bind(*n, std::forward<F>(fn))) ++staged_fallbacks_;
+    n->next_free = staged_;
+    staged_ = n;
+  }
+
+  /// Owner-side: folds every staged event into the heap. Must not run
+  /// concurrently with stage() callers (the engine calls it between
+  /// windows, after the worker barrier).
+  void absorb_staged() {
+    Node* head = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(stage_mutex_);
+      head = staged_;
+      staged_ = nullptr;
+      stats_.heap_fallbacks += staged_fallbacks_;
+      staged_fallbacks_ = 0;
+      stats_.pool_nodes += staged_pool_nodes_;
+      staged_pool_nodes_ = 0;
+    }
+    while (head != nullptr) {
+      Node* n = head;
+      head = head->next_free;
+      heap_.push_back(n);
+      sift_up(heap_.size() - 1);
+      ++stats_.live;
+    }
     if (stats_.live > stats_.high_water) stats_.high_water = stats_.live;
   }
 
@@ -107,8 +159,11 @@ class EventQueue {
  private:
   static constexpr std::size_t kChunkNodes = 256;
 
+  /// Returns true when the callable spilled to the heap (too big for the
+  /// inline buffer) so callers can account the fallback against the right
+  /// counter — push() owns stats_, stage() must not touch it.
   template <typename F>
-  void bind(Node& n, F&& fn) {
+  bool bind(Node& n, F&& fn) {
     using Fn = std::decay_t<F>;
     if constexpr (sizeof(Fn) <= kInlineBytes &&
                   alignof(Fn) <= alignof(std::max_align_t)) {
@@ -119,12 +174,13 @@ class EventQueue {
       n.destroy = [](Node& m) {
         std::launder(reinterpret_cast<Fn*>(m.storage))->~Fn();
       };
+      return false;
     } else {
       auto* boxed = new Fn(std::forward<F>(fn));
       std::memcpy(n.storage, &boxed, sizeof(boxed));
       n.invoke = [](Node& m) { (*unbox<Fn>(m))(); };
       n.destroy = [](Node& m) { delete unbox<Fn>(m); };
-      ++stats_.heap_fallbacks;
+      return true;
     }
   }
 
@@ -147,6 +203,24 @@ class EventQueue {
     free_list_ = n;
   }
 
+  /// Called with stage_mutex_ held. Staged nodes migrate to the owner's
+  /// free list after they fire, so this pool only grows while staging
+  /// outpaces the churn of previously absorbed nodes.
+  Node* staged_allocate() {
+    if (staged_free_ == nullptr) {
+      staged_chunks_.push_back(std::make_unique<Node[]>(kChunkNodes));
+      Node* chunk = staged_chunks_.back().get();
+      for (std::size_t i = 0; i < kChunkNodes; ++i) {
+        chunk[i].next_free = staged_free_;
+        staged_free_ = &chunk[i];
+      }
+      staged_pool_nodes_ += kChunkNodes;
+    }
+    Node* n = staged_free_;
+    staged_free_ = n->next_free;
+    return n;
+  }
+
   void grow() {
     chunks_.push_back(std::make_unique<Node[]>(kChunkNodes));
     Node* chunk = chunks_.back().get();
@@ -159,7 +233,7 @@ class EventQueue {
 
   static bool before(const Node* a, const Node* b) {
     if (a->time != b->time) return a->time < b->time;
-    return a->seq < b->seq;
+    return a->ord < b->ord;
   }
 
   void sift_up(std::size_t i) {
@@ -193,6 +267,15 @@ class EventQueue {
   std::vector<std::unique_ptr<Node[]>> chunks_;
   Node* free_list_ = nullptr;
   Stats stats_;
+
+  // Staged inbox (parallel backend). Guarded by stage_mutex_; the owner
+  // only takes the mutex briefly in absorb_staged().
+  std::mutex stage_mutex_;
+  Node* staged_ = nullptr;
+  Node* staged_free_ = nullptr;
+  std::vector<std::unique_ptr<Node[]>> staged_chunks_;
+  std::uint64_t staged_fallbacks_ = 0;
+  std::uint64_t staged_pool_nodes_ = 0;
 };
 
 }  // namespace dacc::sim

@@ -1,9 +1,9 @@
 // Execution backend selection for the simulation engine.
 //
 // Simulated processes are synchronous C++ functions that must be suspended
-// and resumed at blocking points. Two interchangeable backends implement
-// that suspension; both execute the exact same event sequence, so simulated
-// results are bit-for-bit identical either way:
+// and resumed at blocking points. Three interchangeable backends implement
+// that suspension; all execute the exact same canonical event order, so
+// simulated results are bit-for-bit identical either way:
 //
 //  * kCoroutine — stackful coroutines (ucontext swapcontext on a pooled,
 //                 guard-paged stack). No OS scheduler involvement: a process
@@ -14,6 +14,14 @@
 //                 switch, but friendly to sanitizers and debuggers that do
 //                 not understand stack switching. Forced as the default by
 //                 building with -DDACC_SANITIZE=....
+//  * kParallel  — conservative parallel discrete-event execution: simulated
+//                 processes and resources are partitioned by cluster node
+//                 into per-shard event queues, shards run on a worker pool
+//                 in barrier-synchronized windows whose width is the minimum
+//                 cross-node link latency (the lookahead), and cross-shard
+//                 effects travel through staged inboxes merged in canonical
+//                 (time, src-node, seq) order. Requires node-homed processes
+//                 (rt::Cluster homes everything); see DESIGN.md §5.2.
 #pragma once
 
 namespace dacc::sim {
@@ -21,6 +29,7 @@ namespace dacc::sim {
 enum class ExecBackend {
   kCoroutine,
   kThread,
+  kParallel,
 };
 
 const char* to_string(ExecBackend backend);
@@ -28,7 +37,20 @@ const char* to_string(ExecBackend backend);
 /// The backend new Engines use unless one is passed explicitly: kCoroutine,
 /// unless the build forces the thread backend (sanitizer builds define
 /// DACC_SIM_FORCE_THREAD_BACKEND) or the environment variable
-/// DACC_SIM_BACKEND is set to "thread" or "coroutine".
+/// DACC_SIM_BACKEND is set to "thread", "coroutine", or "parallel[:N]"
+/// (N = shard count, defaulting to the host's hardware concurrency).
 ExecBackend default_exec_backend();
+
+/// Shard count requested via DACC_SIM_BACKEND: N for "parallel:N", the
+/// host's hardware concurrency for plain "parallel", 0 otherwise (0 lets
+/// the engine pick one shard per cluster node). Meaningful only with
+/// kParallel.
+int default_parallel_shards();
+
+/// Worker threads the parallel backend drives shards with: the
+/// DACC_SIM_PARALLEL_WORKERS environment variable when set, otherwise the
+/// host's hardware concurrency. Always at least 1; capped by the shard
+/// count at run time.
+int default_parallel_workers();
 
 }  // namespace dacc::sim

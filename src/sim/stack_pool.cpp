@@ -31,10 +31,14 @@ StackPool::~StackPool() {
 }
 
 StackPool::Stack StackPool::acquire() {
-  if (!free_.empty()) {
-    Stack s = free_.back();
-    free_.pop_back();
-    return s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      Stack s = free_.back();
+      free_.pop_back();
+      return s;
+    }
+    ++created_;
   }
   const std::size_t page = page_size();
   const std::size_t map_size = stack_bytes_ + page;  // +1 guard page
@@ -43,7 +47,6 @@ StackPool::Stack StackPool::acquire() {
   if (map == MAP_FAILED) throw std::bad_alloc();
   // Guard at the low end: stacks grow downward on every platform we target.
   ::mprotect(map, page, PROT_NONE);
-  ++created_;
   Stack s;
   s.map_base = map;
   s.map_size = map_size;
@@ -54,6 +57,7 @@ StackPool::Stack StackPool::acquire() {
 
 void StackPool::release(Stack stack) {
   if (stack.map_base == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
   free_.push_back(stack);
 }
 

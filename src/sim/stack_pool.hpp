@@ -7,10 +7,15 @@
 // what lets a single engine host tens of thousands of simulated processes.
 // Finished processes return their stack to the pool; steady-state spawning
 // performs no new mappings.
+// Under the parallel execution backend, coroutines start and finish on
+// whichever worker thread drives their shard, so acquire/release take a
+// mutex; both are off the steady-state switch path (a stack is acquired
+// once per process lifetime).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace dacc::sim {
@@ -36,11 +41,18 @@ class StackPool {
   void release(Stack stack);
 
   /// Stacks ever mmap'd (monotonic; stable once the pool is warm).
-  std::uint64_t created() const { return created_; }
-  std::size_t free_count() const { return free_.size(); }
+  std::uint64_t created() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return created_;
+  }
+  std::size_t free_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+  }
 
  private:
   std::size_t stack_bytes_;
+  mutable std::mutex mutex_;
   std::vector<Stack> free_;
   std::uint64_t created_ = 0;
 };

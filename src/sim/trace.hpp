@@ -6,6 +6,13 @@
 // (chrome://tracing, Perfetto) to see request pipelines, transfer overlap,
 // and device occupancy on a timeline — the kind of observability a
 // production middleware ships with.
+//
+// Under the parallel execution backend, spans are recorded concurrently by
+// the shard workers. Each record is tagged with the canonical key of the
+// event that emitted it (time, source-node ord, intra-event index) and
+// buffered per shard; the engine merges the buffers in canonical order at
+// the end of each run, so the final span list is byte-identical to what the
+// sequential backends append directly.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +24,8 @@
 #include "util/units.hpp"
 
 namespace dacc::sim {
+
+class Engine;
 
 class Tracer {
  public:
@@ -34,7 +43,10 @@ class Tracer {
   std::size_t size() const { return spans_.size(); }
   bool empty() const { return spans_.empty(); }
   const std::vector<Span>& spans() const { return spans_; }
-  void clear() { spans_.clear(); }
+  void clear() {
+    spans_.clear();
+    pending_.clear();
+  }
 
   /// Spans recorded on one track, in recording order.
   std::vector<Span> track(const std::string& name) const;
@@ -44,7 +56,23 @@ class Tracer {
   void write_chrome_json(std::ostream& os) const;
 
  private:
+  friend class Engine;
+
+  struct Tagged {
+    Span span;
+    SimTime time = 0;        ///< emitting event's time
+    std::uint64_t ord = 0;   ///< emitting event's canonical key
+    std::uint32_t seq = 0;   ///< record index within that event
+  };
+
+  /// Engine hooks (see Engine::set_tracer / parallel_trace_key).
+  void attach(Engine* engine) { engine_ = engine; }
+  void begin_parallel(int buffers);
+  void merge_parallel();
+
+  Engine* engine_ = nullptr;
   std::vector<Span> spans_;
+  std::vector<std::vector<Tagged>> pending_;  // one per shard + global band
 };
 
 }  // namespace dacc::sim

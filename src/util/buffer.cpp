@@ -11,27 +11,32 @@ BufferPool& BufferPool::instance() {
 
 std::vector<std::byte> BufferPool::acquire(std::uint64_t size, bool zeroed) {
   const int b = bucket_for_acquire(size);
-  if (b < kBuckets && !buckets_[b].empty()) {
-    std::vector<std::byte> v = std::move(buckets_[b].back());
-    buckets_[b].pop_back();
-    ++stats_.hits;
-    if (zeroed) v.clear();  // resize from 0 value-initializes every byte
-    v.resize(size);
-    return v;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (b < kBuckets && !buckets_[b].empty()) {
+      std::vector<std::byte> v = std::move(buckets_[b].back());
+      buckets_[b].pop_back();
+      ++stats_.hits;
+      if (zeroed) v.clear();  // resize from 0 value-initializes every byte
+      v.resize(size);
+      return v;
+    }
+    ++stats_.misses;
   }
-  ++stats_.misses;
   return std::vector<std::byte>(size);
 }
 
 void BufferPool::release(std::vector<std::byte>&& bytes) {
   if (bytes.capacity() < kMinBytes) return;
   const int b = bucket_for_release(bytes.capacity());
+  std::lock_guard<std::mutex> lock(mutex_);
   if (b >= kBuckets || buckets_[b].size() >= kMaxPerBucket) return;
   ++stats_.recycled;
   buckets_[b].push_back(std::move(bytes));
 }
 
 void BufferPool::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (auto& bucket : buckets_) {
     bucket.clear();
     bucket.shrink_to_fit();

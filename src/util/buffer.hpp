@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -40,8 +41,9 @@ namespace dacc::util {
 /// Size-bucketed recycler for payload byte storage. Buffers return their
 /// backing vectors here when the last reference drops; acquire() serves the
 /// next payload of similar size from the cache instead of the allocator.
-/// Not thread-safe on its own — all buffer traffic runs under the
-/// simulation baton, which already serializes it.
+/// The pool is process-global and the parallel simulation backend touches
+/// it from several shard workers at once, so access is mutex-protected
+/// (uncontended in the sequential backends).
 class BufferPool {
  public:
   static BufferPool& instance();
@@ -59,7 +61,10 @@ class BufferPool {
     std::uint64_t misses = 0;    ///< acquires that hit the allocator
     std::uint64_t recycled = 0;  ///< vectors accepted by release()
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
 
   /// Drops all cached storage (tests use this to isolate measurements).
   void trim();
@@ -78,6 +83,7 @@ class BufferPool {
     return std::bit_width(capacity) - 1;
   }
 
+  mutable std::mutex mutex_;
   std::array<std::vector<std::vector<std::byte>>, kBuckets> buckets_;
   Stats stats_;
 };

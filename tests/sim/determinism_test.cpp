@@ -1,7 +1,8 @@
-// Cross-backend determinism contract (sim/exec.hpp): the coroutine and the
-// thread execution backends must produce bit-identical simulations — same
-// event count, same final clock, same trace span sequence, same numerical
-// results — and every backend must reproduce itself exactly across runs.
+// Cross-backend determinism contract (sim/exec.hpp): the coroutine, thread
+// and parallel execution backends must produce bit-identical simulations —
+// same event count, same final clock, same trace span sequence, same
+// numerical results — every backend must reproduce itself exactly across
+// runs, and the parallel backend must be invariant in its shard count.
 //
 // The workload deliberately mixes everything that exercises event ordering:
 // a functional QR factorization on network-attached GPUs (bulk pipelined
@@ -49,7 +50,7 @@ struct Fingerprint {
   double rec_checksum = 0.0;
 };
 
-Fingerprint run_mixed(sim::ExecBackend backend) {
+Fingerprint run_mixed(sim::ExecBackend backend, int shards = 0) {
   auto registry = la::la_registry();
   mdsim::register_mdsim_kernels(*registry);
 
@@ -60,6 +61,7 @@ Fingerprint run_mixed(sim::ExecBackend backend) {
   config.trace = true;
   config.registry = registry;
   config.sim_backend = backend;
+  config.sim_shards = shards;
   rt::Cluster cluster(config);
 
   Fingerprint fp;
@@ -143,6 +145,7 @@ Fingerprint run_mixed(sim::ExecBackend backend) {
   rec_config.heartbeat.miss_threshold = 3;
   rec_config.retry.request_timeout = 5_ms;
   rec_config.retry.replace_on_failure = true;
+  rec_config.sim_shards = shards;
   rt::Cluster rec(rec_config);
   rt::JobSpec rec_job;
   rec_job.name = "recovery";
@@ -232,14 +235,49 @@ TEST(Determinism, CoroutineBackendReplaysExactly) {
   expect_identical(a, b, "coroutine vs coroutine");
 }
 
+TEST(Determinism, ParallelBackendReplaysExactly) {
+  const Fingerprint a = run_mixed(sim::ExecBackend::kParallel, /*shards=*/4);
+  const Fingerprint b = run_mixed(sim::ExecBackend::kParallel, /*shards=*/4);
+  expect_sane(a);
+  expect_identical(a, b, "parallel vs parallel");
+}
+
 TEST(Determinism, BackendsProduceIdenticalSimulations) {
-  if (!kCoroutineAvailable) {
-    GTEST_SKIP() << "coroutine backend disabled (sanitizer build)";
-  }
-  const Fingerprint coro = run_mixed(sim::ExecBackend::kCoroutine);
+  // The three-way contract: every backend replays the same simulation,
+  // bit for bit. The parallel run uses four shards so the windowed
+  // scheduler, staged inboxes and barrier merge are all on the line.
   const Fingerprint thread = run_mixed(sim::ExecBackend::kThread);
-  expect_sane(coro);
-  expect_identical(coro, thread, "coroutine vs thread");
+  const Fingerprint par = run_mixed(sim::ExecBackend::kParallel, /*shards=*/4);
+  expect_sane(thread);
+  expect_identical(thread, par, "thread vs parallel");
+  if (kCoroutineAvailable) {
+    const Fingerprint coro = run_mixed(sim::ExecBackend::kCoroutine);
+    expect_identical(coro, thread, "coroutine vs thread");
+  }
+}
+
+TEST(Determinism, ShardCountInvariance) {
+  // Shard topology must be invisible in the results: one shard per node,
+  // two nodes per shard, everything on one shard — identical simulations.
+  const Fingerprint s1 = run_mixed(sim::ExecBackend::kParallel, /*shards=*/1);
+  const Fingerprint s2 = run_mixed(sim::ExecBackend::kParallel, /*shards=*/2);
+  const Fingerprint s4 = run_mixed(sim::ExecBackend::kParallel, /*shards=*/4);
+  const Fingerprint s8 = run_mixed(sim::ExecBackend::kParallel, /*shards=*/8);
+  expect_sane(s1);
+  expect_identical(s1, s2, "1 shard vs 2 shards");
+  expect_identical(s1, s4, "1 shard vs 4 shards");
+  expect_identical(s1, s8, "1 shard vs 8 shards");
+}
+
+TEST(Determinism, DefaultBackendReplaysExactly) {
+  // Replays under whatever DACC_SIM_BACKEND / DACC_SIM_PARALLEL_WORKERS
+  // selects — this is the variant ctest registers once per backend label.
+  const Fingerprint a =
+      run_mixed(sim::default_exec_backend(), sim::default_parallel_shards());
+  const Fingerprint b =
+      run_mixed(sim::default_exec_backend(), sim::default_parallel_shards());
+  expect_sane(a);
+  expect_identical(a, b, "default backend replay");
 }
 
 }  // namespace

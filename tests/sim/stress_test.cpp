@@ -74,7 +74,13 @@ TEST(EngineStress, TenThousandProcessesSteadyState) {
   // live-event high-water mark — the "zero allocations per event in steady
   // state" contract of the pooled queue.
   Engine engine;
-  const bool coro = engine.backend() == ExecBackend::kCoroutine;
+  // Coroutine strands carry the processes under every backend except the
+  // thread one (and any build that forces it for sanitizer visibility).
+#if defined(DACC_SIM_FORCE_THREAD_BACKEND)
+  const bool coro = false;
+#else
+  const bool coro = engine.backend() != ExecBackend::kThread;
+#endif
   // The thread backend would need one OS thread per process; keep it to a
   // size a sanitizer build can host.
   const int n = coro ? 10'000 : 500;
