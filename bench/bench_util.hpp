@@ -17,6 +17,7 @@
 
 #include "core/api.hpp"
 #include "dmpi/mpi.hpp"
+#include "obs/metrics.hpp"
 #include "rt/cluster.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -147,6 +148,22 @@ inline void register_result(const std::string& name, SimDuration simulated,
       ->Iterations(1);
 }
 
+/// Metrics snapshot finish() folds into the BENCH_*.json file (under an
+/// "obs" key). Benches that run with ClusterConfig::metrics call
+/// record_metrics(cluster.metrics()) after cluster.run(); the snapshot is
+/// deterministic, so the committed JSON stays stable across machines and
+/// execution backends.
+inline std::string& metrics_snapshot() {
+  static std::string cache;
+  return cache;
+}
+
+inline void record_metrics(const obs::Registry& registry) {
+  std::string snap = registry.json();
+  while (!snap.empty() && snap.back() == '\n') snap.pop_back();
+  metrics_snapshot() = std::move(snap);
+}
+
 /// Standard message-size sweep of the bandwidth figures (1 KiB .. 64 MiB).
 inline std::vector<std::uint64_t> figure_sizes() {
   return {1_KiB,  4_KiB,   16_KiB, 64_KiB, 256_KiB,
@@ -179,7 +196,11 @@ inline int finish(int argc, char** argv, const std::string& json_path = "") {
     if (r.gflops > 0.0) json << ", \"gflops\": " << r.gflops;
     json << '}' << (i + 1 < all.size() ? "," : "") << '\n';
   }
-  json << "  ]\n}\n";
+  json << "  ]";
+  if (!metrics_snapshot().empty()) {
+    json << ",\n  \"obs\": " << metrics_snapshot();
+  }
+  json << "\n}\n";
   json.flush();
   if (!json) {
     std::fprintf(stderr, "error: could not write %s\n", json_path.c_str());

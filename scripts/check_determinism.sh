@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Cross-backend determinism gate: the simulation's observable outputs —
+# simulated results, trace spans, and the dacc::obs metrics snapshot — must
+# be bit-identical under the coroutine, thread, and parallel execution
+# backends.
+#
+# Two layers of checking:
+#   1. ctest: the in-process determinism suites (tests/sim, tests/obs) and
+#      every obs-labelled smoke test.
+#   2. process-level: run examples/metrics_dump once per backend via
+#      DACC_SIM_BACKEND and byte-compare the exported JSON + Prometheus
+#      snapshots across the three runs.
+#
+#   $ scripts/check_determinism.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="${1:-$repo/build-det}"
+
+cmake -B "$build" -S "$repo" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DDACC_BUILD_BENCHMARKS=OFF \
+  -DDACC_BUILD_EXAMPLES=ON
+cmake --build "$build" -j "$(nproc)"
+
+# In-process determinism + observability suites.
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)" \
+  -R 'Determinism|ObsDeterminism'
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)" -L obs
+
+# Process-level: identical metrics snapshots from separate processes pinned
+# to each backend.
+out="$build/det-snapshots"
+mkdir -p "$out"
+for backend in coroutine thread parallel:4; do
+  tag="${backend/:/_}"
+  (cd "$out" && DACC_SIM_BACKEND="$backend" \
+    "$build/examples/metrics_dump" "metrics_$tag" > "run_$tag.log")
+done
+
+for ext in json prom; do
+  cmp "$out/metrics_coroutine.$ext" "$out/metrics_thread.$ext"
+  cmp "$out/metrics_coroutine.$ext" "$out/metrics_parallel_4.$ext"
+done
+
+echo "determinism check passed: metrics snapshots identical across backends"

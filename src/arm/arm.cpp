@@ -38,6 +38,7 @@ util::Buffer Heartbeat::encode() const {
       .u64(static_cast<std::uint64_t>(daemon_rank))
       .u64(seq)
       .u32(device_ok ? 1 : 0)
+      .u64(sent_at)
       .finish();
 }
 
@@ -46,6 +47,7 @@ Heartbeat Heartbeat::decode(proto::WireReader& r) {
   hb.daemon_rank = static_cast<dmpi::Rank>(r.u64());
   hb.seq = r.u64();
   hb.device_ok = r.u32() != 0;
+  hb.sent_at = r.u64();
   return hb;
 }
 
@@ -154,6 +156,7 @@ void Arm::revoke_slot(dmpi::Mpi& mpi, Slot& slot, SimTime now,
   if (slot.state == State::kAssigned) {
     slot.assigned_total += now - slot.assigned_since;
     ++revocations_;
+    if (metrics_bound_ != nullptr) m_revocations_.add(1);
     revoked_leases_.push_back(slot.lease_id);
     // Unsolicited push so the owner learns of the failure even between its
     // own requests; the tag encodes the daemon so a session holding several
@@ -197,6 +200,10 @@ void Arm::fail_unsatisfiable(dmpi::Mpi& mpi) {
 
 void Arm::handle_heartbeat(dmpi::Mpi& mpi, const Heartbeat& hb, SimTime now) {
   ++heartbeats_;
+  if (metrics_bound_ != nullptr && hb.sent_at != 0 && now >= hb.sent_at) {
+    m_heartbeat_latency_ns_.observe(
+        static_cast<std::uint64_t>(now - hb.sent_at));
+  }
   Slot* slot = find_slot(hb.daemon_rank);
   if (slot == nullptr || slot->state == State::kBroken) return;
   slot->last_beat = now;
@@ -255,9 +262,12 @@ bool Arm::try_grant(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
 void Arm::handle_acquire(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
                          std::uint64_t job, std::uint32_t count,
                          const std::string& kind, bool wait, SimTime now) {
-  if (try_grant(mpi, client, reply_tag, job, count, kind, now)) return;
+  if (try_grant(mpi, client, reply_tag, job, count, kind, now)) {
+    if (metrics_bound_ != nullptr) m_assign_wait_ns_.observe(0);
+    return;
+  }
   if (wait) {
-    queue_.push_back(PendingAcquire{client, reply_tag, job, count, kind});
+    queue_.push_back(PendingAcquire{client, reply_tag, job, count, kind, now});
     return;
   }
   mpi.send(world_.world_comm(), client, reply_tag,
@@ -277,6 +287,10 @@ void Arm::drain_queue(dmpi::Mpi& mpi, SimTime now) {
                      head.kind, now)) {
         return;
       }
+      if (metrics_bound_ != nullptr) {
+        m_assign_wait_ns_.observe(
+            static_cast<std::uint64_t>(now - head.enqueued_at));
+      }
       queue_.pop_front();
     }
     return;
@@ -286,11 +300,32 @@ void Arm::drain_queue(dmpi::Mpi& mpi, SimTime now) {
   for (auto it = queue_.begin(); it != queue_.end();) {
     if (try_grant(mpi, it->client, it->reply_tag, it->job, it->count,
                   it->kind, now)) {
+      if (metrics_bound_ != nullptr) {
+        m_assign_wait_ns_.observe(
+            static_cast<std::uint64_t>(now - it->enqueued_at));
+      }
       it = queue_.erase(it);
     } else {
       ++it;
     }
   }
+}
+
+void Arm::bind_metrics(obs::Registry* reg) {
+  metrics_bound_ = reg;
+  if (reg == nullptr) {
+    m_assigned_ = obs::Gauge{};
+    m_assign_wait_ns_ = obs::Histogram{};
+    m_heartbeat_latency_ns_ = obs::Histogram{};
+    m_revocations_ = obs::Counter{};
+    return;
+  }
+  m_assigned_ = reg->gauge("dacc_arm_assigned");
+  m_assign_wait_ns_ =
+      reg->histogram("dacc_arm_assign_wait_ns", obs::latency_bounds_ns());
+  m_heartbeat_latency_ns_ = reg->histogram("dacc_arm_heartbeat_latency_ns",
+                                           obs::latency_bounds_ns());
+  m_revocations_ = reg->counter("dacc_arm_revocations_total");
 }
 
 void Arm::run(sim::Context& ctx) {
@@ -301,6 +336,8 @@ void Arm::run(sim::Context& ctx) {
     WireReader req(mpi.recv(comm, dmpi::kAnySource, kArmRequestTag, &st));
     // Bookkeeping cost of one management request.
     ctx.wait_for(1'000);
+    obs::Registry* reg = world_.engine().metrics();
+    if (reg != metrics_bound_) bind_metrics(reg);
     const ArmOp op = static_cast<ArmOp>(req.u32());
     const int reply_tag = static_cast<int>(req.u32());
     switch (op) {
@@ -420,6 +457,15 @@ void Arm::run(sim::Context& ctx) {
                      .u32(static_cast<std::uint32_t>(ArmResult::kOk))
                      .finish());
         return;
+    }
+    if (metrics_bound_ != nullptr) {
+      // Pool-utilization gauge: sample the assigned count after every
+      // request (each mutation flows through this loop).
+      std::int64_t assigned = 0;
+      for (const Slot& s : slots_) {
+        if (s.state == State::kAssigned) ++assigned;
+      }
+      m_assigned_.set(assigned);
     }
   }
 }

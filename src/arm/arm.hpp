@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "dmpi/mpi.hpp"
+#include "obs/metrics.hpp"
 #include "proto/wire.hpp"
 #include "util/units.hpp"
 
@@ -75,6 +76,9 @@ struct Heartbeat {
   dmpi::Rank daemon_rank = -1;
   std::uint64_t seq = 0;
   bool device_ok = true;
+  /// Simulated send time stamped by the pacer; the ARM turns it into the
+  /// heartbeat-delivery-latency metric. 0 = unstamped (legacy senders).
+  SimTime sent_at = 0;
 
   util::Buffer encode() const;
   static Heartbeat decode(proto::WireReader& r);
@@ -180,7 +184,8 @@ class Arm {
     int reply_tag = 0;
     std::uint64_t job = 0;
     std::uint32_t count = 0;
-    std::string kind;  ///< empty = any
+    std::string kind;            ///< empty = any
+    SimTime enqueued_at = 0;  ///< for the assignment-wait metric
   };
 
   void handle_acquire(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
@@ -205,6 +210,10 @@ class Arm {
   void fail_unsatisfiable(dmpi::Mpi& mpi);
   bool was_revoked(std::uint64_t lease_id) const;
 
+  /// Registers the ARM's metrics against `reg` (idempotent re-bind). The
+  /// ARM runs as a single sim process, so a plain pointer compare suffices.
+  void bind_metrics(obs::Registry* reg);
+
   dmpi::World& world_;
   dmpi::Rank self_;
   QueuePolicy policy_;
@@ -216,6 +225,13 @@ class Arm {
   std::uint64_t heartbeats_ = 0;
   std::uint32_t revocations_ = 0;
   std::uint32_t replacements_ = 0;
+
+  // Metrics (lazy-bound, no-op handles when no registry is attached).
+  obs::Registry* metrics_bound_ = nullptr;
+  obs::Gauge m_assigned_;
+  obs::Histogram m_assign_wait_ns_;
+  obs::Histogram m_heartbeat_latency_ns_;
+  obs::Counter m_revocations_;
 };
 
 /// Front-end side of the ARM protocol: the paper's resource-management API.

@@ -174,9 +174,27 @@ struct Accelerator::AttemptOut {
   DeviceInfo info;
 };
 
+namespace {
+/// Short op-kind labels for metric names (stable, label-safe).
+constexpr const char* kOpKindLabel[] = {
+    "alloc", "free", "h2d",  "d2h", "launch",
+    "check", "info", "peer", "stop"};
+}  // namespace
+
+void Accelerator::bind_metrics(obs::Registry* reg) {
+  const auto bounds = obs::latency_bounds_ns();
+  for (std::size_t k = 0; k + 1 < op_latency_.size(); ++k) {  // skip kStop
+    op_latency_[k] = reg->histogram(
+        std::string("dacc_fe_op_latency_ns{op=\"") + kOpKindLabel[k] + "\"}",
+        bounds);
+  }
+  metrics_bound_ = reg;
+}
+
 void Accelerator::proxy_main(sim::Context& ctx) {
   dmpi::Mpi mpi(session_->world_, ctx, session_->self_);
   const proto::ProtoParams& pp = session_->config().proto;
+  sim::Engine& engine = session_->world_.engine();
 
   for (;;) {
     std::unique_ptr<ProxyOp> op = ops_->get(ctx);
@@ -186,14 +204,32 @@ void Accelerator::proxy_main(sim::Context& ctx) {
     }
     const SimTime op_begin = ctx.now();
     ctx.wait_for(pp.fe_marshal);  // request marshalling on the CN CPU
-    const std::string label = session_->world_.engine().tracer() != nullptr
-                                  ? op_label(*op)
-                                  : std::string{};
+    sim::Tracer* const tracer = engine.tracer();
+    const std::string label =
+        tracer != nullptr ? op_label(*op) : std::string{};
+    // Causal trace context: one trace per front-end API call. The root span
+    // id doubles as the trace id; it rides the request headers into the
+    // daemon (and its NIC hops) so the whole chain stitches together.
+    std::uint64_t trace_id = 0;
+    if (tracer != nullptr) {
+      trace_id = (std::uint64_t{1} << 56) |
+                 (static_cast<std::uint64_t>(session_->self_) << 40) |
+                 (static_cast<std::uint64_t>(lease_.daemon_rank) << 24) |
+                 ++trace_seq_;
+      engine.set_current_trace({trace_id, trace_id});
+    }
     exec_op(mpi, ctx, *op);
-    if (sim::Tracer* tracer = session_->world_.engine().tracer()) {
+    if (tracer != nullptr) {
+      engine.set_current_trace({});
       const std::string track = "fe-r" + std::to_string(session_->self_) +
                                 "-ac" + std::to_string(lease_.daemon_rank);
-      tracer->record(track, label, op_begin, ctx.now());
+      tracer->record(track, label, op_begin, ctx.now(), trace_id, trace_id,
+                     /*parent_id=*/0);
+    }
+    if (obs::Registry* reg = engine.metrics()) {
+      if (metrics_bound_ != reg) bind_metrics(reg);
+      op_latency_[static_cast<std::size_t>(op->kind)].observe(
+          static_cast<std::uint64_t>(ctx.now() - op_begin));
     }
   }
 }
@@ -231,9 +267,20 @@ bool Accelerator::attempt_op(dmpi::Mpi& mpi, sim::Context& ctx,
     }
     return reply.take_payload();
   };
+  // Requests from a traced API call carry the causal context after the
+  // reply tag (flag bit 31); untraced clients emit the unchanged format.
+  const sim::TraceCtx tc = session_->world_.engine().current_trace();
   auto header = [&](Op o) {
     WireWriter w;
-    w.op(o).u32(static_cast<std::uint32_t>(reply_tag));
+    if (tc.active()) {
+      w.op(o)
+          .u32(static_cast<std::uint32_t>(reply_tag) |
+               proto::kTraceContextFlag)
+          .u64(tc.trace_id)
+          .u64(tc.span_id);
+    } else {
+      w.op(o).u32(static_cast<std::uint32_t>(reply_tag));
+    }
     return w;
   };
 

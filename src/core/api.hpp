@@ -23,6 +23,7 @@
 // behind the multi-GPU speedups of Figures 9/10.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -32,6 +33,7 @@
 #include "arm/arm.hpp"
 #include "dmpi/mpi.hpp"
 #include "gpu/device.hpp"
+#include "obs/metrics.hpp"
 #include "proto/wire.hpp"
 #include "sim/sync.hpp"
 
@@ -177,6 +179,9 @@ class Accelerator {
   Future enqueue(ProxyOp op);
   void proxy_main(sim::Context& ctx);
   static std::string op_label(const ProxyOp& op);
+  /// Registers the per-op-kind latency histograms against `reg` (idempotent;
+  /// re-binds if a different registry is attached between runs).
+  void bind_metrics(obs::Registry* reg);
   /// Queues the stop op behind all in-flight work; waits for it when a
   /// context is given (release paths) and not from the destructor.
   void stop_proxy(sim::Context* ctx = nullptr);
@@ -218,7 +223,12 @@ class Accelerator {
   std::vector<std::unique_ptr<ProxyOp>> replay_log_;
   gpu::DevPtr next_virtual_ = 0x5f00'0000'0000ull;
   int replacements_ = 0;
-  std::uint64_t fe_seq_ = 0;  ///< per-attempt reply-tag sequence
+  std::uint64_t fe_seq_ = 0;     ///< per-attempt reply-tag sequence
+  std::uint64_t trace_seq_ = 0;  ///< per-API-call trace-id sequence
+
+  // Metrics (lazy-bound, no-op handles when no registry is attached).
+  obs::Registry* metrics_bound_ = nullptr;
+  std::array<obs::Histogram, 9> op_latency_;  ///< indexed by ProxyOp::Kind
 };
 
 /// Per-compute-node-process middleware session.

@@ -1,5 +1,7 @@
 #include "daemon/daemon.hpp"
 
+#include <algorithm>
+
 #include "proto/transfer.hpp"
 #include "sim/trace.hpp"
 
@@ -44,6 +46,16 @@ void Daemon::respond_status(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
            WireWriter{}.result(r).finish());
 }
 
+void Daemon::bind_metrics(obs::Registry* reg) {
+  const std::string rank = "{rank=\"" + std::to_string(self_) + "\"}";
+  m_requests_ = reg->counter("dacc_daemon_requests_total" + rank);
+  m_malformed_ = reg->counter("dacc_daemon_malformed_total" + rank);
+  m_busy_ns_ = reg->counter("dacc_daemon_busy_ns_total" + rank);
+  m_h2d_overlap_pct_ = reg->histogram(
+      "dacc_daemon_h2d_overlap_pct" + rank, {10, 25, 50, 75, 90, 100});
+  metrics_bound_ = reg;
+}
+
 void Daemon::run(sim::Context& ctx) {
   dmpi::Mpi mpi(world_, ctx, self_);
   const dmpi::Comm& comm = world_.world_comm();
@@ -52,24 +64,48 @@ void Daemon::run(sim::Context& ctx) {
     dmpi::Status st;
     util::Buffer msg = mpi.recv(comm, kAnySource, kRequestTag, &st);
     const SimTime begin = ctx.now();
+    obs::Registry* const reg = world_.engine().metrics();
+    if (reg != nullptr && metrics_bound_ != reg) bind_metrics(reg);
+    const SimDuration busy_before =
+        reg != nullptr ? device_.copy_busy() + device_.compute_busy() : 0;
     ctx.wait_for(params_.be_dispatch);
     ++requests_served_;
+    if (reg != nullptr) m_requests_.add();
     WireReader req(std::move(msg));
     // Frame header: op code + the tag the client wants the reply on (bulk
-    // data travels on reply_tag + 1). A frame too short to carry the header
-    // cannot even be answered — count it and stay alive.
+    // data travels on reply_tag + 1), optionally followed by the client's
+    // causal trace context (flag bit 31 of the tag word). A frame too short
+    // to carry the header cannot even be answered — count it and stay alive.
     Op op{};
     int reply_tag = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent_span = 0;
     try {
       op = req.op();
-      reply_tag = static_cast<int>(req.u32());
+      std::uint32_t raw = req.u32();
+      if ((raw & proto::kTraceContextFlag) != 0) {
+        trace_id = req.u64();
+        parent_span = req.u64();
+        raw &= ~proto::kTraceContextFlag;
+      }
+      reply_tag = static_cast<int>(raw);
     } catch (const proto::WireError&) {
       ++malformed_requests_;
+      if (reg != nullptr) m_malformed_.add();
       continue;
     }
     if (reply_tag < 1 || reply_tag >= dmpi::kMaxUserTag * 2) {
       ++malformed_requests_;
+      if (reg != nullptr) m_malformed_.add();
       continue;
+    }
+    // Execute the request under the client's trace so the NIC spans of the
+    // reply (and of any daemon-to-daemon leg) chain to this daemon span.
+    std::uint64_t span_id = 0;
+    if (trace_id != 0) {
+      span_id = (std::uint64_t{2} << 56) |
+                (static_cast<std::uint64_t>(self_) << 24) | ++span_seq_;
+      world_.engine().set_current_trace({trace_id, span_id});
     }
     bool shutdown = false;
     try {
@@ -112,10 +148,29 @@ void Daemon::run(sim::Context& ctx) {
       // Handlers decode their full payload before sending anything, so a
       // decode failure here has produced no partial reply yet.
       ++malformed_requests_;
+      if (reg != nullptr) m_malformed_.add();
       respond_status(mpi, st.source, reply_tag, Result::kInvalidValue);
     }
+    if (trace_id != 0) world_.engine().set_current_trace({});
     if (sim::Tracer* tracer = world_.engine().tracer()) {
-      tracer->record(track, proto::to_string(op), begin, ctx.now());
+      tracer->record(track, proto::to_string(op), begin, ctx.now(), trace_id,
+                     span_id, parent_span);
+    }
+    if (reg != nullptr) {
+      const SimDuration busy =
+          device_.copy_busy() + device_.compute_busy() - busy_before;
+      m_busy_ns_.add(static_cast<std::uint64_t>(busy));
+      if (op == Op::kMemcpyHtoD || op == Op::kPeerPut) {
+        const SimDuration elapsed = ctx.now() - begin;
+        // Overlap ratio: share of the request's wall time the copy engine
+        // was busy — 100 means the network receive fully hid behind DMA.
+        const std::uint64_t pct =
+            elapsed > 0 ? std::min<std::uint64_t>(
+                              100, static_cast<std::uint64_t>(busy) * 100 /
+                                       static_cast<std::uint64_t>(elapsed))
+                        : 0;
+        m_h2d_overlap_pct_.observe(pct);
+      }
     }
     if (shutdown) return;
   }

@@ -10,6 +10,7 @@
 
 #include "dmpi/mpi.hpp"
 #include "gpu/device.hpp"
+#include "obs/metrics.hpp"
 #include "proto/wire.hpp"
 
 namespace dacc::daemon {
@@ -54,6 +55,9 @@ class Daemon {
   SimDuration copy_extra_busy(std::uint64_t bytes, bool gpudirect,
                               bool h2d) const;
 
+  /// Registers this daemon's metrics against `reg` (idempotent re-bind).
+  void bind_metrics(obs::Registry* reg);
+
   gpu::Device& device_;
   dmpi::World& world_;
   dmpi::Rank self_;
@@ -61,6 +65,14 @@ class Daemon {
   gpu::Stream stream_;  ///< single in-order op stream (CUDA default-stream)
   std::uint64_t requests_served_ = 0;
   std::uint64_t malformed_requests_ = 0;
+  std::uint64_t span_seq_ = 0;  ///< per-request trace span ids
+
+  // Metrics (lazy-bound, no-op handles when no registry is attached).
+  obs::Registry* metrics_bound_ = nullptr;
+  obs::Counter m_requests_;
+  obs::Counter m_malformed_;
+  obs::Counter m_busy_ns_;
+  obs::Histogram m_h2d_overlap_pct_;
 };
 
 }  // namespace dacc::daemon

@@ -4,6 +4,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "sim/trace.hpp"
+
 namespace dacc::dmpi {
 
 // ---------------------------------------------------------------------------
@@ -105,6 +107,9 @@ struct World::Endpoint {
   // User-level tag seed (Mpi::fresh_tag_seed); same shard-ownership
   // argument as above.
   std::uint64_t next_tag_seed = 0;
+  // NIC trace-span ids minted by this rank (tx at post time, rx at arrival;
+  // both run in the rank's node context, so the sequence is deterministic).
+  std::uint64_t next_span_seed = 0;
 };
 
 struct World::PendingSend {
@@ -113,6 +118,10 @@ struct World::PendingSend {
   Rank dst_w;
   util::Buffer data;
   std::shared_ptr<Request::State> send_state;
+  // Causal trace of the send, carried across the rendezvous handshake so
+  // the data delivery can record its receive-side NIC span.
+  std::uint64_t trace_id = 0;
+  std::uint64_t nic_span = 0;
 };
 
 World::World(sim::Engine& engine, net::Fabric& fabric,
@@ -158,25 +167,89 @@ net::NodeId World::node_of(Rank world_rank) const {
   return rank_nodes_[static_cast<std::size_t>(world_rank)];
 }
 
+void World::bind_metrics(obs::Registry* reg) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  if (metrics_bound_.load(std::memory_order_relaxed) == reg) return;
+  send_metrics_.clear();
+  send_metrics_.resize(rank_nodes_.size());
+  for (std::size_t r = 0; r < rank_nodes_.size(); ++r) {
+    const std::string label = "{rank=\"" + std::to_string(r) + "\"}";
+    send_metrics_[r].msgs = reg->counter("dacc_dmpi_msgs_total" + label);
+    send_metrics_[r].bytes = reg->counter("dacc_dmpi_bytes_total" + label);
+    send_metrics_[r].eager = reg->counter("dacc_dmpi_eager_total" + label);
+    send_metrics_[r].rendezvous =
+        reg->counter("dacc_dmpi_rendezvous_total" + label);
+  }
+  metrics_bound_.store(reg, std::memory_order_release);
+}
+
+void World::count_send(Rank src_w, std::uint64_t bytes, bool eager) {
+  obs::Registry* const reg = engine_.metrics();
+  if (reg == nullptr) return;
+  if (metrics_bound_.load(std::memory_order_acquire) != reg) {
+    bind_metrics(reg);
+  }
+  RankSendMetrics& m = send_metrics_[static_cast<std::size_t>(src_w)];
+  m.msgs.add();
+  m.bytes.add(bytes);
+  (eager ? m.eager : m.rendezvous).add();
+}
+
+std::uint64_t World::next_nic_span(Rank rank) {
+  Endpoint& ep = *endpoints_[static_cast<std::size_t>(rank)];
+  return (std::uint64_t{3} << 56) | (static_cast<std::uint64_t>(rank) << 40) |
+         ++ep.next_span_seed;
+}
+
+void World::record_nic_rx(Rank dst_w, std::uint64_t trace_id,
+                          std::uint64_t parent_span) {
+  sim::Tracer* const tracer = engine_.tracer();
+  if (tracer == nullptr) return;
+  const SimTime now = engine_.now();
+  tracer->record("nic-r" + std::to_string(dst_w), "rx", now,
+                 now + params_.recv_overhead, trace_id, next_nic_span(dst_w),
+                 parent_span);
+}
+
 std::shared_ptr<Request::State> World::post_send(sim::Context& ctx,
                                                  Rank src_w, Rank dst_w,
                                                  int context_id, int tag,
                                                  util::Buffer data) {
   // Posting a send costs CPU time on the sender.
+  const SimTime post_begin = ctx.now();
   ctx.wait_for(params_.send_overhead);
 
   auto state = std::make_shared<Request::State>(engine_);
   const std::uint64_t bytes = data.size();
   const net::NodeId src_node = node_of(src_w);
   const net::NodeId dst_node = node_of(dst_w);
+  const bool eager = bytes <= params_.eager_threshold;
+  count_send(src_w, bytes, eager);
 
-  if (bytes <= params_.eager_threshold) {
+  // Inside an active causal trace, the send's NIC hop becomes a child span
+  // of the caller (tx here on the sender's track, rx at arrival on the
+  // receiver's); untraced traffic records nothing.
+  sim::Tracer* const tracer = engine_.tracer();
+  const sim::TraceCtx tc = engine_.current_trace();
+  std::uint64_t nic_span = 0;
+  if (tracer != nullptr && tc.active()) {
+    nic_span = next_nic_span(src_w);
+    tracer->record("nic-r" + std::to_string(src_w), eager ? "tx" : "tx rdv",
+                   post_begin, engine_.now(), tc.trace_id, nic_span,
+                   tc.span_id);
+  }
+
+  if (eager) {
     // Eager: inject immediately; the send is buffered and completes locally.
     // The payload moves through the event — no shared_ptr wrapper, no copy.
     fabric_.deliver(src_node, dst_node, bytes + params_.ctrl_bytes,
                     engine_.now(),
                     [this, dst_w, context_id, src_w, tag,
+                     trace_id = tc.trace_id, nic_span,
                      payload = std::move(data)]() mutable {
+                      if (nic_span != 0) {
+                        record_nic_rx(dst_w, trace_id, nic_span);
+                      }
                       arrive_eager(dst_w, context_id, src_w, tag,
                                    std::move(payload));
                     });
@@ -192,6 +265,8 @@ std::shared_ptr<Request::State> World::post_send(sim::Context& ctx,
   pending->dst_w = dst_w;
   pending->data = std::move(data);
   pending->send_state = state;
+  pending->trace_id = tc.trace_id;
+  pending->nic_span = nic_span;
   const std::uint64_t send_id = pending->id;
   sender_ep.pending_sends.push_back(std::move(pending));
 
@@ -320,12 +395,16 @@ void World::arrive_cts(Rank src_w, std::uint64_t send_id, int tag,
   const Rank dst_w = pending->dst_w;
   auto send_state = pending->send_state;
   const Rank sender = pending->src_w;
+  const std::uint64_t trace_id = pending->trace_id;
+  const std::uint64_t nic_span = pending->nic_span;
 
   fabric_.deliver(
       node_of(src_w), node_of(dst_w), bytes + params_.ctrl_bytes,
       engine_.now(),
-      [this, recv_state = std::move(recv_state), send_state,
-       payload = std::move(pending->data), sender, tag, bytes]() mutable {
+      [this, recv_state = std::move(recv_state), send_state, dst_w, trace_id,
+       nic_span, payload = std::move(pending->data), sender, tag,
+       bytes]() mutable {
+        if (nic_span != 0) record_nic_rx(dst_w, trace_id, nic_span);
         // This runs at the receiver. The send request belongs to the sender,
         // so its completion (and the wake of anyone waiting on it) is posted
         // back to the sender's node — under the parallel backend the state is

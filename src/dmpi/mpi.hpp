@@ -19,12 +19,15 @@
 // (Section V.A).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "util/buffer.hpp"
 #include "util/units.hpp"
@@ -155,6 +158,19 @@ class World {
                      SimDuration extra_delay);
   void cancel_request(Rank me_w, const std::shared_ptr<Request::State>& state);
 
+  /// Per-rank send accounting (msgs/bytes, eager vs rendezvous), on the
+  /// sender. Bound lazily and thread-safely: the first post_send may run on
+  /// any shard under the parallel backend.
+  void count_send(Rank src_w, std::uint64_t bytes, bool eager);
+  void bind_metrics(obs::Registry* reg);
+  /// Mints a NIC span id on `rank`'s endpoint counter (shard-owned, so the
+  /// sequence is deterministic under every backend).
+  std::uint64_t next_nic_span(Rank rank);
+  /// Records the receive-side NIC span of a traced message at the current
+  /// (arrival) time on the destination's node.
+  void record_nic_rx(Rank dst_w, std::uint64_t trace_id,
+                     std::uint64_t parent_span);
+
   sim::Engine& engine_;
   net::Fabric& fabric_;
   MpiParams params_;
@@ -163,6 +179,16 @@ class World {
   std::vector<std::unique_ptr<Comm>> comms_;
   const Comm* world_comm_ = nullptr;
   int next_context_id_ = 0;
+
+  struct RankSendMetrics {
+    obs::Counter msgs;
+    obs::Counter bytes;
+    obs::Counter eager;
+    obs::Counter rendezvous;
+  };
+  std::mutex metrics_mutex_;  // guards the one-time registration only
+  std::atomic<obs::Registry*> metrics_bound_{nullptr};
+  std::vector<RankSendMetrics> send_metrics_;
 };
 
 /// Per-process MPI view: binds (world, my rank, my sim context). All calls

@@ -1,6 +1,7 @@
 #include "net/fabric.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace dacc::net {
 
@@ -22,6 +23,54 @@ void Fabric::check_node(NodeId node) const {
   }
 }
 
+obs::Registry* Fabric::metrics() {
+  obs::Registry* reg = engine_.metrics();
+  if (reg == nullptr) return nullptr;
+  if (metrics_bound_.load(std::memory_order_acquire) != reg) {
+    bind_metrics(reg);
+  }
+  return reg;
+}
+
+void Fabric::bind_metrics(obs::Registry* reg) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  if (metrics_bound_.load(std::memory_order_relaxed) == reg) return;
+  std::vector<NicMetrics> handles(nics_.size());
+  for (std::size_t n = 0; n < nics_.size(); ++n) {
+    const std::string l = "{node=\"" + std::to_string(n) + "\"}";
+    handles[n].tx_bytes = reg->counter("dacc_net_tx_bytes_total" + l);
+    handles[n].rx_bytes = reg->counter("dacc_net_rx_bytes_total" + l);
+    handles[n].tx_busy_ns = reg->counter("dacc_net_tx_busy_ns_total" + l);
+    handles[n].rx_busy_ns = reg->counter("dacc_net_rx_busy_ns_total" + l);
+    handles[n].drops = reg->counter("dacc_net_drops_total" + l);
+  }
+  m_tx_queue_delay_ =
+      reg->histogram("dacc_net_tx_queue_delay_ns", obs::latency_bounds_ns());
+  nic_metrics_ = std::move(handles);
+  metrics_bound_.store(reg, std::memory_order_release);
+}
+
+void Fabric::count_tx(NodeId src, std::uint64_t bytes, SimDuration busy,
+                      SimDuration queue_delay) {
+  if (metrics() == nullptr) return;
+  NicMetrics& m = nic_metrics_[static_cast<std::size_t>(src)];
+  m.tx_bytes.add(bytes);
+  m.tx_busy_ns.add(static_cast<std::uint64_t>(busy));
+  m_tx_queue_delay_.observe(static_cast<std::uint64_t>(queue_delay));
+}
+
+void Fabric::count_rx(NodeId dst, std::uint64_t bytes, SimDuration busy) {
+  if (metrics() == nullptr) return;
+  NicMetrics& m = nic_metrics_[static_cast<std::size_t>(dst)];
+  m.rx_bytes.add(bytes);
+  m.rx_busy_ns.add(static_cast<std::uint64_t>(busy));
+}
+
+void Fabric::count_drop(NodeId node) {
+  if (metrics() == nullptr) return;
+  nic_metrics_[static_cast<std::size_t>(node)].drops.add(1);
+}
+
 Fabric::Outcome Fabric::transfer_outcome(NodeId src, NodeId dst,
                                          std::uint64_t bytes,
                                          SimTime earliest) {
@@ -38,6 +87,7 @@ Fabric::Outcome Fabric::transfer_outcome(NodeId src, NodeId dst,
   if (earliest >= s.down_at) {
     // A dead source NIC injects nothing; no port time is consumed.
     ++s.drops;
+    count_drop(src);
     return {earliest, false};
   }
   SimDuration busy = transfer_time(bytes, params_.link_bandwidth_mib_s);
@@ -59,7 +109,9 @@ Fabric::Outcome Fabric::transfer_outcome(NodeId src, NodeId dst,
     // nothing lands on the rx side.
     const auto tx = s.tx.occupy(earliest, busy);
     s.bytes_sent += bytes;
+    count_tx(src, bytes, busy, tx.start - earliest);
     ++d.drops;
+    count_drop(dst);
     return {tx.end + params_.wire_latency, false};
   }
   const auto tx = s.tx.occupy(earliest, busy);
@@ -68,13 +120,17 @@ Fabric::Outcome Fabric::transfer_outcome(NodeId src, NodeId dst,
   const auto rx = d.rx.occupy(tx.start + params_.wire_latency, busy);
   s.bytes_sent += bytes;
   d.bytes_received += bytes;
+  count_tx(src, bytes, busy, tx.start - earliest);
+  count_rx(dst, bytes, busy);
   // Link failure mid-flight: the transfer was cut before it drained.
   if (tx.end > s.down_at) {
     ++s.drops;
+    count_drop(src);
     return {rx.end, false};
   }
   if (rx.end > d.down_at) {
     ++d.drops;
+    count_drop(dst);
     return {rx.end, false};
   }
   return {rx.end, true};
@@ -98,6 +154,7 @@ Fabric::TxPlan Fabric::plan_transfer(NodeId src, NodeId dst,
   if (earliest >= s.down_at) {
     // A dead source NIC injects nothing; no port time is consumed.
     ++s.drops;
+    count_drop(src);
     return {TxPlan::Kind::kSrcDead, earliest, 0, false};
   }
   SimDuration busy = transfer_time(bytes, params_.link_bandwidth_mib_s);
@@ -117,6 +174,7 @@ Fabric::TxPlan Fabric::plan_transfer(NodeId src, NodeId dst,
   }
   const auto tx = s.tx.occupy(earliest, busy);
   s.bytes_sent += bytes;
+  count_tx(src, bytes, busy, tx.start - earliest);
   if (earliest >= d.down_at) {
     // Transmitting into a dead receiver: tx time is consumed, nothing lands.
     return {TxPlan::Kind::kDstDead, tx.end + params_.wire_latency, busy,
@@ -125,7 +183,10 @@ Fabric::TxPlan Fabric::plan_transfer(NodeId src, NodeId dst,
   // Cut-through: the wire front reaches the receiver one latency after the
   // tx occupancy starts; the rx port is charged there, in arrival order.
   const bool src_dropped = tx.end > s.down_at;
-  if (src_dropped) ++s.drops;
+  if (src_dropped) {
+    ++s.drops;
+    count_drop(src);
+  }
   return {TxPlan::Kind::kSend, tx.start + params_.wire_latency, busy,
           src_dropped};
 }

@@ -12,11 +12,14 @@
 // falls out of the FIFO port schedules.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "net/model_params.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "util/units.hpp"
@@ -85,6 +88,7 @@ class Fabric {
         // drop is accounted on the destination's shard.
         engine_.post(dst, plan.at, [this, dst] {
           ++nics_[static_cast<std::size_t>(dst)].drops;
+          count_drop(dst);
         });
         break;
       case TxPlan::Kind::kSend:
@@ -162,9 +166,11 @@ class Fabric {
     Nic& d = nics_[static_cast<std::size_t>(dst)];
     const auto rx = d.rx.occupy(engine_.now(), busy);
     d.bytes_received += bytes;
+    count_rx(dst, bytes, busy);
     if (src_dropped) return;  // cut before it drained; src already accounted
     if (rx.end > d.down_at) {
       ++d.drops;
+      count_drop(dst);
       return;
     }
     engine_.schedule_at(rx.end, std::forward<F>(cb));
@@ -172,9 +178,33 @@ class Fabric {
 
   void check_node(NodeId node) const;
 
+  // --- metrics (lazy-bound; no-ops until a registry is attached) ----------
+  // The fabric is constructed before Engine::set_metrics can run, and the
+  // hot paths execute on arbitrary shards under the parallel backend, so the
+  // handles are bound on first use with the same double-checked
+  // atomic+mutex pattern as dmpi::World.
+  struct NicMetrics {
+    obs::Counter tx_bytes;
+    obs::Counter rx_bytes;
+    obs::Counter tx_busy_ns;
+    obs::Counter rx_busy_ns;
+    obs::Counter drops;
+  };
+  obs::Registry* metrics();
+  void bind_metrics(obs::Registry* reg);
+  void count_tx(NodeId src, std::uint64_t bytes, SimDuration busy,
+                SimDuration queue_delay);
+  void count_rx(NodeId dst, std::uint64_t bytes, SimDuration busy);
+  void count_drop(NodeId node);
+
   sim::Engine& engine_;
   FabricParams params_;
   std::vector<Nic> nics_;
+
+  std::mutex metrics_mutex_;  // guards the one-time registration only
+  std::atomic<obs::Registry*> metrics_bound_{nullptr};
+  std::vector<NicMetrics> nic_metrics_;
+  obs::Histogram m_tx_queue_delay_;
 };
 
 }  // namespace dacc::net

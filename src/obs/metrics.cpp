@@ -1,0 +1,359 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+
+namespace dacc::obs {
+
+std::vector<std::uint64_t> latency_bounds_ns() {
+  return {1'000,      10'000,      100'000,      1'000'000,
+          10'000'000, 100'000'000, 1'000'000'000};
+}
+
+// ---------------------------------------------------------------------------
+// Registration
+// ---------------------------------------------------------------------------
+
+std::uint32_t Registry::intern(const std::string& name, Kind kind,
+                               const std::vector<std::uint64_t>* bounds) {
+  std::lock_guard<std::mutex> lock(reg_mutex_);
+  const auto it = names_.find(name);
+  if (it != names_.end()) {
+    const Metric& m = metrics_[it->second];
+    if (m.kind != kind) {
+      throw std::invalid_argument("Registry: '" + name +
+                                  "' already registered with another kind");
+    }
+    if (kind == Kind::kHistogram && bounds != nullptr && m.bounds != *bounds) {
+      throw std::invalid_argument("Registry: '" + name +
+                                  "' already registered with other bounds");
+    }
+    return it->second;
+  }
+  Metric m;
+  m.name = name;
+  m.kind = kind;
+  if (kind == Kind::kHistogram) {
+    if (bounds == nullptr || bounds->empty()) {
+      throw std::invalid_argument("Registry: histogram '" + name +
+                                  "' needs at least one bucket bound");
+    }
+    if (!std::is_sorted(bounds->begin(), bounds->end())) {
+      throw std::invalid_argument("Registry: histogram '" + name +
+                                  "' bounds must be ascending");
+    }
+    m.bounds = *bounds;
+    m.buckets.assign(bounds->size() + 1, 0);  // +1 = overflow (+Inf)
+  }
+  const auto idx = static_cast<std::uint32_t>(metrics_.size());
+  metrics_.push_back(std::move(m));
+  names_.emplace(name, idx);
+  return idx;
+}
+
+Counter Registry::counter(const std::string& name) {
+  return Counter(this, intern(name, Kind::kCounter, nullptr));
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  return Gauge(this, intern(name, Kind::kGauge, nullptr));
+}
+
+Histogram Registry::histogram(const std::string& name,
+                              std::vector<std::uint64_t> bounds) {
+  return Histogram(this, intern(name, Kind::kHistogram, &bounds));
+}
+
+// ---------------------------------------------------------------------------
+// Hot path + canonical-order merge (mirrors sim::Tracer)
+// ---------------------------------------------------------------------------
+
+void Registry::record(std::uint32_t idx, OpKind op, std::int64_t value) {
+  if (engine_ != nullptr && !pending_.empty()) {
+    SimTime t = 0;
+    std::uint64_t ord = 0;
+    std::uint32_t seq = 0;
+    int buffer = 0;
+    if (engine_->parallel_trace_key(&t, &ord, &seq, &buffer)) {
+      pending_[static_cast<std::size_t>(buffer)].push_back(
+          PendingOp{idx, op, value, t, ord, seq});
+      return;
+    }
+  }
+  apply(idx, op, value);
+}
+
+void Registry::apply(std::uint32_t idx, OpKind op, std::int64_t value) {
+  Metric& m = metrics_[idx];
+  switch (op) {
+    case OpKind::kAdd:
+      m.count += static_cast<std::uint64_t>(value);
+      break;
+    case OpKind::kSet:
+      m.gauge = value;
+      break;
+    case OpKind::kGaugeAdd:
+      m.gauge += value;
+      break;
+    case OpKind::kObserve: {
+      const auto v = static_cast<std::uint64_t>(value);
+      ++m.count;
+      m.sum += v;
+      const auto it = std::lower_bound(m.bounds.begin(), m.bounds.end(), v);
+      ++m.buckets[static_cast<std::size_t>(it - m.bounds.begin())];
+      break;
+    }
+  }
+}
+
+void Registry::begin_parallel(int buffers) {
+  pending_.resize(static_cast<std::size_t>(buffers));
+}
+
+void Registry::merge_parallel() {
+  std::size_t n = 0;
+  for (const auto& buf : pending_) n += buf.size();
+  if (n == 0) {
+    pending_.clear();
+    return;
+  }
+  std::vector<PendingOp> all;
+  all.reserve(n);
+  for (auto& buf : pending_) {
+    for (auto& p : buf) all.push_back(p);
+    buf.clear();
+  }
+  pending_.clear();
+  // Canonical order: the emitting event's (time, ord), then emission order
+  // within the event — exactly the order a sequential run applies in. For
+  // counters and histograms the order is immaterial (commutative); for
+  // gauges (kSet) it decides which write wins, so it must match.
+  std::sort(all.begin(), all.end(),
+            [](const PendingOp& a, const PendingOp& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.ord != b.ord) return a.ord < b.ord;
+              return a.seq < b.seq;
+            });
+  for (const PendingOp& p : all) apply(p.idx, p.op, p.value);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot reads
+// ---------------------------------------------------------------------------
+
+const Registry::Metric* Registry::find(const std::string& name,
+                                       Kind kind) const {
+  std::lock_guard<std::mutex> lock(reg_mutex_);
+  const auto it = names_.find(name);
+  if (it == names_.end()) return nullptr;
+  const Metric& m = metrics_[it->second];
+  return m.kind == kind ? &m : nullptr;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(reg_mutex_);
+  return metrics_.size();
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  const Metric* m = find(name, Kind::kCounter);
+  return m != nullptr ? m->count : 0;
+}
+
+std::int64_t Registry::gauge_value(const std::string& name) const {
+  const Metric* m = find(name, Kind::kGauge);
+  return m != nullptr ? m->gauge : 0;
+}
+
+std::uint64_t Registry::histogram_count(const std::string& name) const {
+  const Metric* m = find(name, Kind::kHistogram);
+  return m != nullptr ? m->count : 0;
+}
+
+std::uint64_t Registry::histogram_sum(const std::string& name) const {
+  const Metric* m = find(name, Kind::kHistogram);
+  return m != nullptr ? m->sum : 0;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(reg_mutex_);
+  for (Metric& m : metrics_) {
+    m.count = 0;
+    m.gauge = 0;
+    m.sum = 0;
+    std::fill(m.buckets.begin(), m.buckets.end(), 0);
+  }
+  pending_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Exporters. Sorted by name; integers only — byte-identical across backends.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void write_json_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (u < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          os << "\\u00" << kHex[u >> 4] << kHex[u & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Splits `dacc_x_ns{op="h2d"}` into base name and label body ("" if none).
+void split_labels(const std::string& name, std::string* base,
+                  std::string* labels) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  // Everything between the braces, without the braces themselves.
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+}  // namespace
+
+void Registry::write_json(std::ostream& os) const {
+  std::vector<const Metric*> sorted;
+  {
+    std::lock_guard<std::mutex> lock(reg_mutex_);
+    sorted.reserve(names_.size());
+    for (const auto& [name, idx] : names_) sorted.push_back(&metrics_[idx]);
+  }
+  // names_ is an ordered map: already sorted by name.
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const Metric* m : sorted) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"";
+    write_json_escaped(os, m->name);
+    os << "\",";
+    switch (m->kind) {
+      case Kind::kCounter:
+        os << "\"type\":\"counter\",\"value\":" << m->count;
+        break;
+      case Kind::kGauge:
+        os << "\"type\":\"gauge\",\"value\":" << m->gauge;
+        break;
+      case Kind::kHistogram: {
+        os << "\"type\":\"histogram\",\"count\":" << m->count
+           << ",\"sum\":" << m->sum << ",\"buckets\":[";
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < m->bounds.size(); ++i) {
+          cum += m->buckets[i];
+          if (i != 0) os << ",";
+          os << "{\"le\":" << m->bounds[i] << ",\"count\":" << cum << "}";
+        }
+        cum += m->buckets.back();
+        if (!m->bounds.empty()) os << ",";
+        os << "{\"le\":\"+Inf\",\"count\":" << cum << "}]";
+        break;
+      }
+    }
+    os << "}";
+  }
+  os << "]}\n";
+}
+
+std::string Registry::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void Registry::write_prometheus(std::ostream& os) const {
+  std::vector<const Metric*> sorted;
+  {
+    std::lock_guard<std::mutex> lock(reg_mutex_);
+    sorted.reserve(names_.size());
+    for (const auto& [name, idx] : names_) sorted.push_back(&metrics_[idx]);
+  }
+  std::string last_family;
+  for (const Metric* m : sorted) {
+    std::string base, labels;
+    split_labels(m->name, &base, &labels);
+    if (base != last_family) {
+      const char* type = m->kind == Kind::kCounter   ? "counter"
+                         : m->kind == Kind::kGauge   ? "gauge"
+                                                     : "histogram";
+      os << "# TYPE " << base << " " << type << "\n";
+      last_family = base;
+    }
+    const std::string brace_open = labels.empty() ? "" : "{" + labels + "}";
+    switch (m->kind) {
+      case Kind::kCounter:
+        os << base << brace_open << " " << m->count << "\n";
+        break;
+      case Kind::kGauge:
+        os << base << brace_open << " " << m->gauge << "\n";
+        break;
+      case Kind::kHistogram: {
+        const std::string sep = labels.empty() ? "" : labels + ",";
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < m->bounds.size(); ++i) {
+          cum += m->buckets[i];
+          os << base << "_bucket{" << sep << "le=\"" << m->bounds[i] << "\"} "
+             << cum << "\n";
+        }
+        cum += m->buckets.back();
+        os << base << "_bucket{" << sep << "le=\"+Inf\"} " << cum << "\n";
+        os << base << "_sum" << brace_open << " " << m->sum << "\n";
+        os << base << "_count" << brace_open << " " << m->count << "\n";
+        break;
+      }
+    }
+  }
+}
+
+std::string Registry::prometheus() const {
+  std::ostringstream os;
+  write_prometheus(os);
+  return os.str();
+}
+
+}  // namespace dacc::obs
+
+// ---------------------------------------------------------------------------
+// Engine::set_metrics lives here (declared in sim/engine.hpp) so dacc_sim
+// never depends on dacc_obs: the engine holds the registry behind a pointer
+// and two std::function hooks, and only code that actually attaches a
+// registry links this translation unit.
+// ---------------------------------------------------------------------------
+
+namespace dacc::sim {
+
+void Engine::set_metrics(obs::Registry* registry) {
+  metrics_ = registry;
+  if (registry != nullptr) {
+    registry->attach(this);
+    metrics_begin_parallel_ = [registry](int buffers) {
+      registry->begin_parallel(buffers);
+    };
+    metrics_merge_parallel_ = [registry] { registry->merge_parallel(); };
+  } else {
+    metrics_begin_parallel_ = nullptr;
+    metrics_merge_parallel_ = nullptr;
+  }
+}
+
+}  // namespace dacc::sim

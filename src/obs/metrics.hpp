@@ -1,0 +1,194 @@
+// Deterministic metrics registry (dacc::obs).
+//
+// Named counters, gauges and fixed-bucket histograms over simulated-time
+// quantities (latencies, bytes, queue depths). Components hold cheap handles
+// (a registry pointer + index) so the hot path is one branch and one integer
+// update; a default-constructed handle is a no-op, which keeps every
+// instrumentation site free when no registry is attached.
+//
+// Determinism contract: all stored state is integral (no floats), and under
+// the parallel execution backend updates are not applied in worker order —
+// they are tagged with the canonical key of the emitting event (time, ord,
+// intra-event seq) and buffered per shard, exactly like sim::Tracer spans,
+// then merged and applied in canonical order when the run ends. A snapshot
+// is therefore byte-identical across the coroutine, thread and parallel
+// backends (tests/obs/obs_determinism_test.cpp enforces this).
+//
+// Exporters: write_json (machine-readable snapshot, folded into BENCH_*.json
+// by bench_util) and write_prometheus (text exposition format). Both sort by
+// metric name so the output does not depend on registration order, which may
+// legitimately differ between backends when components bind lazily from
+// shard workers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace dacc::sim {
+class Engine;
+}
+
+namespace dacc::obs {
+
+class Registry;
+
+/// Monotonic event count. `add` is hot-path safe from any simulation context.
+class Counter {
+ public:
+  Counter() = default;
+  inline void add(std::uint64_t v = 1);
+  explicit operator bool() const { return reg_ != nullptr; }
+
+ private:
+  friend class Registry;
+  Counter(Registry* reg, std::uint32_t idx) : reg_(reg), idx_(idx) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t idx_ = 0;
+};
+
+/// Last-write-wins level (pool occupancy, queue depth). Signed.
+class Gauge {
+ public:
+  Gauge() = default;
+  inline void set(std::int64_t v);
+  inline void add(std::int64_t delta);
+  explicit operator bool() const { return reg_ != nullptr; }
+
+ private:
+  friend class Registry;
+  Gauge(Registry* reg, std::uint32_t idx) : reg_(reg), idx_(idx) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t idx_ = 0;
+};
+
+/// Fixed-bound histogram; buckets are cumulative in exports (Prometheus
+/// semantics). Observations are unsigned (sim-time ns, bytes, percentages).
+class Histogram {
+ public:
+  Histogram() = default;
+  inline void observe(std::uint64_t value);
+  explicit operator bool() const { return reg_ != nullptr; }
+
+ private:
+  friend class Registry;
+  Histogram(Registry* reg, std::uint32_t idx) : reg_(reg), idx_(idx) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t idx_ = 0;
+};
+
+/// Default latency bounds (ns): 1us .. 1s, decades.
+std::vector<std::uint64_t> latency_bounds_ns();
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create. Names follow Prometheus conventions; labels are embedded
+  /// in the name, e.g. `dacc_dmpi_msgs_total{rank="3"}`. Re-registering an
+  /// existing name with a different kind (or different histogram bounds)
+  /// throws std::invalid_argument.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name,
+                      std::vector<std::uint64_t> bounds);
+
+  // --- snapshot reads (tests / harnesses; not hot-path) -------------------
+  std::size_t size() const;
+  std::uint64_t counter_value(const std::string& name) const;
+  std::int64_t gauge_value(const std::string& name) const;
+  std::uint64_t histogram_count(const std::string& name) const;
+  std::uint64_t histogram_sum(const std::string& name) const;
+
+  /// JSON snapshot: {"metrics":[{...}, ...]} sorted by name. Deterministic.
+  void write_json(std::ostream& os) const;
+  std::string json() const;
+
+  /// Prometheus text exposition format, sorted by name. Deterministic.
+  void write_prometheus(std::ostream& os) const;
+  std::string prometheus() const;
+
+  /// Resets all values (registrations and handles stay valid).
+  void reset();
+
+ private:
+  friend class sim::Engine;
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  enum class OpKind : std::uint8_t { kAdd, kSet, kGaugeAdd, kObserve };
+
+  struct Metric {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    std::uint64_t count = 0;  ///< counter value / histogram observation count
+    std::int64_t gauge = 0;
+    std::uint64_t sum = 0;                 ///< histogram sum
+    std::vector<std::uint64_t> bounds;     ///< upper bounds, ascending
+    std::vector<std::uint64_t> buckets;    ///< non-cumulative, +1 overflow
+  };
+
+  /// One buffered update, tagged with the canonical key of the event that
+  /// emitted it (same scheme as Tracer::Tagged).
+  struct PendingOp {
+    std::uint32_t idx = 0;
+    OpKind op = OpKind::kAdd;
+    std::int64_t value = 0;
+    SimTime time = 0;
+    std::uint64_t ord = 0;
+    std::uint32_t seq = 0;
+  };
+
+  // Engine hooks (see Engine::set_metrics).
+  void attach(sim::Engine* engine) { engine_ = engine; }
+  void begin_parallel(int buffers);
+  void merge_parallel();
+
+  std::uint32_t intern(const std::string& name, Kind kind,
+                       const std::vector<std::uint64_t>* bounds);
+  void record(std::uint32_t idx, OpKind op, std::int64_t value);
+  void apply(std::uint32_t idx, OpKind op, std::int64_t value);
+  const Metric* find(const std::string& name, Kind kind) const;
+
+  sim::Engine* engine_ = nullptr;
+  /// Guards names_/metrics_ during registration only: components may bind
+  /// lazily from shard workers. Hot-path updates never take it — in a
+  /// parallel window each shard appends to its own pending buffer; outside
+  /// one, execution is single-threaded.
+  mutable std::mutex reg_mutex_;
+  std::vector<Metric> metrics_;
+  std::map<std::string, std::uint32_t> names_;
+  std::vector<std::vector<PendingOp>> pending_;  // one per shard + global band
+};
+
+inline void Counter::add(std::uint64_t v) {
+  if (reg_ != nullptr) {
+    reg_->record(idx_, Registry::OpKind::kAdd, static_cast<std::int64_t>(v));
+  }
+}
+
+inline void Gauge::set(std::int64_t v) {
+  if (reg_ != nullptr) reg_->record(idx_, Registry::OpKind::kSet, v);
+}
+
+inline void Gauge::add(std::int64_t delta) {
+  if (reg_ != nullptr) reg_->record(idx_, Registry::OpKind::kGaugeAdd, delta);
+}
+
+inline void Histogram::observe(std::uint64_t value) {
+  if (reg_ != nullptr) {
+    reg_->record(idx_, Registry::OpKind::kObserve,
+                 static_cast<std::int64_t>(value));
+  }
+}
+
+}  // namespace dacc::obs

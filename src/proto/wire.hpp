@@ -27,6 +27,13 @@ inline constexpr int kRequestTag = 100;   ///< FE -> daemon request headers
 inline constexpr int kResponseTag = 101;  ///< daemon -> FE responses
 inline constexpr int kDataTag = 102;      ///< bulk payload blocks
 
+/// Bit 31 of a request header's reply-tag word marks an appended causal
+/// trace context (two u64s right after the tag: trace id, parent span id).
+/// Real reply tags stay far below 2^31, so the bit is never ambiguous, and
+/// daemons that see the flag strip it before using the tag. Requests from
+/// untraced clients never set it — the header format is unchanged for them.
+inline constexpr std::uint32_t kTraceContextFlag = 0x8000'0000u;
+
 /// Malformed frame: truncated message or out-of-range field. Decoders throw
 /// this instead of crashing; servers treat it as a rejectable request.
 class WireError : public std::runtime_error {

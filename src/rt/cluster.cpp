@@ -71,6 +71,7 @@ Cluster::Cluster(ClusterConfig config)
   // clamp applies under every backend, keeping results bit-identical.
   engine_.set_lookahead(config_.fabric.wire_latency);
   if (config_.trace) engine_.set_tracer(&tracer_);
+  if (config_.metrics) engine_.set_metrics(&metrics_);
   world_ = std::make_unique<dmpi::World>(
       engine_, fabric_,
       rank_layout(config_.compute_nodes, config_.accelerators), config_.mpi);
@@ -146,6 +147,7 @@ void Cluster::heartbeat_pacer(sim::Context& ctx, int ac) {
     beat.daemon_rank = daemon_rank(ac);
     beat.seq = ++seq;
     beat.device_ok = !dev->broken();
+    beat.sent_at = ctx.now();
     mpi.send(world_->world_comm(), arm_rank(), arm::kArmRequestTag,
              beat.encode());
   }

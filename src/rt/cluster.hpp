@@ -23,6 +23,7 @@
 #include "gpu/device.hpp"
 #include "gpu/driver.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "sim/trace.hpp"
@@ -69,6 +70,12 @@ struct ClusterConfig {
   /// Record middleware spans (daemon requests, front-end proxy ops) into
   /// Cluster::tracer() for timeline inspection / Chrome-trace export.
   bool trace = false;
+
+  /// Collect metrics (dacc::obs) into Cluster::metrics(): per-rank message
+  /// counters, NIC traffic, daemon busy time, ARM pool gauges, front-end
+  /// latency histograms. Off by default — instrumentation sites are no-ops
+  /// without a registry. Snapshots are bit-identical across backends.
+  bool metrics = false;
 
   /// Kernel registry shared by all devices; defaults to the builtins.
   /// Workloads (la, mdsim) add their kernels before constructing a Cluster.
@@ -162,6 +169,7 @@ class Cluster {
 
   arm::Arm& arm() { return *arm_; }
   sim::Tracer& tracer() { return tracer_; }
+  obs::Registry& metrics() { return metrics_; }
   gpu::Device& accelerator_device(int ac);
   gpu::Device& local_device(int cn);
   daemon::Daemon& accelerator_daemon(int ac);
@@ -217,6 +225,7 @@ class Cluster {
   ClusterConfig config_;
   sim::Engine engine_;
   sim::Tracer tracer_;
+  obs::Registry metrics_;
   net::Fabric fabric_;
   std::unique_ptr<dmpi::World> world_;
   std::shared_ptr<gpu::KernelRegistry> registry_;

@@ -672,6 +672,7 @@ void Engine::run_window(SimTime window_end) {
 bool Engine::run_parallel(SimTime limit) {
   running_ = true;
   if (tracer_ != nullptr) tracer_->begin_parallel(num_shards_ + 1);
+  if (metrics_begin_parallel_) metrics_begin_parallel_(num_shards_ + 1);
   ensure_workers();
   bool more = false;
   try {
@@ -729,11 +730,13 @@ bool Engine::run_parallel(SimTime limit) {
     running_ = false;
     cur_node_ = kGlobalNode;
     if (tracer_ != nullptr) tracer_->merge_parallel();
+    if (metrics_merge_parallel_) metrics_merge_parallel_();
     throw;
   }
   running_ = false;
   cur_node_ = kGlobalNode;
   if (tracer_ != nullptr) tracer_->merge_parallel();
+  if (metrics_merge_parallel_) metrics_merge_parallel_();
   if (!more && limit != kSimTimeNever && now_ < limit) now_ = limit;
   return more;
 }

@@ -44,10 +44,24 @@
 #include "sim/stack_pool.hpp"
 #include "util/units.hpp"
 
+namespace dacc::obs {
+class Registry;
+}
+
 namespace dacc::sim {
 
 class Engine;
 class Process;
+
+/// Causal trace context of a running process: the trace id minted by the
+/// front-end API call currently executing and the span id under which any
+/// instrumented work it triggers (NIC transfers, daemon handlers) parents
+/// itself. Zero ids mean "no active trace".
+struct TraceCtx {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool active() const { return trace_id != 0; }
+};
 
 /// Execution affinity of contexts that belong to no cluster node: the main
 /// thread between runs, plain engine callbacks, and processes spawned before
@@ -175,6 +189,10 @@ class Process {
   std::uint64_t current_wait_ = 0;   // nonzero while blocked
   std::uint64_t wake_permits_ = 0;   // banked wake() calls
   bool waiting_for_wake_ = false;    // blocked specifically in suspend()
+
+  // Causal trace context (only touched from the process's own slices, so no
+  // synchronization is needed under any backend).
+  TraceCtx trace_ctx_;
 };
 
 class Engine {
@@ -314,6 +332,26 @@ class Engine {
   /// The engine does not own it.
   class Tracer* tracer() const { return tracer_; }
   void set_tracer(class Tracer* tracer);
+
+  /// Optional metrics registry: instrumented components update counters,
+  /// gauges and histograms when non-null. Not owned. Defined in
+  /// obs/metrics.cpp so dacc_sim does not depend on dacc_obs.
+  obs::Registry* metrics() const { return metrics_; }
+  void set_metrics(obs::Registry* registry);
+
+  /// Causal trace context of the currently executing process ({0,0} in
+  /// engine/callback context or when no trace is active).
+  TraceCtx current_trace() const {
+    const Process* p = executing();
+    return p != nullptr ? p->trace_ctx_ : TraceCtx{};
+  }
+
+  /// Sets the executing process's trace context; no-op outside process
+  /// context. Callers restore the previous context when their span closes.
+  void set_current_trace(TraceCtx ctx) {
+    Process* p = executing();
+    if (p != nullptr) p->trace_ctx_ = ctx;
+  }
 
   /// Tracer hook: canonical ordering key for a record emitted by the
   /// calling context when a parallel run is in flight (records are buffered
@@ -458,6 +496,11 @@ class Engine {
   bool shutting_down_ = false;
   std::atomic<bool> any_failure_{false};  // set by process trampolines
   class Tracer* tracer_ = nullptr;
+  obs::Registry* metrics_ = nullptr;
+  // Type-erased parallel-merge hooks installed by set_metrics (obs is not
+  // visible from dacc_sim; these mirror the tracer's begin/merge calls).
+  std::function<void(int)> metrics_begin_parallel_;
+  std::function<void()> metrics_merge_parallel_;
 
   // Parallel backend state.
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -10,6 +10,12 @@ namespace dacc::sim {
 
 void Tracer::record(std::string track, std::string name, SimTime begin,
                     SimTime end) {
+  record(std::move(track), std::move(name), begin, end, 0, 0, 0);
+}
+
+void Tracer::record(std::string track, std::string name, SimTime begin,
+                    SimTime end, std::uint64_t trace_id, std::uint64_t span_id,
+                    std::uint64_t parent_id) {
   if (end < begin) throw std::invalid_argument("Tracer: span ends early");
   if (engine_ != nullptr && !pending_.empty()) {
     SimTime t = 0;
@@ -18,12 +24,14 @@ void Tracer::record(std::string track, std::string name, SimTime begin,
     int buffer = 0;
     if (engine_->parallel_trace_key(&t, &ord, &seq, &buffer)) {
       pending_[static_cast<std::size_t>(buffer)].push_back(
-          Tagged{Span{std::move(track), std::move(name), begin, end}, t, ord,
-                 seq});
+          Tagged{Span{std::move(track), std::move(name), begin, end, trace_id,
+                      span_id, parent_id},
+                 t, ord, seq});
       return;
     }
   }
-  spans_.push_back(Span{std::move(track), std::move(name), begin, end});
+  spans_.push_back(Span{std::move(track), std::move(name), begin, end,
+                        trace_id, span_id, parent_id});
 }
 
 void Tracer::begin_parallel(int buffers) {
@@ -66,9 +74,23 @@ std::vector<Tracer::Span> Tracer::track(const std::string& name) const {
 namespace {
 
 void write_escaped(std::ostream& os, const std::string& s) {
-  for (char c : s) {
-    if (c == '"' || c == '\\') os << '\\';
-    os << c;
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        // Remaining control bytes are only legal in JSON as \u escapes.
+        if (u < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          os << "\\u00" << kHex[u >> 4] << kHex[u & 0xf];
+        } else {
+          os << c;
+        }
+    }
   }
 }
 
@@ -96,7 +118,32 @@ void Tracer::write_chrome_json(std::ostream& os) const {
        << ",\"dur\":" << static_cast<double>(s.end - s.begin) / 1000.0
        << ",\"name\":\"";
     write_escaped(os, s.name);
-    os << "\"}";
+    os << "\"";
+    if (s.trace_id != 0) {
+      os << ",\"args\":{\"trace\":" << s.trace_id << ",\"span\":" << s.span_id
+         << ",\"parent\":" << s.parent_id << "}";
+    }
+    os << "}";
+  }
+  // Flow arrows: one s/f pair per child span whose parent was recorded. The
+  // "s" binds to the parent slice (same tid, ts inside it); the "f" with
+  // bp:"e" binds to the start of the child slice.
+  std::map<std::uint64_t, const Span*> by_id;
+  for (const Span& s : spans_) {
+    if (s.span_id != 0) by_id.emplace(s.span_id, &s);
+  }
+  for (const Span& s : spans_) {
+    if (s.parent_id == 0) continue;
+    const auto parent = by_id.find(s.parent_id);
+    if (parent == by_id.end()) continue;
+    const Span& p = *parent->second;
+    os << ",{\"ph\":\"s\",\"cat\":\"flow\",\"name\":\"req\",\"id\":"
+       << s.span_id << ",\"pid\":0,\"tid\":" << tids[p.track]
+       << ",\"ts\":" << static_cast<double>(p.begin) / 1000.0 << "}";
+    os << ",{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"flow\",\"name\":\"req\","
+          "\"id\":"
+       << s.span_id << ",\"pid\":0,\"tid\":" << tids[s.track]
+       << ",\"ts\":" << static_cast<double>(s.begin) / 1000.0 << "}";
   }
   os << "]}\n";
 }

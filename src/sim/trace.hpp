@@ -34,11 +34,24 @@ class Tracer {
     std::string name;   ///< event label, e.g. "MemcpyHtoD 64MiB"
     SimTime begin = 0;
     SimTime end = 0;
+    // Causal identity (0 = not part of a trace). A front-end API call mints
+    // a trace id and a root span id; spans recorded further down the request
+    // path (NIC transfers, daemon execution) carry the same trace id and
+    // name their parent, which the Chrome export turns into flow arrows.
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_id = 0;
   };
 
   /// Records one completed span (begin <= end, simulated nanoseconds).
   void record(std::string track, std::string name, SimTime begin,
               SimTime end);
+
+  /// Records a span with causal identity; the Chrome export draws a flow
+  /// arrow from the parent span to this one.
+  void record(std::string track, std::string name, SimTime begin, SimTime end,
+              std::uint64_t trace_id, std::uint64_t span_id,
+              std::uint64_t parent_id);
 
   std::size_t size() const { return spans_.size(); }
   bool empty() const { return spans_.empty(); }
@@ -52,7 +65,10 @@ class Tracer {
   std::vector<Span> track(const std::string& name) const;
 
   /// Chrome trace-event JSON ("traceEvents" with X phases; ts/dur in
-  /// microseconds of simulated time, one tid per track).
+  /// microseconds of simulated time, one tid per track). Spans with causal
+  /// identity additionally carry their ids in args and are stitched to
+  /// their parents with flow events (ph "s"/"f"), which Perfetto renders as
+  /// clickable arrows across tracks.
   void write_chrome_json(std::ostream& os) const;
 
  private:

@@ -72,13 +72,15 @@ WireReader payload_reader(const util::Buffer& frame) {
 }
 
 TEST(WireFuzz, LivenessMessagesRoundTrip) {
-  const arm::Heartbeat hb{.daemon_rank = 7, .seq = 42, .device_ok = false};
+  const arm::Heartbeat hb{.daemon_rank = 7, .seq = 42, .device_ok = false,
+                          .sent_at = 3'500'000};
   util::Buffer hb_frame = hb.encode();
   WireReader hr = payload_reader(hb_frame);
   const arm::Heartbeat hb2 = arm::Heartbeat::decode(hr);
   EXPECT_EQ(hb2.daemon_rank, hb.daemon_rank);
   EXPECT_EQ(hb2.seq, hb.seq);
   EXPECT_EQ(hb2.device_ok, hb.device_ok);
+  EXPECT_EQ(hb2.sent_at, hb.sent_at);
 
   const arm::SweepRequest sweep{.period = 1_ms, .miss_threshold = 3,
                                 .fresh = true};

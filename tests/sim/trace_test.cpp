@@ -44,6 +44,54 @@ TEST(Tracer, ChromeJsonContainsEventsAndTrackNames) {
   EXPECT_NE(json.find("\"dur\":7"), std::string::npos);
 }
 
+TEST(Tracer, ChromeJsonEscapesControlCharacters) {
+  // Regression: write_escaped used to pass \n, \t and other control bytes
+  // straight through, producing invalid JSON that Perfetto rejects.
+  Tracer t;
+  t.record("tr\nack", "multi\nline\tname\x01", 0, 100);
+  std::ostringstream os;
+  t.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("multi\\nline\\tname\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("tr\\nack"), std::string::npos);
+  // No raw control bytes survive in the output (bar the final newline).
+  for (std::size_t i = 0; i + 1 < json.size(); ++i) {
+    EXPECT_GE(static_cast<unsigned char>(json[i]), 0x20u) << "at byte " << i;
+  }
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(Tracer, FlowEventsStitchParentToChild) {
+  Tracer t;
+  t.record("fe-r0-ac1", "h2d", 100, 9000, /*trace_id=*/77, /*span_id=*/77,
+           /*parent_id=*/0);
+  t.record("daemon-r1", "MemcpyHtoD", 2000, 8000, 77, 501, 77);
+  t.record("nic-r9", "tx", 3000, 3500, 77, 502, 999);  // parent not recorded
+  std::ostringstream os;
+  t.write_chrome_json(os);
+  const std::string json = os.str();
+  // Causal ids ride in args on the X events.
+  EXPECT_NE(json.find("\"args\":{\"trace\":77,\"span\":77,\"parent\":0}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"trace\":77,\"span\":501,\"parent\":77}"),
+            std::string::npos);
+  // One s/f flow pair stitches daemon span 501 to its recorded parent; the
+  // orphan (parent 999 never recorded) gets none.
+  EXPECT_NE(json.find("\"ph\":\"s\",\"cat\":\"flow\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"flow\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"id\":501"), std::string::npos);
+  EXPECT_EQ(json.find("\"id\":502"), std::string::npos);
+}
+
+TEST(Tracer, SpansWithoutTraceContextCarryNoArgs) {
+  Tracer t;
+  t.record("daemon-r1", "MemAlloc", 0, 10);
+  std::ostringstream os;
+  t.write_chrome_json(os);
+  EXPECT_EQ(os.str().find("\"args\":{\"trace\""), std::string::npos);
+}
+
 TEST(Tracer, ClearEmpties) {
   Tracer t;
   t.record("a", "b", 0, 1);

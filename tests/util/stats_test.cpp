@@ -32,7 +32,49 @@ TEST(RunningStats, KnownSequence) {
   EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
 }
 
+TEST(RunningStats, NegativeInputs) {
+  RunningStats s;
+  for (double x : {-5.0, -1.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), -1.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  // Sample variance: ((-4)^2 + 0 + 4^2) / 2 = 16.
+  EXPECT_NEAR(s.variance(), 16.0, 1e-12);
+}
+
+TEST(RunningStats, StddevIsSqrtOfVariance) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_NEAR(s.stddev() * s.stddev(), s.variance(), 1e-12);
+}
+
+TEST(RunningStats, MinMaxTrackExtremesNotOrder) {
+  RunningStats s;
+  s.add(0.0);
+  s.add(-100.0);
+  s.add(50.0);
+  s.add(-2.0);
+  EXPECT_DOUBLE_EQ(s.min(), -100.0);
+  EXPECT_DOUBLE_EQ(s.max(), 50.0);
+}
+
 TEST(Percentile, EmptyIsZero) { EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0); }
+
+TEST(Percentile, SingleElementIsThatElementAtAnyP) {
+  EXPECT_DOUBLE_EQ(percentile({7}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7}, 50), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7}, 100), 7.0);
+}
+
+TEST(Percentile, InterpolatesWithinUnsortedInput) {
+  // p=75 over sorted {1,2,3,4}: rank 2.25 -> 3 + 0.25 * (4 - 3).
+  EXPECT_DOUBLE_EQ(percentile({4, 1, 3, 2}, 75), 3.25);
+}
+
+TEST(Percentile, NegativeValues) {
+  EXPECT_DOUBLE_EQ(percentile({-10, -20, -30}, 50), -20.0);
+  EXPECT_DOUBLE_EQ(percentile({-10, 10}, 50), 0.0);
+}
 
 TEST(Percentile, MedianOfOddCount) {
   EXPECT_DOUBLE_EQ(percentile({3, 1, 2}, 50), 2.0);
