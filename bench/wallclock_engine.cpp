@@ -33,6 +33,8 @@
 
 #include "la_util.hpp"
 #include "mdsim/mp2c.hpp"
+#include "obs/metrics.hpp"
+#include "rpc/channel.hpp"
 #include "sim/engine.hpp"
 #include "sim/exec.hpp"
 
@@ -114,6 +116,10 @@ struct ChurnProbe {
   double events_per_sec = 0.0;
   double sim_ms = 0.0;
   sim::Engine::ParallelStats pstats;  // zeros under the serial backends
+  // Message accounting (zeros unless metrics are enabled).
+  std::uint64_t dmpi_msgs = 0;  ///< every dmpi send in the fabric
+  std::uint64_t rpc_msgs = 0;   ///< front-end channel messages (all CNs)
+  std::uint64_t rpc_ops = 0;    ///< front-end ops carried by those messages
 };
 
 /// MP2C-style cluster scenario: `nodes` compute nodes each leasing one of
@@ -158,6 +164,65 @@ ChurnProbe cluster_churn(sim::ExecBackend backend, int shards, int nodes,
   p.events_per_sec = static_cast<double>(p.events) / p.wall_s;
   p.sim_ms = to_ms(cluster.engine().now());
   p.pstats = cluster.engine().parallel_stats();
+  return p;
+}
+
+/// Op-dense command-stream churn: every CN drives its accelerator with
+/// MP2C-style kernel streams issued as async bursts (the shape run_mp2c
+/// produces per SRD step, minus the halo barriers that would drain the
+/// stream one op at a time). This is the workload the kBatch coalescing
+/// targets: many tiny control ops in flight at once.
+ChurnProbe stream_churn(sim::ExecBackend backend, int nodes, int bursts,
+                        rpc::StreamConfig batch) {
+  rt::ClusterConfig cc;
+  cc.compute_nodes = nodes;
+  cc.accelerators = nodes;
+  cc.functional_gpus = false;
+  cc.sim_backend = backend;
+  cc.metrics = true;
+  cc.batch = batch;
+  rt::Cluster cluster(cc);
+
+  rt::JobSpec spec;
+  spec.name = "stream-churn";
+  spec.ranks = nodes;
+  spec.accelerators_per_rank = 1;
+  spec.body = [bursts](rt::JobContext& job) {
+    core::Accelerator& ac = job.session()[0];
+    const std::int64_t n = 4096;
+    const gpu::DevPtr p = ac.mem_alloc(static_cast<std::uint64_t>(n) * 8);
+    for (int b = 0; b < bursts; ++b) {
+      std::vector<core::Future> stream;
+      stream.reserve(16);
+      for (int i = 0; i < 16; ++i) {
+        stream.push_back(
+            ac.launch_async("dscal", {}, {n, 1.0 + 0.1 * i, p}));
+      }
+      job.session().wait_all(stream);
+    }
+    ac.mem_free(p);
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  cluster.submit(spec);
+  cluster.run();
+
+  ChurnProbe p;
+  p.wall_s = seconds_since(t0);
+  p.events = cluster.engine().events_executed();
+  p.switches = cluster.engine().process_switches();
+  p.events_per_sec = static_cast<double>(p.events) / p.wall_s;
+  p.sim_ms = to_ms(cluster.engine().now());
+  const obs::Registry& m = cluster.metrics();
+  for (int r = 0; r < 2 * nodes + 1; ++r) {
+    p.dmpi_msgs += m.counter_value("dacc_dmpi_msgs_total{rank=\"" +
+                                   std::to_string(r) + "\"}");
+  }
+  for (int cn = 0; cn < nodes; ++cn) {
+    const std::string chan =
+        "{chan=\"fe-r" + std::to_string(cluster.cn_rank(cn)) + "\"}";
+    p.rpc_msgs += m.counter_value("dacc_rpc_msgs_total" + chan);
+    p.rpc_ops += m.counter_value("dacc_rpc_ops_total" + chan);
+  }
   return p;
 }
 
@@ -274,6 +339,43 @@ int run(int argc, char** argv) {
   }
   std::printf("  determinism cross-check: event and switch counts match\n");
 
+  // Command-stream batching: op-dense churn (MP2C-style async kernel
+  // streams) with obs counters on — how many wire messages does the front
+  // end spend per op with and without kBatch coalescing?
+  const int cs_nodes = quick ? 4 : 8;
+  const int cs_bursts = quick ? 5 : 10;
+  std::printf(
+      "command-stream batching: %d CN + %d AC, %d bursts x 16 async "
+      "launches per CN\n",
+      cs_nodes, cs_nodes, cs_bursts);
+  const ChurnProbe un = stream_churn(base_backend, cs_nodes, cs_bursts,
+                                     {/*enabled=*/false, /*watermark=*/16});
+  const ChurnProbe ba = stream_churn(base_backend, cs_nodes, cs_bursts,
+                                     {/*enabled=*/true, /*watermark=*/16});
+  const double un_per_op = static_cast<double>(un.rpc_msgs) /
+                           static_cast<double>(un.rpc_ops);
+  const double ba_per_op = static_cast<double>(ba.rpc_msgs) /
+                           static_cast<double>(ba.rpc_ops);
+  const double rpc_drop = 1.0 - static_cast<double>(ba.rpc_msgs) /
+                                    static_cast<double>(un.rpc_msgs);
+  const double dmpi_drop = 1.0 - static_cast<double>(ba.dmpi_msgs) /
+                                     static_cast<double>(un.dmpi_msgs);
+  std::printf(
+      "  unbatched  %7llu rpc msgs / %llu ops = %.2f msgs/op  "
+      "(%llu dmpi msgs total)\n",
+      static_cast<unsigned long long>(un.rpc_msgs),
+      static_cast<unsigned long long>(un.rpc_ops), un_per_op,
+      static_cast<unsigned long long>(un.dmpi_msgs));
+  std::printf(
+      "  batched    %7llu rpc msgs / %llu ops = %.2f msgs/op  "
+      "(%llu dmpi msgs total)\n",
+      static_cast<unsigned long long>(ba.rpc_msgs),
+      static_cast<unsigned long long>(ba.rpc_ops), ba_per_op,
+      static_cast<unsigned long long>(ba.dmpi_msgs));
+  std::printf("  reduction  %.1f%% front-end rpc msgs, %.1f%% fabric-wide "
+              "dmpi msgs\n",
+              100.0 * rpc_drop, 100.0 * dmpi_drop);
+
   std::ofstream json(out_path);
   json << "{\n"
        << "  \"bench\": \"wallclock_engine\",\n"
@@ -315,6 +417,22 @@ int run(int argc, char** argv) {
        << "},\n"
        << "    \"wall_speedup\": " << wall_speedup
        << ", \"exposed_parallelism\": " << exposed << "\n"
+       << "  },\n"
+       << "  \"command_stream\": {\n"
+       << "    \"compute_nodes\": " << cs_nodes
+       << ", \"bursts\": " << cs_bursts << ", \"watermark\": 16,\n"
+       << "    \"unbatched\": {\"rpc_msgs\": " << un.rpc_msgs
+       << ", \"rpc_ops\": " << un.rpc_ops
+       << ", \"msgs_per_op\": " << un_per_op
+       << ", \"dmpi_msgs\": " << un.dmpi_msgs
+       << ", \"sim_ms\": " << un.sim_ms << "},\n"
+       << "    \"batched\": {\"rpc_msgs\": " << ba.rpc_msgs
+       << ", \"rpc_ops\": " << ba.rpc_ops
+       << ", \"msgs_per_op\": " << ba_per_op
+       << ", \"dmpi_msgs\": " << ba.dmpi_msgs
+       << ", \"sim_ms\": " << ba.sim_ms << "},\n"
+       << "    \"rpc_msg_reduction\": " << rpc_drop
+       << ", \"dmpi_msg_reduction\": " << dmpi_drop << "\n"
        << "  }\n"
        << "}\n";
   json.flush();

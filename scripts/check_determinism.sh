@@ -43,4 +43,19 @@ for ext in json prom; do
   cmp "$out/metrics_coroutine.$ext" "$out/metrics_parallel_4.$ext"
 done
 
-echo "determinism check passed: metrics snapshots identical across backends"
+# Batched command streams: repeat the process-level check with DACC_RPC_BATCH
+# coalescing small ops into kBatch frames. The frame boundaries (rpc message
+# counts, flush-size histograms) land in the snapshot, so this also pins the
+# coalescing itself to be backend-invariant.
+for backend in coroutine thread parallel:4; do
+  tag="${backend/:/_}"
+  (cd "$out" && DACC_SIM_BACKEND="$backend" DACC_RPC_BATCH=8 \
+    "$build/examples/metrics_dump" "metrics_batch_$tag" > "run_batch_$tag.log")
+done
+
+for ext in json prom; do
+  cmp "$out/metrics_batch_coroutine.$ext" "$out/metrics_batch_thread.$ext"
+  cmp "$out/metrics_batch_coroutine.$ext" "$out/metrics_batch_parallel_4.$ext"
+done
+
+echo "determinism check passed: metrics snapshots identical across backends (plain + batched)"

@@ -26,15 +26,13 @@ const char* to_string(ArmResult r) {
 }
 
 // ---------------------------------------------------------------------------
-// Liveness wire messages. Full frames (op + reply tag + payload) so the
-// fuzz suite round-trips exactly what travels on kArmRequestTag; one-way
+// Liveness wire messages. Full frames (rpc header + payload) so the fuzz
+// suite round-trips exactly what travels on kArmRequestTag; one-way
 // messages carry reply tag 0.
 // ---------------------------------------------------------------------------
 
 util::Buffer Heartbeat::encode() const {
-  return WireWriter{}
-      .u32(static_cast<std::uint32_t>(ArmOp::kHeartbeat))
-      .u32(0)
+  return rpc::request_header(static_cast<std::uint32_t>(ArmOp::kHeartbeat), 0)
       .u64(static_cast<std::uint64_t>(daemon_rank))
       .u64(seq)
       .u32(device_ok ? 1 : 0)
@@ -52,9 +50,7 @@ Heartbeat Heartbeat::decode(proto::WireReader& r) {
 }
 
 util::Buffer SweepRequest::encode() const {
-  return WireWriter{}
-      .u32(static_cast<std::uint32_t>(ArmOp::kSweep))
-      .u32(0)
+  return rpc::request_header(static_cast<std::uint32_t>(ArmOp::kSweep), 0)
       .u64(period)
       .u32(miss_threshold)
       .u32(fresh ? 1 : 0)
@@ -88,9 +84,8 @@ RevokeNotice RevokeNotice::decode(proto::WireReader& r) {
 }
 
 util::Buffer ReplayReport::encode(int reply_tag) const {
-  return WireWriter{}
-      .u32(static_cast<std::uint32_t>(ArmOp::kReplaced))
-      .u32(static_cast<std::uint32_t>(reply_tag))
+  return rpc::request_header(static_cast<std::uint32_t>(ArmOp::kReplaced),
+                             reply_tag)
       .u64(static_cast<std::uint64_t>(failed_rank))
       .u64(static_cast<std::uint64_t>(replacement_rank))
       .u64(job)
@@ -150,7 +145,7 @@ bool Arm::was_revoked(std::uint64_t lease_id) const {
          revoked_leases_.end();
 }
 
-void Arm::revoke_slot(dmpi::Mpi& mpi, Slot& slot, SimTime now,
+void Arm::revoke_slot(rpc::ServerChannel& ch, Slot& slot, SimTime now,
                       const char* cause) {
   if (slot.state == State::kBroken) return;
   if (slot.state == State::kAssigned) {
@@ -162,8 +157,8 @@ void Arm::revoke_slot(dmpi::Mpi& mpi, Slot& slot, SimTime now,
     // own requests; the tag encodes the daemon so a session holding several
     // leases can tell which one died.
     RevokeNotice notice{slot.info.daemon_rank, slot.lease_id, slot.job, now};
-    mpi.send(world_.world_comm(), slot.owner,
-             kArmRevokeTagBase + slot.info.daemon_rank, notice.encode());
+    ch.mpi().send(ch.comm(), slot.owner,
+                  kArmRevokeTagBase + slot.info.daemon_rank, notice.encode());
   }
   if (sim::Tracer* tracer = world_.engine().tracer()) {
     tracer->record("arm", std::string(cause) + "-ac" +
@@ -176,7 +171,7 @@ void Arm::revoke_slot(dmpi::Mpi& mpi, Slot& slot, SimTime now,
   slot.owner = -1;
 }
 
-void Arm::fail_unsatisfiable(dmpi::Mpi& mpi) {
+void Arm::fail_unsatisfiable(rpc::ServerChannel& ch) {
   for (auto it = queue_.begin(); it != queue_.end();) {
     std::uint32_t alive = 0;
     for (const Slot& s : slots_) {
@@ -186,7 +181,7 @@ void Arm::fail_unsatisfiable(dmpi::Mpi& mpi) {
       }
     }
     if (it->count > alive) {
-      mpi.send(world_.world_comm(), it->client, it->reply_tag,
+      ch.reply(it->client, it->reply_tag,
                WireWriter{}
                    .u32(static_cast<std::uint32_t>(ArmResult::kInsufficient))
                    .u32(0)
@@ -198,7 +193,8 @@ void Arm::fail_unsatisfiable(dmpi::Mpi& mpi) {
   }
 }
 
-void Arm::handle_heartbeat(dmpi::Mpi& mpi, const Heartbeat& hb, SimTime now) {
+void Arm::handle_heartbeat(rpc::ServerChannel& ch, const Heartbeat& hb,
+                           SimTime now) {
   ++heartbeats_;
   if (metrics_bound_ != nullptr && hb.sent_at != 0 && now >= hb.sent_at) {
     m_heartbeat_latency_ns_.observe(
@@ -210,12 +206,12 @@ void Arm::handle_heartbeat(dmpi::Mpi& mpi, const Heartbeat& hb, SimTime now) {
   if (!hb.device_ok) {
     // The daemon is alive but its device is dead — no need to wait for the
     // miss threshold.
-    revoke_slot(mpi, *slot, now, "device-fault");
-    fail_unsatisfiable(mpi);
+    revoke_slot(ch, *slot, now, "device-fault");
+    fail_unsatisfiable(ch);
   }
 }
 
-void Arm::handle_sweep(dmpi::Mpi& mpi, const SweepRequest& sweep,
+void Arm::handle_sweep(rpc::ServerChannel& ch, const SweepRequest& sweep,
                        SimTime now) {
   if (sweep.fresh) {
     // First sweep after an idle phase: restart every beat clock instead of
@@ -228,14 +224,14 @@ void Arm::handle_sweep(dmpi::Mpi& mpi, const SweepRequest& sweep,
   for (Slot& s : slots_) {
     if (s.state == State::kBroken) continue;
     if (now - s.last_beat > allowance) {
-      revoke_slot(mpi, s, now, "hb-miss");
+      revoke_slot(ch, s, now, "hb-miss");
       revoked = true;
     }
   }
-  if (revoked) fail_unsatisfiable(mpi);
+  if (revoked) fail_unsatisfiable(ch);
 }
 
-bool Arm::try_grant(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
+bool Arm::try_grant(rpc::ServerChannel& ch, dmpi::Rank client, int reply_tag,
                     std::uint64_t job, std::uint32_t count,
                     const std::string& kind, SimTime now) {
   if (free_count(kind) < count) return false;
@@ -255,14 +251,15 @@ bool Arm::try_grant(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
     ++granted;
   }
   acquisitions_ += count;
-  mpi.send(world_.world_comm(), client, reply_tag, resp.finish());
+  ch.reply(client, reply_tag, resp.finish());
   return true;
 }
 
-void Arm::handle_acquire(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
-                         std::uint64_t job, std::uint32_t count,
-                         const std::string& kind, bool wait, SimTime now) {
-  if (try_grant(mpi, client, reply_tag, job, count, kind, now)) {
+void Arm::handle_acquire(rpc::ServerChannel& ch, dmpi::Rank client,
+                         int reply_tag, std::uint64_t job,
+                         std::uint32_t count, const std::string& kind,
+                         bool wait, SimTime now) {
+  if (try_grant(ch, client, reply_tag, job, count, kind, now)) {
     if (metrics_bound_ != nullptr) m_assign_wait_ns_.observe(0);
     return;
   }
@@ -270,20 +267,20 @@ void Arm::handle_acquire(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
     queue_.push_back(PendingAcquire{client, reply_tag, job, count, kind, now});
     return;
   }
-  mpi.send(world_.world_comm(), client, reply_tag,
+  ch.reply(client, reply_tag,
            WireWriter{}
                .u32(static_cast<std::uint32_t>(ArmResult::kInsufficient))
                .u32(0)
                .finish());
 }
 
-void Arm::drain_queue(dmpi::Mpi& mpi, SimTime now) {
+void Arm::drain_queue(rpc::ServerChannel& ch, SimTime now) {
   if (policy_ == QueuePolicy::kFcfs) {
     // Strict FCFS: the head request blocks everything behind it, like a
     // batch queue without backfill.
     while (!queue_.empty()) {
       const PendingAcquire& head = queue_.front();
-      if (!try_grant(mpi, head.client, head.reply_tag, head.job, head.count,
+      if (!try_grant(ch, head.client, head.reply_tag, head.job, head.count,
                      head.kind, now)) {
         return;
       }
@@ -298,7 +295,7 @@ void Arm::drain_queue(dmpi::Mpi& mpi, SimTime now) {
   // Backfill: serve any satisfiable request, preserving relative order
   // among the ones that fit (EASY-style, without reservations).
   for (auto it = queue_.begin(); it != queue_.end();) {
-    if (try_grant(mpi, it->client, it->reply_tag, it->job, it->count,
+    if (try_grant(ch, it->client, it->reply_tag, it->job, it->count,
                   it->kind, now)) {
       if (metrics_bound_ != nullptr) {
         m_assign_wait_ns_.observe(
@@ -330,134 +327,148 @@ void Arm::bind_metrics(obs::Registry* reg) {
 
 void Arm::run(sim::Context& ctx) {
   dmpi::Mpi mpi(world_, ctx, self_);
-  const dmpi::Comm& comm = world_.world_comm();
+  rpc::ServerChannel channel(
+      mpi, world_.world_comm(),
+      rpc::ServerChannel::Options{kArmRequestTag, /*min_reply_tag=*/0});
   for (;;) {
-    dmpi::Status st;
-    WireReader req(mpi.recv(comm, dmpi::kAnySource, kArmRequestTag, &st));
+    dmpi::Rank source = -1;
+    util::Buffer msg = channel.raw(&source);
     // Bookkeeping cost of one management request.
     ctx.wait_for(1'000);
     obs::Registry* reg = world_.engine().metrics();
     if (reg != metrics_bound_) bind_metrics(reg);
-    const ArmOp op = static_cast<ArmOp>(req.u32());
-    const int reply_tag = static_cast<int>(req.u32());
-    switch (op) {
-      case ArmOp::kAcquire: {
-        const std::uint64_t job = req.u64();
-        const std::uint32_t count = req.u32();
-        const bool wait = req.u32() != 0;
-        const std::string kind = req.str();
-        handle_acquire(mpi, st.source, reply_tag, job, count, kind, wait,
-                       ctx.now());
-        break;
-      }
-      case ArmOp::kRelease: {
-        const std::uint64_t job = req.u64();
-        const auto rank = static_cast<dmpi::Rank>(req.u64());
-        const std::uint64_t lease_id = req.u64();
-        ArmResult r = ArmResult::kOk;
-        Slot* slot = find_slot(rank);
-        if (slot == nullptr || slot->state != State::kAssigned ||
-            slot->lease_id != lease_id) {
-          // Distinguish "that lease was revoked under you" from plain
-          // misuse so recovering clients can treat it as already-released.
-          r = was_revoked(lease_id) ? ArmResult::kRevoked
-                                    : ArmResult::kUnknownHandle;
-        } else if (slot->job != job) {
-          r = ArmResult::kNotOwner;
-        } else {
-          release_slot(*slot, ctx.now());
+    bool shutdown = false;
+    try {
+      rpc::Inbound in = channel.decode(source, std::move(msg));
+      const ArmOp op = in.op<ArmOp>();
+      const int reply_tag = in.reply_tag;
+      WireReader& req = in.body;
+      switch (op) {
+        case ArmOp::kAcquire: {
+          const std::uint64_t job = req.u64();
+          const std::uint32_t count = req.u32();
+          const bool wait = req.u32() != 0;
+          const std::string kind = req.str();
+          handle_acquire(channel, in.source, reply_tag, job, count, kind,
+                         wait, ctx.now());
+          break;
         }
-        mpi.send(comm, st.source, reply_tag,
-                 WireWriter{}.u32(static_cast<std::uint32_t>(r)).finish());
-        drain_queue(mpi, ctx.now());
-        break;
-      }
-      case ArmOp::kReleaseJob: {
-        const std::uint64_t job = req.u64();
-        for (Slot& s : slots_) {
-          if (s.state == State::kAssigned && s.job == job) {
-            release_slot(s, ctx.now());
+        case ArmOp::kRelease: {
+          const std::uint64_t job = req.u64();
+          const auto rank = static_cast<dmpi::Rank>(req.u64());
+          const std::uint64_t lease_id = req.u64();
+          ArmResult r = ArmResult::kOk;
+          Slot* slot = find_slot(rank);
+          if (slot == nullptr || slot->state != State::kAssigned ||
+              slot->lease_id != lease_id) {
+            // Distinguish "that lease was revoked under you" from plain
+            // misuse so recovering clients can treat it as already-released.
+            r = was_revoked(lease_id) ? ArmResult::kRevoked
+                                      : ArmResult::kUnknownHandle;
+          } else if (slot->job != job) {
+            r = ArmResult::kNotOwner;
+          } else {
+            release_slot(*slot, ctx.now());
           }
+          channel.reply(in.source, reply_tag,
+                        WireWriter{}.u32(static_cast<std::uint32_t>(r))
+                            .finish());
+          drain_queue(channel, ctx.now());
+          break;
         }
-        mpi.send(comm, st.source, reply_tag,
-                 WireWriter{}
-                     .u32(static_cast<std::uint32_t>(ArmResult::kOk))
-                     .finish());
-        drain_queue(mpi, ctx.now());
-        break;
-      }
-      case ArmOp::kReportBroken: {
-        const auto rank = static_cast<dmpi::Rank>(req.u64());
-        Slot* slot = find_slot(rank);
-        ArmResult r = ArmResult::kOk;
-        if (slot == nullptr) {
-          r = ArmResult::kUnknownHandle;
-        } else {
-          if (slot->state == State::kAssigned) {
-            slot->assigned_total += ctx.now() - slot->assigned_since;
+        case ArmOp::kReleaseJob: {
+          const std::uint64_t job = req.u64();
+          for (Slot& s : slots_) {
+            if (s.state == State::kAssigned && s.job == job) {
+              release_slot(s, ctx.now());
+            }
           }
-          slot->state = State::kBroken;
-          slot->job = 0;
-          slot->lease_id = 0;
-          slot->owner = -1;
+          channel.reply(in.source, reply_tag,
+                        WireWriter{}
+                            .u32(static_cast<std::uint32_t>(ArmResult::kOk))
+                            .finish());
+          drain_queue(channel, ctx.now());
+          break;
+        }
+        case ArmOp::kReportBroken: {
+          const auto rank = static_cast<dmpi::Rank>(req.u64());
+          Slot* slot = find_slot(rank);
+          ArmResult r = ArmResult::kOk;
+          if (slot == nullptr) {
+            r = ArmResult::kUnknownHandle;
+          } else {
+            if (slot->state == State::kAssigned) {
+              slot->assigned_total += ctx.now() - slot->assigned_since;
+            }
+            slot->state = State::kBroken;
+            slot->job = 0;
+            slot->lease_id = 0;
+            slot->owner = -1;
+            if (sim::Tracer* tracer = world_.engine().tracer()) {
+              tracer->record("arm", "reported-ac" + std::to_string(rank),
+                             ctx.now(), ctx.now());
+            }
+          }
+          channel.reply(in.source, reply_tag,
+                        WireWriter{}.u32(static_cast<std::uint32_t>(r))
+                            .finish());
+          fail_unsatisfiable(channel);
+          break;
+        }
+        case ArmOp::kStats: {
+          const PoolStats s = stats();
+          channel.reply(in.source, reply_tag,
+                        WireWriter{}
+                            .u32(static_cast<std::uint32_t>(ArmResult::kOk))
+                            .u32(s.total)
+                            .u32(s.free)
+                            .u32(s.assigned)
+                            .u32(s.broken)
+                            .u64(s.acquisitions)
+                            .u32(s.queued_requests)
+                            .u64(s.heartbeats)
+                            .u32(s.revocations)
+                            .u32(s.replacements)
+                            .finish());
+          break;
+        }
+        case ArmOp::kHeartbeat: {
+          handle_heartbeat(channel, Heartbeat::decode(req), ctx.now());
+          break;  // one-way, no reply
+        }
+        case ArmOp::kSweep: {
+          handle_sweep(channel, SweepRequest::decode(req), ctx.now());
+          break;  // one-way, no reply
+        }
+        case ArmOp::kReplaced: {
+          const ReplayReport report = ReplayReport::decode(req);
+          ++replacements_;
           if (sim::Tracer* tracer = world_.engine().tracer()) {
-            tracer->record("arm", "reported-ac" + std::to_string(rank),
-                           ctx.now(), ctx.now());
+            tracer->record(
+                "arm",
+                "replaced-ac" + std::to_string(report.failed_rank) + "->ac" +
+                    std::to_string(report.replacement_rank),
+                ctx.now(), ctx.now());
           }
+          channel.reply(in.source, reply_tag,
+                        WireWriter{}
+                            .u32(static_cast<std::uint32_t>(ArmResult::kOk))
+                            .finish());
+          break;
         }
-        mpi.send(comm, st.source, reply_tag,
-                 WireWriter{}.u32(static_cast<std::uint32_t>(r)).finish());
-        fail_unsatisfiable(mpi);
-        break;
+        case ArmOp::kShutdown:
+          channel.reply(in.source, reply_tag,
+                        WireWriter{}
+                            .u32(static_cast<std::uint32_t>(ArmResult::kOk))
+                            .finish());
+          shutdown = true;
+          break;
       }
-      case ArmOp::kStats: {
-        const PoolStats s = stats();
-        mpi.send(comm, st.source, reply_tag,
-                 WireWriter{}
-                     .u32(static_cast<std::uint32_t>(ArmResult::kOk))
-                     .u32(s.total)
-                     .u32(s.free)
-                     .u32(s.assigned)
-                     .u32(s.broken)
-                     .u64(s.acquisitions)
-                     .u32(s.queued_requests)
-                     .u64(s.heartbeats)
-                     .u32(s.revocations)
-                     .u32(s.replacements)
-                     .finish());
-        break;
-      }
-      case ArmOp::kHeartbeat: {
-        handle_heartbeat(mpi, Heartbeat::decode(req), ctx.now());
-        break;  // one-way, no reply
-      }
-      case ArmOp::kSweep: {
-        handle_sweep(mpi, SweepRequest::decode(req), ctx.now());
-        break;  // one-way, no reply
-      }
-      case ArmOp::kReplaced: {
-        const ReplayReport report = ReplayReport::decode(req);
-        ++replacements_;
-        if (sim::Tracer* tracer = world_.engine().tracer()) {
-          tracer->record("arm",
-                         "replaced-ac" + std::to_string(report.failed_rank) +
-                             "->ac" +
-                             std::to_string(report.replacement_rank),
-                         ctx.now(), ctx.now());
-        }
-        mpi.send(comm, st.source, reply_tag,
-                 WireWriter{}
-                     .u32(static_cast<std::uint32_t>(ArmResult::kOk))
-                     .finish());
-        break;
-      }
-      case ArmOp::kShutdown:
-        mpi.send(comm, st.source, reply_tag,
-                 WireWriter{}
-                     .u32(static_cast<std::uint32_t>(ArmResult::kOk))
-                     .finish());
-        return;
+    } catch (const proto::WireError&) {
+      // Malformed management frame (fuzzed or corrupted): drop it and keep
+      // serving — the pool must outlive bad clients.
     }
+    if (shutdown) return;
     if (metrics_bound_ != nullptr) {
       // Pool-utilization gauge: sample the assigned count after every
       // request (each mutation flows through this loop).
@@ -511,24 +522,38 @@ std::vector<double> Arm::utilization(SimTime now) const {
 // ArmClient
 // ---------------------------------------------------------------------------
 
-int ArmClient::fresh_reply_tag() {
-  return kArmReplyTagBase +
-         static_cast<int>(mpi_.fresh_tag_seed() % 1'000'000);
+namespace {
+rpc::Channel::Options arm_client_options() {
+  rpc::Channel::Options o;
+  o.request_tag = kArmRequestTag;
+  o.reply_tag_base = kArmReplyTagBase;
+  o.reply_tag_span = 1'000'000;
+  o.tag_stride = 1;
+  o.endpoint_tags = true;
+  return o;
+}
+}  // namespace
+
+ArmClient::ArmClient(dmpi::Mpi& mpi, const dmpi::Comm& comm,
+                     dmpi::Rank arm_rank)
+    : channel_(mpi, comm, arm_rank, arm_client_options()) {}
+
+WireReader ArmClient::call(util::Buffer frame, int reply_tag) {
+  // ARM exchanges have no deadline: acquires may legitimately queue at the
+  // pool until capacity frees up.
+  return WireReader(*channel_.exchange(std::move(frame), reply_tag));
 }
 
 std::vector<Lease> ArmClient::acquire(std::uint64_t job, std::uint32_t count,
                                       bool wait, const std::string& kind) {
-  const int reply_tag = fresh_reply_tag();
-  mpi_.send(comm_, arm_, kArmRequestTag,
-            WireWriter{}
-                .u32(static_cast<std::uint32_t>(ArmOp::kAcquire))
-                .u32(static_cast<std::uint32_t>(reply_tag))
-                .u64(job)
-                .u32(count)
-                .u32(wait ? 1 : 0)
-                .str(kind)
-                .finish());
-  WireReader resp(mpi_.recv(comm_, arm_, reply_tag));
+  const int reply_tag = channel_.next_reply_tag();
+  WireReader resp = call(channel_.request(ArmOp::kAcquire, reply_tag)
+                             .u64(job)
+                             .u32(count)
+                             .u32(wait ? 1 : 0)
+                             .str(kind)
+                             .finish(),
+                         reply_tag);
   const auto result = static_cast<ArmResult>(resp.u32());
   const std::uint32_t granted = resp.u32();
   std::vector<Lease> leases;
@@ -544,51 +569,39 @@ std::vector<Lease> ArmClient::acquire(std::uint64_t job, std::uint32_t count,
 }
 
 ArmResult ArmClient::release(std::uint64_t job, const Lease& lease) {
-  const int reply_tag = fresh_reply_tag();
-  mpi_.send(comm_, arm_, kArmRequestTag,
-            WireWriter{}
-                .u32(static_cast<std::uint32_t>(ArmOp::kRelease))
-                .u32(static_cast<std::uint32_t>(reply_tag))
-                .u64(job)
-                .u64(static_cast<std::uint64_t>(lease.daemon_rank))
-                .u64(lease.lease_id)
-                .finish());
+  const int reply_tag = channel_.next_reply_tag();
   return static_cast<ArmResult>(
-      WireReader(mpi_.recv(comm_, arm_, reply_tag)).u32());
+      call(channel_.request(ArmOp::kRelease, reply_tag)
+               .u64(job)
+               .u64(static_cast<std::uint64_t>(lease.daemon_rank))
+               .u64(lease.lease_id)
+               .finish(),
+           reply_tag)
+          .u32());
 }
 
 ArmResult ArmClient::release_job(std::uint64_t job) {
-  const int reply_tag = fresh_reply_tag();
-  mpi_.send(comm_, arm_, kArmRequestTag,
-            WireWriter{}
-                .u32(static_cast<std::uint32_t>(ArmOp::kReleaseJob))
-                .u32(static_cast<std::uint32_t>(reply_tag))
-                .u64(job)
-                .finish());
+  const int reply_tag = channel_.next_reply_tag();
   return static_cast<ArmResult>(
-      WireReader(mpi_.recv(comm_, arm_, reply_tag)).u32());
+      call(channel_.request(ArmOp::kReleaseJob, reply_tag).u64(job).finish(),
+           reply_tag)
+          .u32());
 }
 
 ArmResult ArmClient::report_broken(dmpi::Rank daemon_rank) {
-  const int reply_tag = fresh_reply_tag();
-  mpi_.send(comm_, arm_, kArmRequestTag,
-            WireWriter{}
-                .u32(static_cast<std::uint32_t>(ArmOp::kReportBroken))
-                .u32(static_cast<std::uint32_t>(reply_tag))
-                .u64(static_cast<std::uint64_t>(daemon_rank))
-                .finish());
+  const int reply_tag = channel_.next_reply_tag();
   return static_cast<ArmResult>(
-      WireReader(mpi_.recv(comm_, arm_, reply_tag)).u32());
+      call(channel_.request(ArmOp::kReportBroken, reply_tag)
+               .u64(static_cast<std::uint64_t>(daemon_rank))
+               .finish(),
+           reply_tag)
+          .u32());
 }
 
 PoolStats ArmClient::stats() {
-  const int reply_tag = fresh_reply_tag();
-  mpi_.send(comm_, arm_, kArmRequestTag,
-            WireWriter{}
-                .u32(static_cast<std::uint32_t>(ArmOp::kStats))
-                .u32(static_cast<std::uint32_t>(reply_tag))
-                .finish());
-  WireReader resp(mpi_.recv(comm_, arm_, reply_tag));
+  const int reply_tag = channel_.next_reply_tag();
+  WireReader resp =
+      call(channel_.request(ArmOp::kStats, reply_tag).finish(), reply_tag);
   (void)resp.u32();  // ArmResult::kOk
   PoolStats s;
   s.total = resp.u32();
@@ -604,20 +617,15 @@ PoolStats ArmClient::stats() {
 }
 
 ArmResult ArmClient::report_replaced(const ReplayReport& report) {
-  const int reply_tag = fresh_reply_tag();
-  mpi_.send(comm_, arm_, kArmRequestTag, report.encode(reply_tag));
+  const int reply_tag = channel_.next_reply_tag();
   return static_cast<ArmResult>(
-      WireReader(mpi_.recv(comm_, arm_, reply_tag)).u32());
+      call(report.encode(reply_tag), reply_tag).u32());
 }
 
 void ArmClient::shutdown() {
-  const int reply_tag = fresh_reply_tag();
-  mpi_.send(comm_, arm_, kArmRequestTag,
-            WireWriter{}
-                .u32(static_cast<std::uint32_t>(ArmOp::kShutdown))
-                .u32(static_cast<std::uint32_t>(reply_tag))
-                .finish());
-  (void)mpi_.recv(comm_, arm_, reply_tag);
+  const int reply_tag = channel_.next_reply_tag();
+  (void)call(channel_.request(ArmOp::kShutdown, reply_tag).finish(),
+             reply_tag);
 }
 
 }  // namespace dacc::arm

@@ -23,6 +23,7 @@
 #include "dmpi/mpi.hpp"
 #include "obs/metrics.hpp"
 #include "proto/wire.hpp"
+#include "rpc/channel.hpp"
 #include "util/units.hpp"
 
 namespace dacc::arm {
@@ -188,26 +189,28 @@ class Arm {
     SimTime enqueued_at = 0;  ///< for the assignment-wait metric
   };
 
-  void handle_acquire(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
-                      std::uint64_t job, std::uint32_t count,
+  void handle_acquire(rpc::ServerChannel& ch, dmpi::Rank client,
+                      int reply_tag, std::uint64_t job, std::uint32_t count,
                       const std::string& kind, bool wait, SimTime now);
-  bool try_grant(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
+  bool try_grant(rpc::ServerChannel& ch, dmpi::Rank client, int reply_tag,
                  std::uint64_t job, std::uint32_t count,
                  const std::string& kind, SimTime now);
-  void drain_queue(dmpi::Mpi& mpi, SimTime now);
+  void drain_queue(rpc::ServerChannel& ch, SimTime now);
   std::uint32_t free_count(const std::string& kind) const;
   Slot* find_slot(dmpi::Rank daemon_rank);
   void release_slot(Slot& slot, SimTime now);
-  void handle_heartbeat(dmpi::Mpi& mpi, const Heartbeat& hb, SimTime now);
-  void handle_sweep(dmpi::Mpi& mpi, const SweepRequest& sweep, SimTime now);
+  void handle_heartbeat(rpc::ServerChannel& ch, const Heartbeat& hb,
+                        SimTime now);
+  void handle_sweep(rpc::ServerChannel& ch, const SweepRequest& sweep,
+                    SimTime now);
   /// Marks the slot broken; an assigned slot additionally has its lease
   /// revoked: the owner is notified and the lease id remembered so a late
   /// release gets kRevoked instead of kUnknownHandle.
-  void revoke_slot(dmpi::Mpi& mpi, Slot& slot, SimTime now,
+  void revoke_slot(rpc::ServerChannel& ch, Slot& slot, SimTime now,
                    const char* cause);
   /// After the pool shrinks, queued acquires that can never be satisfied any
   /// more (count > surviving slots of that kind) are failed immediately.
-  void fail_unsatisfiable(dmpi::Mpi& mpi);
+  void fail_unsatisfiable(rpc::ServerChannel& ch);
   bool was_revoked(std::uint64_t lease_id) const;
 
   /// Registers the ARM's metrics against `reg` (idempotent re-bind). The
@@ -237,8 +240,7 @@ class Arm {
 /// Front-end side of the ARM protocol: the paper's resource-management API.
 class ArmClient {
  public:
-  ArmClient(dmpi::Mpi& mpi, const dmpi::Comm& comm, dmpi::Rank arm_rank)
-      : mpi_(mpi), comm_(comm), arm_(arm_rank) {}
+  ArmClient(dmpi::Mpi& mpi, const dmpi::Comm& comm, dmpi::Rank arm_rank);
 
   /// Acquires `count` exclusive accelerators for `job`. With wait == false,
   /// returns an empty vector if the pool cannot satisfy the request; with
@@ -265,17 +267,17 @@ class ArmClient {
   void shutdown();
 
  private:
-  /// Reply-tag source, backed by the rank's endpoint counter
-  /// (dmpi::Mpi::fresh_tag_seed): unique across every client sharing this
-  /// rank — several launchers can hold queued acquires on one endpoint at
-  /// once — race-free under the parallel execution backend (all users of
-  /// an endpoint run on the rank's home shard), and deterministic (the
-  /// sequence does not depend on how other shards interleave).
-  int fresh_reply_tag();
+  /// One request/response exchange against the ARM; blocks until answered.
+  proto::WireReader call(util::Buffer frame, int reply_tag);
 
-  dmpi::Mpi& mpi_;
-  const dmpi::Comm& comm_;
-  dmpi::Rank arm_;
+  /// Channel to the ARM. Reply tags come from the rank's endpoint counter
+  /// (dmpi::Mpi::fresh_tag_seed, Options::endpoint_tags): unique across
+  /// every client sharing this rank — several launchers can hold queued
+  /// acquires on one endpoint at once — race-free under the parallel
+  /// execution backend (all users of an endpoint run on the rank's home
+  /// shard), and deterministic (the sequence does not depend on how other
+  /// shards interleave).
+  rpc::Channel channel_;
 };
 
 }  // namespace dacc::arm

@@ -9,22 +9,9 @@
 namespace dacc::core {
 
 using gpu::Result;
-using proto::kDataTag;
-using proto::kRequestTag;
-using proto::kResponseTag;
 using proto::Op;
 using proto::WireReader;
 using proto::WireWriter;
-
-namespace {
-/// Front-end reply tags: each request attempt takes a fresh (reply, data)
-/// tag pair so a response that arrives after its deadline can never be
-/// mistaken for the answer to a retry. Daemon replies land on the even tag,
-/// bulk data on the odd one (reply_tag + 1). The range stays below
-/// dmpi::kMaxUserTag and clear of the ARM tag bases.
-constexpr int kFeReplyTagBase = 4'000'000;
-constexpr std::uint64_t kFeTagSpan = 100'000'000;
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // Future
@@ -191,45 +178,236 @@ void Accelerator::bind_metrics(obs::Registry* reg) {
   metrics_bound_ = reg;
 }
 
+bool Accelerator::batchable_op(const ProxyOp& op) {
+  switch (op.kind) {
+    case ProxyOp::Kind::kAlloc:
+    case ProxyOp::Kind::kFree:
+    case ProxyOp::Kind::kLaunch:
+    case ProxyOp::Kind::kKernelCheck:
+      return true;
+    default:
+      return false;
+  }
+}
+
 void Accelerator::proxy_main(sim::Context& ctx) {
   dmpi::Mpi mpi(session_->world_, ctx, session_->self_);
-  const proto::ProtoParams& pp = session_->config().proto;
-  sim::Engine& engine = session_->world_.engine();
+  rpc::Channel ch(mpi, session_->comm_, lease_.daemon_rank,
+                  rpc::Channel::frontend(session_->self_));
+  const rpc::StreamConfig& stream = session_->config().batch;
 
+  // An op pulled off the mailbox while coalescing that cannot join the
+  // batch; it is served right after the flush, before blocking again.
+  std::unique_ptr<ProxyOp> held;
   for (;;) {
-    std::unique_ptr<ProxyOp> op = ops_->get(ctx);
+    std::unique_ptr<ProxyOp> op =
+        held != nullptr ? std::move(held) : ops_->get(ctx);
     if (op->kind == ProxyOp::Kind::kStop) {
       op->result->complete(Result::kSuccess);
       return;
     }
-    const SimTime op_begin = ctx.now();
-    ctx.wait_for(pp.fe_marshal);  // request marshalling on the CN CPU
-    sim::Tracer* const tracer = engine.tracer();
-    const std::string label =
-        tracer != nullptr ? op_label(*op) : std::string{};
-    // Causal trace context: one trace per front-end API call. The root span
-    // id doubles as the trace id; it rides the request headers into the
-    // daemon (and its NIC hops) so the whole chain stitches together.
-    std::uint64_t trace_id = 0;
-    if (tracer != nullptr) {
-      trace_id = (std::uint64_t{1} << 56) |
-                 (static_cast<std::uint64_t>(session_->self_) << 40) |
-                 (static_cast<std::uint64_t>(lease_.daemon_rank) << 24) |
-                 ++trace_seq_;
-      engine.set_current_trace({trace_id, trace_id});
+    if (stream.enabled && batchable_op(*op)) {
+      // Greedy flush-rule implementation: everything already enqueued at
+      // this instant coalesces (up to the watermark). A synchronous caller
+      // blocks on its future, so its op is always alone here and goes out
+      // on the unchanged legacy frame; async bursts build real batches.
+      std::vector<std::unique_ptr<ProxyOp>> group;
+      group.push_back(std::move(op));
+      while (group.size() < stream.watermark) {
+        std::optional<std::unique_ptr<ProxyOp>> next = ops_->try_get();
+        if (!next.has_value()) break;
+        if (!batchable_op(**next)) {  // includes kStop
+          held = std::move(*next);
+          break;
+        }
+        group.push_back(std::move(*next));
+      }
+      if (group.size() == 1) {
+        execute_one(ch, ctx, *group.front());
+      } else {
+        execute_batch(ch, ctx, group);
+      }
+      continue;
     }
-    exec_op(mpi, ctx, *op);
-    if (tracer != nullptr) {
-      engine.set_current_trace({});
-      const std::string track = "fe-r" + std::to_string(session_->self_) +
-                                "-ac" + std::to_string(lease_.daemon_rank);
-      tracer->record(track, label, op_begin, ctx.now(), trace_id, trace_id,
-                     /*parent_id=*/0);
+    execute_one(ch, ctx, *op);
+  }
+}
+
+void Accelerator::execute_one(rpc::Channel& ch, sim::Context& ctx,
+                              ProxyOp& op) {
+  const proto::ProtoParams& pp = session_->config().proto;
+  sim::Engine& engine = session_->world_.engine();
+  const SimTime op_begin = ctx.now();
+  ctx.wait_for(pp.fe_marshal);  // request marshalling on the CN CPU
+  sim::Tracer* const tracer = engine.tracer();
+  const std::string label = tracer != nullptr ? op_label(op) : std::string{};
+  // Causal trace context: one trace per front-end API call. The root span
+  // id doubles as the trace id; it rides the request headers into the
+  // daemon (and its NIC hops) so the whole chain stitches together.
+  std::uint64_t trace_id = 0;
+  if (tracer != nullptr) {
+    trace_id = (std::uint64_t{1} << 56) |
+               (static_cast<std::uint64_t>(session_->self_) << 40) |
+               (static_cast<std::uint64_t>(lease_.daemon_rank) << 24) |
+               ++trace_seq_;
+    engine.set_current_trace({trace_id, trace_id});
+  }
+  exec_op(ch, ctx, op);
+  if (tracer != nullptr) {
+    engine.set_current_trace({});
+    const std::string track = "fe-r" + std::to_string(session_->self_) +
+                              "-ac" + std::to_string(lease_.daemon_rank);
+    tracer->record(track, label, op_begin, ctx.now(), trace_id, trace_id,
+                   /*parent_id=*/0);
+  }
+  if (obs::Registry* reg = engine.metrics()) {
+    if (metrics_bound_ != reg) bind_metrics(reg);
+    op_latency_[static_cast<std::size_t>(op.kind)].observe(
+        static_cast<std::uint64_t>(ctx.now() - op_begin));
+  }
+}
+
+rpc::BatchItem Accelerator::to_batch_item(const ProxyOp& op) const {
+  rpc::BatchItem item;
+  switch (op.kind) {
+    case ProxyOp::Kind::kAlloc:
+      item.op = Op::kMemAlloc;
+      item.arg = op.bytes;
+      break;
+    case ProxyOp::Kind::kFree:
+      item.op = Op::kMemFree;
+      item.arg = to_device(op.dst);
+      break;
+    case ProxyOp::Kind::kKernelCheck:
+      item.op = Op::kKernelCreate;
+      item.kernel = op.kernel;
+      break;
+    case ProxyOp::Kind::kLaunch:
+      item.op = Op::kKernelRun;
+      item.kernel = op.kernel;
+      item.launch = op.launch;
+      item.args = op.args;
+      for (gpu::KernelArg& a : item.args) {
+        if (auto* p = std::get_if<gpu::DevPtr>(&a)) *p = to_device(*p);
+      }
+      break;
+    default:
+      throw std::logic_error("to_batch_item: op is not batchable");
+  }
+  return item;
+}
+
+bool Accelerator::attempt_batch(
+    rpc::Channel& ch, const std::vector<std::unique_ptr<ProxyOp>>& group,
+    std::vector<rpc::BatchResult>* out, SimTime deadline) {
+  // Items are rebuilt per attempt: pointer translation must see the table
+  // the *current* lease's replay produced.
+  std::vector<rpc::BatchItem> items;
+  items.reserve(group.size());
+  for (const std::unique_ptr<ProxyOp>& op : group) {
+    items.push_back(to_batch_item(*op));
+  }
+  const int reply_tag = ch.next_reply_tag();
+  WireWriter w = ch.request(Op::kBatch, reply_tag);
+  rpc::encode_batch(w, items);
+  std::optional<util::Buffer> resp =
+      ch.exchange(w.finish(), reply_tag, deadline);
+  if (!resp.has_value()) return false;
+  *out = rpc::decode_batch_reply(std::move(*resp), group.size());
+  return true;
+}
+
+void Accelerator::execute_batch(rpc::Channel& ch, sim::Context& ctx,
+                                std::vector<std::unique_ptr<ProxyOp>>& group) {
+  const proto::ProtoParams& pp = session_->config().proto;
+  sim::Engine& engine = session_->world_.engine();
+  const RetryPolicy& rp = session_->config().retry;
+  const SimTime begin = ctx.now();
+  // Marshalling still costs the CN CPU once per sub-request; batching
+  // amortises the messaging, not the encoding.
+  ctx.wait_for(pp.fe_marshal * static_cast<SimDuration>(group.size()));
+  sim::Tracer* const tracer = engine.tracer();
+  std::uint64_t trace_id = 0;
+  if (tracer != nullptr) {
+    trace_id = (std::uint64_t{1} << 56) |
+               (static_cast<std::uint64_t>(session_->self_) << 40) |
+               (static_cast<std::uint64_t>(lease_.daemon_rank) << 24) |
+               ++trace_seq_;
+    engine.set_current_trace({trace_id, trace_id});
+  }
+
+  bool revoked_dead_end = false;
+  if (rp.replace_on_failure && consume_revocation(ch) &&
+      !try_replace(ch, ctx)) {
+    revoked_dead_end = true;
+  }
+  if (revoked_dead_end) {
+    for (std::unique_ptr<ProxyOp>& op : group) {
+      op->result->complete(Result::kUnavailable);
     }
-    if (obs::Registry* reg = engine.metrics()) {
-      if (metrics_bound_ != reg) bind_metrics(reg);
-      op_latency_[static_cast<std::size_t>(op->kind)].observe(
-          static_cast<std::uint64_t>(ctx.now() - op_begin));
+  } else {
+    std::vector<rpc::BatchResult> results;
+    const bool answered = rpc::with_retry(ctx, rp, [&](SimTime deadline) {
+      return attempt_batch(ch, group, &results, deadline);
+    });
+    if (!answered) {
+      // The daemon went silent mid-stream. Replace it if policy allows and
+      // push every sub-request through the single-op path (which replays
+      // and retries on the fresh lease); otherwise the whole group fails.
+      if (try_replace(ch, ctx)) {
+        for (std::unique_ptr<ProxyOp>& op : group) exec_op(ch, ctx, *op);
+      } else {
+        for (std::unique_ptr<ProxyOp>& op : group) {
+          op->result->complete(Result::kUnavailable);
+        }
+      }
+    } else {
+      ch.note_flush(static_cast<std::uint32_t>(group.size()));
+      bool device_dead = false;
+      for (const rpc::BatchResult& r : results) {
+        if (r.status == Result::kEccError) device_dead = true;
+      }
+      // Commit the successes first: they belong to the replay log, so a
+      // replacement triggered by a failed sibling reconstructs them too.
+      std::vector<std::size_t> failed;
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        ProxyOp& op = *group[i];
+        if (results[i].status == Result::kSuccess) {
+          AttemptOut out;
+          out.status = Result::kSuccess;
+          out.ptr = results[i].ptr;
+          commit(op, out);
+          op.result->ptr = out.ptr;
+          op.result->complete(Result::kSuccess);
+        } else {
+          failed.push_back(i);
+        }
+      }
+      if (!failed.empty()) {
+        const bool replaced = device_dead && try_replace(ch, ctx);
+        for (const std::size_t i : failed) {
+          if (replaced) {
+            exec_op(ch, ctx, *group[i]);  // re-execute on the replacement
+          } else {
+            group[i]->result->complete(results[i].status);
+          }
+        }
+      }
+    }
+  }
+
+  if (tracer != nullptr) {
+    engine.set_current_trace({});
+    const std::string track = "fe-r" + std::to_string(session_->self_) +
+                              "-ac" + std::to_string(lease_.daemon_rank);
+    tracer->record(track, "batch[" + std::to_string(group.size()) + "]",
+                   begin, ctx.now(), trace_id, trace_id, /*parent_id=*/0);
+  }
+  if (obs::Registry* reg = engine.metrics()) {
+    if (metrics_bound_ != reg) bind_metrics(reg);
+    const auto elapsed = static_cast<std::uint64_t>(ctx.now() - begin);
+    for (const std::unique_ptr<ProxyOp>& op : group) {
+      op_latency_[static_cast<std::size_t>(op->kind)].observe(elapsed);
     }
   }
 }
@@ -245,44 +423,20 @@ gpu::DevPtr Accelerator::to_device(gpu::DevPtr app) const {
   return span.device_ptr + (app - base);  // interior pointers translate too
 }
 
-bool Accelerator::attempt_op(dmpi::Mpi& mpi, sim::Context& ctx,
+bool Accelerator::attempt_op(rpc::Channel& ch, sim::Context& ctx,
                              const ProxyOp& op, AttemptOut* out,
                              SimTime deadline) {
   (void)ctx;
-  const dmpi::Comm& comm = session_->comm_;
-  const dmpi::Rank d = lease_.daemon_rank;
-  const int reply_tag =
-      kFeReplyTagBase + 2 * static_cast<int>(fe_seq_++ % kFeTagSpan);
+  // One request/response exchange on this attempt's private tag pair (bulk
+  // data on reply_tag + 1). The reply receive is posted before the request
+  // goes out; on deadline expiry it is cancelled, so a late response parks
+  // harmlessly on an abandoned tag.
+  const int reply_tag = ch.next_reply_tag();
   const int data_tag = reply_tag + 1;
-
-  // One request/response exchange on this attempt's private tag. The reply
-  // receive is posted before the request goes out; on deadline expiry it is
-  // cancelled, so a late response parks harmlessly on an abandoned tag.
-  auto exchange = [&](util::Buffer request) -> std::optional<util::Buffer> {
-    dmpi::Request reply = mpi.irecv(comm, d, reply_tag);
-    mpi.send(comm, d, kRequestTag, std::move(request));
-    if (!mpi.wait_until(reply, deadline)) {
-      mpi.cancel(reply);
-      return std::nullopt;
-    }
-    return reply.take_payload();
+  auto exchange = [&](util::Buffer request) {
+    return ch.exchange(std::move(request), reply_tag, deadline);
   };
-  // Requests from a traced API call carry the causal context after the
-  // reply tag (flag bit 31); untraced clients emit the unchanged format.
-  const sim::TraceCtx tc = session_->world_.engine().current_trace();
-  auto header = [&](Op o) {
-    WireWriter w;
-    if (tc.active()) {
-      w.op(o)
-          .u32(static_cast<std::uint32_t>(reply_tag) |
-               proto::kTraceContextFlag)
-          .u64(tc.trace_id)
-          .u64(tc.span_id);
-    } else {
-      w.op(o).u32(static_cast<std::uint32_t>(reply_tag));
-    }
-    return w;
-  };
+  auto header = [&](Op o) { return ch.request(o, reply_tag); };
 
   switch (op.kind) {
     case ProxyOp::Kind::kAlloc: {
@@ -301,26 +455,22 @@ bool Accelerator::attempt_op(dmpi::Mpi& mpi, sim::Context& ctx,
       return true;
     }
     case ProxyOp::Kind::kH2D: {
-      dmpi::Request reply = mpi.irecv(comm, d, reply_tag);
-      mpi.send(comm, d, kRequestTag,
-               header(Op::kMemcpyHtoD)
-                   .u64(to_device(op.dst))
-                   .u64(op.data.size())
-                   .transfer_config(op.transfer)
-                   .finish());
+      dmpi::Request reply = ch.post_reply(reply_tag);
+      ch.send_request(header(Op::kMemcpyHtoD)
+                          .u64(to_device(op.dst))
+                          .u64(op.data.size())
+                          .transfer_config(op.transfer)
+                          .finish());
       try {
         // view(): the payload stays in the op so a retry (or a replacement
         // replay) can resend it.
-        proto::send_blocks(mpi, comm, d, op.data.view(), op.transfer,
-                           data_tag, deadline);
+        proto::send_blocks(ch.mpi(), ch.comm(), ch.server(), op.data.view(),
+                           op.transfer, data_tag, deadline);
       } catch (const proto::TransferTimeout&) {
-        mpi.cancel(reply);
+        ch.mpi().cancel(reply);
         return false;
       }
-      if (!mpi.wait_until(reply, deadline)) {
-        mpi.cancel(reply);
-        return false;
-      }
+      if (!ch.finish(reply, deadline)) return false;
       out->status = WireReader(reply.take_payload()).result();
       return true;
     }
@@ -337,16 +487,14 @@ bool Accelerator::attempt_op(dmpi::Mpi& mpi, sim::Context& ctx,
         return true;
       }
       try {
-        out->data = proto::recv_assemble(mpi, comm, d, op.bytes, op.transfer,
-                                         data_tag, deadline);
+        out->data = proto::recv_assemble(ch.mpi(), ch.comm(), ch.server(),
+                                         op.bytes, op.transfer, data_tag,
+                                         deadline);
       } catch (const proto::TransferTimeout&) {
         return false;
       }
-      dmpi::Request fin = mpi.irecv(comm, d, reply_tag);
-      if (!mpi.wait_until(fin, deadline)) {
-        mpi.cancel(fin);
-        return false;
-      }
+      dmpi::Request fin = ch.post_reply(reply_tag);
+      if (!ch.finish(fin, deadline)) return false;
       out->status = WireReader(fin.take_payload()).result();
       return true;
     }
@@ -401,41 +549,33 @@ bool Accelerator::attempt_op(dmpi::Mpi& mpi, sim::Context& ctx,
   return true;
 }
 
-bool Accelerator::attempt_with_retry(dmpi::Mpi& mpi, sim::Context& ctx,
+bool Accelerator::attempt_with_retry(rpc::Channel& ch, sim::Context& ctx,
                                      const ProxyOp& op, AttemptOut* out) {
-  const RetryPolicy& rp = session_->config().retry;
-  const int attempts = rp.request_timeout > 0 ? rp.max_retries + 1 : 1;
-  for (int a = 0; a < attempts; ++a) {
-    if (a > 0) {
-      const int shift = std::min(a - 1, 20);
-      const SimDuration backoff =
-          std::min(rp.backoff_cap, rp.backoff_base << shift);
-      ctx.wait_for(backoff);
-    }
-    const SimTime deadline =
-        rp.request_timeout > 0 ? ctx.now() + rp.request_timeout : kSimTimeNever;
-    if (attempt_op(mpi, ctx, op, out, deadline)) return true;
-  }
-  return false;  // every attempt timed out: the daemon is unreachable
+  const bool answered =
+      rpc::with_retry(ctx, session_->config().retry, [&](SimTime deadline) {
+        return attempt_op(ch, ctx, op, out, deadline);
+      });
+  if (answered) ch.note_flush(1);  // a lone op is a command group of one
+  return answered;
 }
 
-bool Accelerator::consume_revocation(dmpi::Mpi& mpi) {
+bool Accelerator::consume_revocation(rpc::Channel& ch) {
   const dmpi::Rank arm_rank = session_->config().arm_rank;
   if (arm_rank < 0) return false;
   const int tag = arm::kArmRevokeTagBase + lease_.daemon_rank;
-  if (!mpi.iprobe(session_->comm_, arm_rank, tag)) return false;
-  (void)mpi.recv(session_->comm_, arm_rank, tag);
+  if (!ch.mpi().iprobe(session_->comm_, arm_rank, tag)) return false;
+  (void)ch.mpi().recv(session_->comm_, arm_rank, tag);
   return true;
 }
 
-bool Accelerator::replay(dmpi::Mpi& mpi, sim::Context& ctx,
+bool Accelerator::replay(rpc::Channel& ch, sim::Context& ctx,
                          std::uint32_t* ops, std::uint64_t* bytes) {
   // Rebuild the virtual->physical table from scratch; entries re-insert in
   // original order, so interleaved alloc/free histories replay cleanly.
   allocs_.clear();
   for (const std::unique_ptr<ProxyOp>& e : replay_log_) {
     AttemptOut out;
-    if (!attempt_with_retry(mpi, ctx, *e, &out)) return false;
+    if (!attempt_with_retry(ch, ctx, *e, &out)) return false;
     if (out.status != Result::kSuccess) return false;
     switch (e->kind) {
       case ProxyOp::Kind::kAlloc:
@@ -453,7 +593,7 @@ bool Accelerator::replay(dmpi::Mpi& mpi, sim::Context& ctx,
   return true;
 }
 
-bool Accelerator::try_replace(dmpi::Mpi& mpi, sim::Context& ctx) {
+bool Accelerator::try_replace(rpc::Channel& ch, sim::Context& ctx) {
   const RetryPolicy& rp = session_->config().retry;
   if (!rp.replace_on_failure || replacements_ >= rp.max_replacements) {
     return false;
@@ -464,7 +604,7 @@ bool Accelerator::try_replace(dmpi::Mpi& mpi, sim::Context& ctx) {
   const arm::Lease failed = lease_;
   const std::uint64_t job = session_->config().job_id;
   const SimTime begin = ctx.now();
-  arm::ArmClient arm_client(mpi, session_->comm_, arm_rank);
+  arm::ArmClient arm_client(ch.mpi(), session_->comm_, arm_rank);
 
   // Make sure the pool knows (idempotent if the liveness sweep beat us to
   // it), give the dead lease back, and take any healthy accelerator.
@@ -473,17 +613,18 @@ bool Accelerator::try_replace(dmpi::Mpi& mpi, sim::Context& ctx) {
   const std::vector<arm::Lease> leases = arm_client.acquire(job, 1, true);
   if (leases.empty()) return false;  // pool can never satisfy us again
   lease_ = leases[0];
+  ch.set_server(lease_.daemon_rank);
   ++replacements_;
 
   // Drop a revocation notice for the dead lease that raced with us.
   const int stale_tag = arm::kArmRevokeTagBase + failed.daemon_rank;
-  while (mpi.iprobe(session_->comm_, arm_rank, stale_tag)) {
-    (void)mpi.recv(session_->comm_, arm_rank, stale_tag);
+  while (ch.mpi().iprobe(session_->comm_, arm_rank, stale_tag)) {
+    (void)ch.mpi().recv(session_->comm_, arm_rank, stale_tag);
   }
 
   std::uint32_t replayed_ops = 0;
   std::uint64_t replayed_bytes = 0;
-  if (!replay(mpi, ctx, &replayed_ops, &replayed_bytes)) return false;
+  if (!replay(ch, ctx, &replayed_ops, &replayed_bytes)) return false;
 
   arm::ReplayReport report;
   report.failed_rank = failed.daemon_rank;
@@ -546,20 +687,20 @@ void Accelerator::commit(const ProxyOp& op, AttemptOut& out) {
   }
 }
 
-void Accelerator::exec_op(dmpi::Mpi& mpi, sim::Context& ctx, ProxyOp& op) {
+void Accelerator::exec_op(rpc::Channel& ch, sim::Context& ctx, ProxyOp& op) {
   Future::State& res = *op.result;
   const RetryPolicy& rp = session_->config().retry;
   for (;;) {
-    if (rp.replace_on_failure && consume_revocation(mpi)) {
+    if (rp.replace_on_failure && consume_revocation(ch)) {
       // The liveness sweep revoked our lease; replace before touching the
       // wire (the daemon may even still answer, but the slot is gone).
-      if (!try_replace(mpi, ctx)) {
+      if (!try_replace(ch, ctx)) {
         res.complete(Result::kUnavailable);
         return;
       }
     }
     AttemptOut out;
-    const bool answered = attempt_with_retry(mpi, ctx, op, &out);
+    const bool answered = attempt_with_retry(ch, ctx, op, &out);
     if (answered && out.status == Result::kSuccess) {
       commit(op, out);
       res.ptr = out.ptr;
@@ -569,7 +710,7 @@ void Accelerator::exec_op(dmpi::Mpi& mpi, sim::Context& ctx, ProxyOp& op) {
       return;
     }
     const bool device_dead = answered && out.status == Result::kEccError;
-    if ((device_dead || !answered) && try_replace(mpi, ctx)) {
+    if ((device_dead || !answered) && try_replace(ch, ctx)) {
       continue;  // state replayed; re-execute this op on the replacement
     }
     res.complete(answered ? out.status : Result::kUnavailable);

@@ -35,6 +35,8 @@
 #include "gpu/device.hpp"
 #include "obs/metrics.hpp"
 #include "proto/wire.hpp"
+#include "rpc/batch.hpp"
+#include "rpc/channel.hpp"
 #include "sim/sync.hpp"
 
 namespace dacc::core {
@@ -42,27 +44,9 @@ namespace dacc::core {
 class Session;
 class Accelerator;
 
-/// Failure-handling policy for front-end requests (paper Section III.A: a
-/// broken accelerator is replaced from the pool without losing the compute
-/// node). All requests are idempotent from the daemon's perspective, so the
-/// semantics are at-least-once.
-struct RetryPolicy {
-  /// Per-request response deadline; 0 disables timeouts (wait forever).
-  /// Timeouts detect *loss* (dead link/daemon), not slowness — pick a value
-  /// comfortably above the largest expected transfer time.
-  SimDuration request_timeout = 0;
-  /// Additional attempts after the first one times out.
-  int max_retries = 3;
-  /// Exponential backoff between attempts: base, base*2, base*4, ... capped.
-  SimDuration backoff_base = 50'000;  // 50 us
-  SimDuration backoff_cap = 2'000'000;  // 2 ms
-  /// Transparently re-acquire a healthy accelerator when the leased one
-  /// dies: the session's allocation table and operation log are replayed on
-  /// the replacement and the failed request re-executed there.
-  bool replace_on_failure = false;
-  /// How many device deaths one accelerator handle survives.
-  int max_replacements = 3;
-};
+/// Failure-handling policy for front-end requests; lives with the channel
+/// layer now (rpc::RetryPolicy), re-exported under its historical name.
+using RetryPolicy = rpc::RetryPolicy;
 
 /// Raised by the synchronous API on any middleware or device failure.
 class AcError : public std::runtime_error {
@@ -186,24 +170,43 @@ class Accelerator {
   /// context is given (release paths) and not from the destructor.
   void stop_proxy(sim::Context* ctx = nullptr);
 
+  /// Full service of one queued op on its own legacy frame: marshalling
+  /// cost, trace span, exec_op, latency metrics.
+  void execute_one(rpc::Channel& ch, sim::Context& ctx, ProxyOp& op);
+  /// Full service of a coalesced group (>= 2 batchable ops) as one kBatch
+  /// exchange; per-op commit/completion, shared trace span "batch[N]".
+  void execute_batch(rpc::Channel& ch, sim::Context& ctx,
+                     std::vector<std::unique_ptr<ProxyOp>>& group);
+  /// True for the small control ops the command stream may coalesce
+  /// (alloc/free/kernel-create/launch); bulk transfers never batch.
+  static bool batchable_op(const ProxyOp& op);
+  /// ProxyOp -> wire batch item, translating device pointers per attempt
+  /// (the virtual->physical table may change across replacements).
+  rpc::BatchItem to_batch_item(const ProxyOp& op) const;
+
   // --- failure handling (RetryPolicy) --------------------------------------
   /// One wire exchange against the current lease. Returns false on deadline
   /// expiry (outstanding requests cancelled); otherwise fills `out`.
-  bool attempt_op(dmpi::Mpi& mpi, sim::Context& ctx, const ProxyOp& op,
+  bool attempt_op(rpc::Channel& ch, sim::Context& ctx, const ProxyOp& op,
                   AttemptOut* out, SimTime deadline);
   /// attempt_op + the policy's timeout/backoff retry loop.
-  bool attempt_with_retry(dmpi::Mpi& mpi, sim::Context& ctx,
+  bool attempt_with_retry(rpc::Channel& ch, sim::Context& ctx,
                           const ProxyOp& op, AttemptOut* out);
+  /// One kBatch exchange for the whole group; fills per-op results.
+  bool attempt_batch(rpc::Channel& ch,
+                     const std::vector<std::unique_ptr<ProxyOp>>& group,
+                     std::vector<rpc::BatchResult>* out, SimTime deadline);
   /// Full execution of one queued op: retries, revocation handling,
   /// transparent replacement, result completion.
-  void exec_op(dmpi::Mpi& mpi, sim::Context& ctx, ProxyOp& op);
+  void exec_op(rpc::Channel& ch, sim::Context& ctx, ProxyOp& op);
   /// Drains a pending revocation notice for the current lease, if any.
-  bool consume_revocation(dmpi::Mpi& mpi);
-  /// report_broken + release + re-acquire + replay + report_replaced.
-  bool try_replace(dmpi::Mpi& mpi, sim::Context& ctx);
+  bool consume_revocation(rpc::Channel& ch);
+  /// report_broken + release + re-acquire + replay + report_replaced;
+  /// repoints `ch` at the replacement daemon.
+  bool try_replace(rpc::Channel& ch, sim::Context& ctx);
   /// Re-executes the operation log against the (fresh) current lease,
   /// rebuilding the virtual->physical allocation table.
-  bool replay(dmpi::Mpi& mpi, sim::Context& ctx, std::uint32_t* ops,
+  bool replay(rpc::Channel& ch, sim::Context& ctx, std::uint32_t* ops,
               std::uint64_t* bytes);
   /// Successful-op bookkeeping: appends to the replay log, maintains the
   /// allocation table, and rewrites alloc results to virtual pointers.
@@ -223,7 +226,6 @@ class Accelerator {
   std::vector<std::unique_ptr<ProxyOp>> replay_log_;
   gpu::DevPtr next_virtual_ = 0x5f00'0000'0000ull;
   int replacements_ = 0;
-  std::uint64_t fe_seq_ = 0;     ///< per-attempt reply-tag sequence
   std::uint64_t trace_seq_ = 0;  ///< per-API-call trace-id sequence
 
   // Metrics (lazy-bound, no-op handles when no registry is attached).
@@ -240,6 +242,9 @@ class Session {
     proto::TransferConfig transfer = proto::TransferConfig::pipeline_adaptive();
     proto::ProtoParams proto;
     RetryPolicy retry;
+    /// Command-stream batching (DESIGN.md §10). Defaults to the
+    /// DACC_RPC_BATCH environment knob; off unless set.
+    rpc::StreamConfig batch = rpc::default_stream_config();
   };
 
   /// `ctx` is the owning compute-node process; `self` its world rank; `comm`

@@ -1,16 +1,16 @@
 #include "daemon/daemon.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "proto/transfer.hpp"
+#include "rpc/batch.hpp"
 #include "sim/trace.hpp"
 
 namespace dacc::daemon {
 
-using dmpi::kAnySource;
 using gpu::Result;
 using proto::kDataTag;
-using proto::kRequestTag;
 using proto::kResponseTag;
 using proto::Op;
 using proto::TransferConfig;
@@ -40,10 +40,9 @@ SimDuration Daemon::copy_extra_busy(std::uint64_t bytes, bool gpudirect,
   return gd > base ? gd - base : 0;
 }
 
-void Daemon::respond_status(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
-                            gpu::Result r) {
-  mpi.send(world_.world_comm(), client, reply_tag,
-           WireWriter{}.result(r).finish());
+void Daemon::respond_status(rpc::ServerChannel& ch, dmpi::Rank client,
+                            int reply_tag, gpu::Result r) {
+  ch.reply(client, reply_tag, WireWriter{}.result(r).finish());
 }
 
 void Daemon::bind_metrics(obs::Registry* reg) {
@@ -58,11 +57,12 @@ void Daemon::bind_metrics(obs::Registry* reg) {
 
 void Daemon::run(sim::Context& ctx) {
   dmpi::Mpi mpi(world_, ctx, self_);
-  const dmpi::Comm& comm = world_.world_comm();
+  rpc::ServerChannel channel(mpi, world_.world_comm(),
+                             rpc::ServerChannel::Options{});
   const std::string track = "daemon-r" + std::to_string(self_);
   for (;;) {
-    dmpi::Status st;
-    util::Buffer msg = mpi.recv(comm, kAnySource, kRequestTag, &st);
+    dmpi::Rank source = -1;
+    util::Buffer msg = channel.raw(&source);
     const SimTime begin = ctx.now();
     obs::Registry* const reg = world_.engine().metrics();
     if (reg != nullptr && metrics_bound_ != reg) bind_metrics(reg);
@@ -71,85 +71,77 @@ void Daemon::run(sim::Context& ctx) {
     ctx.wait_for(params_.be_dispatch);
     ++requests_served_;
     if (reg != nullptr) m_requests_.add();
-    WireReader req(std::move(msg));
-    // Frame header: op code + the tag the client wants the reply on (bulk
-    // data travels on reply_tag + 1), optionally followed by the client's
-    // causal trace context (flag bit 31 of the tag word). A frame too short
-    // to carry the header cannot even be answered — count it and stay alive.
+    // A frame whose header fails to decode (truncated, or reply tag out of
+    // range) cannot even be answered — count it and stay alive.
     Op op{};
-    int reply_tag = 0;
+    std::uint64_t span_id = 0;
     std::uint64_t trace_id = 0;
     std::uint64_t parent_span = 0;
-    try {
-      op = req.op();
-      std::uint32_t raw = req.u32();
-      if ((raw & proto::kTraceContextFlag) != 0) {
-        trace_id = req.u64();
-        parent_span = req.u64();
-        raw &= ~proto::kTraceContextFlag;
-      }
-      reply_tag = static_cast<int>(raw);
-    } catch (const proto::WireError&) {
-      ++malformed_requests_;
-      if (reg != nullptr) m_malformed_.add();
-      continue;
-    }
-    if (reply_tag < 1 || reply_tag >= dmpi::kMaxUserTag * 2) {
-      ++malformed_requests_;
-      if (reg != nullptr) m_malformed_.add();
-      continue;
-    }
-    // Execute the request under the client's trace so the NIC spans of the
-    // reply (and of any daemon-to-daemon leg) chain to this daemon span.
-    std::uint64_t span_id = 0;
-    if (trace_id != 0) {
-      span_id = (std::uint64_t{2} << 56) |
-                (static_cast<std::uint64_t>(self_) << 24) | ++span_seq_;
-      world_.engine().set_current_trace({trace_id, span_id});
-    }
     bool shutdown = false;
     try {
-      switch (op) {
-        case Op::kMemAlloc:
-          handle_mem_alloc(mpi, st.source, reply_tag, req);
-          break;
-        case Op::kMemFree:
-          handle_mem_free(mpi, st.source, reply_tag, req);
-          break;
-        case Op::kMemcpyHtoD:
-        case Op::kPeerPut:  // peer puts are H2D copies fed by a peer daemon
-          handle_htod(mpi, ctx, st.source, reply_tag, req);
-          break;
-        case Op::kMemcpyDtoH:
-          handle_dtoh(mpi, ctx, st.source, reply_tag, req);
-          break;
-        case Op::kKernelCreate:
-          handle_kernel_create(mpi, st.source, reply_tag, req);
-          break;
-        case Op::kKernelRun:
-          handle_kernel_run(mpi, st.source, reply_tag, req);
-          break;
-        case Op::kDeviceInfo:
-          handle_device_info(mpi, st.source, reply_tag);
-          break;
-        case Op::kPeerSend:
-          handle_peer_send(mpi, ctx, st.source, reply_tag, req);
-          break;
-        case Op::kShutdown:
-          respond_status(mpi, st.source, reply_tag, Result::kSuccess);
-          shutdown = true;
-          break;
-        default:
-          ++malformed_requests_;
-          respond_status(mpi, st.source, reply_tag, Result::kInvalidValue);
-          break;
+      rpc::Inbound in = channel.decode(source, std::move(msg));
+      op = in.op<Op>();
+      trace_id = in.trace_id;
+      parent_span = in.parent_span;
+      // Execute the request under the client's trace so the NIC spans of
+      // the reply (and of any daemon-to-daemon leg) chain to this span.
+      if (in.traced()) {
+        span_id = (std::uint64_t{2} << 56) |
+                  (static_cast<std::uint64_t>(self_) << 24) | ++span_seq_;
+        world_.engine().set_current_trace({trace_id, span_id});
+      }
+      try {
+        switch (op) {
+          case Op::kMemAlloc:
+            handle_mem_alloc(channel, in.source, in.reply_tag, in.body);
+            break;
+          case Op::kMemFree:
+            handle_mem_free(channel, in.source, in.reply_tag, in.body);
+            break;
+          case Op::kMemcpyHtoD:
+          case Op::kPeerPut:  // peer puts are H2D copies fed by a peer daemon
+            handle_htod(channel, ctx, in.source, in.reply_tag, in.body);
+            break;
+          case Op::kMemcpyDtoH:
+            handle_dtoh(channel, ctx, in.source, in.reply_tag, in.body);
+            break;
+          case Op::kKernelCreate:
+            handle_kernel_create(channel, in.source, in.reply_tag, in.body);
+            break;
+          case Op::kKernelRun:
+            handle_kernel_run(channel, in.source, in.reply_tag, in.body);
+            break;
+          case Op::kDeviceInfo:
+            handle_device_info(channel, in.source, in.reply_tag);
+            break;
+          case Op::kPeerSend:
+            handle_peer_send(channel, ctx, in.source, in.reply_tag, in.body);
+            break;
+          case Op::kBatch:
+            handle_batch(channel, ctx, in.source, in.reply_tag, in.body);
+            break;
+          case Op::kShutdown:
+            respond_status(channel, in.source, in.reply_tag, Result::kSuccess);
+            shutdown = true;
+            break;
+          default:
+            ++malformed_requests_;
+            respond_status(channel, in.source, in.reply_tag,
+                           Result::kInvalidValue);
+            break;
+        }
+      } catch (const proto::WireError&) {
+        // Handlers decode their full payload before sending anything, so a
+        // decode failure here has produced no partial reply yet.
+        ++malformed_requests_;
+        if (reg != nullptr) m_malformed_.add();
+        respond_status(channel, in.source, in.reply_tag,
+                       Result::kInvalidValue);
       }
     } catch (const proto::WireError&) {
-      // Handlers decode their full payload before sending anything, so a
-      // decode failure here has produced no partial reply yet.
       ++malformed_requests_;
       if (reg != nullptr) m_malformed_.add();
-      respond_status(mpi, st.source, reply_tag, Result::kInvalidValue);
+      continue;
     }
     if (trace_id != 0) world_.engine().set_current_trace({});
     if (sim::Tracer* tracer = world_.engine().tracer()) {
@@ -176,22 +168,21 @@ void Daemon::run(sim::Context& ctx) {
   }
 }
 
-void Daemon::handle_mem_alloc(dmpi::Mpi& mpi, dmpi::Rank client,
+void Daemon::handle_mem_alloc(rpc::ServerChannel& ch, dmpi::Rank client,
                               int reply_tag, WireReader& req) {
   const std::uint64_t bytes = req.u64();
   gpu::DevPtr ptr = gpu::kNullDevPtr;
   const Result r = device_.mem_alloc(bytes, &ptr);
-  mpi.send(world_.world_comm(), client, reply_tag,
-           WireWriter{}.result(r).u64(ptr).finish());
+  ch.reply(client, reply_tag, WireWriter{}.result(r).u64(ptr).finish());
 }
 
-void Daemon::handle_mem_free(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
-                             WireReader& req) {
+void Daemon::handle_mem_free(rpc::ServerChannel& ch, dmpi::Rank client,
+                             int reply_tag, WireReader& req) {
   const gpu::DevPtr ptr = req.u64();
-  respond_status(mpi, client, reply_tag, device_.mem_free(ptr));
+  respond_status(ch, client, reply_tag, device_.mem_free(ptr));
 }
 
-void Daemon::handle_htod(dmpi::Mpi& mpi, sim::Context& ctx,
+void Daemon::handle_htod(rpc::ServerChannel& ch, sim::Context& ctx,
                          dmpi::Rank client, int reply_tag, WireReader& req) {
   const gpu::DevPtr dst = req.u64();
   const std::uint64_t bytes = req.u64();
@@ -199,7 +190,7 @@ void Daemon::handle_htod(dmpi::Mpi& mpi, sim::Context& ctx,
 
   Result fail = Result::kSuccess;
   proto::recv_blocks(
-      mpi, world_.world_comm(), client, bytes, config,
+      ch.mpi(), ch.comm(), client, bytes, config,
       [&](std::uint64_t offset, util::Buffer block) {
         // Without GPUDirect the receive buffer is not GPU-registered: each
         // block pays a host staging copy that serializes with its DMA (both
@@ -215,28 +206,25 @@ void Daemon::handle_htod(dmpi::Mpi& mpi, sim::Context& ctx,
       reply_tag + 1);
   // Drain the DMA chain before acknowledging.
   ctx.wait_until(stream_.ready_at());
-  respond_status(mpi, client, reply_tag, fail);
+  respond_status(ch, client, reply_tag, fail);
 }
 
-void Daemon::handle_dtoh(dmpi::Mpi& mpi, sim::Context& ctx,
+void Daemon::handle_dtoh(rpc::ServerChannel& ch, sim::Context& ctx,
                          dmpi::Rank client, int reply_tag, WireReader& req) {
   const gpu::DevPtr src = req.u64();
   const std::uint64_t bytes = req.u64();
   const TransferConfig config = req.transfer_config();
-  const dmpi::Comm& comm = world_.world_comm();
+  dmpi::Mpi& mpi = ch.mpi();
 
   // Validate up front so the client learns about errors before it starts
   // waiting for data blocks.
   if (device_.broken() || !device_.valid_range(src, bytes)) {
-    mpi.send(comm, client, reply_tag,
-             WireWriter{}
-                 .result(device_.broken() ? Result::kEccError
-                                          : Result::kInvalidValue)
-                 .finish());
+    respond_status(ch, client, reply_tag,
+                   device_.broken() ? Result::kEccError
+                                    : Result::kInvalidValue);
     return;
   }
-  mpi.send(comm, client, reply_tag,
-           WireWriter{}.result(Result::kSuccess).finish());
+  respond_status(ch, client, reply_tag, Result::kSuccess);
 
   const proto::BlockPlan plan(bytes, config);
   Result fail = Result::kSuccess;
@@ -256,22 +244,23 @@ void Daemon::handle_dtoh(dmpi::Mpi& mpi, sim::Context& ctx,
     } else {
       ctx.wait_until(op.done_at);
     }
-    sends.push_back(mpi.isend(comm, client, reply_tag + 1, std::move(block)));
+    sends.push_back(
+        mpi.isend(ch.comm(), client, reply_tag + 1, std::move(block)));
   }
   mpi.wait_all(sends);
-  respond_status(mpi, client, reply_tag, fail);
+  respond_status(ch, client, reply_tag, fail);
 }
 
-void Daemon::handle_kernel_create(dmpi::Mpi& mpi, dmpi::Rank client,
+void Daemon::handle_kernel_create(rpc::ServerChannel& ch, dmpi::Rank client,
                                   int reply_tag, WireReader& req) {
   const std::string name = req.str();
   const Result r = device_.broken() ? Result::kEccError
                   : device_.registry().contains(name) ? Result::kSuccess
                                                       : Result::kNotFound;
-  respond_status(mpi, client, reply_tag, r);
+  respond_status(ch, client, reply_tag, r);
 }
 
-void Daemon::handle_kernel_run(dmpi::Mpi& mpi, dmpi::Rank client,
+void Daemon::handle_kernel_run(rpc::ServerChannel& ch, dmpi::Rank client,
                                int reply_tag, WireReader& req) {
   const std::string name = req.str();
   const gpu::LaunchConfig config = req.launch_config();
@@ -279,14 +268,14 @@ void Daemon::handle_kernel_run(dmpi::Mpi& mpi, dmpi::Rank client,
   // Kernel launches are asynchronous (CUDA semantics): the response carries
   // the issue status; the stream carries the execution cost, and later
   // operations on this daemon's stream order behind it.
-  const gpu::OpHandle op =
-      device_.launch_async(stream_, name, config, args, mpi.context().now());
-  respond_status(mpi, client, reply_tag, op.status);
+  const gpu::OpHandle op = device_.launch_async(stream_, name, config, args,
+                                                ch.mpi().context().now());
+  respond_status(ch, client, reply_tag, op.status);
 }
 
-void Daemon::handle_device_info(dmpi::Mpi& mpi, dmpi::Rank client,
+void Daemon::handle_device_info(rpc::ServerChannel& ch, dmpi::Rank client,
                                 int reply_tag) {
-  mpi.send(world_.world_comm(), client, reply_tag,
+  ch.reply(client, reply_tag,
            WireWriter{}
                .result(device_.broken() ? Result::kEccError : Result::kSuccess)
                .str(device_.params().name)
@@ -295,7 +284,7 @@ void Daemon::handle_device_info(dmpi::Mpi& mpi, dmpi::Rank client,
                .finish());
 }
 
-void Daemon::handle_peer_send(dmpi::Mpi& mpi, sim::Context& ctx,
+void Daemon::handle_peer_send(rpc::ServerChannel& ch, sim::Context& ctx,
                               dmpi::Rank client, int reply_tag,
                               WireReader& req) {
   const gpu::DevPtr src = req.u64();
@@ -303,10 +292,10 @@ void Daemon::handle_peer_send(dmpi::Mpi& mpi, sim::Context& ctx,
   const auto peer = static_cast<dmpi::Rank>(req.u64());
   const gpu::DevPtr peer_dst = req.u64();
   const TransferConfig config = req.transfer_config();
-  const dmpi::Comm& comm = world_.world_comm();
+  dmpi::Mpi& mpi = ch.mpi();
 
   if (device_.broken() || !device_.valid_range(src, bytes)) {
-    respond_status(mpi, client, reply_tag,
+    respond_status(ch, client, reply_tag,
                    device_.broken() ? Result::kEccError
                                     : Result::kInvalidValue);
     return;
@@ -317,14 +306,13 @@ void Daemon::handle_peer_send(dmpi::Mpi& mpi, sim::Context& ctx,
   // not involved, which is the point of the paper's accelerator-to-
   // accelerator transfer claim (Section III.C). The fixed legacy tag pair
   // is fine here: the leg is source-disambiguated daemon-to-daemon traffic.
-  mpi.send(comm, peer, kRequestTag,
-           WireWriter{}
-               .op(Op::kPeerPut)
-               .u32(kResponseTag)
-               .u64(peer_dst)
-               .u64(bytes)
-               .transfer_config(config)
-               .finish());
+  rpc::Channel peer_ch(mpi, ch.comm(), peer, rpc::Channel::Options{});
+  dmpi::Request verdict = peer_ch.post_reply(kResponseTag);
+  peer_ch.send_request(peer_ch.request(Op::kPeerPut, kResponseTag)
+                           .u64(peer_dst)
+                           .u64(bytes)
+                           .transfer_config(config)
+                           .finish());
 
   const proto::BlockPlan plan(bytes, config);
   std::vector<dmpi::Request> sends;
@@ -336,13 +324,64 @@ void Daemon::handle_peer_send(dmpi::Mpi& mpi, sim::Context& ctx,
         gpu::HostMemType::kPinned, ctx.now(), &block);
     if (!op.ok()) block = util::Buffer::phantom(plan.size(i));
     if (op.ok()) ctx.wait_until(op.done_at);
-    sends.push_back(mpi.isend(comm, peer, kDataTag, std::move(block)));
+    sends.push_back(mpi.isend(ch.comm(), peer, kDataTag, std::move(block)));
   }
   mpi.wait_all(sends);
 
   // The peer acknowledges the put to us; relay the verdict to the client.
-  WireReader resp(mpi.recv(comm, peer, kResponseTag));
-  respond_status(mpi, client, reply_tag, resp.result());
+  (void)peer_ch.finish(verdict);
+  respond_status(ch, client, reply_tag,
+                 WireReader(verdict.take_payload()).result());
+}
+
+void Daemon::handle_batch(rpc::ServerChannel& ch, sim::Context& ctx,
+                          dmpi::Rank client, int reply_tag, WireReader& req) {
+  // Decode everything before executing anything: a malformed batch throws
+  // out of here with the device untouched and run() answers with a single
+  // kInvalidValue status — no partial execution, no partial reply.
+  const std::vector<rpc::BatchItem> items = rpc::decode_batch(req);
+  std::vector<rpc::BatchResult> results;
+  results.reserve(items.size());
+  bool first = true;
+  for (const rpc::BatchItem& item : items) {
+    // Each sub-request pays the same dispatch cost as a standalone frame —
+    // batching saves messages, not daemon CPU. run() charged the first one.
+    if (!first) ctx.wait_for(params_.be_dispatch);
+    first = false;
+    rpc::BatchResult out;
+    switch (item.op) {
+      case Op::kMemAlloc: {
+        gpu::DevPtr ptr = gpu::kNullDevPtr;
+        out.status = device_.mem_alloc(item.arg, &ptr);
+        out.ptr = ptr;
+        break;
+      }
+      case Op::kMemFree:
+        out.status = device_.mem_free(item.arg);
+        break;
+      case Op::kKernelCreate:
+        out.status = device_.broken() ? Result::kEccError
+                     : device_.registry().contains(item.kernel)
+                         ? Result::kSuccess
+                         : Result::kNotFound;
+        break;
+      case Op::kKernelRun:
+        out.status = device_
+                         .launch_async(stream_, item.kernel, item.launch,
+                                       item.args, ctx.now())
+                         .status;
+        break;
+      default:
+        out.status = Result::kInvalidValue;  // unreachable: decode validated
+        break;
+    }
+    results.push_back(out);
+  }
+  // Sub-requests count like the standalone frames they replace (run()
+  // already counted the batch frame as one).
+  requests_served_ += items.size() - 1;
+  m_requests_.add(items.size() - 1);
+  ch.reply(client, reply_tag, rpc::encode_batch_reply(results));
 }
 
 }  // namespace dacc::daemon

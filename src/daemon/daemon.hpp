@@ -12,6 +12,7 @@
 #include "gpu/device.hpp"
 #include "obs/metrics.hpp"
 #include "proto/wire.hpp"
+#include "rpc/channel.hpp"
 
 namespace dacc::daemon {
 
@@ -31,24 +32,31 @@ class Daemon {
   dmpi::Rank rank() const { return self_; }
 
  private:
-  void handle_mem_alloc(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
-                        proto::WireReader& req);
-  void handle_mem_free(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
-                       proto::WireReader& req);
-  void handle_htod(dmpi::Mpi& mpi, sim::Context& ctx, dmpi::Rank client,
-                   int reply_tag, proto::WireReader& req);
-  void handle_dtoh(dmpi::Mpi& mpi, sim::Context& ctx, dmpi::Rank client,
-                   int reply_tag, proto::WireReader& req);
-  void handle_kernel_create(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
-                            proto::WireReader& req);
-  void handle_kernel_run(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
-                         proto::WireReader& req);
-  void handle_device_info(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag);
-  void handle_peer_send(dmpi::Mpi& mpi, sim::Context& ctx, dmpi::Rank client,
+  void handle_mem_alloc(rpc::ServerChannel& ch, dmpi::Rank client,
                         int reply_tag, proto::WireReader& req);
+  void handle_mem_free(rpc::ServerChannel& ch, dmpi::Rank client,
+                       int reply_tag, proto::WireReader& req);
+  void handle_htod(rpc::ServerChannel& ch, sim::Context& ctx,
+                   dmpi::Rank client, int reply_tag, proto::WireReader& req);
+  void handle_dtoh(rpc::ServerChannel& ch, sim::Context& ctx,
+                   dmpi::Rank client, int reply_tag, proto::WireReader& req);
+  void handle_kernel_create(rpc::ServerChannel& ch, dmpi::Rank client,
+                            int reply_tag, proto::WireReader& req);
+  void handle_kernel_run(rpc::ServerChannel& ch, dmpi::Rank client,
+                         int reply_tag, proto::WireReader& req);
+  void handle_device_info(rpc::ServerChannel& ch, dmpi::Rank client,
+                          int reply_tag);
+  void handle_peer_send(rpc::ServerChannel& ch, sim::Context& ctx,
+                        dmpi::Rank client, int reply_tag,
+                        proto::WireReader& req);
+  /// Executes a kBatch frame: decodes every sub-request before touching the
+  /// device (a malformed batch is rejected whole, never partially applied),
+  /// runs them in order charging be_dispatch each, replies once.
+  void handle_batch(rpc::ServerChannel& ch, sim::Context& ctx,
+                    dmpi::Rank client, int reply_tag, proto::WireReader& req);
 
-  void respond_status(dmpi::Mpi& mpi, dmpi::Rank client, int reply_tag,
-                      gpu::Result r);
+  void respond_status(rpc::ServerChannel& ch, dmpi::Rank client,
+                      int reply_tag, gpu::Result r);
 
   /// Serialized host-side cost added to a block's DMA: the GPUDirect v1
   /// shared-page rate penalty, or (without GPUDirect) the staging copy.

@@ -27,8 +27,16 @@ const char* to_string(Op op) {
       return "PeerPut";
     case Op::kShutdown:
       return "Shutdown";
+    case Op::kBatch:
+      return "Batch";
   }
   return "Unknown";
+}
+
+std::string op_name(std::uint32_t op_word) {
+  const auto op = static_cast<Op>(op_word);
+  if (op >= Op::kMemAlloc && op <= Op::kBatch) return to_string(op);
+  return "Op(" + std::to_string(op_word) + ")";
 }
 
 namespace {

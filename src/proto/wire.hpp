@@ -52,9 +52,14 @@ enum class Op : std::uint32_t {
   kPeerSend = 8,  ///< FE asks the source daemon to push to a peer daemon
   kPeerPut = 9,   ///< daemon -> daemon leg of a peer transfer
   kShutdown = 10,
+  kBatch = 11,  ///< N batched small-op sub-requests in one frame (rpc/batch)
 };
 
 const char* to_string(Op op);
+
+/// to_string for raw op words (decoders reporting unknown codes): the op
+/// name for known values, "Op(<n>)" otherwise.
+std::string op_name(std::uint32_t op_word);
 
 /// How bulk payloads move between compute node and accelerator.
 struct TransferConfig {
@@ -177,6 +182,8 @@ class WireReader {
   gpu::KernelArgs kernel_args();
 
   bool exhausted() const { return offset_ == bytes_.size(); }
+  /// Bytes left to read (batch decoders bound sub-request counts with it).
+  std::size_t remaining() const { return bytes_.size() - offset_; }
 
  private:
   void need(std::size_t n) const;

@@ -279,6 +279,7 @@ JobHandle Cluster::submit(JobSpec spec, int first_cn) {
                 sc.transfer = shared_spec->transfer;
                 sc.proto = config_.proto;
                 sc.retry = config_.retry;
+                sc.batch = config_.batch;
                 core::Session session(*world_, ctx, world_rank,
                                       world_->world_comm(), sc);
                 for (const arm::Lease& lease : leases) {

@@ -67,6 +67,12 @@ struct ClusterConfig {
   /// retries, transparent replacement).
   core::RetryPolicy retry;
 
+  /// Command-stream batching handed to every job's Session (DESIGN.md §10):
+  /// front-end proxies coalesce pending small control ops into one kBatch
+  /// frame per flush. Defaults to the DACC_RPC_BATCH environment knob; off
+  /// unless set.
+  rpc::StreamConfig batch = rpc::default_stream_config();
+
   /// Record middleware spans (daemon requests, front-end proxy ops) into
   /// Cluster::tracer() for timeline inspection / Chrome-trace export.
   bool trace = false;

@@ -237,6 +237,172 @@ TEST(DaemonFuzz, GarbageFramesAreCountedNotFatal) {
   EXPECT_EQ(device.memory_used(), 0u);
 }
 
+// --- kBatch frame fuzzing against a live daemon ----------------------------
+
+namespace {
+/// Minimal daemon harness: spawns a daemon on rank 1 and runs `client` as
+/// rank 0, returning the daemon's malformed count and the device.
+struct BatchFuzzRig {
+  sim::Engine engine;
+  net::Fabric fabric{engine, 2};
+  dmpi::World world{engine, fabric, {0, 1}};
+  std::shared_ptr<gpu::KernelRegistry> registry =
+      gpu::KernelRegistry::with_builtins();
+  gpu::Device device{engine, gpu::tesla_c1060(), registry, true};
+  daemon::Daemon daemon{device, world, /*self=*/1};
+
+  void run(std::function<void(dmpi::Mpi&, const dmpi::Comm&)> client) {
+    engine.spawn("daemon", [&](sim::Context& ctx) { daemon.run(ctx); });
+    engine.spawn("client", [&, client](sim::Context& ctx) {
+      dmpi::Mpi mpi(world, ctx, 0);
+      client(mpi, world.world_comm());
+      mpi.send(world.world_comm(), 1, kRequestTag,
+               WireWriter{}.op(Op::kShutdown).u32(kResponseTag).finish());
+      (void)mpi.recv(world.world_comm(), 1, kResponseTag);
+    });
+    engine.run();
+  }
+};
+
+/// A well-formed 3-sub-request batch frame (alloc + kernel-create + run).
+util::Buffer valid_batch_frame(int reply_tag) {
+  WireWriter w;
+  w.op(Op::kBatch).u32(static_cast<std::uint32_t>(reply_tag));
+  w.u32(3);
+  w.u32(static_cast<std::uint32_t>(Op::kMemAlloc)).u64(4096);
+  w.u32(static_cast<std::uint32_t>(Op::kKernelCreate)).str("dscal");
+  w.u32(static_cast<std::uint32_t>(Op::kKernelRun))
+      .str("dscal")
+      .launch_config({})
+      .kernel_args({std::int64_t{16}, 2.0, gpu::DevPtr{0}});
+  return w.finish();
+}
+}  // namespace
+
+TEST(DaemonFuzz, TruncatedBatchIsRejectedWholeNeverPartiallyExecuted) {
+  // Every proper truncation of a valid batch frame must produce exactly one
+  // whole-batch rejection (a bare kInvalidValue status) — and since the
+  // first sub-request is a complete kMemAlloc, any partial execution before
+  // the decode failure would leak device memory.
+  BatchFuzzRig rig;
+  rig.run([&](dmpi::Mpi& mpi, const dmpi::Comm& comm) {
+    const util::Buffer full = valid_batch_frame(kResponseTag);
+    for (std::uint64_t cut = 8; cut < full.size(); ++cut) {
+      mpi.send(comm, 1, kRequestTag, full.slice(0, cut));
+      WireReader r(mpi.recv(comm, 1, kResponseTag));
+      EXPECT_EQ(r.result(), gpu::Result::kInvalidValue) << "cut at " << cut;
+      EXPECT_TRUE(r.exhausted()) << "cut at " << cut;  // bare status only
+      EXPECT_EQ(rig.device.memory_used(), 0u) << "cut at " << cut;
+    }
+  });
+  EXPECT_GT(rig.daemon.malformed_requests(), 0u);
+  EXPECT_EQ(rig.device.memory_used(), 0u);
+}
+
+TEST(DaemonFuzz, BatchCountOverflowAndGarbageBodiesRejected) {
+  BatchFuzzRig rig;
+  rig.run([&](dmpi::Mpi& mpi, const dmpi::Comm& comm) {
+    // Sub-request count far beyond the frame's bytes.
+    mpi.send(comm, 1, kRequestTag,
+             WireWriter{}
+                 .op(Op::kBatch)
+                 .u32(kResponseTag)
+                 .u32(0x00ffffff)
+                 .u64(0)
+                 .finish());
+    EXPECT_EQ(WireReader(mpi.recv(comm, 1, kResponseTag)).result(),
+              gpu::Result::kInvalidValue);
+    // Zero sub-requests.
+    mpi.send(comm, 1, kRequestTag,
+             WireWriter{}.op(Op::kBatch).u32(kResponseTag).u32(0).finish());
+    EXPECT_EQ(WireReader(mpi.recv(comm, 1, kResponseTag)).result(),
+              gpu::Result::kInvalidValue);
+    // Random junk bodies behind a valid batch header: one clean rejection
+    // each, daemon keeps serving.
+    util::Rng rng(0xba7c);
+    for (int round = 0; round < 200; ++round) {
+      WireWriter w;
+      w.op(Op::kBatch).u32(kResponseTag);
+      const std::size_t len = rng.next_below(40);
+      for (std::size_t i = 0; i < len; ++i) {
+        w.u32(static_cast<std::uint32_t>(rng.next_below(256)));
+      }
+      mpi.send(comm, 1, kRequestTag, w.finish());
+      WireReader r(mpi.recv(comm, 1, kResponseTag));
+      const gpu::Result status = r.result();
+      if (status == gpu::Result::kSuccess) {
+        // Only an (astronomically unlikely) fully valid batch may succeed;
+        // anything else must be a whole-batch rejection.
+        ADD_FAILURE() << "random body decoded as a valid batch";
+      }
+      EXPECT_EQ(status, gpu::Result::kInvalidValue) << "round " << round;
+    }
+    EXPECT_EQ(rig.device.memory_used(), 0u);
+  });
+  EXPECT_GE(rig.daemon.malformed_requests(), 202u);
+}
+
+TEST(DaemonFuzz, InnerTraceFlagInBatchRejected) {
+  // The batch header owns the stream's trace context; a trace-flagged inner
+  // op word must fail the whole frame.
+  BatchFuzzRig rig;
+  rig.run([&](dmpi::Mpi& mpi, const dmpi::Comm& comm) {
+    WireWriter w;
+    w.op(Op::kBatch).u32(kResponseTag);
+    w.u32(2);
+    w.u32(static_cast<std::uint32_t>(Op::kMemAlloc)).u64(1024);
+    w.u32(static_cast<std::uint32_t>(Op::kMemAlloc) | kTraceContextFlag)
+        .u64(1024);
+    mpi.send(comm, 1, kRequestTag, w.finish());
+    WireReader r(mpi.recv(comm, 1, kResponseTag));
+    EXPECT_EQ(r.result(), gpu::Result::kInvalidValue);
+    EXPECT_TRUE(r.exhausted());
+    EXPECT_EQ(rig.device.memory_used(), 0u);  // sub-request 0 not executed
+  });
+  EXPECT_EQ(rig.daemon.malformed_requests(), 1u);
+}
+
+TEST(DaemonFuzz, WellFormedBatchExecutesInOrderAndRepliesOnce) {
+  BatchFuzzRig rig;
+  rig.run([&](dmpi::Mpi& mpi, const dmpi::Comm& comm) {
+    // Batch 1: a lone alloc (legal on the wire, results in a count frame).
+    WireWriter a;
+    a.op(Op::kBatch).u32(kResponseTag).u32(1);
+    a.u32(static_cast<std::uint32_t>(Op::kMemAlloc)).u64(4096);
+    mpi.send(comm, 1, kRequestTag, a.finish());
+    WireReader ar(mpi.recv(comm, 1, kResponseTag));
+    ASSERT_EQ(ar.u32(), 1u);
+    ASSERT_EQ(static_cast<gpu::Result>(ar.u32()), gpu::Result::kSuccess);
+    const gpu::DevPtr p = ar.u64();
+    EXPECT_NE(p, gpu::kNullDevPtr);
+    EXPECT_TRUE(ar.exhausted());
+    EXPECT_EQ(rig.device.memory_used(), 4096u);
+
+    // Batch 2: create + run + free against the returned pointer, answered
+    // by exactly one completion frame with one (status, ptr) per sub-op.
+    WireWriter w;
+    w.op(Op::kBatch).u32(kResponseTag).u32(3);
+    w.u32(static_cast<std::uint32_t>(Op::kKernelCreate)).str("dscal");
+    w.u32(static_cast<std::uint32_t>(Op::kKernelRun))
+        .str("dscal")
+        .launch_config({})
+        .kernel_args({std::int64_t{16}, 2.0, p});
+    w.u32(static_cast<std::uint32_t>(Op::kMemFree)).u64(p);
+    mpi.send(comm, 1, kRequestTag, w.finish());
+    WireReader r(mpi.recv(comm, 1, kResponseTag));
+    ASSERT_EQ(r.u32(), 3u);
+    EXPECT_EQ(static_cast<gpu::Result>(r.u32()), gpu::Result::kSuccess);
+    EXPECT_EQ(r.u64(), gpu::kNullDevPtr);  // kernel-create carries no ptr
+    EXPECT_EQ(static_cast<gpu::Result>(r.u32()), gpu::Result::kSuccess);
+    EXPECT_EQ(r.u64(), gpu::kNullDevPtr);
+    EXPECT_EQ(static_cast<gpu::Result>(r.u32()), gpu::Result::kSuccess);
+    EXPECT_EQ(r.u64(), gpu::kNullDevPtr);
+    EXPECT_TRUE(r.exhausted());
+  });
+  EXPECT_EQ(rig.daemon.malformed_requests(), 0u);
+  EXPECT_EQ(rig.device.memory_used(), 0u);
+}
+
 TEST(TransferProperty, RandomSizesAndBlocksRoundTrip) {
   util::Rng rng(77);
   for (int round = 0; round < 25; ++round) {

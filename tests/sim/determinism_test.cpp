@@ -48,6 +48,13 @@ struct Fingerprint {
   std::uint32_t rec_revocations = 0;
   std::uint32_t rec_replacements = 0;
   double rec_checksum = 0.0;
+  // Batched command-stream phase (rpc kBatch frames on the wire).
+  SimTime bat_final_now = 0;
+  std::uint64_t bat_events = 0;
+  std::uint64_t bat_msgs = 0;
+  std::uint64_t bat_ops = 0;
+  std::uint64_t bat_flushes = 0;
+  double bat_checksum = 0.0;
 };
 
 Fingerprint run_mixed(sim::ExecBackend backend, int shards = 0) {
@@ -172,6 +179,47 @@ Fingerprint run_mixed(sim::ExecBackend backend, int shards = 0) {
   fp.rec_heartbeats = rec_stats.heartbeats;
   fp.rec_revocations = rec_stats.revocations;
   fp.rec_replacements = rec_stats.replacements;
+
+  // Phase 4: batched command streams. An async launch burst coalesces into
+  // kBatch frames; the frame boundaries (visible as flush counts and message
+  // totals) and the simulated results must be bit-identical across backends
+  // and shard counts.
+  rt::ClusterConfig bat_config;
+  bat_config.compute_nodes = 1;
+  bat_config.accelerators = 1;
+  bat_config.functional_gpus = true;
+  bat_config.metrics = true;
+  bat_config.sim_backend = backend;
+  bat_config.sim_shards = shards;
+  bat_config.batch = {/*enabled=*/true, /*watermark=*/8};
+  rt::Cluster bat(bat_config);
+  rt::JobSpec bat_job;
+  bat_job.name = "batched";
+  bat_job.accelerators_per_rank = 1;
+  bat_job.body = [&](rt::JobContext& job) {
+    core::Accelerator& ac = job.session()[0];
+    const std::int64_t n = 256;
+    const auto bytes = static_cast<std::uint64_t>(n) * 8;
+    const gpu::DevPtr p = ac.mem_alloc(bytes);
+    ac.launch("fill_f64", {}, {p, n, 1.0});
+    std::vector<core::Future> burst;
+    for (int i = 0; i < 20; ++i) {
+      burst.push_back(ac.launch_async("dscal", {}, {n, 1.0 + 0.05 * i, p}));
+    }
+    job.session().wait_all(burst);
+    const util::Buffer out = ac.memcpy_d2h(p, bytes);
+    for (const double v : out.as<double>()) fp.bat_checksum += v;
+    ac.mem_free(p);
+  };
+  bat.submit(bat_job);
+  bat.run();
+  fp.bat_final_now = bat.engine().now();
+  fp.bat_events = bat.engine().events_executed();
+  const std::string chan =
+      "{chan=\"fe-r" + std::to_string(bat.cn_rank(0)) + "\"}";
+  fp.bat_msgs = bat.metrics().counter_value("dacc_rpc_msgs_total" + chan);
+  fp.bat_ops = bat.metrics().counter_value("dacc_rpc_ops_total" + chan);
+  fp.bat_flushes = bat.metrics().histogram_count("dacc_rpc_batch_size" + chan);
   return fp;
 }
 
@@ -196,6 +244,12 @@ void expect_identical(const Fingerprint& a, const Fingerprint& b,
   EXPECT_EQ(a.rec_revocations, b.rec_revocations);
   EXPECT_EQ(a.rec_replacements, b.rec_replacements);
   EXPECT_EQ(a.rec_checksum, b.rec_checksum);  // bit-identical
+  EXPECT_EQ(a.bat_final_now, b.bat_final_now);
+  EXPECT_EQ(a.bat_events, b.bat_events);
+  EXPECT_EQ(a.bat_msgs, b.bat_msgs);  // identical frame coalescing
+  EXPECT_EQ(a.bat_ops, b.bat_ops);
+  EXPECT_EQ(a.bat_flushes, b.bat_flushes);
+  EXPECT_EQ(a.bat_checksum, b.bat_checksum);  // bit-identical
 }
 
 void expect_sane(const Fingerprint& fp) {
@@ -210,6 +264,12 @@ void expect_sane(const Fingerprint& fp) {
   EXPECT_GT(fp.rec_heartbeats, 0u);
   EXPECT_GT(fp.rec_replaced_at, 10'000'000u);  // after the idle wait
   EXPECT_DOUBLE_EQ(fp.rec_checksum, 4096 * 3.0);  // 1.5 * 2.0 per element
+  // Batched phase: 24 ops (alloc + fill + 20 dscal + d2h + free), with the
+  // async burst coalesced so the wire carries fewer messages than 2x ops.
+  EXPECT_EQ(fp.bat_ops, 24u);
+  EXPECT_GT(fp.bat_flushes, 0u);
+  EXPECT_LT(fp.bat_msgs, 2 * fp.bat_ops);
+  EXPECT_GT(fp.bat_checksum, 0.0);
 }
 
 #if defined(DACC_SIM_FORCE_THREAD_BACKEND)
