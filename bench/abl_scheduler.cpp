@@ -116,17 +116,23 @@ Outcome run_static(const std::vector<Task>& tasks) {
 }
 
 /// Dynamic architecture: 4 compute nodes plus 4 pooled GPUs behind a real
-/// ARM. A task occupies one node and exactly the GPUs it needs.
+/// ARM. A task occupies one node and exactly the GPUs it needs. The ARM
+/// deployment is a rank set, not a single baked-in rank — the client takes
+/// the whole endpoint list, so swapping in a replicated group (DESIGN.md
+/// §11) is a one-line change here.
+constexpr dmpi::Rank kArmRank = 1;
+const std::vector<dmpi::Rank> kArmEndpoints{kArmRank};
+
 Outcome run_dynamic(const std::vector<Task>& tasks,
                     arm::Arm::QueuePolicy policy) {
   sim::Engine engine;
   net::Fabric fabric(engine, 2);
-  dmpi::World world(engine, fabric, {0, 1});
+  dmpi::World world(engine, fabric, {0, kArmRank});
   std::vector<arm::AcceleratorInfo> pool;
   for (int i = 0; i < 4; ++i) {
-    pool.push_back(arm::AcceleratorInfo{1, "ac" + std::to_string(i)});
+    pool.push_back(arm::AcceleratorInfo{kArmRank, "ac" + std::to_string(i)});
   }
-  arm::Arm arm(world, 1, std::move(pool), policy);
+  arm::Arm arm(world, kArmRank, std::move(pool), policy);
   sim::Process& armp =
       engine.spawn("arm", [&](sim::Context& ctx) { arm.run(ctx); });
   engine.set_daemon(armp);
@@ -138,7 +144,7 @@ Outcome run_dynamic(const std::vector<Task>& tasks,
     engine.spawn("task" + std::to_string(task.id), [&, task](
                                                        sim::Context& ctx) {
       dmpi::Mpi mpi(world, ctx, 0);
-      arm::ArmClient client(mpi, world.world_comm(), 1);
+      arm::ArmClient client(mpi, world.world_comm(), kArmEndpoints);
       ctx.wait_until(task.arrival);
       const SimTime submitted = ctx.now();
       nodes.acquire(ctx, 1);

@@ -75,11 +75,11 @@ int main() {
   cluster.submit(steady, 1);
   cluster.run();
 
-  const auto util = cluster.arm().utilization(cluster.engine().now());
+  const auto util = cluster.arm_utilization(cluster.engine().now());
   std::printf("\naccelerator busy fractions over the run:");
   for (double u : util) std::printf("  %.0f%%", 100.0 * u);
   std::printf("\n(acquisitions served: %llu)\n",
               static_cast<unsigned long long>(
-                  cluster.arm().stats().acquisitions));
+                  cluster.arm_stats().acquisitions));
   return 0;
 }

@@ -69,7 +69,7 @@ void manual_recovery() {
   cluster.submit(job);
   cluster.run();
 
-  const auto stats = cluster.arm().stats();
+  const auto stats = cluster.arm_stats();
   std::printf("pool at end: %u broken, %u free of %u\n", stats.broken,
               stats.free, stats.total);
 }
@@ -114,7 +114,7 @@ void transparent_replacement() {
   cluster.submit(job);
   cluster.run();
 
-  const auto stats = cluster.arm().stats();
+  const auto stats = cluster.arm_stats();
   std::printf(
       "pool at end: %u broken, %u replacement(s), %u revocation(s), "
       "%llu heartbeat(s)\n",

@@ -70,7 +70,7 @@ int main() {
   cluster.submit(job);
   cluster.run();
 
-  const auto stats = cluster.arm().stats();
+  const auto stats = cluster.arm_stats();
   std::printf("pool after job: %u total, %u free (auto-released)\n",
               stats.total, stats.free);
   return 0;

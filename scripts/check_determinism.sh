@@ -58,4 +58,21 @@ for ext in json prom; do
   cmp "$out/metrics_batch_coroutine.$ext" "$out/metrics_batch_parallel_4.$ext"
 done
 
-echo "determinism check passed: metrics snapshots identical across backends (plain + batched)"
+# Replicated ARM (DESIGN.md §11): a whole chaos schedule — elections,
+# a seeded leader kill, failover, re-election — must replay identically
+# under every backend AND shard count. raft_dump exits nonzero unless the
+# kill landed and the pool drained; its .raft digest carries the full
+# election history, so the byte-compare pins election timing itself.
+for backend in coroutine thread parallel:1 parallel:4 parallel:8; do
+  tag="${backend/:/_}"
+  (cd "$out" && DACC_SIM_BACKEND="$backend" \
+    "$build/examples/raft_dump" "raft_$tag" 42 > "run_raft_$tag.log")
+done
+
+for ext in json prom raft; do
+  for tag in thread parallel_1 parallel_4 parallel_8; do
+    cmp "$out/raft_coroutine.$ext" "$out/raft_$tag.$ext"
+  done
+done
+
+echo "determinism check passed: metrics snapshots identical across backends (plain + batched + replicated-ARM chaos)"

@@ -9,321 +9,10 @@ namespace dacc::arm {
 using proto::WireReader;
 using proto::WireWriter;
 
-const char* to_string(ArmResult r) {
-  switch (r) {
-    case ArmResult::kOk:
-      return "ok";
-    case ArmResult::kInsufficient:
-      return "insufficient accelerators";
-    case ArmResult::kUnknownHandle:
-      return "unknown handle";
-    case ArmResult::kNotOwner:
-      return "not the owner";
-    case ArmResult::kRevoked:
-      return "lease revoked";
-  }
-  return "unknown";
-}
-
-// ---------------------------------------------------------------------------
-// Liveness wire messages. Full frames (rpc header + payload) so the fuzz
-// suite round-trips exactly what travels on kArmRequestTag; one-way
-// messages carry reply tag 0.
-// ---------------------------------------------------------------------------
-
-util::Buffer Heartbeat::encode() const {
-  return rpc::request_header(static_cast<std::uint32_t>(ArmOp::kHeartbeat), 0)
-      .u64(static_cast<std::uint64_t>(daemon_rank))
-      .u64(seq)
-      .u32(device_ok ? 1 : 0)
-      .u64(sent_at)
-      .finish();
-}
-
-Heartbeat Heartbeat::decode(proto::WireReader& r) {
-  Heartbeat hb;
-  hb.daemon_rank = static_cast<dmpi::Rank>(r.u64());
-  hb.seq = r.u64();
-  hb.device_ok = r.u32() != 0;
-  hb.sent_at = r.u64();
-  return hb;
-}
-
-util::Buffer SweepRequest::encode() const {
-  return rpc::request_header(static_cast<std::uint32_t>(ArmOp::kSweep), 0)
-      .u64(period)
-      .u32(miss_threshold)
-      .u32(fresh ? 1 : 0)
-      .finish();
-}
-
-SweepRequest SweepRequest::decode(proto::WireReader& r) {
-  SweepRequest s;
-  s.period = r.u64();
-  s.miss_threshold = r.u32();
-  s.fresh = r.u32() != 0;
-  return s;
-}
-
-util::Buffer RevokeNotice::encode() const {
-  return WireWriter{}
-      .u64(static_cast<std::uint64_t>(daemon_rank))
-      .u64(lease_id)
-      .u64(job)
-      .u64(revoked_at)
-      .finish();
-}
-
-RevokeNotice RevokeNotice::decode(proto::WireReader& r) {
-  RevokeNotice n;
-  n.daemon_rank = static_cast<dmpi::Rank>(r.u64());
-  n.lease_id = r.u64();
-  n.job = r.u64();
-  n.revoked_at = r.u64();
-  return n;
-}
-
-util::Buffer ReplayReport::encode(int reply_tag) const {
-  return rpc::request_header(static_cast<std::uint32_t>(ArmOp::kReplaced),
-                             reply_tag)
-      .u64(static_cast<std::uint64_t>(failed_rank))
-      .u64(static_cast<std::uint64_t>(replacement_rank))
-      .u64(job)
-      .u32(replayed_ops)
-      .u64(replayed_bytes)
-      .finish();
-}
-
-ReplayReport ReplayReport::decode(proto::WireReader& r) {
-  ReplayReport rep;
-  rep.failed_rank = static_cast<dmpi::Rank>(r.u64());
-  rep.replacement_rank = static_cast<dmpi::Rank>(r.u64());
-  rep.job = r.u64();
-  rep.replayed_ops = r.u32();
-  rep.replayed_bytes = r.u64();
-  return rep;
-}
-
 Arm::Arm(dmpi::World& world, dmpi::Rank self_world_rank,
          std::vector<AcceleratorInfo> pool, QueuePolicy policy)
-    : world_(world), self_(self_world_rank), policy_(policy) {
-  slots_.reserve(pool.size());
-  for (AcceleratorInfo& info : pool) {
-    Slot s;
-    s.info = std::move(info);
-    slots_.push_back(std::move(s));
-  }
-}
-
-std::uint32_t Arm::free_count(const std::string& kind) const {
-  std::uint32_t n = 0;
-  for (const Slot& s : slots_) {
-    if (s.state == State::kFree && (kind.empty() || s.info.kind == kind)) {
-      ++n;
-    }
-  }
-  return n;
-}
-
-Arm::Slot* Arm::find_slot(dmpi::Rank daemon_rank) {
-  for (Slot& s : slots_) {
-    if (s.info.daemon_rank == daemon_rank) return &s;
-  }
-  return nullptr;
-}
-
-void Arm::release_slot(Slot& slot, SimTime now) {
-  slot.assigned_total += now - slot.assigned_since;
-  slot.state = State::kFree;
-  slot.job = 0;
-  slot.lease_id = 0;
-  slot.owner = -1;
-}
-
-bool Arm::was_revoked(std::uint64_t lease_id) const {
-  return std::find(revoked_leases_.begin(), revoked_leases_.end(), lease_id) !=
-         revoked_leases_.end();
-}
-
-void Arm::revoke_slot(rpc::ServerChannel& ch, Slot& slot, SimTime now,
-                      const char* cause) {
-  if (slot.state == State::kBroken) return;
-  if (slot.state == State::kAssigned) {
-    slot.assigned_total += now - slot.assigned_since;
-    ++revocations_;
-    if (metrics_bound_ != nullptr) m_revocations_.add(1);
-    revoked_leases_.push_back(slot.lease_id);
-    // Unsolicited push so the owner learns of the failure even between its
-    // own requests; the tag encodes the daemon so a session holding several
-    // leases can tell which one died.
-    RevokeNotice notice{slot.info.daemon_rank, slot.lease_id, slot.job, now};
-    ch.mpi().send(ch.comm(), slot.owner,
-                  kArmRevokeTagBase + slot.info.daemon_rank, notice.encode());
-  }
-  if (sim::Tracer* tracer = world_.engine().tracer()) {
-    tracer->record("arm", std::string(cause) + "-ac" +
-                              std::to_string(slot.info.daemon_rank),
-                   now, now);
-  }
-  slot.state = State::kBroken;
-  slot.job = 0;
-  slot.lease_id = 0;
-  slot.owner = -1;
-}
-
-void Arm::fail_unsatisfiable(rpc::ServerChannel& ch) {
-  for (auto it = queue_.begin(); it != queue_.end();) {
-    std::uint32_t alive = 0;
-    for (const Slot& s : slots_) {
-      if (s.state != State::kBroken &&
-          (it->kind.empty() || s.info.kind == it->kind)) {
-        ++alive;
-      }
-    }
-    if (it->count > alive) {
-      ch.reply(it->client, it->reply_tag,
-               WireWriter{}
-                   .u32(static_cast<std::uint32_t>(ArmResult::kInsufficient))
-                   .u32(0)
-                   .finish());
-      it = queue_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-void Arm::handle_heartbeat(rpc::ServerChannel& ch, const Heartbeat& hb,
-                           SimTime now) {
-  ++heartbeats_;
-  if (metrics_bound_ != nullptr && hb.sent_at != 0 && now >= hb.sent_at) {
-    m_heartbeat_latency_ns_.observe(
-        static_cast<std::uint64_t>(now - hb.sent_at));
-  }
-  Slot* slot = find_slot(hb.daemon_rank);
-  if (slot == nullptr || slot->state == State::kBroken) return;
-  slot->last_beat = now;
-  if (!hb.device_ok) {
-    // The daemon is alive but its device is dead — no need to wait for the
-    // miss threshold.
-    revoke_slot(ch, *slot, now, "device-fault");
-    fail_unsatisfiable(ch);
-  }
-}
-
-void Arm::handle_sweep(rpc::ServerChannel& ch, const SweepRequest& sweep,
-                       SimTime now) {
-  if (sweep.fresh) {
-    // First sweep after an idle phase: restart every beat clock instead of
-    // comparing against timestamps from the previous activity burst.
-    for (Slot& s : slots_) s.last_beat = now;
-    return;
-  }
-  const SimDuration allowance = sweep.period * sweep.miss_threshold;
-  bool revoked = false;
-  for (Slot& s : slots_) {
-    if (s.state == State::kBroken) continue;
-    if (now - s.last_beat > allowance) {
-      revoke_slot(ch, s, now, "hb-miss");
-      revoked = true;
-    }
-  }
-  if (revoked) fail_unsatisfiable(ch);
-}
-
-bool Arm::try_grant(rpc::ServerChannel& ch, dmpi::Rank client, int reply_tag,
-                    std::uint64_t job, std::uint32_t count,
-                    const std::string& kind, SimTime now) {
-  if (free_count(kind) < count) return false;
-  WireWriter resp;
-  resp.u32(static_cast<std::uint32_t>(ArmResult::kOk)).u32(count);
-  std::uint32_t granted = 0;
-  for (Slot& s : slots_) {
-    if (granted == count) break;
-    if (s.state != State::kFree) continue;
-    if (!kind.empty() && s.info.kind != kind) continue;
-    s.state = State::kAssigned;
-    s.job = job;
-    s.lease_id = next_lease_++;
-    s.owner = client;
-    s.assigned_since = now;
-    resp.u64(static_cast<std::uint64_t>(s.info.daemon_rank)).u64(s.lease_id);
-    ++granted;
-  }
-  acquisitions_ += count;
-  ch.reply(client, reply_tag, resp.finish());
-  return true;
-}
-
-void Arm::handle_acquire(rpc::ServerChannel& ch, dmpi::Rank client,
-                         int reply_tag, std::uint64_t job,
-                         std::uint32_t count, const std::string& kind,
-                         bool wait, SimTime now) {
-  if (try_grant(ch, client, reply_tag, job, count, kind, now)) {
-    if (metrics_bound_ != nullptr) m_assign_wait_ns_.observe(0);
-    return;
-  }
-  if (wait) {
-    queue_.push_back(PendingAcquire{client, reply_tag, job, count, kind, now});
-    return;
-  }
-  ch.reply(client, reply_tag,
-           WireWriter{}
-               .u32(static_cast<std::uint32_t>(ArmResult::kInsufficient))
-               .u32(0)
-               .finish());
-}
-
-void Arm::drain_queue(rpc::ServerChannel& ch, SimTime now) {
-  if (policy_ == QueuePolicy::kFcfs) {
-    // Strict FCFS: the head request blocks everything behind it, like a
-    // batch queue without backfill.
-    while (!queue_.empty()) {
-      const PendingAcquire& head = queue_.front();
-      if (!try_grant(ch, head.client, head.reply_tag, head.job, head.count,
-                     head.kind, now)) {
-        return;
-      }
-      if (metrics_bound_ != nullptr) {
-        m_assign_wait_ns_.observe(
-            static_cast<std::uint64_t>(now - head.enqueued_at));
-      }
-      queue_.pop_front();
-    }
-    return;
-  }
-  // Backfill: serve any satisfiable request, preserving relative order
-  // among the ones that fit (EASY-style, without reservations).
-  for (auto it = queue_.begin(); it != queue_.end();) {
-    if (try_grant(ch, it->client, it->reply_tag, it->job, it->count,
-                  it->kind, now)) {
-      if (metrics_bound_ != nullptr) {
-        m_assign_wait_ns_.observe(
-            static_cast<std::uint64_t>(now - it->enqueued_at));
-      }
-      it = queue_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-void Arm::bind_metrics(obs::Registry* reg) {
-  metrics_bound_ = reg;
-  if (reg == nullptr) {
-    m_assigned_ = obs::Gauge{};
-    m_assign_wait_ns_ = obs::Histogram{};
-    m_heartbeat_latency_ns_ = obs::Histogram{};
-    m_revocations_ = obs::Counter{};
-    return;
-  }
-  m_assigned_ = reg->gauge("dacc_arm_assigned");
-  m_assign_wait_ns_ =
-      reg->histogram("dacc_arm_assign_wait_ns", obs::latency_bounds_ns());
-  m_heartbeat_latency_ns_ = reg->histogram("dacc_arm_heartbeat_latency_ns",
-                                           obs::latency_bounds_ns());
-  m_revocations_ = reg->counter("dacc_arm_revocations_total");
-}
+    : world_(world), self_(self_world_rank),
+      machine_(std::move(pool), policy) {}
 
 void Arm::run(sim::Context& ctx) {
   dmpi::Mpi mpi(world_, ctx, self_);
@@ -335,187 +24,46 @@ void Arm::run(sim::Context& ctx) {
     util::Buffer msg = channel.raw(&source);
     // Bookkeeping cost of one management request.
     ctx.wait_for(1'000);
-    obs::Registry* reg = world_.engine().metrics();
-    if (reg != metrics_bound_) bind_metrics(reg);
+    machine_.bind_metrics(world_.engine().metrics());
     bool shutdown = false;
     try {
       rpc::Inbound in = channel.decode(source, std::move(msg));
-      const ArmOp op = in.op<ArmOp>();
-      const int reply_tag = in.reply_tag;
-      WireReader& req = in.body;
-      switch (op) {
-        case ArmOp::kAcquire: {
-          const std::uint64_t job = req.u64();
-          const std::uint32_t count = req.u32();
-          const bool wait = req.u32() != 0;
-          const std::string kind = req.str();
-          handle_acquire(channel, in.source, reply_tag, job, count, kind,
-                         wait, ctx.now());
-          break;
-        }
-        case ArmOp::kRelease: {
-          const std::uint64_t job = req.u64();
-          const auto rank = static_cast<dmpi::Rank>(req.u64());
-          const std::uint64_t lease_id = req.u64();
-          ArmResult r = ArmResult::kOk;
-          Slot* slot = find_slot(rank);
-          if (slot == nullptr || slot->state != State::kAssigned ||
-              slot->lease_id != lease_id) {
-            // Distinguish "that lease was revoked under you" from plain
-            // misuse so recovering clients can treat it as already-released.
-            r = was_revoked(lease_id) ? ArmResult::kRevoked
-                                      : ArmResult::kUnknownHandle;
-          } else if (slot->job != job) {
-            r = ArmResult::kNotOwner;
-          } else {
-            release_slot(*slot, ctx.now());
-          }
-          channel.reply(in.source, reply_tag,
-                        WireWriter{}.u32(static_cast<std::uint32_t>(r))
-                            .finish());
-          drain_queue(channel, ctx.now());
-          break;
-        }
-        case ArmOp::kReleaseJob: {
-          const std::uint64_t job = req.u64();
-          for (Slot& s : slots_) {
-            if (s.state == State::kAssigned && s.job == job) {
-              release_slot(s, ctx.now());
-            }
-          }
-          channel.reply(in.source, reply_tag,
-                        WireWriter{}
-                            .u32(static_cast<std::uint32_t>(ArmResult::kOk))
-                            .finish());
-          drain_queue(channel, ctx.now());
-          break;
-        }
-        case ArmOp::kReportBroken: {
-          const auto rank = static_cast<dmpi::Rank>(req.u64());
-          Slot* slot = find_slot(rank);
-          ArmResult r = ArmResult::kOk;
-          if (slot == nullptr) {
-            r = ArmResult::kUnknownHandle;
-          } else {
-            if (slot->state == State::kAssigned) {
-              slot->assigned_total += ctx.now() - slot->assigned_since;
-            }
-            slot->state = State::kBroken;
-            slot->job = 0;
-            slot->lease_id = 0;
-            slot->owner = -1;
+      Command cmd;
+      cmd.client = in.source;
+      cmd.reply_tag = in.reply_tag;
+      cmd.op = in.op_word;
+      cmd.body = in.body.rest();
+      ApplyResult result = machine_.apply(cmd, ctx.now());
+      shutdown = result.shutdown;
+      for (Effect& e : result.effects) {
+        switch (e.kind) {
+          case Effect::Kind::kReply:
+            channel.reply(e.to, e.tag, std::move(e.frame));
+            break;
+          case Effect::Kind::kNotice:
+            channel.mpi().send(channel.comm(), e.to, e.tag,
+                               std::move(e.frame));
+            break;
+          case Effect::Kind::kTrace:
             if (sim::Tracer* tracer = world_.engine().tracer()) {
-              tracer->record("arm", "reported-ac" + std::to_string(rank),
-                             ctx.now(), ctx.now());
+              tracer->record("arm", e.label, ctx.now(), ctx.now());
             }
-          }
-          channel.reply(in.source, reply_tag,
-                        WireWriter{}.u32(static_cast<std::uint32_t>(r))
-                            .finish());
-          fail_unsatisfiable(channel);
-          break;
+            break;
         }
-        case ArmOp::kStats: {
-          const PoolStats s = stats();
-          channel.reply(in.source, reply_tag,
-                        WireWriter{}
-                            .u32(static_cast<std::uint32_t>(ArmResult::kOk))
-                            .u32(s.total)
-                            .u32(s.free)
-                            .u32(s.assigned)
-                            .u32(s.broken)
-                            .u64(s.acquisitions)
-                            .u32(s.queued_requests)
-                            .u64(s.heartbeats)
-                            .u32(s.revocations)
-                            .u32(s.replacements)
-                            .finish());
-          break;
-        }
-        case ArmOp::kHeartbeat: {
-          handle_heartbeat(channel, Heartbeat::decode(req), ctx.now());
-          break;  // one-way, no reply
-        }
-        case ArmOp::kSweep: {
-          handle_sweep(channel, SweepRequest::decode(req), ctx.now());
-          break;  // one-way, no reply
-        }
-        case ArmOp::kReplaced: {
-          const ReplayReport report = ReplayReport::decode(req);
-          ++replacements_;
-          if (sim::Tracer* tracer = world_.engine().tracer()) {
-            tracer->record(
-                "arm",
-                "replaced-ac" + std::to_string(report.failed_rank) + "->ac" +
-                    std::to_string(report.replacement_rank),
-                ctx.now(), ctx.now());
-          }
-          channel.reply(in.source, reply_tag,
-                        WireWriter{}
-                            .u32(static_cast<std::uint32_t>(ArmResult::kOk))
-                            .finish());
-          break;
-        }
-        case ArmOp::kShutdown:
-          channel.reply(in.source, reply_tag,
-                        WireWriter{}
-                            .u32(static_cast<std::uint32_t>(ArmResult::kOk))
-                            .finish());
-          shutdown = true;
-          break;
       }
     } catch (const proto::WireError&) {
       // Malformed management frame (fuzzed or corrupted): drop it and keep
       // serving — the pool must outlive bad clients.
     }
     if (shutdown) return;
-    if (metrics_bound_ != nullptr) {
-      // Pool-utilization gauge: sample the assigned count after every
-      // request (each mutation flows through this loop).
-      std::int64_t assigned = 0;
-      for (const Slot& s : slots_) {
-        if (s.state == State::kAssigned) ++assigned;
-      }
-      m_assigned_.set(assigned);
-    }
+    machine_.sample_assigned();
   }
 }
 
-PoolStats Arm::stats() const {
-  PoolStats s;
-  s.total = static_cast<std::uint32_t>(slots_.size());
-  for (const Slot& slot : slots_) {
-    switch (slot.state) {
-      case State::kFree:
-        ++s.free;
-        break;
-      case State::kAssigned:
-        ++s.assigned;
-        break;
-      case State::kBroken:
-        ++s.broken;
-        break;
-    }
-  }
-  s.acquisitions = acquisitions_;
-  s.queued_requests = static_cast<std::uint32_t>(queue_.size());
-  s.heartbeats = heartbeats_;
-  s.revocations = revocations_;
-  s.replacements = replacements_;
-  return s;
-}
+PoolStats Arm::stats() const { return machine_.stats(); }
 
 std::vector<double> Arm::utilization(SimTime now) const {
-  std::vector<double> out;
-  out.reserve(slots_.size());
-  for (const Slot& s : slots_) {
-    SimDuration busy = s.assigned_total;
-    if (s.state == State::kAssigned) busy += now - s.assigned_since;
-    out.push_back(now == 0 ? 0.0
-                           : static_cast<double>(busy) /
-                                 static_cast<double>(now));
-  }
-  return out;
+  return machine_.utilization(now);
 }
 
 // ---------------------------------------------------------------------------
@@ -523,25 +71,79 @@ std::vector<double> Arm::utilization(SimTime now) const {
 // ---------------------------------------------------------------------------
 
 namespace {
-rpc::Channel::Options arm_client_options() {
+rpc::Channel::Options arm_client_options(bool replicated) {
   rpc::Channel::Options o;
   o.request_tag = kArmRequestTag;
   o.reply_tag_base = kArmReplyTagBase;
   o.reply_tag_span = 1'000'000;
   o.tag_stride = 1;
   o.endpoint_tags = true;
+  // With several replicas the answer to a resent request may come from a
+  // replica other than the one last addressed (the old leader's queued
+  // grant, say); the reply tag alone identifies the request.
+  o.any_source_replies = replicated;
   return o;
 }
 }  // namespace
 
 ArmClient::ArmClient(dmpi::Mpi& mpi, const dmpi::Comm& comm,
                      dmpi::Rank arm_rank)
-    : channel_(mpi, comm, arm_rank, arm_client_options()) {}
+    : channel_(mpi, comm, arm_rank, arm_client_options(false)),
+      endpoints_{arm_rank} {}
+
+ArmClient::ArmClient(dmpi::Mpi& mpi, const dmpi::Comm& comm,
+                     std::vector<dmpi::Rank> arm_ranks)
+    : channel_(mpi, comm, arm_ranks.at(0),
+               arm_client_options(arm_ranks.size() > 1)),
+      endpoints_(std::move(arm_ranks)) {}
 
 WireReader ArmClient::call(util::Buffer frame, int reply_tag) {
-  // ARM exchanges have no deadline: acquires may legitimately queue at the
-  // pool until capacity frees up.
-  return WireReader(*channel_.exchange(std::move(frame), reply_tag));
+  if (endpoints_.size() == 1) {
+    // Single ARM: exchanges have no deadline — acquires may legitimately
+    // queue at the pool until capacity frees up.
+    return WireReader(*channel_.exchange(frame.view(), reply_tag));
+  }
+  // Replicated ARM failover ladder (DESIGN.md §11): resend the identical
+  // frame — same reply tag — until a real answer arrives. kNotLeader
+  // redirects re-target the hinted leader immediately; silence for a
+  // failover window rotates to the next replica (the addressed one may be
+  // dead or partitioned). Resends are safe: the lease machine's reply
+  // cache answers duplicates without re-applying them, and a late reply to
+  // an earlier attempt matches the still-posted any-source receive.
+  for (;;) {
+    const SimTime deadline = channel_.mpi().context().now() + failover_timeout_;
+    std::optional<util::Buffer> resp =
+        channel_.exchange(frame.view(), reply_tag, deadline);
+    if (!resp.has_value()) {
+      std::size_t at = 0;  // server outside the set: restart at replica 0
+      for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+        if (endpoints_[i] == channel_.server()) {
+          at = (i + 1) % endpoints_.size();
+          break;
+        }
+      }
+      channel_.set_server(endpoints_[at]);
+      continue;
+    }
+    WireReader peek(resp->view());
+    if (static_cast<ArmResult>(peek.u32()) == ArmResult::kNotLeader) {
+      const auto hint =
+          static_cast<dmpi::Rank>(static_cast<std::int64_t>(peek.u64()));
+      // Follow the hint only into the configured endpoint set: a stale or
+      // corrupted replica must not be able to point the client at an
+      // arbitrary rank that will never answer.
+      if (hint >= 0 && std::find(endpoints_.begin(), endpoints_.end(),
+                                 hint) != endpoints_.end()) {
+        channel_.set_server(hint);
+      } else {
+        // The replica has no leader yet (election in progress): pause one
+        // failover window before asking again rather than spinning.
+        channel_.mpi().context().wait_for(failover_timeout_);
+      }
+      continue;
+    }
+    return WireReader(std::move(*resp));
+  }
 }
 
 std::vector<Lease> ArmClient::acquire(std::uint64_t job, std::uint32_t count,

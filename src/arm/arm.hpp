@@ -13,13 +13,18 @@
 // Fault tolerance (Section III.A): an accelerator reported broken is removed
 // from the pool; compute nodes are unaffected, and subsequent acquisitions
 // simply never see it.
+//
+// The lease semantics themselves live in lease_machine.hpp: this file hosts
+// the single-ARM server loop (one rank, commands applied as they arrive) and
+// the client. The replicated deployment (arm/raft/) hosts the same machine
+// behind a Raft log instead.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
+#include "arm/lease_machine.hpp"
 #include "dmpi/mpi.hpp"
 #include "obs/metrics.hpp"
 #include "proto/wire.hpp"
@@ -28,132 +33,11 @@
 
 namespace dacc::arm {
 
-/// Tags for ARM traffic on the middleware communicator. Requests carry a
-/// per-request reply tag (>= kArmReplyTagBase) so that several clients
-/// sharing one rank endpoint (a job launcher and a running session, say)
-/// can never receive each other's responses. Revocation notices are pushed
-/// (unsolicited) to the lease holder on kArmRevokeTagBase + daemon_rank.
-inline constexpr int kArmRequestTag = 200;
-inline constexpr int kArmReplyTagBase = 2'000'000;
-inline constexpr int kArmRevokeTagBase = 3'000'000;
-
-enum class ArmOp : std::uint32_t {
-  kAcquire = 1,
-  kRelease = 2,
-  kReleaseJob = 3,
-  kReportBroken = 4,
-  kStats = 5,
-  kShutdown = 6,
-  kHeartbeat = 7,  ///< daemon liveness beat (one-way, no reply)
-  kSweep = 8,      ///< monitor tick: revoke slots whose beats went missing
-  kReplaced = 9,   ///< front-end reports a completed transparent replacement
-};
-
-enum class ArmResult : std::uint32_t {
-  kOk = 0,
-  kInsufficient = 1,   ///< not enough free accelerators (non-waiting mode)
-  kUnknownHandle = 2,
-  kNotOwner = 3,
-  kRevoked = 4,  ///< the lease was already revoked by the liveness sweep
-};
-
-const char* to_string(ArmResult r);
-
-/// Liveness protocol knobs (paper Section III.A: failed accelerators leave
-/// the pool without taking the compute node down). Daemon-side pacers beat
-/// every `period`; the monitor sweeps on the same period and revokes a slot
-/// once its last beat is older than `miss_threshold` periods.
-struct HeartbeatParams {
-  bool enabled = false;
-  SimDuration period = 1_ms;
-  std::uint32_t miss_threshold = 3;
-};
-
-// --- liveness wire messages (flat frames on kArmRequestTag) ----------------
-
-/// One daemon liveness beat. `device_ok == false` short-circuits the miss
-/// threshold: the daemon itself reports its device dead (ECC error).
-struct Heartbeat {
-  dmpi::Rank daemon_rank = -1;
-  std::uint64_t seq = 0;
-  bool device_ok = true;
-  /// Simulated send time stamped by the pacer; the ARM turns it into the
-  /// heartbeat-delivery-latency metric. 0 = unstamped (legacy senders).
-  SimTime sent_at = 0;
-
-  util::Buffer encode() const;
-  static Heartbeat decode(proto::WireReader& r);
-};
-
-/// Monitor tick. Carries the policy so the ARM itself stays stateless about
-/// timing; `fresh` grants one round of amnesty after an idle phase (every
-/// slot's beat clock restarts instead of tripping on stale timestamps).
-struct SweepRequest {
-  SimDuration period = 0;
-  std::uint32_t miss_threshold = 0;
-  bool fresh = false;
-
-  util::Buffer encode() const;
-  static SweepRequest decode(proto::WireReader& r);
-};
-
-/// Unsolicited push to a lease owner when its slot is revoked.
-struct RevokeNotice {
-  dmpi::Rank daemon_rank = -1;
-  std::uint64_t lease_id = 0;
-  std::uint64_t job = 0;
-  SimTime revoked_at = 0;
-
-  util::Buffer encode() const;
-  static RevokeNotice decode(proto::WireReader& r);
-};
-
-/// Front-end -> ARM report that a transparent replacement completed and what
-/// the replay cost (surfaces in PoolStats::replacements and the trace).
-struct ReplayReport {
-  dmpi::Rank failed_rank = -1;
-  dmpi::Rank replacement_rank = -1;
-  std::uint64_t job = 0;
-  std::uint32_t replayed_ops = 0;
-  std::uint64_t replayed_bytes = 0;
-
-  util::Buffer encode(int reply_tag) const;
-  static ReplayReport decode(proto::WireReader& r);
-};
-
-/// One accelerator as the ARM sees it.
-struct AcceleratorInfo {
-  dmpi::Rank daemon_rank = -1;
-  std::string device_name;
-  std::string kind = "gpu";  ///< constraint key for heterogeneous pools
-};
-
-/// An exclusive lease on one accelerator, identified by the daemon's world
-/// rank; the lease id guards against stale releases.
-struct Lease {
-  dmpi::Rank daemon_rank = -1;
-  std::uint64_t lease_id = 0;
-};
-
-struct PoolStats {
-  std::uint32_t total = 0;
-  std::uint32_t free = 0;
-  std::uint32_t assigned = 0;
-  std::uint32_t broken = 0;
-  std::uint64_t acquisitions = 0;
-  std::uint32_t queued_requests = 0;
-  std::uint64_t heartbeats = 0;     ///< liveness beats processed
-  std::uint32_t revocations = 0;    ///< leases revoked by the sweep
-  std::uint32_t replacements = 0;   ///< transparent replacements reported
-};
-
 class Arm {
  public:
-  /// How queued (waiting) acquisitions are served when accelerators free up.
-  enum class QueuePolicy {
-    kFcfs,      ///< strict order: the head request blocks everything behind
-    kBackfill,  ///< any satisfiable queued request may run (EASY-style)
-  };
+  /// Historical alias: the policy moved to namespace scope when the state
+  /// machine was factored out (lease_machine.hpp).
+  using QueuePolicy = arm::QueuePolicy;
 
   Arm(dmpi::World& world, dmpi::Rank self_world_rank,
       std::vector<AcceleratorInfo> pool,
@@ -169,78 +53,22 @@ class Arm {
   std::vector<double> utilization(SimTime now) const;
 
  private:
-  enum class State { kFree, kAssigned, kBroken };
-  struct Slot {
-    AcceleratorInfo info;
-    State state = State::kFree;
-    std::uint64_t job = 0;
-    std::uint64_t lease_id = 0;
-    dmpi::Rank owner = -1;  ///< client world rank holding the lease
-    SimTime assigned_since = 0;
-    SimDuration assigned_total = 0;
-    SimTime last_beat = 0;
-  };
-  struct PendingAcquire {
-    dmpi::Rank client = -1;
-    int reply_tag = 0;
-    std::uint64_t job = 0;
-    std::uint32_t count = 0;
-    std::string kind;            ///< empty = any
-    SimTime enqueued_at = 0;  ///< for the assignment-wait metric
-  };
-
-  void handle_acquire(rpc::ServerChannel& ch, dmpi::Rank client,
-                      int reply_tag, std::uint64_t job, std::uint32_t count,
-                      const std::string& kind, bool wait, SimTime now);
-  bool try_grant(rpc::ServerChannel& ch, dmpi::Rank client, int reply_tag,
-                 std::uint64_t job, std::uint32_t count,
-                 const std::string& kind, SimTime now);
-  void drain_queue(rpc::ServerChannel& ch, SimTime now);
-  std::uint32_t free_count(const std::string& kind) const;
-  Slot* find_slot(dmpi::Rank daemon_rank);
-  void release_slot(Slot& slot, SimTime now);
-  void handle_heartbeat(rpc::ServerChannel& ch, const Heartbeat& hb,
-                        SimTime now);
-  void handle_sweep(rpc::ServerChannel& ch, const SweepRequest& sweep,
-                    SimTime now);
-  /// Marks the slot broken; an assigned slot additionally has its lease
-  /// revoked: the owner is notified and the lease id remembered so a late
-  /// release gets kRevoked instead of kUnknownHandle.
-  void revoke_slot(rpc::ServerChannel& ch, Slot& slot, SimTime now,
-                   const char* cause);
-  /// After the pool shrinks, queued acquires that can never be satisfied any
-  /// more (count > surviving slots of that kind) are failed immediately.
-  void fail_unsatisfiable(rpc::ServerChannel& ch);
-  bool was_revoked(std::uint64_t lease_id) const;
-
-  /// Registers the ARM's metrics against `reg` (idempotent re-bind). The
-  /// ARM runs as a single sim process, so a plain pointer compare suffices.
-  void bind_metrics(obs::Registry* reg);
-
   dmpi::World& world_;
   dmpi::Rank self_;
-  QueuePolicy policy_;
-  std::vector<Slot> slots_;
-  std::deque<PendingAcquire> queue_;
-  std::vector<std::uint64_t> revoked_leases_;
-  std::uint64_t next_lease_ = 1;
-  std::uint64_t acquisitions_ = 0;
-  std::uint64_t heartbeats_ = 0;
-  std::uint32_t revocations_ = 0;
-  std::uint32_t replacements_ = 0;
-
-  // Metrics (lazy-bound, no-op handles when no registry is attached).
-  obs::Registry* metrics_bound_ = nullptr;
-  obs::Gauge m_assigned_;
-  obs::Histogram m_assign_wait_ns_;
-  obs::Histogram m_heartbeat_latency_ns_;
-  obs::Counter m_revocations_;
+  LeaseMachine machine_;
 };
 
 /// Front-end side of the ARM protocol: the paper's resource-management API.
+/// Speaks to one ARM rank (the single-ARM deployment) or to an endpoint set
+/// of replicas (arm/raft): with several endpoints the client walks the
+/// failover ladder — follow kNotLeader redirects, resend on timeout with the
+/// same reply tag (the lease machine's reply cache makes resends safe), and
+/// rotate to the next replica when the addressed one stays silent.
 class ArmClient {
  public:
   ArmClient(dmpi::Mpi& mpi, const dmpi::Comm& comm, dmpi::Rank arm_rank);
+  ArmClient(dmpi::Mpi& mpi, const dmpi::Comm& comm,
+            std::vector<dmpi::Rank> arm_ranks);
 
   /// Acquires `count` exclusive accelerators for `job`. With wait == false,
   /// returns an empty vector if the pool cannot satisfy the request; with
@@ -268,6 +96,7 @@ class ArmClient {
 
  private:
   /// One request/response exchange against the ARM; blocks until answered.
+  /// Walks the failover ladder when configured with several endpoints.
   proto::WireReader call(util::Buffer frame, int reply_tag);
 
   /// Channel to the ARM. Reply tags come from the rank's endpoint counter
@@ -278,6 +107,15 @@ class ArmClient {
   /// shard), and deterministic (the sequence does not depend on how other
   /// shards interleave).
   rpc::Channel channel_;
+
+  /// Replica endpoint set; size 1 for the single-ARM deployment. The
+  /// channel's current server is the presumed leader.
+  std::vector<dmpi::Rank> endpoints_;
+  /// Per-attempt patience before rotating to the next replica. Generous:
+  /// rotation is for dead replicas, not slow ones — a queued acquire at a
+  /// live leader never answers early, so the resend path relies on the
+  /// reply cache for safety, not on this being tight.
+  SimDuration failover_timeout_ = 20_ms;
 };
 
 }  // namespace dacc::arm

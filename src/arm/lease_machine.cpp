@@ -1,0 +1,781 @@
+#include "arm/lease_machine.hpp"
+
+#include <algorithm>
+
+#include "rpc/channel.hpp"
+
+namespace dacc::arm {
+
+using proto::WireReader;
+using proto::WireWriter;
+
+namespace {
+
+/// Replies remembered per client for duplicate resends. Deep enough that a
+/// client's whole failover window (a handful of in-flight requests) fits;
+/// old entries age out FIFO.
+constexpr std::size_t kReplyCacheDepth = 8;
+
+/// Snapshot format version (bumped on any layout change).
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+util::Buffer result_frame(ArmResult r) {
+  return WireWriter{}.u32(static_cast<std::uint32_t>(r)).finish();
+}
+
+util::Buffer insufficient_frame() {
+  return WireWriter{}
+      .u32(static_cast<std::uint32_t>(ArmResult::kInsufficient))
+      .u32(0)
+      .finish();
+}
+
+}  // namespace
+
+const char* to_string(ArmResult r) {
+  switch (r) {
+    case ArmResult::kOk:
+      return "ok";
+    case ArmResult::kInsufficient:
+      return "insufficient accelerators";
+    case ArmResult::kUnknownHandle:
+      return "unknown handle";
+    case ArmResult::kNotOwner:
+      return "not the owner";
+    case ArmResult::kRevoked:
+      return "lease revoked";
+    case ArmResult::kNotLeader:
+      return "not the leader";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Liveness wire messages. Full frames (rpc header + payload) so the fuzz
+// suite round-trips exactly what travels on kArmRequestTag; one-way
+// messages carry reply tag 0.
+// ---------------------------------------------------------------------------
+
+util::Buffer Heartbeat::encode() const {
+  return rpc::request_header(static_cast<std::uint32_t>(ArmOp::kHeartbeat), 0)
+      .u64(static_cast<std::uint64_t>(daemon_rank))
+      .u64(seq)
+      .u32(device_ok ? 1 : 0)
+      .u64(sent_at)
+      .finish();
+}
+
+Heartbeat Heartbeat::decode(proto::WireReader& r) {
+  Heartbeat hb;
+  hb.daemon_rank = static_cast<dmpi::Rank>(r.u64());
+  hb.seq = r.u64();
+  hb.device_ok = r.u32() != 0;
+  hb.sent_at = r.u64();
+  return hb;
+}
+
+util::Buffer SweepRequest::encode() const {
+  return rpc::request_header(static_cast<std::uint32_t>(ArmOp::kSweep), 0)
+      .u64(period)
+      .u32(miss_threshold)
+      .u32(fresh ? 1 : 0)
+      .finish();
+}
+
+SweepRequest SweepRequest::decode(proto::WireReader& r) {
+  SweepRequest s;
+  s.period = r.u64();
+  s.miss_threshold = r.u32();
+  s.fresh = r.u32() != 0;
+  return s;
+}
+
+util::Buffer RevokeNotice::encode() const {
+  return WireWriter{}
+      .u64(static_cast<std::uint64_t>(daemon_rank))
+      .u64(lease_id)
+      .u64(job)
+      .u64(revoked_at)
+      .finish();
+}
+
+RevokeNotice RevokeNotice::decode(proto::WireReader& r) {
+  RevokeNotice n;
+  n.daemon_rank = static_cast<dmpi::Rank>(r.u64());
+  n.lease_id = r.u64();
+  n.job = r.u64();
+  n.revoked_at = r.u64();
+  return n;
+}
+
+util::Buffer ReplayReport::encode(int reply_tag) const {
+  return rpc::request_header(static_cast<std::uint32_t>(ArmOp::kReplaced),
+                             reply_tag)
+      .u64(static_cast<std::uint64_t>(failed_rank))
+      .u64(static_cast<std::uint64_t>(replacement_rank))
+      .u64(job)
+      .u32(replayed_ops)
+      .u64(replayed_bytes)
+      .finish();
+}
+
+ReplayReport ReplayReport::decode(proto::WireReader& r) {
+  ReplayReport rep;
+  rep.failed_rank = static_cast<dmpi::Rank>(r.u64());
+  rep.replacement_rank = static_cast<dmpi::Rank>(r.u64());
+  rep.job = r.u64();
+  rep.replayed_ops = r.u32();
+  rep.replayed_bytes = r.u64();
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Command
+// ---------------------------------------------------------------------------
+
+util::Buffer Command::encode() const {
+  WireWriter w;
+  w.u64(static_cast<std::uint64_t>(client))
+      .u32(static_cast<std::uint32_t>(reply_tag))
+      .u32(op)
+      .blob(body.bytes());
+  return w.finish();
+}
+
+Command Command::decode(proto::WireReader& r) {
+  Command c;
+  c.client = static_cast<dmpi::Rank>(r.u64());
+  c.reply_tag = static_cast<int>(r.u32());
+  c.op = r.u32();
+  c.body = r.blob();
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// LeaseMachine
+// ---------------------------------------------------------------------------
+
+LeaseMachine::LeaseMachine(std::vector<AcceleratorInfo> pool,
+                           QueuePolicy policy, std::string metrics_prefix)
+    : policy_(policy), metrics_prefix_(std::move(metrics_prefix)) {
+  slots_.reserve(pool.size());
+  for (AcceleratorInfo& info : pool) {
+    Slot s;
+    s.info = std::move(info);
+    slots_.push_back(std::move(s));
+  }
+}
+
+std::uint32_t LeaseMachine::free_count(const std::string& kind) const {
+  std::uint32_t n = 0;
+  for (const Slot& s : slots_) {
+    if (s.state == State::kFree && (kind.empty() || s.info.kind == kind)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+LeaseMachine::Slot* LeaseMachine::find_slot(dmpi::Rank daemon_rank) {
+  for (Slot& s : slots_) {
+    if (s.info.daemon_rank == daemon_rank) return &s;
+  }
+  return nullptr;
+}
+
+void LeaseMachine::release_slot(Slot& slot, SimTime now) {
+  slot.assigned_total += now - slot.assigned_since;
+  slot.state = State::kFree;
+  slot.job = 0;
+  slot.lease_id = 0;
+  slot.owner = -1;
+}
+
+bool LeaseMachine::was_revoked(std::uint64_t lease_id) const {
+  return std::find(revoked_leases_.begin(), revoked_leases_.end(), lease_id) !=
+         revoked_leases_.end();
+}
+
+const LeaseMachine::CachedReply* LeaseMachine::cached(dmpi::Rank client,
+                                                      int reply_tag) const {
+  for (const ClientReplies& c : reply_cache_) {
+    if (c.client != client) continue;
+    for (const CachedReply& r : c.replies) {
+      if (r.reply_tag == reply_tag) return &r;
+    }
+    return nullptr;
+  }
+  return nullptr;
+}
+
+bool LeaseMachine::seen(dmpi::Rank client, int reply_tag) const {
+  if (reply_tag == 0) return false;
+  if (cached(client, reply_tag) != nullptr) return true;
+  for (const PendingAcquire& p : queue_) {
+    if (p.client == client && p.reply_tag == reply_tag) return true;
+  }
+  return false;
+}
+
+void LeaseMachine::emit_reply(std::vector<Effect>& out, dmpi::Rank client,
+                              int reply_tag, util::Buffer frame) {
+  if (reply_tag != 0) {
+    ClientReplies* entry = nullptr;
+    for (ClientReplies& c : reply_cache_) {
+      if (c.client == client) {
+        entry = &c;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      reply_cache_.push_back(ClientReplies{client, {}});
+      entry = &reply_cache_.back();
+    }
+    entry->replies.push_back(CachedReply{reply_tag, frame.view()});
+    while (entry->replies.size() > kReplyCacheDepth) {
+      entry->replies.pop_front();
+    }
+  }
+  Effect e;
+  e.kind = Effect::Kind::kReply;
+  e.to = client;
+  e.tag = reply_tag;
+  e.frame = std::move(frame);
+  out.push_back(std::move(e));
+}
+
+void LeaseMachine::revoke_slot(std::vector<Effect>& out, Slot& slot,
+                               SimTime now, const char* cause) {
+  if (slot.state == State::kBroken) return;
+  if (slot.state == State::kAssigned) {
+    slot.assigned_total += now - slot.assigned_since;
+    ++revocations_;
+    if (metrics_bound_ != nullptr) m_revocations_.add(1);
+    revoked_leases_.push_back(slot.lease_id);
+    // Unsolicited push so the owner learns of the failure even between its
+    // own requests; the tag encodes the daemon so a session holding several
+    // leases can tell which one died.
+    RevokeNotice notice{slot.info.daemon_rank, slot.lease_id, slot.job, now};
+    Effect e;
+    e.kind = Effect::Kind::kNotice;
+    e.to = slot.owner;
+    e.tag = kArmRevokeTagBase + slot.info.daemon_rank;
+    e.frame = notice.encode();
+    out.push_back(std::move(e));
+  }
+  Effect t;
+  t.kind = Effect::Kind::kTrace;
+  t.label =
+      std::string(cause) + "-ac" + std::to_string(slot.info.daemon_rank);
+  out.push_back(std::move(t));
+  slot.state = State::kBroken;
+  slot.job = 0;
+  slot.lease_id = 0;
+  slot.owner = -1;
+}
+
+void LeaseMachine::fail_unsatisfiable(std::vector<Effect>& out) {
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    std::uint32_t alive = 0;
+    for (const Slot& s : slots_) {
+      if (s.state != State::kBroken &&
+          (it->kind.empty() || s.info.kind == it->kind)) {
+        ++alive;
+      }
+    }
+    if (it->count > alive) {
+      const dmpi::Rank client = it->client;
+      const int reply_tag = it->reply_tag;
+      it = queue_.erase(it);
+      emit_reply(out, client, reply_tag, insufficient_frame());
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LeaseMachine::handle_heartbeat(std::vector<Effect>& out,
+                                    const Heartbeat& hb, SimTime now) {
+  ++heartbeats_;
+  if (metrics_bound_ != nullptr && hb.sent_at != 0 && now >= hb.sent_at) {
+    m_heartbeat_latency_ns_.observe(
+        static_cast<std::uint64_t>(now - hb.sent_at));
+  }
+  Slot* slot = find_slot(hb.daemon_rank);
+  if (slot == nullptr || slot->state == State::kBroken) return;
+  slot->last_beat = now;
+  if (!hb.device_ok) {
+    // The daemon is alive but its device is dead — no need to wait for the
+    // miss threshold.
+    revoke_slot(out, *slot, now, "device-fault");
+    fail_unsatisfiable(out);
+  }
+}
+
+void LeaseMachine::handle_sweep(std::vector<Effect>& out,
+                                const SweepRequest& sweep, SimTime now) {
+  if (sweep.fresh) {
+    // First sweep after an idle phase: restart every beat clock instead of
+    // comparing against timestamps from the previous activity burst.
+    for (Slot& s : slots_) s.last_beat = now;
+    return;
+  }
+  const SimDuration allowance = sweep.period * sweep.miss_threshold;
+  bool revoked = false;
+  for (Slot& s : slots_) {
+    if (s.state == State::kBroken) continue;
+    if (now - s.last_beat > allowance) {
+      revoke_slot(out, s, now, "hb-miss");
+      revoked = true;
+    }
+  }
+  if (revoked) fail_unsatisfiable(out);
+}
+
+bool LeaseMachine::try_grant(std::vector<Effect>& out, dmpi::Rank client,
+                             int reply_tag, std::uint64_t job,
+                             std::uint32_t count, const std::string& kind,
+                             SimTime now) {
+  if (free_count(kind) < count) return false;
+  WireWriter resp;
+  resp.u32(static_cast<std::uint32_t>(ArmResult::kOk)).u32(count);
+  std::uint32_t granted = 0;
+  for (Slot& s : slots_) {
+    if (granted == count) break;
+    if (s.state != State::kFree) continue;
+    if (!kind.empty() && s.info.kind != kind) continue;
+    s.state = State::kAssigned;
+    s.job = job;
+    s.lease_id = next_lease_++;
+    s.owner = client;
+    s.assigned_since = now;
+    resp.u64(static_cast<std::uint64_t>(s.info.daemon_rank)).u64(s.lease_id);
+    ++granted;
+  }
+  acquisitions_ += count;
+  emit_reply(out, client, reply_tag, resp.finish());
+  return true;
+}
+
+void LeaseMachine::handle_acquire(std::vector<Effect>& out, dmpi::Rank client,
+                                  int reply_tag, std::uint64_t job,
+                                  std::uint32_t count, const std::string& kind,
+                                  bool wait, SimTime now) {
+  if (try_grant(out, client, reply_tag, job, count, kind, now)) {
+    if (metrics_bound_ != nullptr) m_assign_wait_ns_.observe(0);
+    return;
+  }
+  if (wait) {
+    queue_.push_back(PendingAcquire{client, reply_tag, job, count, kind, now});
+    return;
+  }
+  emit_reply(out, client, reply_tag, insufficient_frame());
+}
+
+void LeaseMachine::drain_queue(std::vector<Effect>& out, SimTime now) {
+  if (policy_ == QueuePolicy::kFcfs) {
+    // Strict FCFS: the head request blocks everything behind it, like a
+    // batch queue without backfill.
+    while (!queue_.empty()) {
+      const PendingAcquire& head = queue_.front();
+      if (!try_grant(out, head.client, head.reply_tag, head.job, head.count,
+                     head.kind, now)) {
+        return;
+      }
+      if (metrics_bound_ != nullptr) {
+        m_assign_wait_ns_.observe(
+            static_cast<std::uint64_t>(now - head.enqueued_at));
+      }
+      queue_.pop_front();
+    }
+    return;
+  }
+  // Backfill: serve any satisfiable request, preserving relative order
+  // among the ones that fit (EASY-style, without reservations).
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (try_grant(out, it->client, it->reply_tag, it->job, it->count,
+                  it->kind, now)) {
+      if (metrics_bound_ != nullptr) {
+        m_assign_wait_ns_.observe(
+            static_cast<std::uint64_t>(now - it->enqueued_at));
+      }
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+ApplyResult LeaseMachine::apply(const Command& cmd, SimTime now) {
+  ApplyResult result;
+  std::vector<Effect>& out = result.effects;
+  // At-least-once resends: a command whose reply we already produced is
+  // answered from the cache; one that is still queued at the pool keeps
+  // waiting silently. Fresh commands fall through and mutate state exactly
+  // once. (Single-ARM deployments mint unique tags, so this never fires
+  // there.)
+  if (cmd.reply_tag != 0) {
+    if (const CachedReply* hit = cached(cmd.client, cmd.reply_tag)) {
+      Effect e;
+      e.kind = Effect::Kind::kReply;
+      e.to = cmd.client;
+      e.tag = cmd.reply_tag;
+      e.frame = hit->frame.view();
+      out.push_back(std::move(e));
+      return result;
+    }
+    for (const PendingAcquire& p : queue_) {
+      if (p.client == cmd.client && p.reply_tag == cmd.reply_tag) {
+        return result;
+      }
+    }
+  }
+  WireReader req(cmd.body.view());
+  switch (static_cast<ArmOp>(cmd.op)) {
+    case ArmOp::kAcquire: {
+      const std::uint64_t job = req.u64();
+      const std::uint32_t count = req.u32();
+      const bool wait = req.u32() != 0;
+      const std::string kind = req.str();
+      handle_acquire(out, cmd.client, cmd.reply_tag, job, count, kind, wait,
+                     now);
+      break;
+    }
+    case ArmOp::kRelease: {
+      const std::uint64_t job = req.u64();
+      const auto rank = static_cast<dmpi::Rank>(req.u64());
+      const std::uint64_t lease_id = req.u64();
+      ArmResult r = ArmResult::kOk;
+      Slot* slot = find_slot(rank);
+      if (slot == nullptr || slot->state != State::kAssigned ||
+          slot->lease_id != lease_id) {
+        // Distinguish "that lease was revoked under you" from plain
+        // misuse so recovering clients can treat it as already-released.
+        r = was_revoked(lease_id) ? ArmResult::kRevoked
+                                  : ArmResult::kUnknownHandle;
+      } else if (slot->job != job) {
+        r = ArmResult::kNotOwner;
+      } else {
+        release_slot(*slot, now);
+      }
+      emit_reply(out, cmd.client, cmd.reply_tag, result_frame(r));
+      drain_queue(out, now);
+      break;
+    }
+    case ArmOp::kReleaseJob: {
+      const std::uint64_t job = req.u64();
+      for (Slot& s : slots_) {
+        if (s.state == State::kAssigned && s.job == job) {
+          release_slot(s, now);
+        }
+      }
+      emit_reply(out, cmd.client, cmd.reply_tag, result_frame(ArmResult::kOk));
+      drain_queue(out, now);
+      break;
+    }
+    case ArmOp::kReportBroken: {
+      const auto rank = static_cast<dmpi::Rank>(req.u64());
+      Slot* slot = find_slot(rank);
+      ArmResult r = ArmResult::kOk;
+      if (slot == nullptr) {
+        r = ArmResult::kUnknownHandle;
+      } else {
+        if (slot->state == State::kAssigned) {
+          slot->assigned_total += now - slot->assigned_since;
+        }
+        slot->state = State::kBroken;
+        slot->job = 0;
+        slot->lease_id = 0;
+        slot->owner = -1;
+        Effect t;
+        t.kind = Effect::Kind::kTrace;
+        t.label = "reported-ac" + std::to_string(rank);
+        out.push_back(std::move(t));
+      }
+      emit_reply(out, cmd.client, cmd.reply_tag, result_frame(r));
+      fail_unsatisfiable(out);
+      break;
+    }
+    case ArmOp::kStats: {
+      const PoolStats s = stats();
+      emit_reply(out, cmd.client, cmd.reply_tag,
+                 WireWriter{}
+                     .u32(static_cast<std::uint32_t>(ArmResult::kOk))
+                     .u32(s.total)
+                     .u32(s.free)
+                     .u32(s.assigned)
+                     .u32(s.broken)
+                     .u64(s.acquisitions)
+                     .u32(s.queued_requests)
+                     .u64(s.heartbeats)
+                     .u32(s.revocations)
+                     .u32(s.replacements)
+                     .finish());
+      break;
+    }
+    case ArmOp::kHeartbeat: {
+      handle_heartbeat(out, Heartbeat::decode(req), now);
+      break;  // one-way, no reply
+    }
+    case ArmOp::kSweep: {
+      handle_sweep(out, SweepRequest::decode(req), now);
+      break;  // one-way, no reply
+    }
+    case ArmOp::kReplaced: {
+      const ReplayReport report = ReplayReport::decode(req);
+      ++replacements_;
+      Effect t;
+      t.kind = Effect::Kind::kTrace;
+      t.label = "replaced-ac" + std::to_string(report.failed_rank) + "->ac" +
+                std::to_string(report.replacement_rank);
+      out.push_back(std::move(t));
+      emit_reply(out, cmd.client, cmd.reply_tag, result_frame(ArmResult::kOk));
+      break;
+    }
+    case ArmOp::kShutdown: {
+      emit_reply(out, cmd.client, cmd.reply_tag, result_frame(ArmResult::kOk));
+      result.shutdown = true;
+      break;
+    }
+    default:
+      throw proto::WireError("arm: unknown op " + std::to_string(cmd.op));
+  }
+  return result;
+}
+
+void LeaseMachine::validate(const Command& cmd) {
+  WireReader req(cmd.body.view());
+  switch (static_cast<ArmOp>(cmd.op)) {
+    case ArmOp::kAcquire:
+      req.u64();
+      req.u32();
+      req.u32();
+      req.str();
+      break;
+    case ArmOp::kRelease:
+      req.u64();
+      req.u64();
+      req.u64();
+      break;
+    case ArmOp::kReleaseJob:
+      req.u64();
+      break;
+    case ArmOp::kReportBroken:
+      req.u64();
+      break;
+    case ArmOp::kStats:
+    case ArmOp::kShutdown:
+      break;
+    case ArmOp::kHeartbeat:
+      Heartbeat::decode(req);
+      break;
+    case ArmOp::kSweep:
+      SweepRequest::decode(req);
+      break;
+    case ArmOp::kReplaced:
+      ReplayReport::decode(req);
+      break;
+    default:
+      throw proto::WireError("arm: unknown op " + std::to_string(cmd.op));
+  }
+}
+
+PoolStats LeaseMachine::stats() const {
+  PoolStats s;
+  s.total = static_cast<std::uint32_t>(slots_.size());
+  for (const Slot& slot : slots_) {
+    switch (slot.state) {
+      case State::kFree:
+        ++s.free;
+        break;
+      case State::kAssigned:
+        ++s.assigned;
+        break;
+      case State::kBroken:
+        ++s.broken;
+        break;
+    }
+  }
+  s.acquisitions = acquisitions_;
+  s.queued_requests = static_cast<std::uint32_t>(queue_.size());
+  s.heartbeats = heartbeats_;
+  s.revocations = revocations_;
+  s.replacements = replacements_;
+  return s;
+}
+
+std::vector<double> LeaseMachine::utilization(SimTime now) const {
+  std::vector<double> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    SimDuration busy = s.assigned_total;
+    if (s.state == State::kAssigned) busy += now - s.assigned_since;
+    out.push_back(now == 0 ? 0.0
+                           : static_cast<double>(busy) /
+                                 static_cast<double>(now));
+  }
+  return out;
+}
+
+std::int64_t LeaseMachine::assigned_count() const {
+  std::int64_t assigned = 0;
+  for (const Slot& s : slots_) {
+    if (s.state == State::kAssigned) ++assigned;
+  }
+  return assigned;
+}
+
+util::Buffer LeaseMachine::snapshot() const {
+  WireWriter w;
+  w.u32(kSnapshotVersion);
+  w.u32(static_cast<std::uint32_t>(policy_));
+  w.u64(next_lease_)
+      .u64(acquisitions_)
+      .u64(heartbeats_)
+      .u32(revocations_)
+      .u32(replacements_);
+  w.u32(static_cast<std::uint32_t>(slots_.size()));
+  for (const Slot& s : slots_) {
+    w.u64(static_cast<std::uint64_t>(s.info.daemon_rank))
+        .str(s.info.device_name)
+        .str(s.info.kind)
+        .u32(static_cast<std::uint32_t>(s.state))
+        .u64(s.job)
+        .u64(s.lease_id)
+        .u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.owner)))
+        .u64(s.assigned_since)
+        .u64(s.assigned_total)
+        .u64(s.last_beat);
+  }
+  w.u32(static_cast<std::uint32_t>(queue_.size()));
+  for (const PendingAcquire& p : queue_) {
+    w.u64(static_cast<std::uint64_t>(p.client))
+        .u32(static_cast<std::uint32_t>(p.reply_tag))
+        .u64(p.job)
+        .u32(p.count)
+        .str(p.kind)
+        .u64(p.enqueued_at);
+  }
+  w.u32(static_cast<std::uint32_t>(revoked_leases_.size()));
+  for (std::uint64_t id : revoked_leases_) w.u64(id);
+  w.u32(static_cast<std::uint32_t>(reply_cache_.size()));
+  for (const ClientReplies& c : reply_cache_) {
+    w.u64(static_cast<std::uint64_t>(c.client));
+    w.u32(static_cast<std::uint32_t>(c.replies.size()));
+    for (const CachedReply& r : c.replies) {
+      w.u32(static_cast<std::uint32_t>(r.reply_tag));
+      w.blob(r.frame.bytes());
+    }
+  }
+  return w.finish();
+}
+
+LeaseMachine LeaseMachine::restore(proto::WireReader& r,
+                                   std::string metrics_prefix) {
+  // Counts are untrusted (InstallSnapshot frames cross the fuzzer): nothing
+  // is pre-reserved from them, and every element read is bounds-checked, so
+  // a garbage count throws on the first missing byte instead of allocating.
+  if (r.u32() != kSnapshotVersion) {
+    throw proto::WireError("arm: unknown lease snapshot version");
+  }
+  LeaseMachine m;
+  m.metrics_prefix_ = std::move(metrics_prefix);
+  const std::uint32_t policy = r.u32();
+  if (policy > static_cast<std::uint32_t>(QueuePolicy::kBackfill)) {
+    throw proto::WireError("arm: bad queue policy in snapshot");
+  }
+  m.policy_ = static_cast<QueuePolicy>(policy);
+  m.next_lease_ = r.u64();
+  m.acquisitions_ = r.u64();
+  m.heartbeats_ = r.u64();
+  m.revocations_ = r.u32();
+  m.replacements_ = r.u32();
+  const std::uint32_t nslots = r.u32();
+  for (std::uint32_t i = 0; i < nslots; ++i) {
+    Slot s;
+    s.info.daemon_rank = static_cast<dmpi::Rank>(r.u64());
+    s.info.device_name = r.str();
+    s.info.kind = r.str();
+    const std::uint32_t state = r.u32();
+    if (state > static_cast<std::uint32_t>(State::kBroken)) {
+      throw proto::WireError("arm: bad slot state in snapshot");
+    }
+    s.state = static_cast<State>(state);
+    s.job = r.u64();
+    s.lease_id = r.u64();
+    s.owner = static_cast<dmpi::Rank>(static_cast<std::int64_t>(r.u64()));
+    s.assigned_since = r.u64();
+    s.assigned_total = r.u64();
+    s.last_beat = r.u64();
+    m.slots_.push_back(std::move(s));
+  }
+  const std::uint32_t nqueue = r.u32();
+  for (std::uint32_t i = 0; i < nqueue; ++i) {
+    PendingAcquire p;
+    p.client = static_cast<dmpi::Rank>(r.u64());
+    p.reply_tag = static_cast<int>(r.u32());
+    p.job = r.u64();
+    p.count = r.u32();
+    p.kind = r.str();
+    p.enqueued_at = r.u64();
+    m.queue_.push_back(std::move(p));
+  }
+  const std::uint32_t nrevoked = r.u32();
+  for (std::uint32_t i = 0; i < nrevoked; ++i) {
+    m.revoked_leases_.push_back(r.u64());
+  }
+  const std::uint32_t ncache = r.u32();
+  for (std::uint32_t i = 0; i < ncache; ++i) {
+    ClientReplies c;
+    c.client = static_cast<dmpi::Rank>(r.u64());
+    const std::uint32_t nreplies = r.u32();
+    for (std::uint32_t j = 0; j < nreplies; ++j) {
+      CachedReply reply;
+      reply.reply_tag = static_cast<int>(r.u32());
+      reply.frame = r.blob();
+      c.replies.push_back(std::move(reply));
+    }
+    m.reply_cache_.push_back(std::move(c));
+  }
+  return m;
+}
+
+std::uint64_t LeaseMachine::fingerprint() const {
+  // Named buffer: ranging over `snapshot().bytes()` would iterate a span
+  // into a Buffer already destroyed (C++20 range-for does not extend the
+  // inner temporary's lifetime).
+  const util::Buffer snap = snapshot();
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64 offset basis
+  for (std::byte b : snap.bytes()) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void LeaseMachine::bind_metrics(obs::Registry* reg) {
+  if (reg == metrics_bound_) return;
+  metrics_bound_ = reg;
+  if (reg == nullptr) {
+    m_assigned_ = obs::Gauge{};
+    m_assign_wait_ns_ = obs::Histogram{};
+    m_heartbeat_latency_ns_ = obs::Histogram{};
+    m_revocations_ = obs::Counter{};
+    return;
+  }
+  m_assigned_ = reg->gauge(metrics_prefix_ + "_assigned");
+  m_assign_wait_ns_ = reg->histogram(metrics_prefix_ + "_assign_wait_ns",
+                                     obs::latency_bounds_ns());
+  m_heartbeat_latency_ns_ = reg->histogram(
+      metrics_prefix_ + "_heartbeat_latency_ns", obs::latency_bounds_ns());
+  m_revocations_ = reg->counter(metrics_prefix_ + "_revocations_total");
+}
+
+void LeaseMachine::sample_assigned() {
+  if (metrics_bound_ == nullptr) return;
+  // Pool-utilization gauge: sampled after every request (each mutation
+  // flows through apply()).
+  m_assigned_.set(assigned_count());
+}
+
+}  // namespace dacc::arm

@@ -1,0 +1,326 @@
+// The ARM lease state machine, factored out of the server loop.
+//
+// The paper's pool manager (Section III.B.2) is a pure function of the
+// requests it has processed: slots, the FCFS queue, revoked lease ids and
+// the counters are all derived from the command stream. This file makes
+// that explicit. A `Command` is one client request (op word + body, plus
+// where the answer goes); `LeaseMachine::apply` consumes it and returns
+// `Effect`s — messages to send and trace notes to record — instead of
+// touching the network itself.
+//
+// The split is what makes the ARM replicable (DESIGN.md §11): a Raft
+// replica appends Commands to its log and applies them only once committed,
+// every replica's machine stays bit-identical, and only the leader executes
+// the effects. The single-ARM server (arm.hpp) drives the same machine
+// directly, so both deployments share one implementation of the lease
+// semantics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "dmpi/mpi.hpp"
+#include "obs/metrics.hpp"
+#include "proto/wire.hpp"
+#include "util/buffer.hpp"
+#include "util/units.hpp"
+
+namespace dacc::arm {
+
+/// Tags for ARM traffic on the middleware communicator. Requests carry a
+/// per-request reply tag (>= kArmReplyTagBase) so that several clients
+/// sharing one rank endpoint (a job launcher and a running session, say)
+/// can never receive each other's responses. Revocation notices are pushed
+/// (unsolicited) to the lease holder on kArmRevokeTagBase + daemon_rank.
+inline constexpr int kArmRequestTag = 200;
+inline constexpr int kArmReplyTagBase = 2'000'000;
+inline constexpr int kArmRevokeTagBase = 3'000'000;
+
+enum class ArmOp : std::uint32_t {
+  kAcquire = 1,
+  kRelease = 2,
+  kReleaseJob = 3,
+  kReportBroken = 4,
+  kStats = 5,
+  kShutdown = 6,
+  kHeartbeat = 7,  ///< daemon liveness beat (one-way, no reply)
+  kSweep = 8,      ///< monitor tick: revoke slots whose beats went missing
+  kReplaced = 9,   ///< front-end reports a completed transparent replacement
+};
+
+enum class ArmResult : std::uint32_t {
+  kOk = 0,
+  kInsufficient = 1,   ///< not enough free accelerators (non-waiting mode)
+  kUnknownHandle = 2,
+  kNotOwner = 3,
+  kRevoked = 4,  ///< the lease was already revoked by the liveness sweep
+  kNotLeader = 5,  ///< replicated ARM: retry against the hinted leader
+};
+
+const char* to_string(ArmResult r);
+
+/// Liveness protocol knobs (paper Section III.A: failed accelerators leave
+/// the pool without taking the compute node down). Daemon-side pacers beat
+/// every `period`; the monitor sweeps on the same period and revokes a slot
+/// once its last beat is older than `miss_threshold` periods.
+struct HeartbeatParams {
+  bool enabled = false;
+  SimDuration period = 1_ms;
+  std::uint32_t miss_threshold = 3;
+};
+
+// --- liveness wire messages (flat frames on kArmRequestTag) ----------------
+
+/// One daemon liveness beat. `device_ok == false` short-circuits the miss
+/// threshold: the daemon itself reports its device dead (ECC error).
+struct Heartbeat {
+  dmpi::Rank daemon_rank = -1;
+  std::uint64_t seq = 0;
+  bool device_ok = true;
+  /// Simulated send time stamped by the pacer; the ARM turns it into the
+  /// heartbeat-delivery-latency metric. 0 = unstamped (legacy senders).
+  SimTime sent_at = 0;
+
+  util::Buffer encode() const;
+  static Heartbeat decode(proto::WireReader& r);
+};
+
+/// Monitor tick. Carries the policy so the ARM itself stays stateless about
+/// timing; `fresh` grants one round of amnesty after an idle phase (every
+/// slot's beat clock restarts instead of tripping on stale timestamps).
+struct SweepRequest {
+  SimDuration period = 0;
+  std::uint32_t miss_threshold = 0;
+  bool fresh = false;
+
+  util::Buffer encode() const;
+  static SweepRequest decode(proto::WireReader& r);
+};
+
+/// Unsolicited push to a lease owner when its slot is revoked.
+struct RevokeNotice {
+  dmpi::Rank daemon_rank = -1;
+  std::uint64_t lease_id = 0;
+  std::uint64_t job = 0;
+  SimTime revoked_at = 0;
+
+  util::Buffer encode() const;
+  static RevokeNotice decode(proto::WireReader& r);
+};
+
+/// Front-end -> ARM report that a transparent replacement completed and what
+/// the replay cost (surfaces in PoolStats::replacements and the trace).
+struct ReplayReport {
+  dmpi::Rank failed_rank = -1;
+  dmpi::Rank replacement_rank = -1;
+  std::uint64_t job = 0;
+  std::uint32_t replayed_ops = 0;
+  std::uint64_t replayed_bytes = 0;
+
+  util::Buffer encode(int reply_tag) const;
+  static ReplayReport decode(proto::WireReader& r);
+};
+
+/// One accelerator as the ARM sees it.
+struct AcceleratorInfo {
+  dmpi::Rank daemon_rank = -1;
+  std::string device_name;
+  std::string kind = "gpu";  ///< constraint key for heterogeneous pools
+};
+
+/// An exclusive lease on one accelerator, identified by the daemon's world
+/// rank; the lease id guards against stale releases.
+struct Lease {
+  dmpi::Rank daemon_rank = -1;
+  std::uint64_t lease_id = 0;
+};
+
+struct PoolStats {
+  std::uint32_t total = 0;
+  std::uint32_t free = 0;
+  std::uint32_t assigned = 0;
+  std::uint32_t broken = 0;
+  std::uint64_t acquisitions = 0;
+  std::uint32_t queued_requests = 0;
+  std::uint64_t heartbeats = 0;     ///< liveness beats processed
+  std::uint32_t revocations = 0;    ///< leases revoked by the sweep
+  std::uint32_t replacements = 0;   ///< transparent replacements reported
+};
+
+/// How queued (waiting) acquisitions are served when accelerators free up.
+enum class QueuePolicy {
+  kFcfs,      ///< strict order: the head request blocks everything behind
+  kBackfill,  ///< any satisfiable queued request may run (EASY-style)
+};
+
+/// One client request as the state machine consumes it: who asked, where
+/// the answer goes, and the undecoded op body. This is also the payload of
+/// one replicated-log entry — encode/decode round-trip it through the Raft
+/// wire format.
+struct Command {
+  dmpi::Rank client = -1;  ///< origin rank; reply destination
+  int reply_tag = 0;       ///< 0 = one-way (heartbeats, sweeps)
+  std::uint32_t op = 0;    ///< ArmOp word
+  util::Buffer body;       ///< op payload, without the rpc header
+
+  util::Buffer encode() const;
+  /// Throws proto::WireError on truncation.
+  static Command decode(proto::WireReader& r);
+};
+
+/// One externally visible consequence of applying a command. The machine
+/// never touches the network: the host (single ARM server, or the Raft
+/// leader — followers discard effects) executes these in order.
+struct Effect {
+  enum class Kind : std::uint32_t {
+    kReply,   ///< send `frame` to rank `to` on tag `tag`
+    kNotice,  ///< unsolicited push (revocation) to rank `to` on tag `tag`
+    kTrace,   ///< record `label` against the ARM trace component
+  };
+  Kind kind = Kind::kReply;
+  dmpi::Rank to = -1;
+  int tag = 0;
+  util::Buffer frame;
+  std::string label;
+};
+
+struct ApplyResult {
+  std::vector<Effect> effects;
+  bool shutdown = false;  ///< the command was kShutdown
+};
+
+/// Deterministic lease state machine. All methods are pure with respect to
+/// simulated time: `now` comes in as an argument, never from a clock, so
+/// replicas applying the same committed command stream at different engine
+/// steps still converge on bit-identical state (fingerprint()).
+class LeaseMachine {
+ public:
+  LeaseMachine(std::vector<AcceleratorInfo> pool, QueuePolicy policy,
+               std::string metrics_prefix = "dacc_arm");
+
+  /// Applies one command, returning the messages to send. Commands carrying
+  /// a reply tag are idempotent: a re-applied (client, reply_tag) pair
+  /// re-emits the cached reply instead of mutating state again — the
+  /// at-least-once resend path of the replicated deployment. Throws
+  /// proto::WireError on a malformed body (state untouched).
+  ApplyResult apply(const Command& cmd, SimTime now);
+
+  /// Header-decodes `cmd`'s body without applying it. Throws
+  /// proto::WireError on garbage, so a Raft leader can refuse to append a
+  /// command that could never apply cleanly ("no partial application" —
+  /// a log entry either applies fully on every replica or is never logged).
+  static void validate(const Command& cmd);
+
+  /// True when (client, reply_tag) is already queued at the pool or has a
+  /// cached reply — the duplicate-resend test the replicated leader runs
+  /// before appending a fresh log entry.
+  bool seen(dmpi::Rank client, int reply_tag) const;
+
+  PoolStats stats() const;
+  /// Fraction of [0, now] each accelerator spent assigned; index = pool slot.
+  std::vector<double> utilization(SimTime now) const;
+  std::int64_t assigned_count() const;
+
+  /// Whole-state snapshot: Raft log compaction, InstallSnapshot transfer,
+  /// and the chaos tier's cross-backend state comparison all use this one
+  /// byte format.
+  util::Buffer snapshot() const;
+  /// Rebuilds a machine from snapshot() bytes. Throws proto::WireError on
+  /// truncated or out-of-range input. Metrics stay unbound.
+  static LeaseMachine restore(proto::WireReader& r,
+                              std::string metrics_prefix = "dacc_arm");
+  /// FNV-1a over snapshot() — the value replicas compare in tests.
+  std::uint64_t fingerprint() const;
+
+  /// Registers the machine's metrics against `reg` (idempotent re-bind,
+  /// plain pointer compare; nullptr unbinds). The prefix keeps replicas'
+  /// series distinct ("dacc_arm" for the single ARM — wire-compatible with
+  /// the pre-replication metric names).
+  void bind_metrics(obs::Registry* reg);
+  /// Samples the assigned-slot gauge (no-op when unbound). The host calls
+  /// this after every applied request, mirroring the legacy server loop.
+  void sample_assigned();
+
+ private:
+  enum class State : std::uint32_t { kFree = 0, kAssigned = 1, kBroken = 2 };
+  struct Slot {
+    AcceleratorInfo info;
+    State state = State::kFree;
+    std::uint64_t job = 0;
+    std::uint64_t lease_id = 0;
+    dmpi::Rank owner = -1;  ///< client world rank holding the lease
+    SimTime assigned_since = 0;
+    SimDuration assigned_total = 0;
+    SimTime last_beat = 0;
+  };
+  struct PendingAcquire {
+    dmpi::Rank client = -1;
+    int reply_tag = 0;
+    std::uint64_t job = 0;
+    std::uint32_t count = 0;
+    std::string kind;         ///< empty = any
+    SimTime enqueued_at = 0;  ///< for the assignment-wait metric
+  };
+  struct CachedReply {
+    int reply_tag = 0;
+    util::Buffer frame;
+  };
+  /// Bounded per-client reply cache (newest last). Insertion order, so
+  /// snapshots are byte-identical across replicas.
+  struct ClientReplies {
+    dmpi::Rank client = -1;
+    std::deque<CachedReply> replies;
+  };
+
+  LeaseMachine() = default;  // for restore()
+
+  void emit_reply(std::vector<Effect>& out, dmpi::Rank client, int reply_tag,
+                  util::Buffer frame);
+  void handle_acquire(std::vector<Effect>& out, dmpi::Rank client,
+                      int reply_tag, std::uint64_t job, std::uint32_t count,
+                      const std::string& kind, bool wait, SimTime now);
+  bool try_grant(std::vector<Effect>& out, dmpi::Rank client, int reply_tag,
+                 std::uint64_t job, std::uint32_t count,
+                 const std::string& kind, SimTime now);
+  void drain_queue(std::vector<Effect>& out, SimTime now);
+  std::uint32_t free_count(const std::string& kind) const;
+  Slot* find_slot(dmpi::Rank daemon_rank);
+  void release_slot(Slot& slot, SimTime now);
+  void handle_heartbeat(std::vector<Effect>& out, const Heartbeat& hb,
+                        SimTime now);
+  void handle_sweep(std::vector<Effect>& out, const SweepRequest& sweep,
+                    SimTime now);
+  /// Marks the slot broken; an assigned slot additionally has its lease
+  /// revoked: the owner is notified and the lease id remembered so a late
+  /// release gets kRevoked instead of kUnknownHandle.
+  void revoke_slot(std::vector<Effect>& out, Slot& slot, SimTime now,
+                   const char* cause);
+  /// After the pool shrinks, queued acquires that can never be satisfied any
+  /// more (count > surviving slots of that kind) are failed immediately.
+  void fail_unsatisfiable(std::vector<Effect>& out);
+  bool was_revoked(std::uint64_t lease_id) const;
+  const CachedReply* cached(dmpi::Rank client, int reply_tag) const;
+
+  QueuePolicy policy_ = QueuePolicy::kFcfs;
+  std::vector<Slot> slots_;
+  std::deque<PendingAcquire> queue_;
+  std::vector<std::uint64_t> revoked_leases_;
+  std::vector<ClientReplies> reply_cache_;
+  std::uint64_t next_lease_ = 1;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t heartbeats_ = 0;
+  std::uint32_t revocations_ = 0;
+  std::uint32_t replacements_ = 0;
+
+  // Metrics (lazy-bound, no-op handles when no registry is attached).
+  std::string metrics_prefix_ = "dacc_arm";
+  obs::Registry* metrics_bound_ = nullptr;
+  obs::Gauge m_assigned_;
+  obs::Histogram m_assign_wait_ns_;
+  obs::Histogram m_heartbeat_latency_ns_;
+  obs::Counter m_revocations_;
+};
+
+}  // namespace dacc::arm

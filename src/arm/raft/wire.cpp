@@ -1,0 +1,163 @@
+#include "arm/raft/wire.hpp"
+
+#include "rpc/channel.hpp"
+
+namespace dacc::arm::raft {
+
+using proto::WireReader;
+using proto::WireWriter;
+
+namespace {
+
+/// Smallest possible encoded LogEntry: term + at + the fixed part of a
+/// Command (client, reply tag, op, empty-body length). Entry counts are
+/// validated against it so a corrupted count field can never drive a
+/// multi-gigabyte reserve or a deep read loop over a short frame.
+constexpr std::size_t kMinEntryBytes = 8 + 8 + (8 + 4 + 4 + 4);
+
+std::uint64_t rank_word(dmpi::Rank r) {
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(r));
+}
+
+dmpi::Rank read_rank(WireReader& r) {
+  return static_cast<dmpi::Rank>(static_cast<std::int64_t>(r.u64()));
+}
+
+WireWriter header(RaftOp op) {
+  // Consensus messages are one-way: reply tag 0, like the liveness frames.
+  return rpc::request_header(static_cast<std::uint32_t>(op), 0);
+}
+
+}  // namespace
+
+util::Buffer RequestVote::encode() const {
+  return header(RaftOp::kRequestVote)
+      .u64(term)
+      .u64(rank_word(candidate))
+      .u64(last_log_index)
+      .u64(last_log_term)
+      .finish();
+}
+
+RequestVote RequestVote::decode(WireReader& r) {
+  RequestVote m;
+  m.term = r.u64();
+  m.candidate = read_rank(r);
+  m.last_log_index = r.u64();
+  m.last_log_term = r.u64();
+  return m;
+}
+
+util::Buffer VoteReply::encode() const {
+  return header(RaftOp::kVoteReply)
+      .u64(term)
+      .u64(rank_word(voter))
+      .u32(granted ? 1 : 0)
+      .finish();
+}
+
+VoteReply VoteReply::decode(WireReader& r) {
+  VoteReply m;
+  m.term = r.u64();
+  m.voter = read_rank(r);
+  m.granted = r.u32() != 0;
+  return m;
+}
+
+util::Buffer AppendEntries::encode() const {
+  WireWriter w = header(RaftOp::kAppendEntries);
+  w.u64(term)
+      .u64(rank_word(leader))
+      .u64(prev_index)
+      .u64(prev_term)
+      .u64(commit)
+      .u32(quiesce ? 1 : 0)
+      .u32(static_cast<std::uint32_t>(entries.size()));
+  for (const LogEntry& e : entries) {
+    w.u64(e.term).u64(static_cast<std::uint64_t>(e.at));
+    util::Buffer cmd = e.cmd.encode();
+    w.bytes(cmd.bytes());
+  }
+  return w.finish();
+}
+
+AppendEntries AppendEntries::decode(WireReader& r) {
+  AppendEntries m;
+  m.term = r.u64();
+  m.leader = read_rank(r);
+  m.prev_index = r.u64();
+  m.prev_term = r.u64();
+  m.commit = r.u64();
+  m.quiesce = r.u32() != 0;
+  const std::uint32_t n = r.u32();
+  if (n > r.remaining() / kMinEntryBytes) {
+    throw proto::WireError("raft: AppendEntries count exceeds frame");
+  }
+  m.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    LogEntry e;
+    e.term = r.u64();
+    e.at = static_cast<SimTime>(r.u64());
+    e.cmd = Command::decode(r);
+    m.entries.push_back(std::move(e));
+  }
+  return m;
+}
+
+util::Buffer AppendReply::encode() const {
+  return header(RaftOp::kAppendReply)
+      .u64(term)
+      .u64(rank_word(follower))
+      .u32(success ? 1 : 0)
+      .u64(match_index)
+      .u64(acked_commit)
+      .finish();
+}
+
+AppendReply AppendReply::decode(WireReader& r) {
+  AppendReply m;
+  m.term = r.u64();
+  m.follower = read_rank(r);
+  m.success = r.u32() != 0;
+  m.match_index = r.u64();
+  m.acked_commit = r.u64();
+  return m;
+}
+
+util::Buffer InstallSnapshot::encode() const {
+  return header(RaftOp::kInstallSnapshot)
+      .u64(term)
+      .u64(rank_word(leader))
+      .u64(last_index)
+      .u64(last_term)
+      .blob(snapshot.bytes())
+      .finish();
+}
+
+InstallSnapshot InstallSnapshot::decode(WireReader& r) {
+  InstallSnapshot m;
+  m.term = r.u64();
+  m.leader = read_rank(r);
+  m.last_index = r.u64();
+  m.last_term = r.u64();
+  m.snapshot = r.blob();
+  return m;
+}
+
+util::Buffer SnapshotReply::encode() const {
+  return header(RaftOp::kSnapshotReply)
+      .u64(term)
+      .u64(rank_word(follower))
+      .u64(match_index)
+      .finish();
+}
+
+SnapshotReply SnapshotReply::decode(WireReader& r) {
+  SnapshotReply m;
+  m.term = r.u64();
+  m.follower = read_rank(r);
+  m.match_index = r.u64();
+  return m;
+}
+
+}  // namespace dacc::arm::raft

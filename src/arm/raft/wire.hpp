@@ -1,0 +1,127 @@
+// Wire format of the replicated-ARM consensus protocol (DESIGN.md §11).
+//
+// The replicas speak a Raft-shaped protocol over dmpi. All consensus
+// traffic travels on the ordinary ARM request tag — one posted receive per
+// replica serves clients and peers alike — and is distinguished from client
+// commands by the op word: ArmOp stays in single digits, consensus ops
+// start at 100. Every message is a flat frame behind the standard rpc
+// header (op word + reply-tag word, reply tag 0: consensus messages are
+// one-way; answers are their own frames).
+//
+// Decoders follow the middleware's hardening convention: bounded reads that
+// throw proto::WireError on truncation or impossible counts, so a fuzzed or
+// corrupted frame is dropped whole — never partially applied (the fuzz tier
+// in tests/arm/raft_fuzz_test.cpp walks every truncation point).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arm/lease_machine.hpp"
+#include "dmpi/mpi.hpp"
+#include "proto/wire.hpp"
+#include "util/buffer.hpp"
+#include "util/units.hpp"
+
+namespace dacc::arm::raft {
+
+/// Consensus op words on kArmRequestTag. Values >= kFirstRaftOp so they can
+/// never collide with ArmOp client commands sharing the tag.
+inline constexpr std::uint32_t kFirstRaftOp = 100;
+
+enum class RaftOp : std::uint32_t {
+  kRequestVote = 100,
+  kVoteReply = 101,
+  kAppendEntries = 102,
+  kAppendReply = 103,
+  kInstallSnapshot = 104,
+  kSnapshotReply = 105,
+};
+
+inline bool is_raft_op(std::uint32_t op_word) {
+  return op_word >= kFirstRaftOp &&
+         op_word <= static_cast<std::uint32_t>(RaftOp::kSnapshotReply);
+}
+
+/// One replicated-log entry: a client command plus the simulated time the
+/// leader stamped at proposal. Replicas apply with the stamped time — never
+/// their local apply time — so every machine's time-derived state
+/// (assignment clocks, beat timestamps) is bit-identical regardless of when
+/// the entry reached them.
+struct LogEntry {
+  std::uint64_t term = 0;
+  SimTime at = 0;
+  Command cmd;
+};
+
+struct RequestVote {
+  std::uint64_t term = 0;
+  dmpi::Rank candidate = -1;
+  std::uint64_t last_log_index = 0;
+  std::uint64_t last_log_term = 0;
+
+  util::Buffer encode() const;
+  static RequestVote decode(proto::WireReader& r);
+};
+
+struct VoteReply {
+  std::uint64_t term = 0;
+  dmpi::Rank voter = -1;
+  bool granted = false;
+
+  util::Buffer encode() const;
+  static VoteReply decode(proto::WireReader& r);
+};
+
+struct AppendEntries {
+  std::uint64_t term = 0;
+  dmpi::Rank leader = -1;
+  std::uint64_t prev_index = 0;
+  std::uint64_t prev_term = 0;
+  std::uint64_t commit = 0;
+  /// Leader is idle with everything committed: a follower that has applied
+  /// up to `commit` may park until the cluster submits work again — the
+  /// handshake that lets the whole replica group drain the event queue.
+  bool quiesce = false;
+  std::vector<LogEntry> entries;
+
+  util::Buffer encode() const;
+  static AppendEntries decode(proto::WireReader& r);
+};
+
+struct AppendReply {
+  std::uint64_t term = 0;
+  dmpi::Rank follower = -1;
+  bool success = false;
+  /// Highest log index known replicated at the follower (valid on success).
+  std::uint64_t match_index = 0;
+  /// Follower's commit index after processing — the leader's quiescence
+  /// test ("has everyone caught up?") reads these acks, not timeouts.
+  std::uint64_t acked_commit = 0;
+
+  util::Buffer encode() const;
+  static AppendReply decode(proto::WireReader& r);
+};
+
+struct InstallSnapshot {
+  std::uint64_t term = 0;
+  dmpi::Rank leader = -1;
+  std::uint64_t last_index = 0;
+  std::uint64_t last_term = 0;
+  /// LeaseMachine::snapshot() bytes covering the log through last_index.
+  util::Buffer snapshot;
+
+  util::Buffer encode() const;
+  static InstallSnapshot decode(proto::WireReader& r);
+};
+
+struct SnapshotReply {
+  std::uint64_t term = 0;
+  dmpi::Rank follower = -1;
+  std::uint64_t match_index = 0;
+
+  util::Buffer encode() const;
+  static SnapshotReply decode(proto::WireReader& r);
+};
+
+}  // namespace dacc::arm::raft

@@ -238,6 +238,11 @@ class Session {
  public:
   struct Config {
     dmpi::Rank arm_rank = -1;
+    /// Replicated ARM (DESIGN.md §11): every replica endpoint, in replica
+    /// order. Empty means the single-ARM deployment ({arm_rank}). Clients
+    /// walk the failover ladder across these ranks, so a leader kill is
+    /// invisible to the job.
+    std::vector<dmpi::Rank> arm_ranks;
     std::uint64_t job_id = 1;
     proto::TransferConfig transfer = proto::TransferConfig::pipeline_adaptive();
     proto::ProtoParams proto;
@@ -245,6 +250,13 @@ class Session {
     /// Command-stream batching (DESIGN.md §10). Defaults to the
     /// DACC_RPC_BATCH environment knob; off unless set.
     rpc::StreamConfig batch = rpc::default_stream_config();
+
+    /// The ARM endpoint set: {arm_rank} unless `arm_ranks` says otherwise.
+    std::vector<dmpi::Rank> arm_endpoints() const {
+      if (!arm_ranks.empty()) return arm_ranks;
+      return {arm_rank};
+    }
+    bool arm_replicated() const { return arm_ranks.size() > 1; }
   };
 
   /// `ctx` is the owning compute-node process; `self` its world rank; `comm`

@@ -14,6 +14,19 @@ std::vector<std::uint64_t> latency_bounds_ns() {
           10'000'000, 100'000'000, 1'000'000'000};
 }
 
+std::string labeled(std::string_view name, std::string_view key,
+                    std::string_view value) {
+  std::string out;
+  out.reserve(name.size() + key.size() + value.size() + 5);
+  out.append(name);
+  out.push_back('{');
+  out.append(key);
+  out.append("=\"");
+  out.append(value);
+  out.append("\"}");
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Registration
 // ---------------------------------------------------------------------------

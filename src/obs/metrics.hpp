@@ -26,6 +26,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/units.hpp"
@@ -84,6 +85,13 @@ class Histogram {
 
 /// Default latency bounds (ns): 1us .. 1s, decades.
 std::vector<std::uint64_t> latency_bounds_ns();
+
+/// Composes a metric name with one embedded Prometheus-style label:
+/// labeled("dacc_raft_term", "replica", "2") -> `dacc_raft_term{replica="2"}`.
+/// An empty name yields just the label suffix, for callers that append it to
+/// several series of one component.
+std::string labeled(std::string_view name, std::string_view key,
+                    std::string_view value);
 
 class Registry {
  public:

@@ -77,6 +77,12 @@ WireWriter& WireWriter::bytes(std::span<const std::byte> src) {
   return *this;
 }
 
+WireWriter& WireWriter::blob(std::span<const std::byte> src) {
+  reserve(4 + src.size());
+  u32(static_cast<std::uint32_t>(src.size()));
+  return bytes(src);
+}
+
 WireWriter& WireWriter::transfer_config(const TransferConfig& c) {
   u32(static_cast<std::uint32_t>(c.mode));
   u64(c.block_bytes);
@@ -152,6 +158,20 @@ std::string WireReader::str() {
   std::string s(reinterpret_cast<const char*>(bytes_.data() + offset_), len);
   offset_ += len;
   return s;
+}
+
+util::Buffer WireReader::blob() {
+  const std::uint32_t len = u32();
+  need(len);
+  util::Buffer b = util::Buffer::backed_copy(bytes_.subspan(offset_, len));
+  offset_ += len;
+  return b;
+}
+
+util::Buffer WireReader::rest() {
+  util::Buffer b = util::Buffer::backed_copy(bytes_.subspan(offset_));
+  offset_ = bytes_.size();
+  return b;
 }
 
 TransferConfig WireReader::transfer_config() {

@@ -140,6 +140,9 @@ class WireWriter {
   WireWriter& u64(std::uint64_t v);
   WireWriter& f64(double v);
   WireWriter& str(const std::string& s);  ///< length-prefixed
+  /// Length-prefixed opaque byte block (nested frames: replicated-log
+  /// commands, state-machine snapshots).
+  WireWriter& blob(std::span<const std::byte> src);
 
   /// Bulk append of raw bytes (single insert, no per-byte growth).
   WireWriter& bytes(std::span<const std::byte> src);
@@ -175,6 +178,11 @@ class WireReader {
   std::uint64_t u64();
   double f64();
   std::string str();
+  /// Length-prefixed opaque byte block written by WireWriter::blob.
+  util::Buffer blob();
+  /// Everything left in the message, as an owning buffer (lifting a request
+  /// body out of a decoded frame into a replicated-log command).
+  util::Buffer rest();
   Op op() { return static_cast<Op>(u32()); }
   gpu::Result result() { return static_cast<gpu::Result>(u32()); }
   TransferConfig transfer_config();

@@ -57,7 +57,7 @@ int Channel::next_reply_tag() {
 }
 
 void Channel::bind_metrics(obs::Registry* reg) {
-  const std::string labels = "{chan=\"" + options_.metrics_label + "\"}";
+  const std::string labels = obs::labeled("", "chan", options_.metrics_label);
   m_msgs_ = reg->counter("dacc_rpc_msgs_total" + labels);
   m_ops_ = reg->counter("dacc_rpc_ops_total" + labels);
   m_batch_size_ =
@@ -114,7 +114,9 @@ void Channel::post(util::Buffer frame) {
 }
 
 dmpi::Request Channel::post_reply(int reply_tag) {
-  return mpi_.irecv(comm_, server_, reply_tag);
+  const dmpi::Rank source =
+      options_.any_source_replies ? dmpi::kAnySource : server_;
+  return mpi_.irecv(comm_, source, reply_tag);
 }
 
 void Channel::send_request(util::Buffer frame) {

@@ -116,6 +116,12 @@ class Channel {
     /// Append the engine's current causal trace context to request headers
     /// (proto::kTraceContextFlag).
     bool trace_context = false;
+    /// Post reply receives with dmpi::kAnySource instead of pinning them to
+    /// the addressed server. Required by replicated-service clients: after
+    /// a failover the answer to a resent request may come from a different
+    /// replica than the one last addressed (the reply tag alone already
+    /// identifies the request).
+    bool any_source_replies = false;
     /// Label for the per-channel obs instruments; empty disables them.
     std::string metrics_label;
   };

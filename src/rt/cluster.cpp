@@ -9,15 +9,23 @@ namespace dacc::rt {
 
 namespace {
 
-std::vector<net::NodeId> rank_layout(int compute_nodes, int accelerators) {
-  // World ranks: [0, C) compute-node processes, [C, C+A) daemons, C+A ARM.
-  // Fabric nodes use the same layout; the ARM gets its own service node.
+std::vector<net::NodeId> rank_layout(int compute_nodes, int accelerators,
+                                     int arm_nodes) {
+  // World ranks: [0, C) compute-node processes, [C, C+A) daemons, then the
+  // ARM — one service rank, or one per replica in the replicated
+  // deployment. Fabric nodes use the same layout; every ARM rank gets its
+  // own service node so a replica kill is one link failure.
   std::vector<net::NodeId> nodes;
-  nodes.reserve(static_cast<std::size_t>(compute_nodes + accelerators + 1));
-  for (int i = 0; i < compute_nodes + accelerators + 1; ++i) {
+  nodes.reserve(
+      static_cast<std::size_t>(compute_nodes + accelerators + arm_nodes));
+  for (int i = 0; i < compute_nodes + accelerators + arm_nodes; ++i) {
     nodes.push_back(i);
   }
   return nodes;
+}
+
+int arm_node_count(const ClusterConfig& config) {
+  return config.arm_replicas > 1 ? config.arm_replicas : 1;
 }
 
 }  // namespace
@@ -51,6 +59,7 @@ ClusterConfig normalize(ClusterConfig config) {
     config.accelerators =
         static_cast<int>(config.accelerator_devices.size());
   }
+  if (config.arm_replicas < 1) config.arm_replicas = 1;
   return config;
 }
 
@@ -59,7 +68,9 @@ ClusterConfig normalize(ClusterConfig config) {
 Cluster::Cluster(ClusterConfig config)
     : config_(normalize(std::move(config))),
       engine_(config_.sim_backend, config_.sim_shards),
-      fabric_(engine_, config_.compute_nodes + config_.accelerators + 1,
+      fabric_(engine_,
+              config_.compute_nodes + config_.accelerators +
+                  arm_node_count(config_),
               config_.fabric),
       registry_(config_.registry ? config_.registry
                                  : gpu::KernelRegistry::with_builtins()) {
@@ -74,7 +85,9 @@ Cluster::Cluster(ClusterConfig config)
   if (config_.metrics) engine_.set_metrics(&metrics_);
   world_ = std::make_unique<dmpi::World>(
       engine_, fabric_,
-      rank_layout(config_.compute_nodes, config_.accelerators), config_.mpi);
+      rank_layout(config_.compute_nodes, config_.accelerators,
+                  arm_node_count(config_)),
+      config_.mpi);
 
   // Accelerator nodes: one device plus one daemon process each.
   std::vector<arm::AcceleratorInfo> pool;
@@ -105,16 +118,38 @@ Cluster::Cluster(ClusterConfig config)
     }
   }
 
-  // The accelerator resource manager.
-  arm_ = std::make_unique<arm::Arm>(*world_, arm_rank(), std::move(pool),
-                                    config_.arm_policy);
-  sim::Process& armp = engine_.spawn_on(
-      static_cast<std::int32_t>(arm_rank()), "arm",
-      [this](sim::Context& ctx) { arm_->run(ctx); });
-  engine_.set_daemon(armp);
+  // The accelerator resource manager: one rank, or a Raft replica group.
+  if (!arm_replicated()) {
+    arm_ = std::make_unique<arm::Arm>(*world_, arm_rank(), std::move(pool),
+                                      config_.arm_policy);
+    sim::Process& armp = engine_.spawn_on(
+        static_cast<std::int32_t>(arm_rank()), "arm",
+        [this](sim::Context& ctx) { arm_->run(ctx); });
+    engine_.set_daemon(armp);
+  } else {
+    const std::vector<dmpi::Rank> replicas = arm_ranks();
+    for (int i = 0; i < config_.arm_replicas; ++i) {
+      raft_gates_.push_back(std::make_unique<sim::WaitQueue>(engine_));
+      raft_nodes_.push_back(std::make_unique<arm::raft::RaftNode>(
+          *world_, replicas[static_cast<std::size_t>(i)], i, replicas, pool,
+          config_.arm_policy, config_.raft, config_.heartbeat));
+      arm::raft::RaftNode* node = raft_nodes_.back().get();
+      // `active_jobs_` is global-band serial state; replicas read it from
+      // their own shard, exactly like the liveness pacers below.
+      node->set_activity_gate([this] { return active_jobs_ > 0; },
+                              raft_gates_.back().get());
+      sim::Process& p = engine_.spawn_on(
+          static_cast<std::int32_t>(replicas[static_cast<std::size_t>(i)]),
+          "arm-r" + std::to_string(i),
+          [node](sim::Context& ctx) { node->run(ctx); });
+      engine_.set_daemon(p);
+    }
+  }
 
-  // Liveness protocol: one pacer per accelerator node plus one sweep
-  // monitor co-located with the ARM. All are engine daemons gated on
+  // Liveness protocol: one pacer per accelerator node, plus — for the
+  // single ARM — a sweep monitor co-located with it (a replicated leader
+  // sweeps through its own log instead: a monitor process would die with
+  // whichever replica it was homed on). All are engine daemons gated on
   // running jobs, so an idle cluster generates no heartbeat traffic.
   for (int i = 0; i < config_.accelerators + 1; ++i) {
     hb_gates_.push_back(std::make_unique<sim::WaitQueue>(engine_));
@@ -127,10 +162,12 @@ Cluster::Cluster(ClusterConfig config)
           [this, ac](sim::Context& ctx) { heartbeat_pacer(ctx, ac); });
       engine_.set_daemon(hb);
     }
-    sim::Process& mon = engine_.spawn_on(
-        static_cast<std::int32_t>(arm_rank()), "hb-monitor",
-        [this](sim::Context& ctx) { heartbeat_monitor(ctx); });
-    engine_.set_daemon(mon);
+    if (!arm_replicated()) {
+      sim::Process& mon = engine_.spawn_on(
+          static_cast<std::int32_t>(arm_rank()), "hb-monitor",
+          [this](sim::Context& ctx) { heartbeat_monitor(ctx); });
+      engine_.set_daemon(mon);
+    }
   }
 }
 
@@ -138,6 +175,7 @@ void Cluster::heartbeat_pacer(sim::Context& ctx, int ac) {
   dmpi::Mpi mpi(*world_, ctx, daemon_rank(ac));
   gpu::Device* dev = ac_devices_[static_cast<std::size_t>(ac)].get();
   sim::WaitQueue& gate = *hb_gates_[static_cast<std::size_t>(ac)];
+  const std::vector<dmpi::Rank> arm_endpoints = arm_ranks();
   std::uint64_t seq = 0;
   for (;;) {
     while (active_jobs_ == 0) gate.wait(ctx);
@@ -148,8 +186,12 @@ void Cluster::heartbeat_pacer(sim::Context& ctx, int ac) {
     beat.seq = ++seq;
     beat.device_ok = !dev->broken();
     beat.sent_at = ctx.now();
-    mpi.send(world_->world_comm(), arm_rank(), arm::kArmRequestTag,
-             beat.encode());
+    // Broadcast to every replica: a beat must not die with a killed
+    // leader. Only the leader logs its copy; followers drop theirs.
+    for (const dmpi::Rank target : arm_endpoints) {
+      mpi.send(world_->world_comm(), target, arm::kArmRequestTag,
+               beat.encode());
+    }
   }
 }
 
@@ -195,6 +237,54 @@ dmpi::Rank Cluster::arm_rank() const {
   return config_.compute_nodes + config_.accelerators;
 }
 
+std::vector<dmpi::Rank> Cluster::arm_ranks() const {
+  std::vector<dmpi::Rank> ranks;
+  const int n = arm_replicated() ? config_.arm_replicas : 1;
+  ranks.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ranks.push_back(arm_rank() + i);
+  return ranks;
+}
+
+arm::Arm& Cluster::arm() {
+  if (arm_replicated()) {
+    throw std::logic_error("arm(): replicated deployment, use arm_replica()");
+  }
+  return *arm_;
+}
+
+arm::raft::RaftNode& Cluster::arm_replica(int replica) {
+  if (!arm_replicated()) {
+    throw std::logic_error("arm_replica(): single-ARM deployment, use arm()");
+  }
+  return *raft_nodes_.at(static_cast<std::size_t>(replica));
+}
+
+int Cluster::arm_leader() const {
+  for (std::size_t i = 0; i < raft_nodes_.size(); ++i) {
+    const arm::raft::RaftNode& node = *raft_nodes_[i];
+    if (!node.halted() && node.role() == arm::raft::RaftNode::Role::kLeader) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+arm::PoolStats Cluster::arm_stats() const {
+  if (!arm_replicated()) return arm_->stats();
+  const int leader = arm_leader();
+  return raft_nodes_[static_cast<std::size_t>(leader < 0 ? 0 : leader)]
+      ->machine()
+      .stats();
+}
+
+std::vector<double> Cluster::arm_utilization(SimTime now) const {
+  if (!arm_replicated()) return arm_->utilization(now);
+  const int leader = arm_leader();
+  return raft_nodes_[static_cast<std::size_t>(leader < 0 ? 0 : leader)]
+      ->machine()
+      .utilization(now);
+}
+
 gpu::Device& Cluster::accelerator_device(int ac) {
   return *ac_devices_.at(static_cast<std::size_t>(ac));
 }
@@ -230,12 +320,14 @@ JobHandle Cluster::submit(JobSpec spec, int first_cn) {
   auto remaining = std::make_shared<int>(spec.ranks);
   auto shared_spec = std::make_shared<JobSpec>(std::move(spec));
 
-  // Un-gate the heartbeat pacers for the duration of this job. The wake is
-  // routed through an event (the serial global band under the parallel
-  // backend) so submit() also works from outside process context.
+  // Un-gate the heartbeat pacers (and, replicated, the consensus nodes)
+  // for the duration of this job. The wake is routed through an event (the
+  // serial global band under the parallel backend) so submit() also works
+  // from outside process context.
   ++active_jobs_;
   engine_.schedule_at(engine_.now(), [this] {
     for (auto& gate : hb_gates_) gate->notify_all();
+    for (auto& gate : raft_gates_) gate->notify_all();
   });
 
   // The launcher performs the static assignment before starting the ranks
@@ -252,7 +344,7 @@ JobHandle Cluster::submit(JobSpec spec, int first_cn) {
         if (shared_spec->accelerators_per_rank > 0) {
           dmpi::Mpi launcher_mpi(*world_, lctx, members.front());
           arm::ArmClient arm_client(launcher_mpi, world_->world_comm(),
-                                    arm_rank());
+                                    arm_ranks());
           for (int r = 0; r < shared_spec->ranks; ++r) {
             static_leases[static_cast<std::size_t>(r)] = arm_client.acquire(
                 job_base + static_cast<std::uint64_t>(r),
@@ -275,6 +367,7 @@ JobHandle Cluster::submit(JobSpec spec, int first_cn) {
                completion, remaining, leases](sim::Context& ctx) {
                 core::Session::Config sc;
                 sc.arm_rank = arm_rank();
+                sc.arm_ranks = arm_ranks();
                 sc.job_id = job_base + static_cast<std::uint64_t>(r);
                 sc.transfer = shared_spec->transfer;
                 sc.proto = config_.proto;
@@ -334,11 +427,57 @@ void Cluster::fail_accelerator_link(int ac, SimTime at) {
   fabric_.fail_link(static_cast<net::NodeId>(daemon_rank(ac)), at);
 }
 
+void Cluster::kill_arm_replica(int replica, SimTime at) {
+  if (!arm_replicated()) {
+    throw std::logic_error("kill_arm_replica: single-ARM deployment");
+  }
+  arm::raft::RaftNode* node =
+      raft_nodes_.at(static_cast<std::size_t>(replica)).get();
+  sim::WaitQueue* gate = raft_gates_[static_cast<std::size_t>(replica)].get();
+  fail_link(static_cast<net::NodeId>(arm_rank() + replica), at);
+  // Halting touches replica state read by its own shard, so it runs on the
+  // serial global band; the gate nudge unparks a quiesced replica so its
+  // loop can observe the halt and exit (the engine must drain).
+  engine_.post(sim::kGlobalNode, at, [node, gate] {
+    node->halt();
+    gate->notify_all();
+  });
+}
+
+void Cluster::kill_arm_leader(SimTime at) {
+  if (!arm_replicated()) {
+    throw std::logic_error("kill_arm_leader: single-ARM deployment");
+  }
+  // Which replica leads at `at` is only knowable at `at`: resolve inside a
+  // global-band event, where every replica's role can be read race-free.
+  engine_.post(sim::kGlobalNode, at, [this, at] {
+    const int leader = arm_leader();
+    if (leader < 0) return;  // mid-election: nothing leads right now
+    arm::raft::RaftNode* node =
+        raft_nodes_[static_cast<std::size_t>(leader)].get();
+    fabric_.fail_link(static_cast<net::NodeId>(arm_rank() + leader), at);
+    node->halt();
+    raft_gates_[static_cast<std::size_t>(leader)]->notify_all();
+    if (sim::Tracer* tracer = engine_.tracer()) {
+      tracer->record("chaos", "kill-leader-r" + std::to_string(leader), at,
+                     at);
+    }
+  });
+}
+
 Cluster::Report Cluster::report() const {
   Report r;
   r.now = engine_.now();
   const double now = r.now > 0 ? static_cast<double>(r.now) : 1.0;
-  const std::vector<double> lease = arm_->utilization(r.now);
+  std::vector<double> lease;
+  if (!arm_replicated()) {
+    lease = arm_->utilization(r.now);
+  } else {
+    const int leader = arm_leader();
+    lease = raft_nodes_[static_cast<std::size_t>(leader < 0 ? 0 : leader)]
+                ->machine()
+                .utilization(r.now);
+  }
   for (int ac = 0; ac < config_.accelerators; ++ac) {
     const gpu::Device& dev = *ac_devices_[static_cast<std::size_t>(ac)];
     Report::AcceleratorRow row;

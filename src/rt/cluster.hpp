@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "arm/arm.hpp"
+#include "arm/raft/node.hpp"
 #include "core/api.hpp"
 #include "daemon/daemon.hpp"
 #include "dmpi/mpi.hpp"
@@ -55,6 +56,16 @@ struct ClusterConfig {
 
   /// How the ARM serves queued allocations.
   arm::Arm::QueuePolicy arm_policy = arm::Arm::QueuePolicy::kFcfs;
+
+  /// Replicated ARM (DESIGN.md §11): with a value > 1, the lease table is
+  /// hosted by this many Raft replicas — each on its own fabric node —
+  /// instead of a single ARM rank. Jobs and the launcher are unchanged;
+  /// their clients walk the failover ladder across the replica endpoints,
+  /// so leases survive a leader kill. 1 = the classic single ARM.
+  int arm_replicas = 1;
+
+  /// Consensus knobs for the replicated deployment (ignored otherwise).
+  arm::raft::RaftParams raft;
 
   /// Liveness protocol: when enabled, every accelerator node runs a
   /// heartbeat pacer and the ARM node a sweep monitor, so leases on dead
@@ -171,9 +182,27 @@ class Cluster {
   dmpi::World& world() { return *world_; }
   dmpi::Rank cn_rank(int cn) const;
   dmpi::Rank daemon_rank(int ac) const;
+  /// The single ARM's rank — or, replicated, the first replica's (clients
+  /// start their failover ladder there).
   dmpi::Rank arm_rank() const;
+  /// Every ARM endpoint: {arm_rank()} for the single deployment, one rank
+  /// per replica otherwise.
+  std::vector<dmpi::Rank> arm_ranks() const;
+  bool arm_replicated() const { return config_.arm_replicas > 1; }
 
-  arm::Arm& arm() { return *arm_; }
+  /// Single-ARM deployment only; throws std::logic_error when replicated.
+  arm::Arm& arm();
+  /// Replicated deployment only (0 <= replica < arm_replicas).
+  arm::raft::RaftNode& arm_replica(int replica);
+  /// Replica index of the current leader, -1 while no replica leads. Read
+  /// it between engine steps or from the serial global band.
+  int arm_leader() const;
+  /// Pool statistics from whichever machine is authoritative (the single
+  /// ARM, or the leader replica's lease machine).
+  arm::PoolStats arm_stats() const;
+  /// Per-accelerator busy fraction from the authoritative machine; same
+  /// deployment-agnostic contract as arm_stats().
+  std::vector<double> arm_utilization(SimTime now) const;
   sim::Tracer& tracer() { return tracer_; }
   obs::Registry& metrics() { return metrics_; }
   gpu::Device& accelerator_device(int ac);
@@ -200,6 +229,14 @@ class Cluster {
   /// fail_link for accelerator `ac`'s node — the daemon falls silent
   /// (requests and heartbeats stop flowing) without the device breaking.
   void fail_accelerator_link(int ac, SimTime at);
+
+  /// Kills ARM replica `replica` at `at`: its fabric link fails and its
+  /// consensus loop halts (chaos tier). Replicated deployments only.
+  void kill_arm_replica(int replica, SimTime at);
+
+  /// Kills whichever replica leads at `at` (no-op if an election is in
+  /// flight right then — deterministically so, given a fixed seed).
+  void kill_arm_leader(SimTime at);
 
   // --- reporting ------------------------------------------------------------------
   struct Report {
@@ -238,7 +275,9 @@ class Cluster {
   std::vector<std::unique_ptr<gpu::Device>> ac_devices_;
   std::vector<std::unique_ptr<gpu::Device>> local_devices_;
   std::vector<std::unique_ptr<daemon::Daemon>> daemons_;
-  std::unique_ptr<arm::Arm> arm_;
+  std::unique_ptr<arm::Arm> arm_;  ///< single-ARM deployment
+  /// Replicated deployment: one consensus node per replica rank.
+  std::vector<std::unique_ptr<arm::raft::RaftNode>> raft_nodes_;
   std::uint64_t next_job_ = 1;
   /// Heartbeat traffic is gated on running jobs so the event queue drains
   /// (and engine.run() returns) once all submitted work completes.
@@ -251,6 +290,8 @@ class Cluster {
   /// gate's wait list is touched only by its owning process's shard and the
   /// global band, never by two shards.
   std::vector<std::unique_ptr<sim::WaitQueue>> hb_gates_;
+  /// Same pattern for the consensus nodes: one activity gate per replica.
+  std::vector<std::unique_ptr<sim::WaitQueue>> raft_gates_;
 };
 
 }  // namespace dacc::rt

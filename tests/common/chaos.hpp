@@ -1,0 +1,103 @@
+// Deterministic chaos schedules for the replicated-ARM test tier
+// (DESIGN.md §11.5): fault points are derived from an explicit seed in
+// *simulated* time and armed on the cluster before it runs, so the same
+// seed produces the same kills at the same instants under every execution
+// backend and shard count — a chaos run is as reproducible as a quiet one.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rt/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace dacc::testing {
+
+/// A seeded schedule of fault injections against one cluster.
+struct ChaosSchedule {
+  struct Event {
+    enum class Kind : std::uint32_t {
+      kKillLeader,   ///< kill whichever ARM replica leads at `at`
+      kKillReplica,  ///< kill ARM replica `target`
+      kCutLink,      ///< fail fabric node `target`'s NIC
+    };
+    Kind kind = Kind::kKillLeader;
+    SimTime at = 0;
+    int target = -1;
+  };
+
+  std::vector<Event> events;
+
+  /// `count` leader kills at seeded instants in [from, to): the classic
+  /// "kill the leader mid-commit" drill. Points are sorted and spaced at
+  /// least `min_gap` apart so every kill lands in a re-elected group.
+  static ChaosSchedule leader_kills(std::uint64_t seed, int count,
+                                    SimTime from, SimTime to,
+                                    SimDuration min_gap) {
+    util::Rng rng(seed ^ 0xC4A0'5C4Aull);
+    ChaosSchedule s;
+    SimTime at = from;
+    for (int i = 0; i < count; ++i) {
+      const SimTime span = to > at ? to - at : 1;
+      at += static_cast<SimTime>(rng.next_below(
+          static_cast<std::uint64_t>(span / (count - i) + 1)));
+      s.events.push_back({Event::Kind::kKillLeader, at, -1});
+      at += min_gap;
+    }
+    return s;
+  }
+
+  /// Adds one follower (non-leader) replica kill: replica `replica` dies at
+  /// `at` regardless of its role then.
+  ChaosSchedule& kill_replica(int replica, SimTime at) {
+    events.push_back({Event::Kind::kKillReplica, at, replica});
+    return *this;
+  }
+
+  /// Adds a link cut for fabric node `node` at `at`.
+  ChaosSchedule& cut_link(net::NodeId node, SimTime at) {
+    events.push_back({Event::Kind::kCutLink, at, static_cast<int>(node)});
+    return *this;
+  }
+
+  /// Arms every event on `cluster`. Call after construction, before run().
+  void arm(rt::Cluster& cluster) const {
+    for (const Event& e : events) {
+      switch (e.kind) {
+        case Event::Kind::kKillLeader:
+          cluster.kill_arm_leader(e.at);
+          break;
+        case Event::Kind::kKillReplica:
+          cluster.kill_arm_replica(e.target, e.at);
+          break;
+        case Event::Kind::kCutLink:
+          cluster.fail_link(static_cast<net::NodeId>(e.target), e.at);
+          break;
+      }
+    }
+  }
+
+  /// Human-readable schedule (test failure messages).
+  std::string describe() const {
+    std::ostringstream os;
+    for (const Event& e : events) {
+      switch (e.kind) {
+        case Event::Kind::kKillLeader:
+          os << "kill-leader@" << e.at;
+          break;
+        case Event::Kind::kKillReplica:
+          os << "kill-r" << e.target << "@" << e.at;
+          break;
+        case Event::Kind::kCutLink:
+          os << "cut-n" << e.target << "@" << e.at;
+          break;
+      }
+      os << " ";
+    }
+    return os.str();
+  }
+};
+
+}  // namespace dacc::testing

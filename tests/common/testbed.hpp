@@ -61,6 +61,19 @@ inline rt::ClusterConfig small_cluster(int cns = 2, int acs = 3) {
   return c;
 }
 
+/// Replicated-ARM cluster (DESIGN.md §11): the lease table lives behind
+/// `replicas` Raft nodes instead of a single ARM rank. Same shape as
+/// small_cluster otherwise, so suites can run the identical job body
+/// against both deployments.
+inline rt::ClusterConfig replicated_cluster(int cns = 2, int acs = 3,
+                                            int replicas = 3,
+                                            std::uint64_t seed = 0xDACC'5EEDull) {
+  rt::ClusterConfig c = small_cluster(cns, acs);
+  c.arm_replicas = replicas;
+  c.raft.seed = seed;
+  return c;
+}
+
 /// Runs `body` as a single job rank on a fresh cluster.
 inline void run_job(rt::ClusterConfig config,
                     std::function<void(rt::JobContext&)> body) {
