@@ -126,8 +126,9 @@ struct ChurnProbe {
 /// `nodes` accelerators (2*nodes+1 fabric nodes including the ARM), running
 /// the MP2C halo/migration/SRD loop on phantom GPUs. Each wave is a fresh
 /// job, so the ARM lease/release path churns nodes-many sessions per wave.
+/// `band_gap` pins the serial-control era width (0 = the 64x-wire default).
 ChurnProbe cluster_churn(sim::ExecBackend backend, int shards, int nodes,
-                         int waves, int steps) {
+                         int waves, int steps, SimDuration band_gap = 0) {
   auto registry = gpu::KernelRegistry::with_builtins();
   mdsim::register_mdsim_kernels(*registry);
   rt::ClusterConfig cc;
@@ -137,6 +138,7 @@ ChurnProbe cluster_churn(sim::ExecBackend backend, int shards, int nodes,
   cc.registry = registry;
   cc.sim_backend = backend;
   cc.sim_shards = shards;
+  cc.sim_band_gap = band_gap;
   rt::Cluster cluster(cc);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -226,6 +228,71 @@ ChurnProbe stream_churn(sim::ExecBackend backend, int nodes, int bursts,
   return p;
 }
 
+struct ScaleProbe {
+  int nodes = 0;
+  int shards = 0;  ///< 0 = serial baseline
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+  double per_sec = 0.0;
+  sim::Engine::ParallelStats pstats;
+  double exposed = 0.0;
+};
+
+/// Raw-engine scaling scenario (1k/10k fabric nodes): every node runs a
+/// self-rescheduling walker whose events are node-local except that every
+/// `hop_every`-th event forwards the walker to its ring neighbor over a
+/// short (120 ns) link. The short ring makes the topology partitioner
+/// place neighbors contiguously, so cross-shard traffic concentrates at
+/// the chunk boundaries — the shape the per-shard-pair lookahead matrix
+/// and asynchronous horizon advancement are built for.
+ScaleProbe ring_scale(sim::ExecBackend backend, int shards, int nodes,
+                      std::uint64_t events_per_node, int hop_every) {
+  sim::Engine engine(backend, shards);
+  engine.set_node_count(nodes);
+  engine.set_lookahead(1200);
+  std::vector<sim::Engine::LatencyOverride> links;
+  links.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    links.push_back({i, (i + 1) % nodes, 120});
+  }
+  engine.set_lookahead_overrides(1200, links);
+
+  // Walker state is only touched from the walker's own events, so the
+  // workload is race-free under the parallel backend by construction.
+  struct Walker {
+    std::uint64_t done = 0;
+    int node = 0;
+  };
+  std::vector<Walker> walkers(static_cast<std::size_t>(nodes));
+  std::function<void(int)> step = [&](int w) {
+    Walker& wk = walkers[static_cast<std::size_t>(w)];
+    if (++wk.done >= events_per_node) return;
+    if (wk.done % static_cast<std::uint64_t>(hop_every) == 0) {
+      wk.node = (wk.node + 1) % nodes;  // hop to the ring neighbor
+    }
+    engine.post(wk.node, engine.now() + 10, [&step, w] { step(w); });
+  };
+  for (int w = 0; w < nodes; ++w) {
+    walkers[static_cast<std::size_t>(w)].node = w;
+    engine.post(w, 0, [&step, w] { step(w); });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.run();
+
+  ScaleProbe p;
+  p.nodes = nodes;
+  p.shards = backend == sim::ExecBackend::kParallel ? engine.shard_count() : 0;
+  p.wall_s = seconds_since(t0);
+  p.events = engine.events_executed();
+  p.per_sec = static_cast<double>(p.events) / p.wall_s;
+  p.pstats = engine.parallel_stats();
+  p.exposed = p.pstats.critical_path_events == 0
+                  ? 1.0
+                  : static_cast<double>(p.pstats.parallel_events) /
+                        static_cast<double>(p.pstats.critical_path_events);
+  return p;
+}
+
 void print_switch(const char* label, const SwitchProbe& p) {
   std::printf("  %-10s %9llu switches in %.3f s  ->  %.0f switches/s\n",
               label, static_cast<unsigned long long>(p.switches), p.wall_s,
@@ -235,13 +302,18 @@ void print_switch(const char* label, const SwitchProbe& p) {
 int run(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "BENCH_engine.json";
+  std::string out_parallel = "BENCH_parallel.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--out-parallel") == 0 && i + 1 < argc) {
+      out_parallel = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out PATH] [--out-parallel PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -292,7 +364,7 @@ int run(int argc, char** argv) {
   const int churn_nodes = quick ? 16 : 64;
   const int churn_waves = quick ? 1 : 3;
   const int churn_steps = quick ? 10 : 30;
-  const int churn_shards = 8;
+  const int churn_shards = 16;
   const int host_cores = static_cast<int>(std::thread::hardware_concurrency());
   const sim::ExecBackend base_backend =
       have_coro ? sim::ExecBackend::kCoroutine : sim::ExecBackend::kThread;
@@ -338,6 +410,106 @@ int run(int argc, char** argv) {
     return 1;
   }
   std::printf("  determinism cross-check: event and switch counts match\n");
+
+  // Era accounting: the same scenario with the band gap pinned to one wire
+  // latency reproduces the pre-async global-window behavior, so the window
+  // ratio is exactly what the asynchronous band-gap eras bought.
+  const SimDuration wire = net::FabricParams{}.wire_latency;
+  const ChurnProbe narrow =
+      cluster_churn(sim::ExecBackend::kParallel, churn_shards, churn_nodes,
+                    churn_waves, churn_steps, /*band_gap=*/wire);
+  const double window_cut =
+      par.pstats.windows == 0
+          ? 0.0
+          : static_cast<double>(narrow.pstats.windows) /
+                static_cast<double>(par.pstats.windows);
+  std::printf(
+      "  era accounting: %llu windows with one-lookahead eras vs %llu with "
+      "band-gap eras  ->  %.1fx fewer serial syncs\n",
+      static_cast<unsigned long long>(narrow.pstats.windows),
+      static_cast<unsigned long long>(par.pstats.windows), window_cut);
+
+  // Node-count scaling: the raw-engine ring-walker scenario at 1k and 10k
+  // fabric nodes, per shard count, plus the serial baseline.
+  const int hop_every = 64;
+  std::vector<int> scale_nodes = quick ? std::vector<int>{256}
+                                       : std::vector<int>{1000, 10'000};
+  std::vector<int> scale_shards{1, 16, 64};
+  std::vector<ScaleProbe> scale;
+  bool scale_diverged = false;
+  for (const int nodes : scale_nodes) {
+    const std::uint64_t per_node =
+        quick ? 200 : (nodes >= 10'000 ? 1000 : 2000);
+    const ScaleProbe sbase =
+        ring_scale(base_backend, 0, nodes, per_node, hop_every);
+    scale.push_back(sbase);
+    std::printf(
+        "node-count scaling: %d nodes, %llu events (%s baseline "
+        "%.2fM events/s)\n",
+        nodes, static_cast<unsigned long long>(sbase.events), base_label,
+        sbase.per_sec / 1e6);
+    for (const int shards : scale_shards) {
+      const ScaleProbe p = ring_scale(sim::ExecBackend::kParallel, shards,
+                                      nodes, per_node, hop_every);
+      scale.push_back(p);
+      std::printf(
+          "  parallel:%-3d %.2fM events/s  (%llu windows, exposed "
+          "parallelism %.2fx)\n",
+          shards, p.per_sec / 1e6,
+          static_cast<unsigned long long>(p.pstats.windows), p.exposed);
+      if (p.events != sbase.events) {
+        std::fprintf(stderr,
+                     "warning: scaling divergence at %d nodes / %d shards "
+                     "(%llu vs %llu events)\n",
+                     nodes, shards,
+                     static_cast<unsigned long long>(p.events),
+                     static_cast<unsigned long long>(sbase.events));
+        scale_diverged = true;
+      }
+    }
+  }
+  if (scale_diverged) return 1;
+
+  std::ofstream pjson(out_parallel);
+  pjson << "{\n"
+        << "  \"bench\": \"parallel_scaling\",\n"
+        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+        << "  \"cluster_churn\": {\n"
+        << "    \"fabric_nodes\": " << 2 * churn_nodes + 1
+        << ", \"shards\": " << churn_shards
+        << ", \"waves\": " << churn_waves << ", \"steps\": " << churn_steps
+        << ",\n"
+        << "    \"" << base_label << "\": {\"events\": " << base.events
+        << ", \"wall_s\": " << base.wall_s
+        << ", \"events_per_sec\": " << base.events_per_sec << "},\n"
+        << "    \"parallel\": {\"events\": " << par.events
+        << ", \"wall_s\": " << par.wall_s
+        << ", \"events_per_sec\": " << par.events_per_sec
+        << ", \"windows\": " << par.pstats.windows
+        << ", \"parallel_events\": " << par.pstats.parallel_events
+        << ", \"critical_path_events\": " << par.pstats.critical_path_events
+        << "},\n"
+        << "    \"one_lookahead_windows\": " << narrow.pstats.windows
+        << ", \"window_reduction\": " << window_cut
+        << ", \"exposed_parallelism\": " << exposed << "\n"
+        << "  },\n"
+        << "  \"ring_scaling\": [\n";
+  for (std::size_t i = 0; i < scale.size(); ++i) {
+    const ScaleProbe& p = scale[i];
+    pjson << "    {\"nodes\": " << p.nodes << ", \"shards\": " << p.shards
+          << ", \"events\": " << p.events << ", \"wall_s\": " << p.wall_s
+          << ", \"events_per_sec\": " << p.per_sec
+          << ", \"windows\": " << p.pstats.windows
+          << ", \"exposed_parallelism\": " << p.exposed << "}"
+          << (i + 1 < scale.size() ? "," : "") << "\n";
+  }
+  pjson << "  ]\n}\n";
+  pjson.flush();
+  if (!pjson) {
+    std::fprintf(stderr, "error: could not write %s\n", out_parallel.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_parallel.c_str());
 
   // Command-stream batching: op-dense churn (MP2C-style async kernel
   // streams) with obs counters on — how many wire messages does the front

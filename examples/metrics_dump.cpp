@@ -52,12 +52,23 @@ int main(int argc, char** argv) {
   const std::string json_path = prefix + ".json";
   const std::string prom_path = prefix + ".prom";
   {
+    // Backend-invariant snapshot: the parallel backend's per-shard era
+    // series (dacc_sim_shard_*) describe scheduling — they depend on the
+    // shard map by design — so they go to a separate file that the
+    // determinism gate compares parallel-run against parallel-replay.
     std::ofstream out(json_path);
-    metrics.write_json(out);
+    metrics.write_json(out, obs::Registry::kShardSeriesPrefix,
+                       /*include=*/false);
   }
   {
     std::ofstream out(prom_path);
-    metrics.write_prometheus(out);
+    metrics.write_prometheus(out, obs::Registry::kShardSeriesPrefix,
+                             /*include=*/false);
+  }
+  {
+    std::ofstream out(prefix + ".shard.prom");
+    metrics.write_prometheus(out, obs::Registry::kShardSeriesPrefix,
+                             /*include=*/true);
   }
   std::printf("collected %zu metrics over %.2f ms of simulated time\n",
               metrics.size(), to_ms(cluster.engine().now()));

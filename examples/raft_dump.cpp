@@ -76,12 +76,22 @@ int main(int argc, char** argv) {
 
   const obs::Registry& metrics = cluster.metrics();
   {
+    // Backend-invariant snapshot: the parallel backend's per-shard era
+    // series (dacc_sim_shard_*) describe scheduling, not simulated
+    // behavior, so they are split into their own file below.
     std::ofstream out(prefix + ".json");
-    metrics.write_json(out);
+    metrics.write_json(out, obs::Registry::kShardSeriesPrefix,
+                       /*include=*/false);
   }
   {
     std::ofstream out(prefix + ".prom");
-    metrics.write_prometheus(out);
+    metrics.write_prometheus(out, obs::Registry::kShardSeriesPrefix,
+                             /*include=*/false);
+  }
+  {
+    std::ofstream out(prefix + ".shard.prom");
+    metrics.write_prometheus(out, obs::Registry::kShardSeriesPrefix,
+                             /*include=*/true);
   }
   {
     // Consensus digest: every raft/chaos trace event in order, then the

@@ -43,6 +43,24 @@ for ext in json prom; do
   cmp "$out/metrics_coroutine.$ext" "$out/metrics_parallel_4.$ext"
 done
 
+# Per-shard era series (windows entered, horizon stalls, inbox batches):
+# registered by the parallel backend only, and deterministic — a replay
+# with the same shard map reproduces them byte for byte. Sequential
+# backends must not register any.
+for tag in coroutine thread; do
+  if [ -s "$out/metrics_$tag.shard.prom" ]; then
+    echo "unexpected shard series under the $tag backend" >&2
+    exit 1
+  fi
+done
+grep -q 'dacc_sim_shard_windows_total' "$out/metrics_parallel_4.shard.prom"
+grep -q 'dacc_sim_shard_horizon_stalls_total' \
+  "$out/metrics_parallel_4.shard.prom"
+grep -q 'dacc_sim_shard_inbox_batch' "$out/metrics_parallel_4.shard.prom"
+(cd "$out" && DACC_SIM_BACKEND=parallel:4 \
+  "$build/examples/metrics_dump" "metrics_replay" > "run_replay.log")
+cmp "$out/metrics_parallel_4.shard.prom" "$out/metrics_replay.shard.prom"
+
 # Batched command streams: repeat the process-level check with DACC_RPC_BATCH
 # coalescing small ops into kBatch frames. The frame boundaries (rpc message
 # counts, flush-size histograms) land in the snapshot, so this also pins the

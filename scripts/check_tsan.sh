@@ -30,3 +30,9 @@ ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 # two workers, so shard execution crosses OS threads even on small hosts.
 DACC_SIM_BACKEND=parallel:4 DACC_SIM_PARALLEL_WORKERS=2 \
   ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+
+# Pass 3: the 10k-node scaling scenario with a wider pool — four workers
+# over sixteen shards, so the horizon publishes, staged-inbox absorbs and
+# null-message pushes all cross OS threads at scale.
+DACC_SIM_PARALLEL_WORKERS=4 \
+  ctest --test-dir "$build" --output-on-failure -R 'ParallelScale'

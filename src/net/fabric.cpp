@@ -15,6 +15,28 @@ Fabric::Fabric(sim::Engine& engine, int num_nodes, FabricParams params)
   // counters everywhere. Must precede any node-homed scheduling, which
   // constructing the fabric before any traffic guarantees.
   engine.set_node_count(num_nodes);
+  if (!params_.link_latency_overrides.empty()) {
+    std::vector<sim::Engine::LatencyOverride> links;
+    links.reserve(params_.link_latency_overrides.size());
+    for (const FabricParams::LinkLatency& l : params_.link_latency_overrides) {
+      check_node(l.a);
+      check_node(l.b);
+      if (l.a == l.b || l.latency < 0) {
+        throw std::invalid_argument(
+            "Fabric: link latency override needs two distinct nodes and a "
+            "non-negative latency");
+      }
+      link_latency_[link_key(l.a, l.b)] = l.latency;
+      link_latency_[link_key(l.b, l.a)] = l.latency;
+      links.push_back({l.a, l.b, l.latency});
+    }
+    // The overrides become the engine's per-pair cross-node clamp floors —
+    // part of the simulation semantics in every backend — and calibrate the
+    // parallel backend's per-shard-pair lookahead matrix + topology-aware
+    // partitioner. Deliberately does NOT touch set_lookahead: whether a
+    // window width exists at all stays the cluster harness's decision.
+    engine.set_lookahead_overrides(params_.wire_latency, links);
+  }
 }
 
 void Fabric::check_node(NodeId node) const {
@@ -104,6 +126,7 @@ Fabric::Outcome Fabric::transfer_outcome(NodeId src, NodeId dst,
   if (factor < 1.0) {
     busy = static_cast<SimDuration>(static_cast<double>(busy) / factor);
   }
+  const SimDuration wire = latency_of(src, dst);
   if (earliest >= d.down_at) {
     // The sender transmits into a dead receiver: tx time is consumed, but
     // nothing lands on the rx side.
@@ -112,12 +135,12 @@ Fabric::Outcome Fabric::transfer_outcome(NodeId src, NodeId dst,
     count_tx(src, bytes, busy, tx.start - earliest);
     ++d.drops;
     count_drop(dst);
-    return {tx.end + params_.wire_latency, false};
+    return {tx.end + wire, false};
   }
   const auto tx = s.tx.occupy(earliest, busy);
   // Cut-through: the rx occupancy mirrors the tx occupancy shifted by the
   // wire latency; rx-port contention can delay it further.
-  const auto rx = d.rx.occupy(tx.start + params_.wire_latency, busy);
+  const auto rx = d.rx.occupy(tx.start + wire, busy);
   s.bytes_sent += bytes;
   d.bytes_received += bytes;
   count_tx(src, bytes, busy, tx.start - earliest);
@@ -172,13 +195,13 @@ Fabric::TxPlan Fabric::plan_transfer(NodeId src, NodeId dst,
   if (factor < 1.0) {
     busy = static_cast<SimDuration>(static_cast<double>(busy) / factor);
   }
+  const SimDuration wire = latency_of(src, dst);
   const auto tx = s.tx.occupy(earliest, busy);
   s.bytes_sent += bytes;
   count_tx(src, bytes, busy, tx.start - earliest);
   if (earliest >= d.down_at) {
     // Transmitting into a dead receiver: tx time is consumed, nothing lands.
-    return {TxPlan::Kind::kDstDead, tx.end + params_.wire_latency, busy,
-            false};
+    return {TxPlan::Kind::kDstDead, tx.end + wire, busy, false};
   }
   // Cut-through: the wire front reaches the receiver one latency after the
   // tx occupancy starts; the rx port is charged there, in arrival order.
@@ -187,8 +210,7 @@ Fabric::TxPlan Fabric::plan_transfer(NodeId src, NodeId dst,
     ++s.drops;
     count_drop(src);
   }
-  return {TxPlan::Kind::kSend, tx.start + params_.wire_latency, busy,
-          src_dropped};
+  return {TxPlan::Kind::kSend, tx.start + wire, busy, src_dropped};
 }
 
 void Fabric::fail_link(NodeId node, SimTime at) {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "net/model_params.hpp"
@@ -43,6 +44,16 @@ class Fabric {
   int num_nodes() const { return static_cast<int>(nics_.size()); }
   const FabricParams& params() const { return params_; }
   sim::Engine& engine() { return engine_; }
+
+  /// One-way wire latency of the src -> dst link: the per-pair override
+  /// when one exists, the uniform wire_latency otherwise. Symmetric.
+  SimDuration latency_of(NodeId src, NodeId dst) const {
+    if (!link_latency_.empty()) {
+      const auto it = link_latency_.find(link_key(src, dst));
+      if (it != link_latency_.end()) return it->second;
+    }
+    return params_.wire_latency;
+  }
 
   /// Reserves fabric resources for moving `bytes` from `src` to `dst`,
   /// starting no earlier than `earliest`, and returns the delivery
@@ -178,6 +189,11 @@ class Fabric {
 
   void check_node(NodeId node) const;
 
+  static std::uint64_t link_key(NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  }
+
   // --- metrics (lazy-bound; no-ops until a registry is attached) ----------
   // The fabric is constructed before Engine::set_metrics can run, and the
   // hot paths execute on arbitrary shards under the parallel backend, so the
@@ -200,6 +216,8 @@ class Fabric {
   sim::Engine& engine_;
   FabricParams params_;
   std::vector<Nic> nics_;
+  // Sparse per-link latency overrides, keyed both directions.
+  std::unordered_map<std::uint64_t, SimDuration> link_latency_;
 
   std::mutex metrics_mutex_;  // guards the one-time registration only
   std::atomic<obs::Registry*> metrics_bound_{nullptr};

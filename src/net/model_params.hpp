@@ -7,6 +7,9 @@
 // ran with so results are traceable.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "util/units.hpp"
 
 namespace dacc::net {
@@ -32,6 +35,19 @@ struct FabricParams {
   /// affecting the 2 us small-message latency.
   SimDuration per_message_overhead = 2200;              // ns
   std::uint64_t per_message_overhead_min_bytes = 4096;  // bytes
+
+  /// Sparse symmetric per-link latency overrides for heterogeneous
+  /// topologies (e.g. a 3D-torus neighbor link shorter than the default
+  /// switch hop). Node pairs not listed use `wire_latency`. The fabric
+  /// registers these with the engine as per-pair lookahead floors, which
+  /// both calibrates the parallel backend's per-shard-pair horizon matrix
+  /// and feeds the topology-aware shard partitioner.
+  struct LinkLatency {
+    int a = 0;
+    int b = 0;
+    SimDuration latency = 0;  // ns, one-way
+  };
+  std::vector<LinkLatency> link_latency_overrides;
 };
 
 }  // namespace dacc::net

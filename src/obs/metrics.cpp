@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -245,14 +246,28 @@ void split_labels(const std::string& name, std::string* base,
 
 }  // namespace
 
-void Registry::write_json(std::ostream& os) const {
+std::vector<const Registry::Metric*> Registry::collect(std::string_view prefix,
+                                                       bool include) const {
   std::vector<const Metric*> sorted;
-  {
-    std::lock_guard<std::mutex> lock(reg_mutex_);
-    sorted.reserve(names_.size());
-    for (const auto& [name, idx] : names_) sorted.push_back(&metrics_[idx]);
+  std::lock_guard<std::mutex> lock(reg_mutex_);
+  sorted.reserve(names_.size());
+  // names_ is an ordered map: iteration is already sorted by name.
+  for (const auto& [name, idx] : names_) {
+    if (!prefix.empty()) {
+      const bool match = std::string_view(name).substr(0, prefix.size()) ==
+                         prefix;
+      if (match != include) continue;
+    }
+    sorted.push_back(&metrics_[idx]);
   }
-  // names_ is an ordered map: already sorted by name.
+  return sorted;
+}
+
+void Registry::write_json(std::ostream& os) const { write_json(os, {}, false); }
+
+void Registry::write_json(std::ostream& os, std::string_view prefix,
+                          bool include) const {
+  const std::vector<const Metric*> sorted = collect(prefix, include);
   os << "{\"metrics\":[";
   bool first = true;
   for (const Metric* m : sorted) {
@@ -294,13 +309,19 @@ std::string Registry::json() const {
   return os.str();
 }
 
+std::string Registry::json(std::string_view prefix, bool include) const {
+  std::ostringstream os;
+  write_json(os, prefix, include);
+  return os.str();
+}
+
 void Registry::write_prometheus(std::ostream& os) const {
-  std::vector<const Metric*> sorted;
-  {
-    std::lock_guard<std::mutex> lock(reg_mutex_);
-    sorted.reserve(names_.size());
-    for (const auto& [name, idx] : names_) sorted.push_back(&metrics_[idx]);
-  }
+  write_prometheus(os, {}, false);
+}
+
+void Registry::write_prometheus(std::ostream& os, std::string_view prefix,
+                                bool include) const {
+  const std::vector<const Metric*> sorted = collect(prefix, include);
   std::string last_family;
   for (const Metric* m : sorted) {
     std::string base, labels;
@@ -344,6 +365,12 @@ std::string Registry::prometheus() const {
   return os.str();
 }
 
+std::string Registry::prometheus(std::string_view prefix, bool include) const {
+  std::ostringstream os;
+  write_prometheus(os, prefix, include);
+  return os.str();
+}
+
 }  // namespace dacc::obs
 
 // ---------------------------------------------------------------------------
@@ -355,6 +382,24 @@ std::string Registry::prometheus() const {
 
 namespace dacc::sim {
 
+namespace {
+
+/// Per-shard handle set for the era-barrier stats sink, bound lazily the
+/// first time a shard reports. Names carry the shard id as a label under
+/// obs::Registry::kShardSeriesPrefix so the cross-backend comparisons can
+/// split them out (shard placement is a scheduling detail, not simulated
+/// behavior — but for a fixed shard map the series are still deterministic
+/// and byte-identical across replays and worker counts).
+struct ShardEraSeries {
+  obs::Counter windows;  ///< eras in which the shard executed events
+  obs::Counter events;   ///< events executed across those eras
+  obs::Counter inbox;    ///< cross-shard events absorbed
+  obs::Counter stalls;   ///< eras spent only pushing null horizons
+  bool bound = false;
+};
+
+}  // namespace
+
 void Engine::set_metrics(obs::Registry* registry) {
   metrics_ = registry;
   if (registry != nullptr) {
@@ -363,9 +408,43 @@ void Engine::set_metrics(obs::Registry* registry) {
       registry->begin_parallel(buffers);
     };
     metrics_merge_parallel_ = [registry] { registry->merge_parallel(); };
+    auto series = std::make_shared<std::vector<ShardEraSeries>>();
+    auto batch = std::make_shared<obs::Histogram>();
+    metrics_shard_era_ = [registry, series, batch](
+                             int shard, std::uint64_t events,
+                             std::uint64_t inbox, bool stalled) {
+      if (!*batch) {
+        *batch = registry->histogram("dacc_sim_shard_inbox_batch",
+                                     {1, 4, 16, 64, 256, 1024, 4096});
+      }
+      const auto idx = static_cast<std::size_t>(shard);
+      if (idx >= series->size()) series->resize(idx + 1);
+      ShardEraSeries& s = (*series)[idx];
+      if (!s.bound) {
+        const std::string id = std::to_string(shard);
+        s.windows = registry->counter(
+            obs::labeled("dacc_sim_shard_windows_total", "shard", id));
+        s.events = registry->counter(
+            obs::labeled("dacc_sim_shard_events_total", "shard", id));
+        s.inbox = registry->counter(
+            obs::labeled("dacc_sim_shard_inbox_events_total", "shard", id));
+        s.stalls = registry->counter(
+            obs::labeled("dacc_sim_shard_horizon_stalls_total", "shard", id));
+        s.bound = true;
+      }
+      if (stalled) {
+        s.stalls.add(1);
+      } else {
+        s.windows.add(1);
+        s.events.add(events);
+      }
+      s.inbox.add(inbox);
+      batch->observe(inbox);
+    };
   } else {
     metrics_begin_parallel_ = nullptr;
     metrics_merge_parallel_ = nullptr;
+    metrics_shard_era_ = nullptr;
   }
 }
 

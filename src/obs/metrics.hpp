@@ -123,6 +123,23 @@ class Registry {
   void write_prometheus(std::ostream& os) const;
   std::string prometheus() const;
 
+  /// Prefix-filtered snapshots: include=true keeps only metrics whose name
+  /// starts with `prefix`, include=false drops them (empty prefix = no
+  /// filter). The cross-backend byte-identity comparisons use these to
+  /// split backend-invariant series from the parallel backend's
+  /// shard-placement series (kShardSeriesPrefix), which are instead
+  /// compared parallel-run against parallel-replay.
+  void write_json(std::ostream& os, std::string_view prefix,
+                  bool include) const;
+  std::string json(std::string_view prefix, bool include) const;
+  void write_prometheus(std::ostream& os, std::string_view prefix,
+                        bool include) const;
+  std::string prometheus(std::string_view prefix, bool include) const;
+
+  /// Name prefix of the parallel backend's per-shard era series (windows
+  /// entered, horizon stalls, inbox drain batches).
+  static constexpr std::string_view kShardSeriesPrefix = "dacc_sim_shard_";
+
   /// Resets all values (registrations and handles stay valid).
   void reset();
 
@@ -166,6 +183,8 @@ class Registry {
   void record(std::uint32_t idx, OpKind op, std::int64_t value);
   void apply(std::uint32_t idx, OpKind op, std::int64_t value);
   const Metric* find(const std::string& name, Kind kind) const;
+  std::vector<const Metric*> collect(std::string_view prefix,
+                                     bool include) const;
 
   sim::Engine* engine_ = nullptr;
   /// Guards names_/metrics_ during registration only: components may bind

@@ -78,9 +78,17 @@ Cluster::Cluster(ClusterConfig config)
     throw std::invalid_argument("Cluster: need at least one compute node");
   }
   // Conservative lookahead: no cross-node effect can land sooner than one
-  // wire latency, so shards may safely advance that far per window. The
-  // clamp applies under every backend, keeping results bit-identical.
+  // wire latency (or the per-link override the fabric registered), so
+  // shards may safely advance that far between each other. The clamp
+  // applies under every backend, keeping results bit-identical.
   engine_.set_lookahead(config_.fabric.wire_latency);
+  // Serial-control band gap: effects targeting the global band (job
+  // completions, control notifications) are clamped up by a multiple of
+  // the wire latency, so an era spans many lookaheads between global
+  // synchronization points — the main source of the window-count drop.
+  engine_.set_band_gap(config_.sim_band_gap > 0
+                           ? config_.sim_band_gap
+                           : 64 * config_.fabric.wire_latency);
   if (config_.trace) engine_.set_tracer(&tracer_);
   if (config_.metrics) engine_.set_metrics(&metrics_);
   world_ = std::make_unique<dmpi::World>(

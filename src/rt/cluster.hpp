@@ -103,10 +103,18 @@ struct ClusterConfig {
   sim::ExecBackend sim_backend = sim::default_exec_backend();
 
   /// Shard count for the parallel backend: simulated nodes are partitioned
-  /// into this many event queues (0 = one shard per fabric node). Honors
-  /// DACC_SIM_BACKEND=parallel:N by default. Ignored by the sequential
-  /// backends. Results are bit-identical for every shard count.
+  /// into this many event queues (0 = auto, capped at a host-sized limit).
+  /// Honors DACC_SIM_BACKEND=parallel:N by default; the node -> shard
+  /// placement can be pinned with DACC_SIM_SHARD_MAP. Ignored by the
+  /// sequential backends. Results are bit-identical for every shard count.
   int sim_shards = sim::default_parallel_shards();
+
+  /// Width of the engine's serial-control band (sim::Engine::set_band_gap):
+  /// node -> global effects are clamped up by this much, letting parallel
+  /// shards run many wire latencies between global synchronizations. Like
+  /// the lookahead it is part of the simulation semantics and applies
+  /// identically under every backend. 0 = auto (64x the wire latency).
+  SimDuration sim_band_gap = 0;
 };
 
 class Cluster;

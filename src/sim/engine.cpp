@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <condition_variable>
 #include <mutex>
+#include <numeric>
 #include <sstream>
 #include <thread>
 
@@ -36,8 +37,9 @@ __attribute__((noinline)) void set_exec_cursor(ExecCursor* c) noexcept {
 // Exactly one side runs at a time; the two implementations differ only in
 // the mechanics of the hand-off. Under the parallel backend consecutive
 // slices of one process may be driven by different worker threads; the
-// barrier between windows orders those drives, so each strand still sees a
-// strictly alternating engine/process hand-off.
+// shard's horizon publishes (release) and reads (acquire) order those
+// drives, so each strand still sees a strictly alternating engine/process
+// hand-off.
 // ---------------------------------------------------------------------------
 
 class Process::Strand {
@@ -121,7 +123,7 @@ class CoroStrand final : public Process::Strand {
 // Because the process body runs on its own OS thread, the worker's
 // execution cursor must follow the baton: run_slice() publishes the
 // driving thread's cursor and the process side installs it after every
-// baton receipt, so Engine::now() etc. resolve against the running window.
+// baton receipt, so Engine::now() etc. resolve against the running drain.
 class ThreadStrand final : public Process::Strand {
  public:
   explicit ThreadStrand(Process& p) {
@@ -266,18 +268,18 @@ Process& Engine::current_process() {
 // Engine
 // ---------------------------------------------------------------------------
 
-/// Worker pool for the parallel backend. Workers sleep between windows; the
-/// coordinator publishes (epoch, window_end) and waits for every worker to
-/// check back in. The mutex hand-offs double as the happens-before edges
-/// that make shard state written in window N visible to whichever worker
-/// drives the shard in window N+1.
+/// Worker pool for the parallel backend. Workers sleep between eras; the
+/// coordinator publishes an epoch and waits for every worker to check back
+/// in. The mutex hand-offs double as the happens-before edges that make
+/// shard state written in era N visible to whichever worker drives the
+/// shard in era N+1; within an era the per-shard horizon atomics provide
+/// the ordering.
 struct Engine::ParallelRt {
   std::mutex m;
   std::condition_variable cv_work;
   std::condition_variable cv_done;
   std::uint64_t epoch = 0;
   int pending = 0;
-  SimTime window_end = 0;
   bool quit = false;
   std::exception_ptr failure;
   std::vector<std::thread> threads;
@@ -295,20 +297,216 @@ void Engine::set_node_count(int nodes) {
   if (nodes > node_count_) {
     node_count_ = nodes;
     node_seq_.resize(static_cast<std::size_t>(node_count_) + 1, 0);
+    plan_dirty_ = true;
   }
   if (backend_ != ExecBackend::kParallel || node_count_ == 0) return;
-  const int want = shards_hint_ > 0 ? shards_hint_ : node_count_;
-  if (want == num_shards_) return;
-  for (const auto& sh : shards_) {
-    if (!sh->q.empty()) {
-      throw SimError("set_node_count: cannot re-shard with node events pending");
+  // Auto sharding caps at a host-sized shard count: more shards than a
+  // small multiple of the worker pool adds horizon-scan and queue overhead
+  // without exposing any extra parallelism, and placement never affects
+  // simulated results.
+  const int want = shards_hint_ > 0
+                       ? shards_hint_
+                       : std::min(node_count_, default_auto_shard_cap());
+  if (want != num_shards_) {
+    for (const auto& sh : shards_) {
+      if (!sh->q.empty()) {
+        throw SimError(
+            "set_node_count: cannot re-shard with node events pending");
+      }
+    }
+    stop_workers();
+    shards_.clear();
+    shards_.reserve(static_cast<std::size_t>(want));
+    for (int i = 0; i < want; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+    num_shards_ = want;
+    plan_dirty_ = true;
+  }
+  recompute_shard_map();
+}
+
+void Engine::set_lookahead_overrides(
+    SimDuration default_latency, const std::vector<LatencyOverride>& links) {
+  la_override_.clear();
+  for (const LatencyOverride& l : links) {
+    if (l.a < 0 || l.b < 0 || l.a == l.b || l.latency < 0) {
+      throw SimError("set_lookahead_overrides: invalid link override");
+    }
+    for (const std::uint64_t key : {pair_key(l.a, l.b), pair_key(l.b, l.a)}) {
+      auto [it, fresh] = la_override_.try_emplace(key, l.latency);
+      if (!fresh && l.latency < it->second) it->second = l.latency;
     }
   }
-  stop_workers();
-  shards_.clear();
-  shards_.reserve(static_cast<std::size_t>(want));
-  for (int i = 0; i < want; ++i) shards_.push_back(std::make_unique<Shard>());
-  num_shards_ = want;
+  override_default_ = default_latency;
+  plan_dirty_ = true;
+  if (backend_ == ExecBackend::kParallel && num_shards_ > 0) {
+    recompute_shard_map();
+  }
+}
+
+void Engine::set_shard_map(std::vector<int> map) {
+  if (backend_ != ExecBackend::kParallel || num_shards_ == 0) {
+    throw SimError("set_shard_map: requires the parallel backend with a "
+                   "declared node topology");
+  }
+  if (static_cast<int>(map.size()) != node_count_) {
+    throw SimError("set_shard_map: map size must equal node_count()");
+  }
+  for (const int s : map) {
+    if (s < 0 || s >= num_shards_) {
+      throw SimError("set_shard_map: shard id out of range");
+    }
+  }
+  for (const auto& sh : shards_) {
+    if (!sh->q.empty()) {
+      throw SimError("set_shard_map: cannot move nodes with events pending");
+    }
+  }
+  shard_of_ = std::move(map);
+  shard_map_source_ = ShardMapSource::kExplicit;
+  plan_dirty_ = true;
+}
+
+void Engine::recompute_shard_map() {
+  if (num_shards_ <= 0 || node_count_ <= 0) return;
+  std::vector<int> map;
+  if (shard_map_source_ == ShardMapSource::kExplicit) {
+    // Keep the user's placement; new nodes (topology growth) fall back to
+    // round robin, shrunk shard counts wrap.
+    map = shard_of_;
+    while (static_cast<int>(map.size()) < node_count_) {
+      map.push_back(static_cast<int>(map.size()) % num_shards_);
+    }
+    for (int& s : map) {
+      if (s >= num_shards_) s %= num_shards_;
+    }
+  } else {
+    std::vector<int> env = parse_shard_map_env(node_count_, num_shards_);
+    if (!env.empty()) {
+      map = std::move(env);
+      shard_map_source_ = ShardMapSource::kEnv;
+    } else if (!la_override_.empty()) {
+      map = topology_partition();
+    }
+    // else: empty map == round robin.
+  }
+  if (map == shard_of_) return;
+  for (const auto& sh : shards_) {
+    if (!sh->q.empty()) {
+      throw SimError(
+          "cannot change the node->shard map with node events pending");
+    }
+  }
+  shard_of_ = std::move(map);
+  plan_dirty_ = true;
+}
+
+std::vector<int> Engine::topology_partition() const {
+  const int n = node_count_;
+  const int s = num_shards_;
+  // Union-find over short links (latency below the topology default): nodes
+  // coupled by a short link want to share a shard so the link never bounds
+  // a cross-shard horizon.
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&parent](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (const auto& [key, lat] : la_override_) {
+    if (lat >= override_default_) continue;
+    const int a = static_cast<int>(key >> 32);
+    const int b = static_cast<int>(key & 0xffffffffu);
+    if (a >= n || b >= n) continue;
+    const int ra = find(a);
+    const int rb = find(b);
+    if (ra != rb) parent[static_cast<std::size_t>(std::max(ra, rb))] =
+        std::min(ra, rb);
+  }
+  // Groups in first-member order (deterministic regardless of hash order).
+  std::vector<std::vector<int>> groups;
+  std::unordered_map<int, std::size_t> group_of_root;
+  for (int i = 0; i < n; ++i) {
+    const int r = find(i);
+    const auto [it, fresh] = group_of_root.try_emplace(r, groups.size());
+    if (fresh) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+  // A group larger than one shard's fair share is sliced into contiguous
+  // chunks (a ring of short links would otherwise collapse onto one shard):
+  // within a chunk every short link stays intra-shard; only the slice
+  // boundaries become cross-shard short links.
+  const std::size_t cap =
+      (static_cast<std::size_t>(n) + static_cast<std::size_t>(s) - 1) /
+      static_cast<std::size_t>(s);
+  std::vector<std::vector<int>> chunks;
+  for (const auto& g : groups) {
+    for (std::size_t off = 0; off < g.size(); off += cap) {
+      const std::size_t end = std::min(off + cap, g.size());
+      chunks.emplace_back(g.begin() + static_cast<std::ptrdiff_t>(off),
+                          g.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+  }
+  // Load rebalancing: biggest chunk first onto the least-loaded shard
+  // (ties: lowest shard id). Deterministic.
+  std::vector<std::size_t> order(chunks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&chunks](std::size_t a, std::size_t b) {
+                     if (chunks[a].size() != chunks[b].size()) {
+                       return chunks[a].size() > chunks[b].size();
+                     }
+                     return chunks[a].front() < chunks[b].front();
+                   });
+  std::vector<std::size_t> load(static_cast<std::size_t>(s), 0);
+  std::vector<int> map(static_cast<std::size_t>(n), 0);
+  for (const std::size_t idx : order) {
+    int best = 0;
+    for (int k = 1; k < s; ++k) {
+      if (load[static_cast<std::size_t>(k)] <
+          load[static_cast<std::size_t>(best)]) {
+        best = k;
+      }
+    }
+    for (const int node : chunks[idx]) {
+      map[static_cast<std::size_t>(node)] = best;
+    }
+    load[static_cast<std::size_t>(best)] += chunks[idx].size();
+  }
+  return map;
+}
+
+void Engine::ensure_parallel_plan() {
+  if (!plan_dirty_) return;
+  plan_dirty_ = false;
+  const int s = num_shards_;
+  pair_la_.assign(static_cast<std::size_t>(s) * static_cast<std::size_t>(s),
+                  lookahead_);
+  min_cross_la_ = lookahead_;
+  if (s <= 1 || la_override_.empty()) return;
+  // A shard pair's lookahead is the minimum latency floor over node pairs
+  // crossing it. Non-overridden node pairs exist across essentially every
+  // shard pair, so each cell starts at the default lookahead and only
+  // shorter overrides pull it down — longer overrides can never raise it,
+  // which is conservative (correct, merely less parallel).
+  for (const auto& [key, lat] : la_override_) {
+    const int a = static_cast<int>(key >> 32);
+    const int b = static_cast<int>(key & 0xffffffffu);
+    if (a >= node_count_ || b >= node_count_) continue;
+    const int sa = shard_target(a);
+    const int sb = shard_target(b);
+    if (sa == sb) continue;
+    SimTime& cell =
+        pair_la_[static_cast<std::size_t>(sa) * static_cast<std::size_t>(s) +
+                 static_cast<std::size_t>(sb)];
+    if (lat < cell) cell = lat;
+    if (lat < min_cross_la_) min_cross_la_ = lat;
+  }
 }
 
 void Engine::set_tracer(Tracer* tracer) {
@@ -327,7 +525,7 @@ bool Engine::parallel_trace_key(SimTime* t, std::uint64_t* ord,
     *buffer = c->shard;
     return true;
   }
-  // Serial global band between windows.
+  // Serial global band between eras.
   *t = now_;
   *ord = band_ord_;
   *seq = band_trace_seq_++;
@@ -354,7 +552,7 @@ Process& Engine::spawn_on(std::int32_t node, std::string name, ProcessFn fn) {
     processes_.push_back(std::move(proc));
   }
   // First slice runs as a regular event at the current time on the home
-  // node (one lookahead later when spawning across nodes).
+  // node (one latency floor later when spawning across nodes).
   post(node, now(), [this, ref] { resume_slice(*ref); });
   return *ref;
 }
@@ -419,11 +617,11 @@ void Engine::wake(Process& p) {
   if (p.home_node_ == kGlobalNode) {
     // A node context waking a node-less process. The sequential backends
     // (including the merged no-lookahead drain) share one baton so
-    // immediate delivery is safe and keeps historical timings; the windowed
-    // parallel driver cannot reach the global band from inside a window
-    // without breaking the canonical order.
+    // immediate delivery is safe and keeps historical timings; the era
+    // driver cannot reach the global band from inside an era without
+    // breaking the canonical order.
     if (backend_ != ExecBackend::kParallel || num_shards_ == 0 ||
-        lookahead_ == 0) {
+        !windowed_) {
       local_wake(p);
       return;
     }
@@ -431,8 +629,10 @@ void Engine::wake(Process& p) {
                    "' is not supported under the parallel backend; home the "
                    "process on a node with spawn_on()");
   }
-  // Cross-node wake: no interaction crosses nodes faster than the lookahead.
-  post(p.home_node_, now() + lookahead_, [this, &p] { local_wake(p); });
+  // Cross-node wake: no interaction crosses nodes faster than the pair's
+  // latency floor.
+  post(p.home_node_, now() + cross_floor(src, p.home_node_),
+       [this, &p] { local_wake(p); });
 }
 
 void Engine::set_daemon(Process& p) {
@@ -442,9 +642,12 @@ void Engine::set_daemon(Process& p) {
 
 void Engine::run() {
   if (backend_ == ExecBackend::kParallel && num_shards_ > 0) {
-    if (lookahead_ > 0) {
+    ensure_parallel_plan();
+    windowed_ = lookahead_ > 0 && min_cross_la_ > 0;
+    if (windowed_) {
       run_parallel(kSimTimeNever);
     } else {
+      ++pstats_.merged_fallbacks;
       run_merged(kSimTimeNever);
     }
     check_quiescence();
@@ -469,7 +672,11 @@ void Engine::run() {
 
 bool Engine::run_until(SimTime t) {
   if (backend_ == ExecBackend::kParallel && num_shards_ > 0) {
-    return lookahead_ > 0 ? run_parallel(t) : run_merged(t);
+    ensure_parallel_plan();
+    windowed_ = lookahead_ > 0 && min_cross_la_ > 0;
+    if (windowed_) return run_parallel(t);
+    ++pstats_.merged_fallbacks;
+    return run_merged(t);
   }
   running_ = true;
   while (!queue_.empty() && queue_.top_time() <= t) {
@@ -496,8 +703,8 @@ bool Engine::run_until(SimTime t) {
 bool Engine::run_merged(SimTime limit) {
   // The canonical (time, ord) key totally orders events regardless of which
   // queue holds them, so a least-key scan over the band queue plus every
-  // shard replays exactly the sequence the windowed driver executes — and
-  // the one the sequential backends produce.
+  // shard replays exactly the sequence the era driver executes — and the
+  // one the sequential backends produce.
   running_ = true;
   bool more = false;
   for (;;) {
@@ -556,13 +763,13 @@ void Engine::stop_workers() {
   workers_started_ = 0;
 }
 
-void Engine::drain_shard(int shard, SimTime window_end,
+void Engine::drain_shard(int shard, SimTime bound,
                          detail::ExecCursor& cursor) {
   Shard& sh = *shards_[static_cast<std::size_t>(shard)];
   cursor.engine = this;
   cursor.shard = shard;
   EventQueue& q = sh.q;
-  while (!q.empty() && q.top_time() < window_end) {
+  while (!q.empty() && q.top_time() < bound) {
     EventQueue::Node* ev = q.pop();
     cursor.now = ev->time;
     cursor.node = ev->node;
@@ -575,28 +782,86 @@ void Engine::drain_shard(int shard, SimTime window_end,
   cursor.engine = nullptr;
 }
 
+/// One conservative-PDES advancement step for `shard`: compute the safe
+/// drain bound from every neighbor's published horizon plus the shard-pair
+/// lookahead, absorb the staged inbox, drain events strictly below the
+/// bound, and publish the bound as this shard's new horizon — also when
+/// nothing was drained (the null-message push that keeps an idle shard from
+/// stalling its neighbors). Returns false when the bound cannot move yet.
+///
+/// Safety: a neighbor j whose horizon reads h has executed every event
+/// before h and will only execute events at u >= h from now on; anything it
+/// stages towards this shard is clamped to u + L(j, s) >= h + L(j, s) >=
+/// bound. Events staged before j published h are visible to our
+/// absorb_staged() (release store on j's horizon, acquire load here). So
+/// draining strictly below `bound` can never miss an earlier event — the
+/// canonical (time, ord) execution order is exactly the sequential one.
+bool Engine::advance_shard(int shard, detail::ExecCursor& cursor) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  if (sh.done) return false;
+  SimTime bound = era_end_;
+  const SimTime* row =
+      &pair_la_[static_cast<std::size_t>(shard) *
+                static_cast<std::size_t>(num_shards_)];
+  for (int j = 0; j < num_shards_; ++j) {
+    if (j == shard) continue;
+    const SimTime h =
+        shards_[static_cast<std::size_t>(j)]->horizon.load(
+            std::memory_order_acquire);
+    if (h >= bound) continue;
+    const SimDuration l = row[j];
+    const SimTime b = h > kSimTimeNever - l ? kSimTimeNever : h + l;
+    if (b < bound) bound = b;
+  }
+  if (bound <= sh.last_bound) return false;
+  sh.last_bound = bound;
+  sh.inbox_events += sh.q.absorb_staged();
+  cursor.switches = 0;
+  drain_shard(shard, bound, cursor);
+  sh.switches += cursor.switches;
+  sh.horizon.store(bound, std::memory_order_release);
+  if (bound >= era_end_) sh.done = true;
+  return true;
+}
+
 void Engine::worker_main(int index) {
   detail::ExecCursor cursor;
   detail::set_exec_cursor(&cursor);
   std::uint64_t seen = 0;
   for (;;) {
-    SimTime window_end = 0;
     {
       std::unique_lock<std::mutex> lock(rt_->m);
       rt_->cv_work.wait(lock,
                         [&] { return rt_->quit || rt_->epoch != seen; });
       if (rt_->quit) break;
       seen = rt_->epoch;
-      window_end = rt_->window_end;
     }
-    for (int s = index; s < num_shards_; s += workers_started_) {
-      try {
-        cursor.switches = 0;
-        drain_shard(s, window_end, cursor);
-        shards_[static_cast<std::size_t>(s)]->switches += cursor.switches;
-      } catch (...) {
+    try {
+      // Drive owned shards until each has reached the era end. Progress is
+      // guaranteed: the globally least-advanced live shard always finds a
+      // bound strictly above its horizon (every cross-shard lookahead is
+      // positive in era mode), so horizons rise monotonically to era_end_.
+      for (;;) {
+        bool progress = false;
+        bool all_done = true;
+        for (int s = index; s < num_shards_; s += workers_started_) {
+          progress = advance_shard(s, cursor) || progress;
+          all_done = all_done && shards_[static_cast<std::size_t>(s)]->done;
+        }
+        if (all_done) break;
+        if (!progress) std::this_thread::yield();
+      }
+    } catch (...) {
+      {
         std::lock_guard<std::mutex> lock(rt_->m);
         if (!rt_->failure) rt_->failure = std::current_exception();
+      }
+      // Release the neighbors: publish final horizons so the other workers
+      // converge to the barrier instead of spinning on our stale clocks.
+      for (int s = index; s < num_shards_; s += workers_started_) {
+        Shard& sh = *shards_[static_cast<std::size_t>(s)];
+        sh.done = true;
+        sh.horizon.store(era_end_, std::memory_order_release);
       }
     }
     {
@@ -607,12 +872,19 @@ void Engine::worker_main(int index) {
   detail::set_exec_cursor(nullptr);
 }
 
-void Engine::run_window(SimTime window_end) {
+void Engine::run_era(SimTime floor, SimTime era_end) {
+  era_end_ = era_end;
+  for (const auto& sh : shards_) {
+    sh->horizon.store(floor, std::memory_order_relaxed);
+    sh->last_bound = floor;
+    sh->done = false;
+  }
   par_active_ = true;
   if (workers_started_ == 0) {
-    // Single-worker mode: drain every shard on this thread. Still runs the
-    // full routing/staging machinery, so shard placement is exercised (and
-    // the output provably shard-count-invariant) even on one core.
+    // Single-worker mode: drive every shard on this thread with the same
+    // horizon protocol, so shard placement and the asynchronous bounds are
+    // exercised (and the output provably shard-count-invariant) even on
+    // one core.
     struct Scoped {
       Engine* e;
       detail::ExecCursor* prev;
@@ -623,15 +895,17 @@ void Engine::run_window(SimTime window_end) {
     } scoped{this, detail::exec_cursor()};
     detail::ExecCursor cursor;
     detail::set_exec_cursor(&cursor);
-    for (int s = 0; s < num_shards_; ++s) {
-      cursor.switches = 0;
-      drain_shard(s, window_end, cursor);
-      shards_[static_cast<std::size_t>(s)]->switches += cursor.switches;
+    for (;;) {
+      bool all_done = true;
+      for (int s = 0; s < num_shards_; ++s) {
+        advance_shard(s, cursor);
+        all_done = all_done && shards_[static_cast<std::size_t>(s)]->done;
+      }
+      if (all_done) break;
     }
   } else {
     {
       std::lock_guard<std::mutex> lock(rt_->m);
-      rt_->window_end = window_end;
       rt_->pending = workers_started_;
       ++rt_->epoch;
     }
@@ -647,25 +921,38 @@ void Engine::run_window(SimTime window_end) {
       std::rethrow_exception(f);
     }
   }
-  // Barrier passed: fold staged cross-shard events into their heaps and the
-  // per-shard counters into the engine totals.
+  // Era barrier passed: absorb every inbox (events staged near the era end
+  // land in the next era; the coordinator's floor scan must see them) and
+  // fold the per-shard counters into the engine totals.
   queue_.absorb_staged();
   std::uint64_t total = 0;
   std::uint64_t busiest = 0;
   for (const auto& sh : shards_) {
-    sh->q.absorb_staged();
+    sh->inbox_events += sh->q.absorb_staged();
     events_executed_ += sh->events;
     process_switches_ += sh->switches;
     if (sh->last_time > now_) now_ = sh->last_time;
     total += sh->events;
     busiest = std::max(busiest, sh->events);
-    sh->events = 0;
-    sh->switches = 0;
   }
   if (total > 0) {
     ++pstats_.windows;
     pstats_.parallel_events += total;
     pstats_.critical_path_events += busiest;
+    if (metrics_shard_era_) {
+      // Serial context; inputs (events per shard per era, inbox batch
+      // sizes) are schedule-independent, so the metrics snapshot stays
+      // byte-identical across replays and worker counts.
+      for (int s = 0; s < num_shards_; ++s) {
+        const Shard& sh = *shards_[static_cast<std::size_t>(s)];
+        metrics_shard_era_(s, sh.events, sh.inbox_events, sh.events == 0);
+      }
+    }
+  }
+  for (const auto& sh : shards_) {
+    sh->events = 0;
+    sh->switches = 0;
+    sh->inbox_events = 0;
   }
 }
 
@@ -674,6 +961,7 @@ bool Engine::run_parallel(SimTime limit) {
   if (tracer_ != nullptr) tracer_->begin_parallel(num_shards_ + 1);
   if (metrics_begin_parallel_) metrics_begin_parallel_(num_shards_ + 1);
   ensure_workers();
+  const SimDuration gap = effective_band_gap();
   bool more = false;
   try {
     for (;;) {
@@ -694,10 +982,10 @@ bool Engine::run_parallel(SimTime limit) {
         break;
       }
       if (global_top <= shard_top) {
-        // Global band: runs serially between windows. The canonical order
+        // Global band: runs serially between eras. The canonical order
         // puts global-context events ahead of node events at equal times
         // ((node + 1) packs to 0 in the key), so shared control state
-        // written here is safe for every shard to read in the next window.
+        // written here is safe for every shard to read in the next era.
         EventQueue::Node* ev = queue_.pop();
         now_ = ev->time;
         cur_node_ = ev->node;
@@ -708,23 +996,18 @@ bool Engine::run_parallel(SimTime limit) {
         cur_node_ = kGlobalNode;
         continue;
       }
-      if (lookahead_ == 0) {
-        throw SimError(
-            "parallel backend requires a positive lookahead: call "
-            "Engine::set_lookahead() with the minimum cross-node latency");
+      // Conservative era: no event dated before shard_top exists anywhere,
+      // and nothing a shard does before shard_top + band_gap can reach the
+      // global band inside the era — so the shards may advance
+      // asynchronously (bounded pairwise by the lookahead matrix) up to
+      // (exclusive) the era end.
+      SimTime era_end =
+          shard_top > kSimTimeNever - gap ? kSimTimeNever : shard_top + gap;
+      era_end = std::min(era_end, global_top);
+      if (limit != kSimTimeNever && era_end > limit) {
+        era_end = limit + 1;  // run_until is inclusive of `limit`
       }
-      // Conservative window: no event dated before shard_top exists
-      // anywhere, and nothing a shard does before shard_top + lookahead can
-      // affect another node inside the window — so every shard may run
-      // independently up to (exclusive) the window end.
-      SimTime window_end = shard_top > kSimTimeNever - lookahead_
-                               ? kSimTimeNever
-                               : shard_top + lookahead_;
-      window_end = std::min(window_end, global_top);
-      if (limit != kSimTimeNever && window_end > limit) {
-        window_end = limit + 1;  // run_until is inclusive of `limit`
-      }
-      run_window(window_end);
+      run_era(shard_top, era_end);
     }
   } catch (...) {
     running_ = false;

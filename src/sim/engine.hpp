@@ -12,7 +12,9 @@
 // process switch is two user-space context swaps), one OS thread per process
 // with mutex/condvar baton passing (sanitizer-friendly fallback), and a
 // conservative parallel backend that partitions node-homed work into
-// per-shard event queues driven by a worker pool in lookahead-wide windows
+// per-shard event queues driven by a worker pool. Within an era the shards
+// advance asynchronously: each shard repeatedly drains up to the minimum of
+// its neighbors' published horizon clocks plus the per-shard-pair lookahead
 // (DESIGN.md §5.2). All three produce identical event sequences;
 // tests/sim/determinism_test.cpp enforces that contract three ways.
 //
@@ -24,9 +26,9 @@
 // Under the parallel backend the baton is per node: callbacks and processes
 // may freely touch state homed on their own node; effects that target
 // another node (fabric delivery, cross-node wakes, posts) are routed through
-// staged inboxes and take effect no earlier than one lookahead later, which
-// is exactly the calibrated cross-node latency floor, so the sequential
-// backends observe the same times.
+// staged inboxes and take effect no earlier than the node pair's latency
+// floor later — which is exactly the calibrated cross-node link latency, so
+// the sequential backends observe the same times.
 #pragma once
 
 #include <atomic>
@@ -37,6 +39,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -66,7 +69,7 @@ struct TraceCtx {
 /// Execution affinity of contexts that belong to no cluster node: the main
 /// thread between runs, plain engine callbacks, and processes spawned before
 /// any node topology exists. Under the parallel backend the global context
-/// runs serially between windows and its events sort ahead of same-time node
+/// runs serially between eras and its events sort ahead of same-time node
 /// events, which is what makes it safe to keep shared control state there.
 inline constexpr std::int32_t kGlobalNode = -1;
 
@@ -84,7 +87,7 @@ class SimError : public std::runtime_error {
 namespace detail {
 
 /// Per-worker execution state for the parallel backend. Lives on the worker
-/// thread's stack during a window drain; the thread-local pointer to it is
+/// thread's stack during a shard drain; the thread-local pointer to it is
 /// re-read through a non-inlined accessor so coroutine stacks that migrate
 /// between workers never see a stale thread-local address.
 struct ExecCursor {
@@ -197,8 +200,9 @@ class Process {
 
 class Engine {
  public:
-  /// `shards` is the parallel backend's shard count (0 = one shard per
-  /// cluster node); ignored by the sequential backends.
+  /// `shards` is the parallel backend's shard count (0 = auto: one shard
+  /// per cluster node, capped at a host-sized limit); ignored by the
+  /// sequential backends.
   explicit Engine(ExecBackend backend = default_exec_backend(),
                   int shards = default_parallel_shards());
   ~Engine();
@@ -206,7 +210,7 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Simulated time of the calling context: the running event's time during
-  /// a parallel window, the engine clock otherwise.
+  /// a parallel era, the engine clock otherwise.
   SimTime now() const {
     if (par_active_) [[unlikely]] {
       const detail::ExecCursor* c = detail::exec_cursor();
@@ -227,11 +231,69 @@ class Engine {
 
   /// Minimum simulated latency of any cross-node interaction — the
   /// conservative lookahead. Cross-node effects scheduled sooner are clamped
-  /// up to now + lookahead in EVERY backend, so the parallel windows and the
-  /// sequential replay agree bit for bit. Defaults to 0 (purely sequential
-  /// semantics); rt::Cluster sets it to the fabric wire latency.
-  void set_lookahead(SimDuration l) { lookahead_ = l; }
+  /// up to now + lookahead in EVERY backend, so the parallel horizons and
+  /// the sequential replay agree bit for bit. Defaults to 0 (purely
+  /// sequential semantics); rt::Cluster sets it to the fabric wire latency.
+  void set_lookahead(SimDuration l) {
+    lookahead_ = l;
+    plan_dirty_ = true;
+  }
   SimDuration lookahead() const { return lookahead_; }
+
+  /// Sparse symmetric per-node-pair latency overrides for heterogeneous
+  /// topologies (net::Fabric registers its link overrides here).
+  /// `default_latency` is the latency of every non-overridden link — the
+  /// reference the topology partitioner uses to tell short links from long
+  /// ones. The override becomes that node pair's cross-node clamp floor in
+  /// EVERY backend (it is part of the simulation semantics, exactly like
+  /// set_lookahead), and the per-shard-pair lookahead matrix is derived
+  /// from it. Must be called before any node-homed event is scheduled.
+  struct LatencyOverride {
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+    SimDuration latency = 0;
+  };
+  void set_lookahead_overrides(SimDuration default_latency,
+                               const std::vector<LatencyOverride>& links);
+
+  /// Conservative clamp floor for an effect traveling src -> dst
+  /// (dst == kGlobalNode returns the band gap).
+  SimDuration cross_floor(std::int32_t src, std::int32_t dst) const {
+    if (dst == kGlobalNode) return effective_band_gap();
+    if (!la_override_.empty()) [[unlikely]] {
+      const auto it = la_override_.find(pair_key(src, dst));
+      if (it != la_override_.end()) return it->second;
+    }
+    return lookahead_;
+  }
+
+  /// Width of the serial-control "era": node->global effects are clamped up
+  /// by this much (instead of one lookahead), which lets the shards run
+  /// many lookaheads ahead between global-band synchronizations. 0 (the
+  /// default) falls back to the plain lookahead — the pre-async behavior.
+  /// Like the lookahead it is part of the simulation semantics and applies
+  /// identically under every backend. rt::Cluster raises it to a multiple
+  /// of the wire latency.
+  void set_band_gap(SimDuration g) {
+    band_gap_ = g;
+    plan_dirty_ = true;
+  }
+  SimDuration band_gap() const { return band_gap_; }
+  SimDuration effective_band_gap() const {
+    return band_gap_ > 0 ? band_gap_ : lookahead_;
+  }
+
+  /// Explicit node -> shard placement (size must equal node_count(), every
+  /// entry in [0, shard_count())). Overrides the topology partitioner and
+  /// the DACC_SIM_SHARD_MAP environment variable. Placement never changes
+  /// simulated results (shard-count invariance), only parallelism.
+  void set_shard_map(std::vector<int> map);
+
+  /// Shard that node's events execute on (0 when not parallel).
+  int shard_of(std::int32_t node) const {
+    if (num_shards_ == 0 || node < 0) return 0;
+    return shard_target(node);
+  }
 
   /// Execution affinity of the calling context.
   std::int32_t current_node() const { return context_node(); }
@@ -267,8 +329,8 @@ class Engine {
 
   /// Schedules `fn` to run at time `t` with execution affinity `node`.
   /// When the target differs from the calling context's node, `t` is
-  /// clamped up to now + lookahead — in every backend — because no
-  /// cross-node interaction can be faster than the latency floor.
+  /// clamped up to now + the pair's latency floor — in every backend —
+  /// because no cross-node interaction can be faster than the wire.
   template <typename F>
   void post(std::int32_t node, SimTime t, F&& fn) {
     route(node, t, std::forward<F>(fn));
@@ -276,7 +338,7 @@ class Engine {
 
   /// Grants one wake permit to `p` and, if `p` is blocked in suspend(),
   /// schedules its resumption (at the current time when the caller shares
-  /// `p`'s node; one lookahead later across nodes).
+  /// `p`'s node; one pair-latency floor later across nodes).
   void wake(Process& p);
 
   /// Runs until the event queue is empty. Throws SimError if any process
@@ -310,15 +372,21 @@ class Engine {
   /// under the thread backend).
   std::uint64_t stacks_created() const { return stack_pool_.created(); }
 
-  /// Window accounting for the parallel backend. critical_path_events is
-  /// the sum over windows of the busiest shard's event count: the events
+  /// Era accounting for the parallel backend. `windows` counts the serial
+  /// synchronization points (eras) the run needed — the quantity the
+  /// per-shard-pair asynchronous advancement shrinks. critical_path_events
+  /// is the sum over eras of the busiest shard's event count: the events
   /// that cannot overlap anything. parallel_events / critical_path_events
   /// is the exposed parallelism — the speedup an unloaded multi-core host
-  /// can realize on this scenario.
+  /// can realize on this scenario. merged_fallbacks counts runs that
+  /// surrendered concurrency to run_merged because no safe horizon width
+  /// exists (zero lookahead, or a zero-latency link crossing shards). All
+  /// fields are deterministic for a given scenario and shard map.
   struct ParallelStats {
     std::uint64_t windows = 0;
     std::uint64_t parallel_events = 0;
     std::uint64_t critical_path_events = 0;
+    std::uint64_t merged_fallbacks = 0;
   };
   const ParallelStats& parallel_stats() const { return pstats_; }
 
@@ -367,8 +435,20 @@ class Engine {
   struct Shard {
     EventQueue q;
     SimTime last_time = 0;
-    std::uint64_t events = 0;
+    std::uint64_t events = 0;        ///< events executed this era
     std::uint64_t switches = 0;
+    std::uint64_t inbox_events = 0;  ///< cross-shard events absorbed this era
+
+    /// Published horizon clock: this shard promises never to execute an
+    /// event earlier than `horizon`. Written with release by the owning
+    /// worker after each drain — including drains that executed nothing,
+    /// which is the null-message push that keeps idle shards from stalling
+    /// their neighbors. Read with acquire by every other shard.
+    std::atomic<SimTime> horizon{0};
+
+    // Owner-worker-local era state (reset by the coordinator between eras).
+    SimTime last_bound = 0;  ///< highest drain bound already executed to
+    bool done = false;       ///< horizon reached the era end
   };
   struct ParallelRt;  // worker pool (engine.cpp)
 
@@ -398,10 +478,26 @@ class Engine {
     return (static_cast<std::uint64_t>(src + 1) << 48) | ctr++;
   }
 
+  static std::uint64_t pair_key(std::int32_t a, std::int32_t b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  }
+
+  /// Target shard of a node's events: the shard map when one was computed
+  /// (topology partitioner / DACC_SIM_SHARD_MAP / set_shard_map), round
+  /// robin otherwise.
+  int shard_target(std::int32_t node) const {
+    if (!shard_of_.empty()) [[unlikely]] {
+      return shard_of_[static_cast<std::size_t>(node)];
+    }
+    return static_cast<int>(node % num_shards_);
+  }
+
   /// Single funnel for every schedule/post/spawn/resume: applies the
-  /// cross-node lookahead clamp, assigns the canonical key, and places the
-  /// event in the right queue (directly when the caller owns it, staged
-  /// when another worker does).
+  /// cross-node latency-floor clamp (per pair when overrides exist, the
+  /// band gap towards the global band), assigns the canonical key, and
+  /// places the event in the right queue (directly when the caller owns
+  /// it, staged when another worker does).
   template <typename F>
   void route(std::int32_t node, SimTime t, F&& fn) {
     std::int32_t src = cur_node_;
@@ -417,17 +513,16 @@ class Engine {
       }
     }
     if (src != kGlobalNode && node != src) {
-      const SimTime floor = ref + lookahead_;
+      const SimTime floor = ref + cross_floor(src, node);
       if (t < floor) t = floor;
     }
     if (t < ref) {
       throw SimError("schedule_at: time in the past");
     }
     const std::uint64_t ord = next_ord(src);
-    const int target =
-        (node == kGlobalNode || num_shards_ == 0)
-            ? -1
-            : static_cast<int>(node % num_shards_);
+    const int target = (node == kGlobalNode || num_shards_ == 0)
+                           ? -1
+                           : shard_target(node);
     if (c == nullptr) {
       // Serial context: sequential backends, the global band, between runs.
       if (target < 0) {
@@ -460,26 +555,40 @@ class Engine {
   // Parallel driver (engine.cpp).
   bool run_parallel(SimTime limit);
   /// Sequential drain of the sharded queues in canonical merged order —
-  /// used when the parallel layout exists but no lookahead was declared
-  /// (there is no safe window width, so concurrency is surrendered, not
-  /// correctness).
+  /// used when the parallel layout exists but no safe horizon width does
+  /// (zero lookahead, or a zero-latency link crossing shards): concurrency
+  /// is surrendered, not correctness.
   bool run_merged(SimTime limit);
-  void run_window(SimTime window_end);
-  void drain_shard(int shard, SimTime window_end, detail::ExecCursor& cursor);
+  void run_era(SimTime floor, SimTime era_end);
+  bool advance_shard(int shard, detail::ExecCursor& cursor);
+  void drain_shard(int shard, SimTime bound, detail::ExecCursor& cursor);
   void worker_main(int index);
   void ensure_workers();
   void stop_workers();
+
+  /// Rebuilds the derived parallel plan (per-shard-pair lookahead matrix,
+  /// minimum cross-shard lookahead) when topology inputs changed.
+  void ensure_parallel_plan();
+  /// Recomputes the node->shard map from the current source (explicit map,
+  /// DACC_SIM_SHARD_MAP, topology partitioner, round robin).
+  void recompute_shard_map();
+  /// Groups nodes connected by short links (latency < the default) onto
+  /// the same shard: union-find over short links, split oversized groups
+  /// into contiguous chunks, then greedy least-loaded assignment (the load
+  /// rebalancing for skewed topologies). Deterministic.
+  std::vector<int> topology_partition() const;
 
   void shutdown_processes();
   void check_quiescence();
   [[noreturn]] void rethrow_failure();
 
   ExecBackend backend_;
-  int shards_hint_;  // requested shard count (0 = one per node)
+  int shards_hint_;  // requested shard count (0 = auto)
   SimTime now_ = 0;
   std::int32_t cur_node_ = kGlobalNode;  // affinity of the running event
   int node_count_ = 0;
   SimDuration lookahead_ = 0;
+  SimDuration band_gap_ = 0;  // 0 = fall back to lookahead_
   std::vector<std::uint64_t> node_seq_{0};  // per-node ord counters; [0] is
                                             // the global context
   std::uint64_t next_process_id_ = 1;
@@ -501,12 +610,34 @@ class Engine {
   // visible from dacc_sim; these mirror the tracer's begin/merge calls).
   std::function<void(int)> metrics_begin_parallel_;
   std::function<void()> metrics_merge_parallel_;
+  // Per-shard era stats sink, also installed by set_metrics: called from
+  // the serial era barrier with (shard, events, inbox batch, stalled) —
+  // deterministic inputs, so the snapshot byte-identity contract holds.
+  std::function<void(int, std::uint64_t, std::uint64_t, bool)>
+      metrics_shard_era_;
+
+  // Heterogeneous-latency topology (sparse). Keyed by pair_key(src, dst);
+  // symmetric entries are stored in both directions.
+  std::unordered_map<std::uint64_t, SimDuration> la_override_;
+  SimDuration override_default_ = 0;  // reference latency for "short" links
+
+  // Node -> shard map; empty = round robin (node % num_shards_).
+  enum class ShardMapSource { kAuto, kEnv, kExplicit };
+  std::vector<int> shard_of_;
+  ShardMapSource shard_map_source_ = ShardMapSource::kAuto;
+
+  // Derived parallel plan (rebuilt lazily at run start when dirty).
+  bool plan_dirty_ = true;
+  std::vector<SimTime> pair_la_;   // shard-pair lookahead matrix [S*S]
+  SimDuration min_cross_la_ = 0;   // min off-diagonal entry (gate to merged)
+  bool windowed_ = false;          // current run uses the era/horizon driver
 
   // Parallel backend state.
   std::vector<std::unique_ptr<Shard>> shards_;
   int num_shards_ = 0;
   int workers_started_ = 0;  // 0 = inline single-worker mode
-  bool par_active_ = false;  // a window is draining on the workers
+  bool par_active_ = false;  // an era is draining on the workers
+  SimTime era_end_ = 0;      // exclusive bound of the running era
   std::unique_ptr<ParallelRt> rt_;
   ParallelStats pstats_;
   std::uint64_t band_ord_ = 0;        // key of the running global-band event

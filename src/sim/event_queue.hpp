@@ -17,12 +17,22 @@
 //    order is total and independent of node addresses, and — because the
 //    per-node counters advance identically under every execution backend —
 //    the order is also independent of backend and shard count (determinism);
+//  * the heap stores (time, ord, node*) slots, not node pointers: sift
+//    operations compare keys held in the heap array itself, so re-ordering
+//    never dereferences event nodes (one cache line of slots covers two
+//    full heap levels). Nodes themselves are cache-line aligned with the
+//    hot header fields packed into the first line;
 //  * for the parallel backend, stage() enqueues an event from a foreign
 //    worker thread into a mutex-protected side list with its own node pool
 //    (the owner's free list stays uncontended); the owner folds staged
-//    events into the heap at the next window barrier via absorb_staged().
+//    events into a sorted inbox lane with absorb_staged() — one sort of the
+//    batch plus a linear merge with the unconsumed remainder, cheaper than
+//    per-event heap pushes, and the canonical (time, ord) key makes the
+//    lane's order identical under every backend. top()/pop() read the min
+//    of the heap front and the inbox cursor.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -44,14 +54,18 @@ class EventQueue {
   /// addressing scalars).
   static constexpr std::size_t kInlineBytes = 128;
 
-  struct Node {
+  /// Cache-line aligned: the scheduling header (time, ord, vtable, free
+  /// link, node) fills the first line; the callback storage starts on its
+  /// own line so constructing the callable never dirties the header line of
+  /// a neighboring node.
+  struct alignas(64) Node {
     SimTime time = 0;
     std::uint64_t ord = 0;      ///< canonical tie-break: (node+1)<<48 | seq
     void (*invoke)(Node&) = nullptr;
     void (*destroy)(Node&) = nullptr;
     Node* next_free = nullptr;
     std::int32_t node = -1;     ///< execution affinity (-1 = global context)
-    alignas(std::max_align_t) std::byte storage[kInlineBytes];
+    alignas(64) std::byte storage[kInlineBytes];
   };
 
   struct Stats {
@@ -63,15 +77,19 @@ class EventQueue {
 
   EventQueue() = default;
   ~EventQueue() {
-    for (Node* n : heap_) n->destroy(*n);
+    for (const Slot& s : heap_) s.n->destroy(*s.n);
+    for (std::size_t i = inbox_pos_; i < inbox_.size(); ++i) {
+      inbox_[i].n->destroy(*inbox_[i].n);
+    }
     for (Node* n = staged_; n != nullptr; n = n->next_free) n->destroy(*n);
   }
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  bool empty() const { return heap_.empty(); }
-  SimTime top_time() const { return heap_.front()->time; }
-  std::uint64_t top_ord() const { return heap_.front()->ord; }
+  bool empty() const { return heap_.empty() && inbox_pos_ == inbox_.size(); }
+
+  SimTime top_time() const { return top_slot().time; }
+  std::uint64_t top_ord() const { return top_slot().ord; }
 
   template <typename F>
   void push(SimTime time, std::uint64_t ord, std::int32_t node, F&& fn) {
@@ -80,15 +98,15 @@ class EventQueue {
     n->ord = ord;
     n->node = node;
     if (bind(*n, std::forward<F>(fn))) ++stats_.heap_fallbacks;
-    heap_.push_back(n);
+    heap_.push_back(Slot{time, ord, n});
     sift_up(heap_.size() - 1);
     ++stats_.live;
     if (stats_.live > stats_.high_water) stats_.high_water = stats_.live;
   }
 
   /// Thread-safe enqueue from a foreign worker: the event lands in a staged
-  /// side list (LIFO; order is irrelevant because absorb_staged() heapifies
-  /// by the canonical key) built from a separate node pool so the owner's
+  /// side list (LIFO; order is irrelevant because absorb_staged() sorts by
+  /// the canonical key) built from a separate node pool so the owner's
   /// hot-path free list is never contended.
   template <typename F>
   void stage(SimTime time, std::uint64_t ord, std::int32_t node, F&& fn) {
@@ -102,10 +120,12 @@ class EventQueue {
     staged_ = n;
   }
 
-  /// Owner-side: folds every staged event into the heap. Must not run
-  /// concurrently with stage() callers (the engine calls it between
-  /// windows, after the worker barrier).
-  void absorb_staged() {
+  /// Owner-side: folds every staged event into the sorted inbox lane — one
+  /// batch sort plus a linear merge with the unconsumed remainder, instead
+  /// of a heap push per event. Safe to run concurrently with stage()
+  /// callers (the conservative horizon protocol guarantees anything staged
+  /// after this call executes in a later drain). Returns the batch size.
+  std::size_t absorb_staged() {
     Node* head = nullptr;
     {
       std::lock_guard<std::mutex> lock(stage_mutex_);
@@ -116,26 +136,45 @@ class EventQueue {
       stats_.pool_nodes += staged_pool_nodes_;
       staged_pool_nodes_ = 0;
     }
+    if (head == nullptr) return 0;
+    // Drop the consumed prefix so the merge below touches live slots only.
+    if (inbox_pos_ > 0) {
+      inbox_.erase(inbox_.begin(),
+                   inbox_.begin() + static_cast<std::ptrdiff_t>(inbox_pos_));
+      inbox_pos_ = 0;
+    }
+    const std::size_t old_size = inbox_.size();
+    std::size_t count = 0;
     while (head != nullptr) {
       Node* n = head;
       head = head->next_free;
-      heap_.push_back(n);
-      sift_up(heap_.size() - 1);
-      ++stats_.live;
+      inbox_.push_back(Slot{n->time, n->ord, n});
+      ++count;
     }
+    std::sort(inbox_.begin() + static_cast<std::ptrdiff_t>(old_size),
+              inbox_.end(), slot_before);
+    std::inplace_merge(inbox_.begin(),
+                       inbox_.begin() + static_cast<std::ptrdiff_t>(old_size),
+                       inbox_.end(), slot_before);
+    stats_.live += count;
     if (stats_.live > stats_.high_water) stats_.high_water = stats_.live;
+    return count;
   }
 
   /// Removes the earliest event. Invoke it with run_and_recycle().
   Node* pop() {
-    Node* top = heap_.front();
-    Node* last = heap_.back();
+    --stats_.live;
+    if (inbox_pos_ != inbox_.size() &&
+        (heap_.empty() || slot_before(inbox_[inbox_pos_], heap_.front()))) {
+      return inbox_[inbox_pos_++].n;
+    }
+    Node* top = heap_.front().n;
+    const Slot last = heap_.back();
     heap_.pop_back();
     if (!heap_.empty()) {
       heap_.front() = last;
       sift_down(0);
     }
-    --stats_.live;
     return top;
   }
 
@@ -159,14 +198,34 @@ class EventQueue {
  private:
   static constexpr std::size_t kChunkNodes = 256;
 
+  /// Heap/inbox entry: the ordering key lives next to the pointer so heap
+  /// maintenance never touches the nodes themselves.
+  struct Slot {
+    SimTime time;
+    std::uint64_t ord;
+    Node* n;
+  };
+
+  static bool slot_before(const Slot& a, const Slot& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.ord < b.ord;
+  }
+
+  const Slot& top_slot() const {
+    if (inbox_pos_ != inbox_.size() &&
+        (heap_.empty() || slot_before(inbox_[inbox_pos_], heap_.front()))) {
+      return inbox_[inbox_pos_];
+    }
+    return heap_.front();
+  }
+
   /// Returns true when the callable spilled to the heap (too big for the
   /// inline buffer) so callers can account the fallback against the right
   /// counter — push() owns stats_, stage() must not touch it.
   template <typename F>
   bool bind(Node& n, F&& fn) {
     using Fn = std::decay_t<F>;
-    if constexpr (sizeof(Fn) <= kInlineBytes &&
-                  alignof(Fn) <= alignof(std::max_align_t)) {
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= 64) {
       ::new (static_cast<void*>(n.storage)) Fn(std::forward<F>(fn));
       n.invoke = [](Node& m) {
         (*std::launder(reinterpret_cast<Fn*>(m.storage)))();
@@ -231,42 +290,42 @@ class EventQueue {
     stats_.pool_nodes += kChunkNodes;
   }
 
-  static bool before(const Node* a, const Node* b) {
-    if (a->time != b->time) return a->time < b->time;
-    return a->ord < b->ord;
-  }
-
   void sift_up(std::size_t i) {
-    Node* n = heap_[i];
+    const Slot s = heap_[i];
     while (i > 0) {
       const std::size_t parent = (i - 1) / 2;
-      if (!before(n, heap_[parent])) break;
+      if (!slot_before(s, heap_[parent])) break;
       heap_[i] = heap_[parent];
       i = parent;
     }
-    heap_[i] = n;
+    heap_[i] = s;
   }
 
   void sift_down(std::size_t i) {
-    Node* n = heap_[i];
+    const Slot s = heap_[i];
     const std::size_t size = heap_.size();
     for (;;) {
       std::size_t child = 2 * i + 1;
       if (child >= size) break;
-      if (child + 1 < size && before(heap_[child + 1], heap_[child])) {
+      if (child + 1 < size && slot_before(heap_[child + 1], heap_[child])) {
         ++child;
       }
-      if (!before(heap_[child], n)) break;
+      if (!slot_before(heap_[child], s)) break;
       heap_[i] = heap_[child];
       i = child;
     }
-    heap_[i] = n;
+    heap_[i] = s;
   }
 
-  std::vector<Node*> heap_;  // binary min-heap; capacity is retained
+  std::vector<Slot> heap_;  // binary min-heap; capacity is retained
   std::vector<std::unique_ptr<Node[]>> chunks_;
   Node* free_list_ = nullptr;
   Stats stats_;
+
+  // Sorted inbox lane: absorbed cross-shard events, ascending (time, ord);
+  // entries before inbox_pos_ are consumed.
+  std::vector<Slot> inbox_;
+  std::size_t inbox_pos_ = 0;
 
   // Staged inbox (parallel backend). Guarded by stage_mutex_; the owner
   // only takes the mutex briefly in absorb_staged().

@@ -23,6 +23,7 @@ namespace {
 struct RunOut {
   std::string metrics_json;
   std::string metrics_prom;
+  std::string shard_prom;  ///< parallel-only per-shard era series
   std::vector<sim::Tracer::Span> spans;
   std::string chrome;
   SimTime end = 0;
@@ -70,8 +71,16 @@ RunOut run_workload(sim::ExecBackend backend, int shards = 0) {
   cluster.run();
 
   RunOut out;
-  out.metrics_json = cluster.metrics().json();
-  out.metrics_prom = cluster.metrics().prometheus();
+  // The backend-invariant snapshot excludes the parallel backend's
+  // per-shard era series (dacc_sim_shard_*): those describe scheduling,
+  // which legitimately depends on the shard map, and are captured
+  // separately below for the replay-identity check.
+  out.metrics_json =
+      cluster.metrics().json(obs::Registry::kShardSeriesPrefix, false);
+  out.metrics_prom =
+      cluster.metrics().prometheus(obs::Registry::kShardSeriesPrefix, false);
+  out.shard_prom =
+      cluster.metrics().prometheus(obs::Registry::kShardSeriesPrefix, true);
   out.spans = cluster.tracer().spans();
   std::ostringstream chrome;
   cluster.tracer().write_chrome_json(chrome);
@@ -93,6 +102,19 @@ TEST(ObsDeterminism, MetricsSnapshotIdenticalAcrossBackends) {
   // The simulation itself agreed, not just the formatting.
   EXPECT_EQ(coro.end, thread.end);
   EXPECT_EQ(coro.end, par.end);
+
+  // The sequential backends register no shard series; the parallel run
+  // does, and they are deterministic: a replay with the same shard count
+  // reproduces them byte for byte (era structure is schedule-independent).
+  EXPECT_TRUE(coro.shard_prom.empty());
+  EXPECT_TRUE(thread.shard_prom.empty());
+  EXPECT_NE(par.shard_prom.find("dacc_sim_shard_windows_total"),
+            std::string::npos);
+  EXPECT_NE(par.shard_prom.find("dacc_sim_shard_inbox_batch"),
+            std::string::npos);
+  const RunOut replay = run_workload(sim::ExecBackend::kParallel, 4);
+  EXPECT_EQ(par.shard_prom, replay.shard_prom);
+  EXPECT_EQ(par.metrics_json, replay.metrics_json);
 
   // The full stack actually reported in: one family per instrumented layer.
   for (const char* family :

@@ -318,15 +318,111 @@ TEST(Determinism, BackendsProduceIdenticalSimulations) {
 
 TEST(Determinism, ShardCountInvariance) {
   // Shard topology must be invisible in the results: one shard per node,
-  // two nodes per shard, everything on one shard — identical simulations.
+  // two nodes per shard, everything on one shard, more shards than nodes —
+  // identical simulations.
   const Fingerprint s1 = run_mixed(sim::ExecBackend::kParallel, /*shards=*/1);
   const Fingerprint s2 = run_mixed(sim::ExecBackend::kParallel, /*shards=*/2);
   const Fingerprint s4 = run_mixed(sim::ExecBackend::kParallel, /*shards=*/4);
   const Fingerprint s8 = run_mixed(sim::ExecBackend::kParallel, /*shards=*/8);
+  const Fingerprint s16 =
+      run_mixed(sim::ExecBackend::kParallel, /*shards=*/16);
   expect_sane(s1);
   expect_identical(s1, s2, "1 shard vs 2 shards");
   expect_identical(s1, s4, "1 shard vs 4 shards");
   expect_identical(s1, s8, "1 shard vs 8 shards");
+  expect_identical(s1, s16, "1 shard vs 16 shards");
+}
+
+// ---------------------------------------------------------------------------
+// Skewed, heterogeneous-latency topology: one short link plus several
+// long links. The per-node-pair overrides are semantic (they move clamp
+// floors in every backend), the per-shard-pair lookahead matrix and the
+// topology partitioner only consume them — so results must stay invariant
+// across backends AND shard counts even when the placement changes.
+// ---------------------------------------------------------------------------
+
+struct SkewedFingerprint {
+  std::uint64_t events = 0;
+  std::uint64_t switches = 0;
+  SimTime final_now = 0;
+  double checksum = 0.0;
+
+  bool operator==(const SkewedFingerprint& other) const = default;
+};
+
+SkewedFingerprint run_skewed(sim::ExecBackend backend, int shards) {
+  rt::ClusterConfig config;
+  config.compute_nodes = 4;
+  config.accelerators = 4;
+  config.functional_gpus = true;
+  config.sim_backend = backend;
+  config.sim_shards = shards;
+  // 9 fabric nodes (4 CN + 4 AC + ARM). One fast link, many slow ones:
+  // the partitioner co-locates the fast pair and the pair matrix keeps
+  // every other shard pair at its (long) latency floor.
+  config.fabric.link_latency_overrides = {
+      {0, 1, 300},    // the short link
+      {2, 3, 4800},   // long links, skewing the latency spread
+      {4, 5, 9600},
+      {6, 7, 7200},
+      {0, 8, 4800},
+  };
+  rt::Cluster cluster(config);
+
+  SkewedFingerprint fp;
+  rt::JobSpec job;
+  job.name = "skewed";
+  job.ranks = 4;
+  job.accelerators_per_rank = 1;
+  job.body = [&fp](rt::JobContext& ctx) {
+    core::Accelerator& ac = ctx.session()[0];
+    const std::int64_t n = 512;
+    const auto bytes = static_cast<std::uint64_t>(n) * 8;
+    const gpu::DevPtr p = ac.mem_alloc(bytes);
+    ac.launch("fill_f64", {}, {p, n, 1.0 + ctx.rank()});
+    ac.launch("dscal", {}, {n, 0.5, p});
+    // Ring exchange over the skewed fabric (even ranks send first so the
+    // rendezvous pairs up): every rank's traffic crosses short and long
+    // links.
+    const int next = (ctx.rank() + 1) % ctx.size();
+    const int prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+    if (ctx.rank() % 2 == 0) {
+      ctx.mpi().send(ctx.job_comm(), next, 11, util::Buffer::phantom(32_KiB));
+      (void)ctx.mpi().recv(ctx.job_comm(), prev, 11);
+    } else {
+      (void)ctx.mpi().recv(ctx.job_comm(), prev, 11);
+      ctx.mpi().send(ctx.job_comm(), next, 11, util::Buffer::phantom(32_KiB));
+    }
+    const util::Buffer out = ac.memcpy_d2h(p, bytes);
+    if (ctx.rank() == 0) {
+      for (const double v : out.as<double>()) fp.checksum += v;
+    }
+    ac.mem_free(p);
+  };
+  cluster.submit(job);
+  cluster.run();
+  fp.events = cluster.engine().events_executed();
+  fp.switches = cluster.engine().process_switches();
+  fp.final_now = cluster.engine().now();
+  return fp;
+}
+
+TEST(Determinism, SkewedTopologyBackendInvariance) {
+  const SkewedFingerprint thread = run_skewed(sim::ExecBackend::kThread, 0);
+  EXPECT_GT(thread.events, 100u);
+  EXPECT_DOUBLE_EQ(thread.checksum, 512 * 0.5);  // rank 0: fill 1.0, scale
+  EXPECT_EQ(run_skewed(sim::ExecBackend::kParallel, 4), thread);
+  if (kCoroutineAvailable) {
+    EXPECT_EQ(run_skewed(sim::ExecBackend::kCoroutine, 0), thread);
+  }
+}
+
+TEST(Determinism, SkewedTopologyShardCountInvariance) {
+  const SkewedFingerprint one = run_skewed(sim::ExecBackend::kParallel, 1);
+  for (const int shards : {2, 4, 8, 16}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    EXPECT_EQ(run_skewed(sim::ExecBackend::kParallel, shards), one);
+  }
 }
 
 TEST(Determinism, DefaultBackendReplaysExactly) {
