@@ -34,6 +34,7 @@
 #include "la_util.hpp"
 #include "mdsim/mp2c.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "rpc/channel.hpp"
 #include "sim/engine.hpp"
 #include "sim/exec.hpp"
@@ -128,7 +129,8 @@ struct ChurnProbe {
 /// job, so the ARM lease/release path churns nodes-many sessions per wave.
 /// `band_gap` pins the serial-control era width (0 = the 64x-wire default).
 ChurnProbe cluster_churn(sim::ExecBackend backend, int shards, int nodes,
-                         int waves, int steps, SimDuration band_gap = 0) {
+                         int waves, int steps, SimDuration band_gap = 0,
+                         obs::Profiler* prof = nullptr) {
   auto registry = gpu::KernelRegistry::with_builtins();
   mdsim::register_mdsim_kernels(*registry);
   rt::ClusterConfig cc;
@@ -140,6 +142,7 @@ ChurnProbe cluster_churn(sim::ExecBackend backend, int shards, int nodes,
   cc.sim_shards = shards;
   cc.sim_band_gap = band_gap;
   rt::Cluster cluster(cc);
+  if (prof != nullptr) cluster.engine().set_wall_profiler(prof);
 
   const auto t0 = std::chrono::steady_clock::now();
   for (int w = 0; w < waves; ++w) {
@@ -548,6 +551,79 @@ int run(int argc, char** argv) {
               "dmpi msgs\n",
               100.0 * rpc_drop, 100.0 * dmpi_drop);
 
+  // Profiler overhead: the 129-node churn scenario with the wallclock
+  // profiler detached vs. attached, best-of-N wall time each way. Detached
+  // is the baseline by construction (one null-pointer check per hook site);
+  // attached must cost < 2% on the serial hot loop, whose instrumentation
+  // is two clock reads per run() call.
+  const int prof_reps = quick ? 3 : 5;
+  double prof_off_s = 0.0;
+  double prof_on_s = 0.0;
+  obs::Profiler serial_prof;
+  for (int r = 0; r < prof_reps; ++r) {
+    const ChurnProbe off = cluster_churn(base_backend, 0, churn_nodes,
+                                         churn_waves, churn_steps);
+    if (r == 0 || off.wall_s < prof_off_s) prof_off_s = off.wall_s;
+    const ChurnProbe on =
+        cluster_churn(base_backend, 0, churn_nodes, churn_waves, churn_steps,
+                      /*band_gap=*/0, &serial_prof);
+    if (r == 0 || on.wall_s < prof_on_s) prof_on_s = on.wall_s;
+  }
+  const double prof_overhead_pct =
+      prof_off_s > 0.0
+          ? std::max(0.0, 100.0 * (prof_on_s - prof_off_s) / prof_off_s)
+          : 0.0;
+  // Attribution coverage on the parallel backend: per-shard busy / stall /
+  // inbox-drain / sync phases plus worker waits and coordinator serial
+  // time must tile the measured worker wallclock.
+  obs::Profiler par_prof;
+  const ChurnProbe prof_par =
+      cluster_churn(sim::ExecBackend::kParallel, churn_shards, churn_nodes,
+                    churn_waves, churn_steps, /*band_gap=*/0, &par_prof);
+  const double attribution_pct =
+      par_prof.measured_ns() > 0
+          ? 100.0 * static_cast<double>(par_prof.attributed_ns()) /
+                static_cast<double>(par_prof.measured_ns())
+          : 0.0;
+  std::printf(
+      "profiler overhead: churn best-of-%d  %.3fs detached, %.3fs attached "
+      "->  %.2f%% (bound 2%%)\n",
+      prof_reps, prof_off_s, prof_on_s, prof_overhead_pct);
+  std::printf(
+      "  parallel attribution: %.3f ms attributed of %.3f ms measured "
+      "(%.1f%%, bound >= 95%%) over %llu events\n",
+      par_prof.attributed_ns() / 1e6, par_prof.measured_ns() / 1e6,
+      attribution_pct, static_cast<unsigned long long>(prof_par.events));
+  for (int shard = 0; shard < churn_shards; ++shard) {
+    std::uint64_t total = 0;
+    for (int p = 0; p < sim::WallSink::kPhases; ++p) {
+      total += par_prof.shard_ns(shard, static_cast<sim::WallSink::Phase>(p));
+    }
+    if (total == 0) continue;
+    std::printf("    shard %2d: busy=%.3fms stall=%.3fms inbox=%.3fms "
+                "sync=%.3fms\n",
+                shard, par_prof.shard_ns(shard, sim::WallSink::kBusy) / 1e6,
+                par_prof.shard_ns(shard, sim::WallSink::kStall) / 1e6,
+                par_prof.shard_ns(shard, sim::WallSink::kInbox) / 1e6,
+                par_prof.shard_ns(shard, sim::WallSink::kSync) / 1e6);
+  }
+  // The committed bounds. Quick mode keeps the attribution identity (it is
+  // structural, not statistical) but relaxes the wall-time bound: tiny
+  // quick runs put scheduler noise above the 2% the full runs resolve.
+  const double overhead_bound = quick ? 20.0 : 2.0;
+  if (prof_overhead_pct > overhead_bound) {
+    std::fprintf(stderr,
+                 "error: profiler overhead %.2f%% above the %.1f%% bound\n",
+                 prof_overhead_pct, overhead_bound);
+    return 1;
+  }
+  if (attribution_pct < 95.0) {
+    std::fprintf(stderr,
+                 "error: profiler attribution %.1f%% below the 95%% bound\n",
+                 attribution_pct);
+    return 1;
+  }
+
   std::ofstream json(out_path);
   json << "{\n"
        << "  \"bench\": \"wallclock_engine\",\n"
@@ -605,6 +681,18 @@ int run(int argc, char** argv) {
        << ", \"sim_ms\": " << ba.sim_ms << "},\n"
        << "    \"rpc_msg_reduction\": " << rpc_drop
        << ", \"dmpi_msg_reduction\": " << dmpi_drop << "\n"
+       << "  },\n"
+       << "  \"profiler_overhead\": {\n"
+       << "    \"fabric_nodes\": " << 2 * churn_nodes + 1
+       << ", \"best_of\": " << prof_reps << ",\n"
+       << "    \"detached_wall_s\": " << prof_off_s
+       << ", \"attached_wall_s\": " << prof_on_s
+       << ", \"overhead_pct\": " << prof_overhead_pct
+       << ", \"overhead_bound_pct\": " << overhead_bound << ",\n"
+       << "    \"parallel_attributed_ns\": " << par_prof.attributed_ns()
+       << ", \"parallel_measured_ns\": " << par_prof.measured_ns()
+       << ", \"attribution_pct\": " << attribution_pct
+       << ", \"attribution_bound_pct\": 95\n"
        << "  }\n"
        << "}\n";
   json.flush();

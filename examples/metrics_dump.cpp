@@ -70,6 +70,16 @@ int main(int argc, char** argv) {
     metrics.write_prometheus(out, obs::Registry::kShardSeriesPrefix,
                              /*include=*/true);
   }
+  if (config.profile) {
+    // The wallclock tier (DACC_PROF=1): dacc_prof_* series go to their own
+    // file, never into the deterministic snapshot above — the determinism
+    // gate byte-compares the .json/.prom files while this one varies run
+    // to run by nature.
+    std::ofstream out(prefix + ".prof.prom");
+    cluster.profiler().write_prometheus(out);
+    std::printf("wrote %s (wallclock tier, non-deterministic)\n",
+                (prefix + ".prof.prom").c_str());
+  }
   std::printf("collected %zu metrics over %.2f ms of simulated time\n",
               metrics.size(), to_ms(cluster.engine().now()));
   std::printf("wrote %s and %s\n", json_path.c_str(), prom_path.c_str());

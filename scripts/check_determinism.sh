@@ -61,6 +61,34 @@ grep -q 'dacc_sim_shard_inbox_batch' "$out/metrics_parallel_4.shard.prom"
   "$build/examples/metrics_dump" "metrics_replay" > "run_replay.log")
 cmp "$out/metrics_parallel_4.shard.prom" "$out/metrics_replay.shard.prom"
 
+# Wallclock profiler tier (DESIGN.md §9.2): with DACC_PROF=1 the profiler
+# attaches and exports dacc_prof_* series to a separate .prof.prom file —
+# the deterministic snapshot must stay byte-identical to the unprofiled
+# runs above, and no dacc_prof_ series may leak into it.
+for backend in coroutine thread parallel:4; do
+  tag="${backend/:/_}"
+  (cd "$out" && DACC_SIM_BACKEND="$backend" DACC_PROF=1 \
+    "$build/examples/metrics_dump" "metrics_prof_$tag" \
+    > "run_prof_$tag.log")
+done
+
+for ext in json prom; do
+  for tag in coroutine thread parallel_4; do
+    cmp "$out/metrics_coroutine.$ext" "$out/metrics_prof_$tag.$ext"
+  done
+done
+
+for tag in coroutine thread parallel_4; do
+  if [ ! -s "$out/metrics_prof_$tag.prof.prom" ]; then
+    echo "profiler enabled but no wallclock series exported ($tag)" >&2
+    exit 1
+  fi
+  if grep -q 'dacc_prof_' "$out/metrics_prof_$tag.prom"; then
+    echo "wallclock series leaked into the deterministic snapshot ($tag)" >&2
+    exit 1
+  fi
+done
+
 # Batched command streams: repeat the process-level check with DACC_RPC_BATCH
 # coalescing small ops into kBatch frames. The frame boundaries (rpc message
 # counts, flush-size histograms) land in the snapshot, so this also pins the
@@ -93,4 +121,4 @@ for ext in json prom raft; do
   done
 done
 
-echo "determinism check passed: metrics snapshots identical across backends (plain + batched + replicated-ARM chaos)"
+echo "determinism check passed: metrics snapshots identical across backends (plain + profiled + batched + replicated-ARM chaos)"

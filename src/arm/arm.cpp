@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight.hpp"
 #include "sim/trace.hpp"
 
 namespace dacc::arm {
@@ -45,6 +46,12 @@ void Arm::run(sim::Context& ctx) {
                                std::move(e.frame));
             break;
           case Effect::Kind::kTrace:
+            // Revocations and replacements surface as trace effects; mirror
+            // them into the flight recorder for post-mortems.
+            if (obs::FlightRecorder* fr = world_.engine().flight()) {
+              fr->note(ctx.now(), "arm", e.label,
+                       world_.engine().current_trace().trace_id);
+            }
             if (sim::Tracer* tracer = world_.engine().tracer()) {
               tracer->record("arm", e.label, ctx.now(), ctx.now());
             }
@@ -54,6 +61,11 @@ void Arm::run(sim::Context& ctx) {
     } catch (const proto::WireError&) {
       // Malformed management frame (fuzzed or corrupted): drop it and keep
       // serving — the pool must outlive bad clients.
+      if (obs::FlightRecorder* fr = world_.engine().flight()) {
+        fr->note(ctx.now(), "arm",
+                 "wire-error: dropped malformed frame from r" +
+                     std::to_string(source));
+      }
     }
     if (shutdown) return;
     machine_.sample_assigned();
@@ -122,6 +134,13 @@ WireReader ArmClient::call(util::Buffer frame, int reply_tag) {
           break;
         }
       }
+      if (obs::FlightRecorder* fr =
+              channel_.mpi().context().engine().flight()) {
+        fr->note(channel_.mpi().context().engine(), "arm-client",
+                 "failover: r" + std::to_string(channel_.server()) +
+                     " silent, rotating to r" +
+                     std::to_string(endpoints_[at]));
+      }
       channel_.set_server(endpoints_[at]);
       continue;
     }
@@ -134,6 +153,12 @@ WireReader ArmClient::call(util::Buffer frame, int reply_tag) {
       // arbitrary rank that will never answer.
       if (hint >= 0 && std::find(endpoints_.begin(), endpoints_.end(),
                                  hint) != endpoints_.end()) {
+        if (obs::FlightRecorder* fr =
+                channel_.mpi().context().engine().flight()) {
+          fr->note(channel_.mpi().context().engine(), "arm-client",
+                   "failover: following leader hint to r" +
+                       std::to_string(hint));
+        }
         channel_.set_server(hint);
       } else {
         // The replica has no leader yet (election in progress): pause one

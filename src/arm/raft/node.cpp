@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "sim/trace.hpp"
 
 namespace dacc::arm::raft {
@@ -62,6 +63,13 @@ int RaftNode::index_of(dmpi::Rank replica) const {
 }
 
 void RaftNode::trace(sim::Context& ctx, const std::string& label) {
+  // Role transitions are exactly the events a post-mortem wants: mirror
+  // every raft trace label into the flight recorder (independent of whether
+  // a Tracer is attached).
+  if (obs::FlightRecorder* fr = world_.engine().flight()) {
+    fr->note(ctx.now(), "raft", label,
+             world_.engine().current_trace().trace_id);
+  }
   if (sim::Tracer* tracer = world_.engine().tracer()) {
     tracer->record("raft", label, ctx.now(), ctx.now());
   }
@@ -78,6 +86,11 @@ void RaftNode::bind_metrics() {
   m_term_ = reg->gauge("dacc_raft_term" + labels);
   m_commit_lag_ns_ =
       reg->histogram("dacc_raft_commit_lag_ns" + labels, obs::latency_bounds_ns());
+  m_leader_changes_ = reg->counter("dacc_raft_leader_changes_total" + labels);
+  m_election_latency_ns_ = reg->histogram(
+      "dacc_raft_election_latency_ns" + labels, obs::latency_bounds_ns());
+  m_commit_index_ = reg->gauge("dacc_raft_commit_index" + labels);
+  m_replication_lag_ = reg->gauge("dacc_raft_replication_lag" + labels);
   metrics_bound_ = reg;
   m_term_.set(static_cast<std::int64_t>(term_));
 }
@@ -157,6 +170,7 @@ void RaftNode::start_election(sim::Context& ctx, dmpi::Mpi& mpi) {
   ++elections_;
   m_elections_.add(1);
   m_term_.set(static_cast<std::int64_t>(term_));
+  election_began_ = ctx.now();
   trace(ctx, "election-r" + std::to_string(index_) + "-term" +
                  std::to_string(term_));
   election_deadline_ = ctx.now() + draw_timeout();
@@ -184,6 +198,12 @@ void RaftNode::become_leader(sim::Context& ctx) {
     p.dead = false;
   }
   bind_metrics();
+  m_leader_changes_.add(1);
+  if (election_began_ != 0) {
+    m_election_latency_ns_.observe(
+        static_cast<std::uint64_t>(ctx.now() - election_began_));
+    election_began_ = 0;
+  }
   trace(ctx, "leader-r" + std::to_string(index_) + "-term" +
                  std::to_string(term_));
   // Term-start barrier entry (Raft §5.4.2: a leader only counts replicas
@@ -303,6 +323,9 @@ void RaftNode::apply_committed(sim::Context& ctx, rpc::ServerChannel& channel) {
       execute_effects(ctx, channel, result.effects);
     }
   }
+  m_commit_index_.set(static_cast<std::int64_t>(commit_));
+  m_replication_lag_.set(
+      static_cast<std::int64_t>(last_log_index() - commit_));
   machine_.sample_assigned();
   maybe_compact();
 }
@@ -327,6 +350,12 @@ void RaftNode::execute_effects(sim::Context& ctx, rpc::ServerChannel& channel,
         channel.mpi().send(channel.comm(), e.to, e.tag, std::move(e.frame));
         break;
       case Effect::Kind::kTrace:
+        // Lease-machine events surfaced as trace effects (revocations,
+        // replacements) are flight-recorder material too.
+        if (obs::FlightRecorder* fr = world_.engine().flight()) {
+          fr->note(ctx.now(), "arm", e.label,
+                   world_.engine().current_trace().trace_id);
+        }
         if (sim::Tracer* tracer = world_.engine().tracer()) {
           tracer->record("arm", e.label, ctx.now(), ctx.now());
         }

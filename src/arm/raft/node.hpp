@@ -196,6 +196,14 @@ class RaftNode {
   obs::Counter m_elections_;
   obs::Gauge m_term_;
   obs::Histogram m_commit_lag_ns_;
+  // Raft SLO observability: how long elections take, how often leadership
+  // moves, and how far replication/apply trail the log head. All values are
+  // simulated-time-derived, so they stay inside the deterministic snapshot.
+  obs::Counter m_leader_changes_;
+  obs::Histogram m_election_latency_ns_;
+  obs::Gauge m_commit_index_;
+  obs::Gauge m_replication_lag_;
+  SimTime election_began_ = 0;  ///< candidacy start (election latency metric)
 };
 
 }  // namespace dacc::arm::raft

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/flight.hpp"
 #include "proto/transfer.hpp"
+#include "rpc/batch.hpp"
 #include "sim/trace.hpp"
 
 namespace dacc::core {
@@ -354,6 +356,12 @@ void Accelerator::execute_batch(rpc::Channel& ch, sim::Context& ctx,
       // The daemon went silent mid-stream. Replace it if policy allows and
       // push every sub-request through the single-op path (which replays
       // and retries on the fresh lease); otherwise the whole group fails.
+      if (obs::FlightRecorder* fr = engine.flight()) {
+        fr->note(ctx.now(), "fe",
+                 "batch[" + std::to_string(group.size()) + "]: retry ladder " +
+                     "exhausted on ac" + std::to_string(lease_.daemon_rank),
+                 trace_id);
+      }
       if (try_replace(ch, ctx)) {
         for (std::unique_ptr<ProxyOp>& op : group) exec_op(ch, ctx, *op);
       } else {
@@ -384,6 +392,16 @@ void Accelerator::execute_batch(rpc::Channel& ch, sim::Context& ctx,
         }
       }
       if (!failed.empty()) {
+        if (device_dead) {
+          if (obs::FlightRecorder* fr = engine.flight()) {
+            fr->note(ctx.now(), "fe",
+                     "batch: ecc failure on ac" +
+                         std::to_string(lease_.daemon_rank) + ", " +
+                         std::to_string(failed.size()) +
+                         " sub-op(s) need a replacement",
+                     trace_id);
+          }
+        }
         const bool replaced = device_dead && try_replace(ch, ctx);
         for (const std::size_t i : failed) {
           if (replaced) {
@@ -402,6 +420,16 @@ void Accelerator::execute_batch(rpc::Channel& ch, sim::Context& ctx,
                               "-ac" + std::to_string(lease_.daemon_rank);
     tracer->record(track, "batch[" + std::to_string(group.size()) + "]",
                    begin, ctx.now(), trace_id, trace_id, /*parent_id=*/0);
+    // One child span per sub-op under the batch span. The id is derived the
+    // same way on the daemon side (rpc::batch_sub_span), so its per-sub-op
+    // spans parent on these and flow arrows stitch each small op through
+    // the batch frame it rode in.
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      tracer->record(track, op_label(*group[i]), begin, ctx.now(), trace_id,
+                     rpc::batch_sub_span(trace_id,
+                                         static_cast<std::uint32_t>(i)),
+                     /*parent_id=*/trace_id);
+    }
   }
   if (obs::Registry* reg = engine.metrics()) {
     if (metrics_bound_ != reg) bind_metrics(reg);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "proto/transfer.hpp"
 #include "rpc/batch.hpp"
 #include "sim/trace.hpp"
@@ -118,7 +119,8 @@ void Daemon::run(sim::Context& ctx) {
             handle_peer_send(channel, ctx, in.source, in.reply_tag, in.body);
             break;
           case Op::kBatch:
-            handle_batch(channel, ctx, in.source, in.reply_tag, in.body);
+            handle_batch(channel, ctx, in.source, in.reply_tag, in.body,
+                         parent_span);
             break;
           case Op::kShutdown:
             respond_status(channel, in.source, in.reply_tag, Result::kSuccess);
@@ -135,12 +137,23 @@ void Daemon::run(sim::Context& ctx) {
         // decode failure here has produced no partial reply yet.
         ++malformed_requests_;
         if (reg != nullptr) m_malformed_.add();
+        if (obs::FlightRecorder* fr = world_.engine().flight()) {
+          fr->note(ctx.now(), "daemon",
+                   "wire-error: malformed " + std::string(proto::to_string(op)) +
+                       " payload from r" + std::to_string(source),
+                   trace_id);
+        }
         respond_status(channel, in.source, in.reply_tag,
                        Result::kInvalidValue);
       }
     } catch (const proto::WireError&) {
       ++malformed_requests_;
       if (reg != nullptr) m_malformed_.add();
+      if (obs::FlightRecorder* fr = world_.engine().flight()) {
+        fr->note(ctx.now(), "daemon",
+                 "wire-error: undecodable frame header from r" +
+                     std::to_string(source));
+      }
       continue;
     }
     if (trace_id != 0) world_.engine().set_current_trace({});
@@ -335,19 +348,24 @@ void Daemon::handle_peer_send(rpc::ServerChannel& ch, sim::Context& ctx,
 }
 
 void Daemon::handle_batch(rpc::ServerChannel& ch, sim::Context& ctx,
-                          dmpi::Rank client, int reply_tag, WireReader& req) {
+                          dmpi::Rank client, int reply_tag, WireReader& req,
+                          std::uint64_t parent_span) {
   // Decode everything before executing anything: a malformed batch throws
   // out of here with the device untouched and run() answers with a single
   // kInvalidValue status — no partial execution, no partial reply.
   const std::vector<rpc::BatchItem> items = rpc::decode_batch(req);
   std::vector<rpc::BatchResult> results;
   results.reserve(items.size());
+  sim::Tracer* const tracer = world_.engine().tracer();
+  const std::uint64_t trace_id = world_.engine().current_trace().trace_id;
+  const std::string track = "daemon-r" + std::to_string(self_);
   bool first = true;
   for (const rpc::BatchItem& item : items) {
     // Each sub-request pays the same dispatch cost as a standalone frame —
     // batching saves messages, not daemon CPU. run() charged the first one.
     if (!first) ctx.wait_for(params_.be_dispatch);
     first = false;
+    const SimTime item_begin = ctx.now();
     rpc::BatchResult out;
     switch (item.op) {
       case Op::kMemAlloc: {
@@ -374,6 +392,18 @@ void Daemon::handle_batch(rpc::ServerChannel& ch, sim::Context& ctx,
       default:
         out.status = Result::kInvalidValue;  // unreachable: decode validated
         break;
+    }
+    // One daemon span per sub-op, parented on the front-end's derived child
+    // span so viewers stitch each small op through the batch frame.
+    if (tracer != nullptr && parent_span != 0) {
+      const std::uint64_t span = (std::uint64_t{2} << 56) |
+                                 (static_cast<std::uint64_t>(self_) << 24) |
+                                 ++span_seq_;
+      const auto index =
+          static_cast<std::uint32_t>(&item - items.data());
+      tracer->record(track, proto::to_string(item.op), item_begin, ctx.now(),
+                     trace_id, span,
+                     rpc::batch_sub_span(parent_span, index));
     }
     results.push_back(out);
   }

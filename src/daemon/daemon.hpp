@@ -51,9 +51,12 @@ class Daemon {
                         proto::WireReader& req);
   /// Executes a kBatch frame: decodes every sub-request before touching the
   /// device (a malformed batch is rejected whole, never partially applied),
-  /// runs them in order charging be_dispatch each, replies once.
+  /// runs them in order charging be_dispatch each, replies once. When the
+  /// stream is traced, `parent_span` (the client's batch span) parents one
+  /// daemon span per sub-op via rpc::batch_sub_span.
   void handle_batch(rpc::ServerChannel& ch, sim::Context& ctx,
-                    dmpi::Rank client, int reply_tag, proto::WireReader& req);
+                    dmpi::Rank client, int reply_tag, proto::WireReader& req,
+                    std::uint64_t parent_span);
 
   void respond_status(rpc::ServerChannel& ch, dmpi::Rank client,
                       int reply_tag, gpu::Result r);

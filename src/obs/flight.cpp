@@ -1,0 +1,106 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "sim/engine.hpp"
+
+namespace dacc::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::note(SimTime time, std::string category,
+                          std::string what, std::uint64_t trace_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Event e;
+  e.time = time;
+  e.trace_id = trace_id;
+  e.seq = seq_++;
+  e.category = std::move(category);
+  e.what = std::move(what);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+  } else {
+    ring_[next_] = std::move(e);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+void FlightRecorder::note(sim::Engine& engine, std::string category,
+                          std::string what) {
+  note(engine.now(), std::move(category), std::move(what),
+       engine.current_trace().trace_id);
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::events() const {
+  std::vector<Event> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = ring_;
+  }
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seq_;
+}
+
+void FlightRecorder::dump(std::ostream& os) const {
+  const std::vector<Event> evs = events();
+  std::uint64_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total = seq_;
+  }
+  os << "=== flight recorder: " << evs.size() << " of " << total
+     << " events (capacity " << capacity_ << ") ===\n";
+  for (const Event& e : evs) {
+    os << "t=" << e.time << " [" << e.category << "] " << e.what;
+    if (e.trace_id != 0) os << " trace=0x" << std::hex << e.trace_id
+                            << std::dec;
+    os << '\n';
+  }
+}
+
+std::string FlightRecorder::dump() const {
+  std::ostringstream os;
+  dump(os);
+  return os.str();
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  seq_ = 0;
+}
+
+}  // namespace dacc::obs
+
+// Engine::set_flight_recorder lives here (next to set_metrics's pattern in
+// metrics.cpp) so dacc_sim never links against dacc_obs: the engine only
+// holds an opaque pointer plus a type-erased note hook for its own events.
+namespace dacc::sim {
+
+void Engine::set_flight_recorder(obs::FlightRecorder* recorder) {
+  flight_ = recorder;
+  if (recorder == nullptr) {
+    flight_note_ = nullptr;
+    return;
+  }
+  flight_note_ = [this, recorder](const char* category, std::string what) {
+    recorder->note(now(), category, std::move(what),
+                   current_trace().trace_id);
+  };
+}
+
+}  // namespace dacc::sim

@@ -23,8 +23,93 @@ std::string labeled(std::string_view name, std::string_view key,
   out.push_back('{');
   out.append(key);
   out.append("=\"");
-  out.append(value);
+  // Prometheus label-value escaping: backslash, double quote and newline
+  // would otherwise terminate or corrupt the exposition line.
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
   out.append("\"}");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SLO readout layer
+// ---------------------------------------------------------------------------
+
+std::uint64_t Hist::quantile_permille(std::uint32_t q) const {
+  if (!valid_ || count_ == 0) return 0;
+  if (q > 1000) q = 1000;
+  // Rank of the target observation, 1-based, ceil(q * count / 1000) but at
+  // least 1 so p0 still points at the first observation.
+  std::uint64_t rank = (count_ * q + 999) / 1000;
+  if (rank == 0) rank = 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t in_bucket = buckets_[i];
+    if (cum + in_bucket < rank) {
+      cum += in_bucket;
+      continue;
+    }
+    if (i >= bounds_.size()) {
+      // Overflow bucket: the estimator cannot see past the last finite
+      // bound, so clamp there.
+      return bounds_.empty() ? 0 : bounds_.back();
+    }
+    const std::uint64_t lo = i == 0 ? 0 : bounds_[i - 1];
+    const std::uint64_t hi = bounds_[i];
+    const std::uint64_t k = rank - cum;  // 1..in_bucket
+    return lo + (hi - lo) * k / in_bucket;
+  }
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
+Hist Registry::hist(const std::string& name) const {
+  Hist h;
+  const Metric* m = find(name, Kind::kHistogram);
+  if (m == nullptr) return h;
+  h.valid_ = true;
+  h.count_ = m->count;
+  h.sum_ = m->sum;
+  h.bounds_ = m->bounds;
+  h.buckets_ = m->buckets;
+  return h;
+}
+
+void Registry::set_slo(std::string series, std::uint32_t q_permille,
+                       std::uint64_t bound) {
+  std::lock_guard<std::mutex> lock(reg_mutex_);
+  slos_.push_back(Slo{std::move(series), q_permille, bound});
+}
+
+std::vector<SloResult> Registry::check_slos() const {
+  std::vector<SloResult> out;
+  out.reserve(slos_.size());
+  for (const Slo& slo : slos_) {
+    SloResult r;
+    r.slo = slo;
+    const Hist h = hist(slo.series);
+    if (!h.valid()) {
+      r.ok = false;  // missing series: surface the typo, don't pass silently
+      out.push_back(std::move(r));
+      continue;
+    }
+    r.count = h.count();
+    r.observed = h.quantile_permille(slo.q_permille);
+    r.ok = r.count == 0 || r.observed <= slo.bound;
+    out.push_back(std::move(r));
+  }
   return out;
 }
 

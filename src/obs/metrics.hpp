@@ -89,9 +89,64 @@ std::vector<std::uint64_t> latency_bounds_ns();
 /// Composes a metric name with one embedded Prometheus-style label:
 /// labeled("dacc_raft_term", "replica", "2") -> `dacc_raft_term{replica="2"}`.
 /// An empty name yields just the label suffix, for callers that append it to
-/// several series of one component.
+/// several series of one component. Backslash, double quote and newline in
+/// the value are escaped per the Prometheus text exposition format, so the
+/// stored series name is already a valid exposition label.
 std::string labeled(std::string_view name, std::string_view key,
                     std::string_view value);
+
+/// Read-only histogram readout with fixed-bucket quantile estimation — the
+/// SLO layer. Snapshot semantics: `Registry::hist` copies the buckets, so a
+/// Hist stays stable while the run continues. All arithmetic is integral
+/// (quantiles are requested in permille), so a quantile computed from a
+/// deterministic snapshot is itself deterministic.
+class Hist {
+ public:
+  /// False when the series does not exist (or is not a histogram); every
+  /// readout on an invalid Hist returns 0.
+  bool valid() const { return valid_; }
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+
+  /// Quantile estimate: q in permille (500 = p50, 990 = p99). Locates the
+  /// bucket holding the ceil(q*count/1000)-th observation and interpolates
+  /// linearly between the bucket's bounds. An empty histogram yields 0; a
+  /// rank landing in the overflow bucket clamps to the highest finite bound
+  /// (fixed-bucket histograms cannot see past it).
+  std::uint64_t quantile_permille(std::uint32_t q) const;
+  std::uint64_t p50() const { return quantile_permille(500); }
+  std::uint64_t p90() const { return quantile_permille(900); }
+  std::uint64_t p99() const { return quantile_permille(990); }
+
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+  /// Non-cumulative, one extra overflow bucket past the last bound.
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  friend class Registry;
+  bool valid_ = false;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::uint64_t> buckets_;
+};
+
+/// One per-series SLO target: "quantile q of `series` must be <= bound".
+struct Slo {
+  std::string series;
+  std::uint32_t q_permille = 990;
+  std::uint64_t bound = 0;
+};
+
+/// Result of evaluating one Slo against the current snapshot. A series with
+/// zero observations passes vacuously (nothing was measured, nothing was
+/// violated); a missing series fails so typos surface.
+struct SloResult {
+  Slo slo;
+  std::uint64_t observed = 0;
+  std::uint64_t count = 0;
+  bool ok = true;
+};
 
 class Registry {
  public:
@@ -114,6 +169,21 @@ class Registry {
   std::int64_t gauge_value(const std::string& name) const;
   std::uint64_t histogram_count(const std::string& name) const;
   std::uint64_t histogram_sum(const std::string& name) const;
+
+  /// Quantile readout: copies the named histogram's buckets into a Hist
+  /// (invalid when the series is missing or not a histogram).
+  Hist hist(const std::string& name) const;
+
+  /// Registers an SLO target evaluated by check_slos(). Targets are not part
+  /// of the snapshot exporters, so registering them never perturbs the
+  /// byte-compared deterministic output.
+  void set_slo(std::string series, std::uint32_t q_permille,
+               std::uint64_t bound);
+
+  /// Evaluates every registered SLO against the current buckets, in
+  /// registration order. Deterministic: quantiles are integer math over the
+  /// deterministic histogram state.
+  std::vector<SloResult> check_slos() const;
 
   /// JSON snapshot: {"metrics":[{...}, ...]} sorted by name. Deterministic.
   void write_json(std::ostream& os) const;
@@ -195,6 +265,7 @@ class Registry {
   std::vector<Metric> metrics_;
   std::map<std::string, std::uint32_t> names_;
   std::vector<std::vector<PendingOp>> pending_;  // one per shard + global band
+  std::vector<Slo> slos_;
 };
 
 inline void Counter::add(std::uint64_t v) {

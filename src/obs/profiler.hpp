@@ -1,0 +1,120 @@
+// Wallclock profiler (dacc::obs) — the non-deterministic observability tier.
+//
+// Implements sim::WallSink: the engine attributes host-wallclock intervals
+// to per-shard phases (busy / horizon-stall / inbox-drain / band-gap-sync),
+// per-worker barrier waits, and serial-context execution. Attribution is
+// chained (each clock read closes the previous interval), so the phase sums
+// tile the measured worker wallclock — `attributed_ns()` over
+// `measured_ns()` is the coverage identity the bench asserts at >= 95%.
+//
+// Everything here is explicitly OUTSIDE the deterministic snapshot contract:
+// the profiler is a separate object from obs::Registry, its exporters emit
+// only `dacc_prof_*` series, and scripts/check_determinism.sh proves the
+// byte-compared snapshots are identical with the profiler on and off.
+//
+// Threading: shard slots are single-writer (the engine's stable
+// shard->worker stride assignment), worker slots are written only by their
+// own worker, and serial/run totals only from the coordinator. Reads
+// (export, accessors) are meant for after run() returns, where the era
+// barrier already ordered every write.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace dacc::obs {
+
+class Profiler final : public sim::WallSink {
+ public:
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  // --- sim::WallSink ------------------------------------------------------
+  void begin_run(int shards, int workers) override;
+  void shard_phase(int shard, Phase phase, std::uint64_t ns) override;
+  void worker_wait(int worker, std::uint64_t ns) override;
+  void serial(std::uint64_t ns, std::uint64_t events) override;
+  void run_complete(std::uint64_t wall_ns, int effective_workers) override;
+
+  /// Scoped wallclock timer for arbitrary hot paths outside the engine:
+  /// accumulates into `dacc_prof_scope_ns{name="..."}` (+ a sample counter)
+  /// when the scope closes. `name` is interned on first use (serial
+  /// contexts only — scopes are for harness/bench/cluster code, not shard
+  /// workers).
+  class Scope {
+   public:
+    Scope(Profiler& prof, const std::string& name);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Profiler& prof_;
+    std::size_t idx_;
+    std::uint64_t t0_;
+  };
+  Scope scope(const std::string& name) { return Scope(*this, name); }
+
+  // --- readouts (after run) ----------------------------------------------
+  int shards() const { return static_cast<int>(shard_slots_.size()); }
+  std::uint64_t shard_ns(int shard, Phase phase) const;
+  std::uint64_t shard_samples(int shard, Phase phase) const;
+  std::uint64_t worker_wait_ns(int worker) const;
+  std::uint64_t serial_ns() const { return serial_ns_; }
+  std::uint64_t serial_events() const { return serial_events_; }
+
+  /// Total wallclock the profiler attributed to a category (phases + worker
+  /// waits + serial). Compare against measured_ns() for coverage.
+  std::uint64_t attributed_ns() const;
+  /// Total measured worker-wallclock budget: sum over runs of
+  /// run-wall * effective-workers. Sequential runs count their serial wall
+  /// once (workers = 1).
+  std::uint64_t measured_ns() const { return measured_ns_; }
+
+  static const char* phase_name(Phase phase);
+
+  /// Exporters, separate from Registry's by construction: every series name
+  /// starts with kSeriesPrefix. Sorted; values are wallclock ns, so the
+  /// output is NOT deterministic and must never be byte-compared.
+  static constexpr std::string_view kSeriesPrefix = "dacc_prof_";
+  void write_prometheus(std::ostream& os) const;
+  void write_json(std::ostream& os) const;
+  std::string prometheus() const;
+  std::string json() const;
+
+  void reset();
+
+ private:
+  friend class Scope;
+
+  struct alignas(64) ShardSlot {
+    std::uint64_t ns[kPhases] = {0, 0, 0, 0};
+    std::uint64_t samples[kPhases] = {0, 0, 0, 0};
+  };
+  struct alignas(64) WorkerSlot {
+    std::uint64_t wait_ns = 0;
+    std::uint64_t waits = 0;
+  };
+  struct NamedScope {
+    std::string name;
+    std::uint64_t ns = 0;
+    std::uint64_t samples = 0;
+  };
+
+  std::size_t intern_scope(const std::string& name);
+
+  std::vector<ShardSlot> shard_slots_;
+  std::vector<WorkerSlot> worker_slots_;
+  std::vector<NamedScope> scopes_;
+  std::uint64_t serial_ns_ = 0;
+  std::uint64_t serial_events_ = 0;
+  std::uint64_t measured_ns_ = 0;
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace dacc::obs

@@ -55,6 +55,22 @@ std::vector<BatchItem> decode_batch(proto::WireReader& r);
 
 util::Buffer encode_batch_reply(std::span<const BatchResult> results);
 
+/// Deterministic child-span id for sub-op `index` of a batch whose
+/// client-side span id is `batch_span`. Both ends of the wire derive the
+/// same id, so no extra bytes travel in the frame: the front-end records
+/// one child span per sub-op under this id, the daemon parents its
+/// per-sub-op spans on it, and trace viewers stitch the small ops through
+/// the batch frame they rode in.
+inline std::uint64_t batch_sub_span(std::uint64_t batch_span,
+                                    std::uint32_t index) {
+  // Top byte 3 marks derived ids (1 = front-end roots, 2 = daemon-minted);
+  // the index is mixed in so sibling sub-ops stay distinct.
+  return (std::uint64_t{3} << 56) |
+         ((batch_span ^
+           ((std::uint64_t{index} + 1) * 0x9E3779B97F4A7C15ull)) &
+          ((std::uint64_t{1} << 56) - 1));
+}
+
 /// Decodes a batched completion frame for `expected` sub-requests. A bare
 /// status frame (the server rejecting the whole batch) is surfaced as
 /// `expected` copies of that status.

@@ -1,5 +1,7 @@
 #include "rt/cluster.hpp"
 
+#include <cstdlib>
+#include <fstream>
 #include <ostream>
 #include <stdexcept>
 
@@ -29,6 +31,11 @@ int arm_node_count(const ClusterConfig& config) {
 }
 
 }  // namespace
+
+bool ClusterConfig::default_profile() {
+  const char* v = std::getenv("DACC_PROF");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
 
 JobContext::JobContext(Cluster& cluster, sim::Context& ctx, int job_rank,
                        int job_size, const dmpi::Comm& job_comm,
@@ -91,6 +98,8 @@ Cluster::Cluster(ClusterConfig config)
                            : 64 * config_.fabric.wire_latency);
   if (config_.trace) engine_.set_tracer(&tracer_);
   if (config_.metrics) engine_.set_metrics(&metrics_);
+  if (config_.profile) engine_.set_wall_profiler(&profiler_);
+  engine_.set_flight_recorder(&flight_);
   world_ = std::make_unique<dmpi::World>(
       engine_, fabric_,
       rank_layout(config_.compute_nodes, config_.accelerators,
@@ -406,10 +415,20 @@ JobHandle Cluster::submit(JobSpec spec, int first_cn) {
   return JobHandle(completion);
 }
 
-void Cluster::run() { engine_.run(); }
+void Cluster::run() {
+  engine_.run();
+  if (fault_injected_ && !config_.flight_dump_path.empty()) {
+    // Post-mortem: a fault was injected this run, so leave the black box on
+    // disk even when the run itself completed.
+    std::ofstream os(config_.flight_dump_path);
+    if (os) flight_.dump(os);
+  }
+}
 
 void Cluster::break_accelerator(int ac, SimTime at) {
   gpu::Device* dev = &accelerator_device(ac);
+  fault_injected_ = true;
+  flight_.note(at, "chaos", "break-accelerator-ac" + std::to_string(ac));
   // The device lives on the accelerator's shard; run the fault there. When
   // called from a job rank the cross-node lookahead clamp applies, exactly
   // as it would for any message the rank could send.
@@ -418,6 +437,8 @@ void Cluster::break_accelerator(int ac, SimTime at) {
 }
 
 void Cluster::fail_link(net::NodeId node, SimTime at) {
+  fault_injected_ = true;
+  flight_.note(at, "chaos", "fail-link-node-" + std::to_string(node));
   if (engine_.current() == nullptr) {
     // Configured up front (no events are running): write the fault mark
     // directly, preserving the exact in-flight-cut semantics for transfers
@@ -432,6 +453,8 @@ void Cluster::fail_link(net::NodeId node, SimTime at) {
 }
 
 void Cluster::fail_accelerator_link(int ac, SimTime at) {
+  fault_injected_ = true;
+  flight_.note(at, "chaos", "fail-accelerator-link-ac" + std::to_string(ac));
   fabric_.fail_link(static_cast<net::NodeId>(daemon_rank(ac)), at);
 }
 
@@ -439,6 +462,7 @@ void Cluster::kill_arm_replica(int replica, SimTime at) {
   if (!arm_replicated()) {
     throw std::logic_error("kill_arm_replica: single-ARM deployment");
   }
+  flight_.note(at, "chaos", "kill-arm-replica-r" + std::to_string(replica));
   arm::raft::RaftNode* node =
       raft_nodes_.at(static_cast<std::size_t>(replica)).get();
   sim::WaitQueue* gate = raft_gates_[static_cast<std::size_t>(replica)].get();
@@ -456,6 +480,7 @@ void Cluster::kill_arm_leader(SimTime at) {
   if (!arm_replicated()) {
     throw std::logic_error("kill_arm_leader: single-ARM deployment");
   }
+  fault_injected_ = true;
   // Which replica leads at `at` is only knowable at `at`: resolve inside a
   // global-band event, where every replica's role can be read race-free.
   engine_.post(sim::kGlobalNode, at, [this, at] {
@@ -466,6 +491,7 @@ void Cluster::kill_arm_leader(SimTime at) {
     fabric_.fail_link(static_cast<net::NodeId>(arm_rank() + leader), at);
     node->halt();
     raft_gates_[static_cast<std::size_t>(leader)]->notify_all();
+    flight_.note(at, "chaos", "kill-leader-r" + std::to_string(leader));
     if (sim::Tracer* tracer = engine_.tracer()) {
       tracer->record("chaos", "kill-leader-r" + std::to_string(leader), at,
                      at);

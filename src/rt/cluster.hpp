@@ -24,7 +24,9 @@
 #include "gpu/device.hpp"
 #include "gpu/driver.hpp"
 #include "net/fabric.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 #include "sim/trace.hpp"
@@ -93,6 +95,20 @@ struct ClusterConfig {
   /// latency histograms. Off by default — instrumentation sites are no-ops
   /// without a registry. Snapshots are bit-identical across backends.
   bool metrics = false;
+
+  /// Attach the wallclock profiler (obs::Profiler, the non-deterministic
+  /// tier): per-shard busy/stall/inbox/sync attribution under the parallel
+  /// backend, serial drain timing otherwise. Defaults to the DACC_PROF
+  /// environment knob; off unless set. Never feeds Cluster::metrics() —
+  /// `dacc_prof_*` series live only in Cluster::profiler()'s exporters.
+  bool profile = default_profile();
+  static bool default_profile();
+
+  /// When non-empty, a post-mortem flight-recorder dump is written to this
+  /// path automatically after a run during which a fault was injected
+  /// (chaos hooks below). The recorder itself is always on — it only sees
+  /// rare control-plane events, so it costs nothing on hot paths.
+  std::string flight_dump_path;
 
   /// Kernel registry shared by all devices; defaults to the builtins.
   /// Workloads (la, mdsim) add their kernels before constructing a Cluster.
@@ -213,6 +229,14 @@ class Cluster {
   std::vector<double> arm_utilization(SimTime now) const;
   sim::Tracer& tracer() { return tracer_; }
   obs::Registry& metrics() { return metrics_; }
+  /// Wallclock tier (non-deterministic; see DESIGN.md §9.2). The profiler
+  /// only accumulates when ClusterConfig::profile is set; the flight
+  /// recorder is always recording.
+  obs::Profiler& profiler() { return profiler_; }
+  obs::FlightRecorder& flight() { return flight_; }
+  /// Post-mortem dump of the retained flight-recorder events, in causal
+  /// (sim time, recording seq) order with trace ids.
+  void dump_flight_recorder(std::ostream& os) const { flight_.dump(os); }
   gpu::Device& accelerator_device(int ac);
   gpu::Device& local_device(int cn);
   daemon::Daemon& accelerator_daemon(int ac);
@@ -277,6 +301,9 @@ class Cluster {
   sim::Engine engine_;
   sim::Tracer tracer_;
   obs::Registry metrics_;
+  obs::Profiler profiler_;
+  obs::FlightRecorder flight_;
+  bool fault_injected_ = false;  ///< arms the automatic flight dump
   net::Fabric fabric_;
   std::unique_ptr<dmpi::World> world_;
   std::shared_ptr<gpu::KernelRegistry> registry_;

@@ -3,6 +3,7 @@
 #include <ucontext.h>
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <numeric>
@@ -12,6 +13,30 @@
 #include "sim/trace.hpp"
 
 namespace dacc::sim {
+
+namespace {
+
+/// Host wallclock for the profiler tier only — never feeds simulated state.
+inline std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Chained attribution: the interval since the cursor's previous clock read
+/// belongs to `phase` on `shard`. Chaining (instead of bracketing each
+/// phase) means consecutive intervals tile the worker's wallclock with no
+/// gaps, which is what lets the per-shard phases sum to ~100% of measured
+/// worker time.
+inline void wall_chain(WallSink* w, detail::ExecCursor& cursor, int shard,
+                       WallSink::Phase phase) {
+  const std::uint64_t t = wall_now_ns();
+  if (cursor.wall_tick != 0) w->shard_phase(shard, phase, t - cursor.wall_tick);
+  cursor.wall_tick = t;
+}
+
+}  // namespace
 
 namespace detail {
 namespace {
@@ -648,11 +673,17 @@ void Engine::run() {
       run_parallel(kSimTimeNever);
     } else {
       ++pstats_.merged_fallbacks;
+      if (flight_note_) {
+        flight_note_("engine", "merged fallback: no safe horizon width");
+      }
       run_merged(kSimTimeNever);
     }
     check_quiescence();
     return;
   }
+  WallSink* const w = wall_;
+  const std::uint64_t wt0 = w != nullptr ? wall_now_ns() : 0;
+  const std::uint64_t we0 = events_executed_;
   running_ = true;
   while (!queue_.empty()) {
     EventQueue::Node* ev = queue_.pop();
@@ -667,6 +698,11 @@ void Engine::run() {
   }
   cur_node_ = kGlobalNode;
   running_ = false;
+  if (w != nullptr) {
+    const std::uint64_t wt1 = wall_now_ns();
+    w->serial(wt1 - wt0, events_executed_ - we0);
+    w->run_complete(wt1 - wt0, 1);
+  }
   check_quiescence();
 }
 
@@ -676,8 +712,14 @@ bool Engine::run_until(SimTime t) {
     windowed_ = lookahead_ > 0 && min_cross_la_ > 0;
     if (windowed_) return run_parallel(t);
     ++pstats_.merged_fallbacks;
+    if (flight_note_) {
+      flight_note_("engine", "merged fallback: no safe horizon width");
+    }
     return run_merged(t);
   }
+  WallSink* const w = wall_;
+  const std::uint64_t wt0 = w != nullptr ? wall_now_ns() : 0;
+  const std::uint64_t we0 = events_executed_;
   running_ = true;
   while (!queue_.empty() && queue_.top_time() <= t) {
     EventQueue::Node* ev = queue_.pop();
@@ -692,6 +734,11 @@ bool Engine::run_until(SimTime t) {
   }
   cur_node_ = kGlobalNode;
   running_ = false;
+  if (w != nullptr) {
+    const std::uint64_t wt1 = wall_now_ns();
+    w->serial(wt1 - wt0, events_executed_ - we0);
+    w->run_complete(wt1 - wt0, 1);
+  }
   if (queue_.empty() && now_ < t) now_ = t;
   return !queue_.empty();
 }
@@ -705,6 +752,9 @@ bool Engine::run_merged(SimTime limit) {
   // queue holds them, so a least-key scan over the band queue plus every
   // shard replays exactly the sequence the era driver executes — and the
   // one the sequential backends produce.
+  WallSink* const w = wall_;
+  const std::uint64_t wt0 = w != nullptr ? wall_now_ns() : 0;
+  const std::uint64_t we0 = events_executed_;
   running_ = true;
   bool more = false;
   for (;;) {
@@ -735,6 +785,11 @@ bool Engine::run_merged(SimTime limit) {
   }
   cur_node_ = kGlobalNode;
   running_ = false;
+  if (w != nullptr) {
+    const std::uint64_t wt1 = wall_now_ns();
+    w->serial(wt1 - wt0, events_executed_ - we0);
+    w->run_complete(wt1 - wt0, 1);
+  }
   if (!more && limit != kSimTimeNever && now_ < limit) now_ = limit;
   return more;
 }
@@ -798,7 +853,13 @@ void Engine::drain_shard(int shard, SimTime bound,
 /// canonical (time, ord) execution order is exactly the sequential one.
 bool Engine::advance_shard(int shard, detail::ExecCursor& cursor) {
   Shard& sh = *shards_[static_cast<std::size_t>(shard)];
-  if (sh.done) return false;
+  WallSink* const w = wall_;
+  if (sh.done) {
+    if (w != nullptr) [[unlikely]] {
+      wall_chain(w, cursor, shard, WallSink::kSync);
+    }
+    return false;
+  }
   SimTime bound = era_end_;
   const SimTime* row =
       &pair_la_[static_cast<std::size_t>(shard) *
@@ -813,11 +874,27 @@ bool Engine::advance_shard(int shard, detail::ExecCursor& cursor) {
     const SimTime b = h > kSimTimeNever - l ? kSimTimeNever : h + l;
     if (b < bound) bound = b;
   }
-  if (bound <= sh.last_bound) return false;
+  if (bound <= sh.last_bound) {
+    if (w != nullptr) [[unlikely]] {
+      wall_chain(w, cursor, shard, WallSink::kStall);
+    }
+    return false;
+  }
   sh.last_bound = bound;
-  sh.inbox_events += sh.q.absorb_staged();
+  if (w != nullptr) [[unlikely]] {
+    // The horizon scan that found the bound counts as stall time: it is
+    // the cost of the conservative synchronization protocol, not of work.
+    wall_chain(w, cursor, shard, WallSink::kStall);
+    sh.inbox_events += sh.q.absorb_staged();
+    wall_chain(w, cursor, shard, WallSink::kInbox);
+  } else {
+    sh.inbox_events += sh.q.absorb_staged();
+  }
   cursor.switches = 0;
   drain_shard(shard, bound, cursor);
+  if (w != nullptr) [[unlikely]] {
+    wall_chain(w, cursor, shard, WallSink::kBusy);
+  }
   sh.switches += cursor.switches;
   sh.horizon.store(bound, std::memory_order_release);
   if (bound >= era_end_) sh.done = true;
@@ -828,6 +905,7 @@ void Engine::worker_main(int index) {
   detail::ExecCursor cursor;
   detail::set_exec_cursor(&cursor);
   std::uint64_t seen = 0;
+  std::uint64_t idle_since = 0;  // wallclock when the previous era ended
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(rt_->m);
@@ -835,6 +913,17 @@ void Engine::worker_main(int index) {
                         [&] { return rt_->quit || rt_->epoch != seen; });
       if (rt_->quit) break;
       seen = rt_->epoch;
+    }
+    WallSink* const w = wall_;
+    if (w != nullptr) {
+      const std::uint64_t t = wall_now_ns();
+      // Idle between eras = barrier + coordinator serial work; charged to
+      // the worker's wait bucket so the attribution identity closes.
+      if (idle_since != 0) w->worker_wait(index, t - idle_since);
+      cursor.wall_tick = t;
+    } else {
+      cursor.wall_tick = 0;
+      idle_since = 0;
     }
     try {
       // Drive owned shards until each has reached the era end. Progress is
@@ -864,6 +953,7 @@ void Engine::worker_main(int index) {
         sh.horizon.store(era_end_, std::memory_order_release);
       }
     }
+    if (w != nullptr) idle_since = cursor.wall_tick;
     {
       std::lock_guard<std::mutex> lock(rt_->m);
       if (--rt_->pending == 0) rt_->cv_done.notify_all();
@@ -895,6 +985,7 @@ void Engine::run_era(SimTime floor, SimTime era_end) {
     } scoped{this, detail::exec_cursor()};
     detail::ExecCursor cursor;
     detail::set_exec_cursor(&cursor);
+    if (wall_ != nullptr) cursor.wall_tick = wall_now_ns();
     for (;;) {
       bool all_done = true;
       for (int s = 0; s < num_shards_; ++s) {
@@ -961,6 +1052,13 @@ bool Engine::run_parallel(SimTime limit) {
   if (tracer_ != nullptr) tracer_->begin_parallel(num_shards_ + 1);
   if (metrics_begin_parallel_) metrics_begin_parallel_(num_shards_ + 1);
   ensure_workers();
+  WallSink* const w = wall_;
+  std::uint64_t run_t0 = 0;
+  std::uint64_t ctick = 0;  // coordinator's chained serial-phase timestamp
+  if (w != nullptr) {
+    w->begin_run(num_shards_, workers_started_ > 0 ? workers_started_ : 1);
+    run_t0 = ctick = wall_now_ns();
+  }
   const SimDuration gap = effective_band_gap();
   bool more = false;
   try {
@@ -994,6 +1092,11 @@ bool Engine::run_parallel(SimTime limit) {
         ++events_executed_;
         queue_.run_and_recycle(ev);
         cur_node_ = kGlobalNode;
+        if (w != nullptr) {
+          const std::uint64_t t = wall_now_ns();
+          w->serial(t - ctick, 1);
+          ctick = t;
+        }
         continue;
       }
       // Conservative era: no event dated before shard_top exists anywhere,
@@ -1007,7 +1110,13 @@ bool Engine::run_parallel(SimTime limit) {
       if (limit != kSimTimeNever && era_end > limit) {
         era_end = limit + 1;  // run_until is inclusive of `limit`
       }
+      if (w != nullptr) {
+        const std::uint64_t t = wall_now_ns();
+        w->serial(t - ctick, 0);  // queue scans between eras
+        ctick = t;
+      }
       run_era(shard_top, era_end);
+      if (w != nullptr) ctick = wall_now_ns();
     }
   } catch (...) {
     running_ = false;
@@ -1020,6 +1129,12 @@ bool Engine::run_parallel(SimTime limit) {
   cur_node_ = kGlobalNode;
   if (tracer_ != nullptr) tracer_->merge_parallel();
   if (metrics_merge_parallel_) metrics_merge_parallel_();
+  if (w != nullptr) {
+    const std::uint64_t t = wall_now_ns();
+    w->serial(t - ctick, 0);
+    w->run_complete(t - run_t0,
+                    workers_started_ > 0 ? workers_started_ : 1);
+  }
   if (!more && limit != kSimTimeNever && now_ < limit) now_ = limit;
   return more;
 }

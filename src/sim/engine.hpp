@@ -49,12 +49,52 @@
 
 namespace dacc::obs {
 class Registry;
+class FlightRecorder;
 }
 
 namespace dacc::sim {
 
 class Engine;
 class Process;
+
+/// Wallclock profiler sink — the engine's window into the non-deterministic
+/// observability tier (obs::Profiler implements it; dacc_sim never depends
+/// on dacc_obs). Everything reported here is host wallclock, explicitly
+/// outside the byte-identical snapshot contract. When no sink is attached
+/// the engine's only cost is a null-pointer check per instrumentation site;
+/// the sequential hot loop is never touched per event (whole drains are
+/// reported as one serial interval).
+///
+/// Threading: shard_phase is called by the worker that owns the shard (the
+/// stride assignment worker = shard % workers is stable for a run), and
+/// worker_wait by that worker for itself, so per-slot state needs no locks;
+/// begin_run/run_complete/serial arrive from the serial coordinator context.
+class WallSink {
+ public:
+  virtual ~WallSink() = default;
+
+  /// Per-shard wallclock phases inside a parallel era.
+  enum Phase : int {
+    kBusy = 0,   ///< draining events below the horizon bound
+    kStall = 1,  ///< horizon scan found no new safe bound (neighbor-bound)
+    kInbox = 2,  ///< absorbing staged cross-shard inbox events
+    kSync = 3,   ///< shard done, spinning until era barrier
+    kPhases = 4,
+  };
+
+  /// A new run is starting; sizes per-shard/per-worker state. Serial context.
+  virtual void begin_run(int shards, int workers) = 0;
+  /// `ns` of wallclock attributed to `phase` on `shard` (one sample).
+  virtual void shard_phase(int shard, Phase phase, std::uint64_t ns) = 0;
+  /// Worker idle time between eras (barrier + coordinator serial work).
+  virtual void worker_wait(int worker, std::uint64_t ns) = 0;
+  /// Serial-context execution: sequential-backend drains, the parallel
+  /// coordinator's global-band events and queue scans. `events` may be 0.
+  virtual void serial(std::uint64_t ns, std::uint64_t events) = 0;
+  /// A run() / run_until() call finished after `wall_ns`, having driven
+  /// `effective_workers` (1 for sequential backends and inline mode).
+  virtual void run_complete(std::uint64_t wall_ns, int effective_workers) = 0;
+};
 
 /// Causal trace context of a running process: the trace id minted by the
 /// front-end API call currently executing and the span id under which any
@@ -99,6 +139,7 @@ struct ExecCursor {
   std::uint64_t ord = 0;        ///< canonical key of the running event
   std::uint32_t trace_seq = 0;  ///< intra-event tracer record index
   std::uint64_t switches = 0;   ///< slice hand-offs during this drain
+  std::uint64_t wall_tick = 0;  ///< chained wallclock timestamp (profiler)
 };
 
 ExecCursor* exec_cursor() noexcept;  ///< null outside parallel drains
@@ -407,6 +448,20 @@ class Engine {
   obs::Registry* metrics() const { return metrics_; }
   void set_metrics(obs::Registry* registry);
 
+  /// Optional wallclock profiler sink (the non-deterministic tier; see
+  /// obs/profiler.hpp). Not owned. Null = zero instrumentation cost beyond
+  /// a pointer check.
+  WallSink* wall_profiler() const { return wall_; }
+  void set_wall_profiler(WallSink* sink) { wall_ = sink; }
+
+  /// Optional flight recorder for rare control-plane events (elections,
+  /// revocations, merged fallbacks, wire errors). Instrumented components
+  /// note events through the returned pointer; the engine itself notes its
+  /// merged fallbacks. Not owned. Defined in obs/flight.cpp so dacc_sim
+  /// does not depend on dacc_obs.
+  obs::FlightRecorder* flight() const { return flight_; }
+  void set_flight_recorder(obs::FlightRecorder* recorder);
+
   /// Causal trace context of the currently executing process ({0,0} in
   /// engine/callback context or when no trace is active).
   TraceCtx current_trace() const {
@@ -615,6 +670,13 @@ class Engine {
   // deterministic inputs, so the snapshot byte-identity contract holds.
   std::function<void(int, std::uint64_t, std::uint64_t, bool)>
       metrics_shard_era_;
+
+  // Wallclock tier (non-deterministic; never feeds the snapshot).
+  WallSink* wall_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  // Type-erased note hook installed by set_flight_recorder (obs is not
+  // visible from dacc_sim) — used for the engine's own events.
+  std::function<void(const char*, std::string)> flight_note_;
 
   // Heterogeneous-latency topology (sparse). Keyed by pair_key(src, dst);
   // symmetric entries are stored in both directions.

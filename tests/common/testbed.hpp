@@ -3,7 +3,10 @@
 // recovery suites stop growing private copies of the same fixtures.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <functional>
+#include <iostream>
 #include <numeric>
 #include <string>
 #include <utility>
@@ -83,6 +86,27 @@ inline void run_job(rt::ClusterConfig config,
   cluster.submit(spec);
   cluster.run();
 }
+
+/// Post-mortem on test failure: construct one of these next to a Cluster
+/// and, if the enclosing gtest test has failed by the time the scope ends,
+/// the cluster's flight recorder is dumped to stderr — the last N control-
+/// plane events (elections, revocations, retries, chaos) that led up to
+/// the failing assertion.
+class FlightOnFailure {
+ public:
+  explicit FlightOnFailure(rt::Cluster& cluster) : cluster_(cluster) {}
+  FlightOnFailure(const FlightOnFailure&) = delete;
+  FlightOnFailure& operator=(const FlightOnFailure&) = delete;
+  ~FlightOnFailure() {
+    if (::testing::Test::HasFailure()) {
+      std::cerr << "[flight recorder post-mortem]\n";
+      cluster_.dump_flight_recorder(std::cerr);
+    }
+  }
+
+ private:
+  rt::Cluster& cluster_;
+};
 
 }  // namespace dacc::testing
 

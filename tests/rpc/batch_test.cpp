@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <string>
 
 #include "core/api.hpp"
+#include "sim/trace.hpp"
 #include "proto/wire.hpp"
 #include "rpc/channel.hpp"
 #include "rt/cluster.hpp"
@@ -356,6 +358,81 @@ TEST(CommandStream, BatchedAllocsYieldUsablePointers) {
   };
   cluster.submit(job);
   cluster.run();
+}
+
+TEST(CommandStream, BatchChildSpansStitchSubOpsThroughTheFrame) {
+  // A batch frame used to trace as one opaque span, hiding the small ops it
+  // carried. Both wire ends now derive per-sub-op child span ids with
+  // batch_sub_span (no extra bytes on the wire): the front-end records one
+  // child per sub-op under the batch span, the daemon parents its per-item
+  // execution spans on those, and flow arrows stitch each small op through
+  // the frame.
+  rt::ClusterConfig config;
+  config.compute_nodes = 1;
+  config.accelerators = 1;
+  config.trace = true;
+  config.batch = {/*enabled=*/true, /*watermark=*/16};
+  rt::Cluster cluster(config);
+  rt::JobSpec job;
+  job.accelerators_per_rank = 1;
+  job.body = [](rt::JobContext& ctx) {
+    core::Accelerator& ac = ctx.session()[0];
+    const gpu::DevPtr p = ac.mem_alloc(4_KiB);
+    std::vector<core::Future> burst;
+    for (int i = 0; i < 8; ++i) {
+      burst.push_back(
+          ac.launch_async("dscal", {}, {std::int64_t{64}, 2.0, p}));
+    }
+    ctx.session().wait_all(burst);
+    ac.mem_free(p);
+  };
+  cluster.submit(job);
+  cluster.run();
+
+  const std::vector<sim::Tracer::Span> spans = cluster.tracer().spans();
+  // Locate a multi-op batch frame span on the front-end track.
+  const sim::Tracer::Span* batch = nullptr;
+  std::size_t count = 0;
+  for (const auto& s : spans) {
+    if (s.track.rfind("fe-", 0) != 0 || s.name.rfind("batch[", 0) != 0) {
+      continue;
+    }
+    const std::size_t n =
+        static_cast<std::size_t>(std::stoul(s.name.substr(6)));
+    if (n > 1) {
+      batch = &s;
+      count = n;
+      break;
+    }
+  }
+  ASSERT_NE(batch, nullptr) << "no multi-op batch frame was traced";
+  EXPECT_EQ(batch->span_id, batch->trace_id);  // batch root doubles as trace
+
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t child_id = batch_sub_span(batch->span_id, i);
+    const sim::Tracer::Span* fe_child = nullptr;
+    const sim::Tracer::Span* daemon_child = nullptr;
+    for (const auto& s : spans) {
+      if (s.trace_id != batch->trace_id) continue;
+      if (s.span_id == child_id) fe_child = &s;
+      if (s.parent_id == child_id && s.track.rfind("daemon-", 0) == 0) {
+        daemon_child = &s;
+      }
+    }
+    ASSERT_NE(fe_child, nullptr) << "missing front-end child span " << i;
+    EXPECT_EQ(fe_child->parent_id, batch->span_id);
+    EXPECT_GE(fe_child->begin, batch->begin);
+    EXPECT_LE(fe_child->end, batch->end);
+    ASSERT_NE(daemon_child, nullptr)
+        << "daemon sub-op span " << i << " not parented on the derived id";
+    EXPECT_GE(daemon_child->begin, batch->begin);
+    EXPECT_LE(daemon_child->end, batch->end);
+  }
+  // Sibling sub-ops must not collide.
+  for (std::uint32_t i = 0; i + 1 < count; ++i) {
+    EXPECT_NE(batch_sub_span(batch->span_id, i),
+              batch_sub_span(batch->span_id, i + 1));
+  }
 }
 
 }  // namespace
