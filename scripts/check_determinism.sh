@@ -121,4 +121,24 @@ for ext in json prom raft; do
   done
 done
 
-echo "determinism check passed: metrics snapshots identical across backends (plain + profiled + batched + replicated-ARM chaos)"
+# Typed scheduler chaos (DESIGN.md §13): mixed priority classes, a kind- and
+# memory-constrained heterogeneous pool, an arrival-triggered preemption with
+# transparent replay, and a post-settlement leader kill. sched_dump exits
+# nonzero unless exactly one preemption and one replacement happened and the
+# per-priority assign-wait SLOs pass; its .sched digest carries the election
+# history, pool counters, SLO table and replica fingerprints, so the
+# byte-compare pins every scheduling decision across backends and shard
+# counts.
+for backend in coroutine thread parallel:1 parallel:4 parallel:8; do
+  tag="${backend/:/_}"
+  (cd "$out" && DACC_SIM_BACKEND="$backend" \
+    "$build/examples/sched_dump" "sched_$tag" 42 > "run_sched_$tag.log")
+done
+
+for ext in json prom sched; do
+  for tag in thread parallel_1 parallel_4 parallel_8; do
+    cmp "$out/sched_coroutine.$ext" "$out/sched_$tag.$ext"
+  done
+done
+
+echo "determinism check passed: metrics snapshots identical across backends (plain + profiled + batched + replicated-ARM chaos + scheduler chaos)"

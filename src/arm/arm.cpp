@@ -11,9 +11,10 @@ using proto::WireReader;
 using proto::WireWriter;
 
 Arm::Arm(dmpi::World& world, dmpi::Rank self_world_rank,
-         std::vector<AcceleratorInfo> pool, QueuePolicy policy)
+         std::vector<AcceleratorInfo> pool, QueuePolicy policy,
+         PlacementMap placement)
     : world_(world), self_(self_world_rank),
-      machine_(std::move(pool), policy) {}
+      machine_(std::move(pool), policy, "dacc_arm", std::move(placement)) {}
 
 void Arm::run(sim::Context& ctx) {
   dmpi::Mpi mpi(world_, ctx, self_);
@@ -171,16 +172,11 @@ WireReader ArmClient::call(util::Buffer frame, int reply_tag) {
   }
 }
 
-std::vector<Lease> ArmClient::acquire(std::uint64_t job, std::uint32_t count,
-                                      bool wait, const std::string& kind) {
+std::vector<Lease> ArmClient::acquire(const ResourceRequest& req) {
   const int reply_tag = channel_.next_reply_tag();
-  WireReader resp = call(channel_.request(ArmOp::kAcquire, reply_tag)
-                             .u64(job)
-                             .u32(count)
-                             .u32(wait ? 1 : 0)
-                             .str(kind)
-                             .finish(),
-                         reply_tag);
+  proto::WireWriter w = channel_.request(ArmOp::kAcquire, reply_tag);
+  req.encode_body(w);
+  WireReader resp = call(w.finish(), reply_tag);
   const auto result = static_cast<ArmResult>(resp.u32());
   const std::uint32_t granted = resp.u32();
   std::vector<Lease> leases;
@@ -193,6 +189,16 @@ std::vector<Lease> ArmClient::acquire(std::uint64_t job, std::uint32_t count,
     leases.push_back(l);
   }
   return leases;
+}
+
+std::vector<Lease> ArmClient::acquire(std::uint64_t job, std::uint32_t count,
+                                      bool wait, const std::string& kind) {
+  ResourceRequest rq;
+  rq.job = job;
+  rq.count = count;
+  rq.wait = wait;
+  rq.kind = kind;
+  return acquire(rq);
 }
 
 ArmResult ArmClient::release(std::uint64_t job, const Lease& lease) {
@@ -240,6 +246,7 @@ PoolStats ArmClient::stats() {
   s.heartbeats = resp.u64();
   s.revocations = resp.u32();
   s.replacements = resp.u32();
+  s.preemptions = resp.u32();
   return s;
 }
 

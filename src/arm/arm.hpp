@@ -41,7 +41,7 @@ class Arm {
 
   Arm(dmpi::World& world, dmpi::Rank self_world_rank,
       std::vector<AcceleratorInfo> pool,
-      QueuePolicy policy = QueuePolicy::kFcfs);
+      QueuePolicy policy = QueuePolicy::kFcfs, PlacementMap placement = {});
 
   /// Service loop; runs until a kShutdown request arrives (or forever as an
   /// engine daemon).
@@ -70,11 +70,16 @@ class ArmClient {
   ArmClient(dmpi::Mpi& mpi, const dmpi::Comm& comm,
             std::vector<dmpi::Rank> arm_ranks);
 
-  /// Acquires `count` exclusive accelerators for `job`. With wait == false,
-  /// returns an empty vector if the pool cannot satisfy the request; with
-  /// wait == true, blocks until it can (order per the ARM's queue policy).
-  /// A non-empty `kind` restricts the grant to that device class
-  /// (heterogeneous pools: "gpu", "mic", ...).
+  /// Acquires exclusive accelerators per the typed request (device class,
+  /// minimum memory, count, gang flag, priority, locality hint — see
+  /// ResourceRequest). With wait == false an unsatisfiable request returns
+  /// an empty vector; with wait == true it blocks until granted (priority,
+  /// then the ARM's queue policy). Non-gang requests may return fewer
+  /// leases than asked.
+  std::vector<Lease> acquire(const ResourceRequest& req);
+
+  /// Legacy flat shim: acquire(job, count) with default extension fields —
+  /// gang, normal priority, any memory, requester-local placement.
   std::vector<Lease> acquire(std::uint64_t job, std::uint32_t count,
                              bool wait = false, const std::string& kind = "");
 

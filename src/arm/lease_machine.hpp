@@ -1,7 +1,7 @@
 // The ARM lease state machine, factored out of the server loop.
 //
 // The paper's pool manager (Section III.B.2) is a pure function of the
-// requests it has processed: slots, the FCFS queue, revoked lease ids and
+// requests it has processed: slots, the pending queue, revoked lease ids and
 // the counters are all derived from the command stream. This file makes
 // that explicit. A `Command` is one client request (op word + body, plus
 // where the answer goes); `LeaseMachine::apply` consumes it and returns
@@ -14,13 +14,27 @@
 // the effects. The single-ARM server (arm.hpp) drives the same machine
 // directly, so both deployments share one implementation of the lease
 // semantics.
+//
+// Scheduling model (DESIGN.md §13): acquisitions are typed
+// `ResourceRequest`s — device class, minimum memory, count, gang flag,
+// priority, locality hint. Free slots are indexed per (kind, memory) class
+// and per placement zone; pending requests sit in a (priority, arrival)
+// ordered map; assigned slots carry a mirror (class, priority) index so
+// arrival-triggered preemption finds its victims without a slot scan.
+// Every scheduling decision is O(log n) in the pool/queue size; only
+// liveness sweeps walk the slot table.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "arm/placement.hpp"
 #include "dmpi/mpi.hpp"
 #include "obs/metrics.hpp"
 #include "proto/wire.hpp"
@@ -61,6 +75,56 @@ enum class ArmResult : std::uint32_t {
 
 const char* to_string(ArmResult r);
 
+// --- request model ---------------------------------------------------------
+
+/// Priority classes. Any value up to kMaxPriority is legal on the wire
+/// (strict ordering among all values); the named classes are what metrics
+/// label and the runtime exposes.
+inline constexpr std::uint32_t kPriorityBatch = 0;
+inline constexpr std::uint32_t kPriorityNormal = 1;
+inline constexpr std::uint32_t kPriorityHigh = 2;
+inline constexpr std::uint32_t kPriorityUrgent = 3;
+/// Wire bound: a decoded priority above this is a malformed frame.
+inline constexpr std::uint32_t kMaxPriority = 7;
+/// Number of labelled metric classes (priorities above clamp to the last).
+inline constexpr std::uint32_t kPriorityClasses = 4;
+const char* priority_class_name(std::uint32_t priority);
+
+/// Version word of the kAcquire body extension (see encode_body).
+inline constexpr std::uint32_t kAcquireExtVersion = 1;
+
+/// One typed acquisition. The legacy flat acquire(job, count, wait, kind)
+/// maps onto this with every extension field at its default.
+struct ResourceRequest {
+  std::uint64_t job = 0;
+  std::uint32_t count = 1;
+  bool wait = false;           ///< queue when not immediately satisfiable
+  std::string kind;            ///< device class constraint; empty = any
+  std::uint64_t memory_bytes = 0;  ///< minimum device memory; 0 = any
+  bool gang = true;            ///< all-or-nothing; false = partial grant ok
+  std::uint32_t priority = kPriorityNormal;
+  std::int64_t locality = -1;  ///< fabric node to place near; -1 = requester
+
+  // Builder-style setters so call sites read as one fluent request.
+  ResourceRequest& with_job(std::uint64_t j) { job = j; return *this; }
+  ResourceRequest& with_count(std::uint32_t c) { count = c; return *this; }
+  ResourceRequest& with_wait(bool w = true) { wait = w; return *this; }
+  ResourceRequest& with_kind(std::string k) { kind = std::move(k); return *this; }
+  ResourceRequest& with_memory(std::uint64_t b) { memory_bytes = b; return *this; }
+  ResourceRequest& with_gang(bool g) { gang = g; return *this; }
+  ResourceRequest& with_priority(std::uint32_t p) { priority = p; return *this; }
+  ResourceRequest& with_locality(std::int64_t node) { locality = node; return *this; }
+
+  /// kAcquire body codec. The layout is the legacy prefix (job, count,
+  /// wait, kind) followed by a versioned extension (version word, memory,
+  /// priority, gang, locality). A frame that ends after the prefix is a
+  /// legacy request and decodes to default extension fields; a frame with
+  /// trailing bytes must carry a complete, version-1, in-range extension or
+  /// the whole decode throws proto::WireError — no partial application.
+  void encode_body(proto::WireWriter& w) const;
+  static ResourceRequest decode_body(proto::WireReader& r);
+};
+
 /// Liveness protocol knobs (paper Section III.A: failed accelerators leave
 /// the pool without taking the compute node down). Daemon-side pacers beat
 /// every `period`; the monitor sweeps on the same period and revokes a slot
@@ -99,12 +163,20 @@ struct SweepRequest {
   static SweepRequest decode(proto::WireReader& r);
 };
 
-/// Unsolicited push to a lease owner when its slot is revoked.
+/// Why a lease was revoked: the slot died, or a higher-priority request
+/// preempted it (the slot itself is healthy and returns to the free pool).
+inline constexpr std::uint32_t kRevokeFailure = 0;
+inline constexpr std::uint32_t kRevokePreempted = 1;
+
+/// Unsolicited push to a lease owner when its slot is revoked. The reason
+/// word is a versioned suffix: legacy frames end at revoked_at and decode
+/// as kRevokeFailure.
 struct RevokeNotice {
   dmpi::Rank daemon_rank = -1;
   std::uint64_t lease_id = 0;
   std::uint64_t job = 0;
   SimTime revoked_at = 0;
+  std::uint32_t reason = kRevokeFailure;
 
   util::Buffer encode() const;
   static RevokeNotice decode(proto::WireReader& r);
@@ -128,6 +200,7 @@ struct AcceleratorInfo {
   dmpi::Rank daemon_rank = -1;
   std::string device_name;
   std::string kind = "gpu";  ///< constraint key for heterogeneous pools
+  std::uint64_t memory_bytes = 0;  ///< device memory (0 = unreported)
 };
 
 /// An exclusive lease on one accelerator, identified by the daemon's world
@@ -147,9 +220,11 @@ struct PoolStats {
   std::uint64_t heartbeats = 0;     ///< liveness beats processed
   std::uint32_t revocations = 0;    ///< leases revoked by the sweep
   std::uint32_t replacements = 0;   ///< transparent replacements reported
+  std::uint32_t preemptions = 0;    ///< leases revoked by priority preemption
 };
 
 /// How queued (waiting) acquisitions are served when accelerators free up.
+/// Within a priority level; higher priorities always drain first.
 enum class QueuePolicy {
   kFcfs,      ///< strict order: the head request blocks everything behind
   kBackfill,  ///< any satisfiable queued request may run (EASY-style)
@@ -198,7 +273,8 @@ struct ApplyResult {
 class LeaseMachine {
  public:
   LeaseMachine(std::vector<AcceleratorInfo> pool, QueuePolicy policy,
-               std::string metrics_prefix = "dacc_arm");
+               std::string metrics_prefix = "dacc_arm",
+               PlacementMap placement = {});
 
   /// Applies one command, returning the messages to send. Commands carrying
   /// a reply tag are idempotent: a re-applied (client, reply_tag) pair
@@ -227,8 +303,10 @@ class LeaseMachine {
   /// and the chaos tier's cross-backend state comparison all use this one
   /// byte format.
   util::Buffer snapshot() const;
-  /// Rebuilds a machine from snapshot() bytes. Throws proto::WireError on
-  /// truncated or out-of-range input. Metrics stay unbound.
+  /// Rebuilds a machine from snapshot() bytes. Accepts the current format
+  /// and the pre-scheduler v1 layout (extension fields default). Throws
+  /// proto::WireError on truncated or out-of-range input. Metrics stay
+  /// unbound.
   static LeaseMachine restore(proto::WireReader& r,
                               std::string metrics_prefix = "dacc_arm");
   /// FNV-1a over snapshot() — the value replicas compare in tests.
@@ -251,16 +329,41 @@ class LeaseMachine {
     std::uint64_t job = 0;
     std::uint64_t lease_id = 0;
     dmpi::Rank owner = -1;  ///< client world rank holding the lease
+    std::uint32_t priority = kPriorityNormal;  ///< of the granting request
     SimTime assigned_since = 0;
     SimDuration assigned_total = 0;
     SimTime last_beat = 0;
   };
+  /// (kind, memory) equivalence class of slots — the free-index bucket key.
+  /// A pool has as many classes as distinct device models, so walking all
+  /// classes is O(1) for any real pool.
+  using ClassKey = std::pair<std::string, std::uint64_t>;
+  /// Free slots of one class, bucketed per placement zone, ascending ids.
+  struct FreeClass {
+    std::vector<std::set<std::uint32_t>> zone;
+    std::uint32_t total = 0;
+  };
+  /// Assigned slots of one class, bucketed per owner priority, ascending
+  /// ids — the preemption victim index. preempt_for counts and picks
+  /// victims (lowest priority, lowest slot) from here instead of scanning
+  /// the slot table. Buckets cover the full wire range (strict ordering
+  /// among raw values, not just the labelled metric classes).
+  struct AssignedClass {
+    std::array<std::set<std::uint32_t>, kMaxPriority + 1> by_prio;
+  };
+  /// Queue order: higher priority first, then arrival (ticket) order.
+  struct PendingKey {
+    std::uint32_t priority = 0;
+    std::uint64_t ticket = 0;
+    bool operator<(const PendingKey& o) const {
+      if (priority != o.priority) return priority > o.priority;
+      return ticket < o.ticket;
+    }
+  };
   struct PendingAcquire {
     dmpi::Rank client = -1;
     int reply_tag = 0;
-    std::uint64_t job = 0;
-    std::uint32_t count = 0;
-    std::string kind;         ///< empty = any
+    ResourceRequest req;
     SimTime enqueued_at = 0;  ///< for the assignment-wait metric
   };
   struct CachedReply {
@@ -279,15 +382,30 @@ class LeaseMachine {
   void emit_reply(std::vector<Effect>& out, dmpi::Rank client, int reply_tag,
                   util::Buffer frame);
   void handle_acquire(std::vector<Effect>& out, dmpi::Rank client,
-                      int reply_tag, std::uint64_t job, std::uint32_t count,
-                      const std::string& kind, bool wait, SimTime now);
+                      int reply_tag, const ResourceRequest& req, SimTime now);
   bool try_grant(std::vector<Effect>& out, dmpi::Rank client, int reply_tag,
-                 std::uint64_t job, std::uint32_t count,
-                 const std::string& kind, SimTime now);
+                 const ResourceRequest& req, SimTime now);
   void drain_queue(std::vector<Effect>& out, SimTime now);
-  std::uint32_t free_count(const std::string& kind) const;
+  /// Revokes enough strictly-lower-priority leases (healthy slots return to
+  /// the free pool) to make `req` grantable, or does nothing. Arrival-
+  /// triggered only; returns whether anything was preempted.
+  bool preempt_for(std::vector<Effect>& out, const ResourceRequest& req,
+                   SimTime now);
+  void enqueue_pending(dmpi::Rank client, int reply_tag,
+                       const ResourceRequest& req, SimTime now);
+  static bool class_matches(const ClassKey& key, const ResourceRequest& req);
+  /// Free slots a request could be granted right now / could ever be
+  /// granted (non-broken). Both walk the class map, not the slots.
+  std::uint32_t free_matching(const ResourceRequest& req) const;
+  std::uint32_t alive_matching(const ResourceRequest& req) const;
+  std::uint32_t requester_zone(const ResourceRequest& req,
+                               dmpi::Rank client) const;
   Slot* find_slot(dmpi::Rank daemon_rank);
-  void release_slot(Slot& slot, SimTime now);
+  std::int64_t slot_index(dmpi::Rank daemon_rank) const;
+  void release_slot(std::uint32_t idx, SimTime now);
+  /// Slot leaves the pool for good (fault path): frees the index entry,
+  /// decrements the class's alive count, marks kBroken.
+  void break_slot(std::uint32_t idx, SimTime now);
   void handle_heartbeat(std::vector<Effect>& out, const Heartbeat& hb,
                         SimTime now);
   void handle_sweep(std::vector<Effect>& out, const SweepRequest& sweep,
@@ -295,32 +413,69 @@ class LeaseMachine {
   /// Marks the slot broken; an assigned slot additionally has its lease
   /// revoked: the owner is notified and the lease id remembered so a late
   /// release gets kRevoked instead of kUnknownHandle.
-  void revoke_slot(std::vector<Effect>& out, Slot& slot, SimTime now,
+  void revoke_slot(std::vector<Effect>& out, std::uint32_t idx, SimTime now,
                    const char* cause);
+  /// Preemption flavour of revoke_slot: same notice + revoked-lease
+  /// bookkeeping, but the slot is healthy and returns to kFree.
+  void preempt_slot(std::vector<Effect>& out, std::uint32_t idx, SimTime now);
   /// After the pool shrinks, queued acquires that can never be satisfied any
-  /// more (count > surviving slots of that kind) are failed immediately.
+  /// more (count > surviving slots of that class) are failed immediately.
   void fail_unsatisfiable(std::vector<Effect>& out);
   bool was_revoked(std::uint64_t lease_id) const;
   const CachedReply* cached(dmpi::Rank client, int reply_tag) const;
+  void observe_wait(std::uint32_t priority, std::uint64_t ns);
+  static ClassKey key_of(const Slot& s);
+  void index_insert_free(std::uint32_t idx);
+  void index_erase_free(std::uint32_t idx);
+  /// Mirror maintenance for the assigned index. Insert runs after the
+  /// slot's owner priority is set; erase runs before it is reset.
+  void index_insert_assigned(std::uint32_t idx);
+  void index_erase_assigned(std::uint32_t idx);
+  /// Mirror maintenance for the per-class pending index: a queued request
+  /// is listed under every device class that could satisfy it, so backfill
+  /// asks "lowest pending this free class can serve" instead of scanning
+  /// the queue.
+  void pending_index_insert(const PendingKey& key, const ResourceRequest& rq);
+  void pending_index_erase(const PendingKey& key, const ResourceRequest& rq);
+  /// Derives every index (rank map, free classes, alive counts, zone
+  /// orders, pending-by-client) from the authoritative state. Called from
+  /// the constructor and restore(); the snapshot carries no index data.
+  void rebuild_indexes();
 
   QueuePolicy policy_ = QueuePolicy::kFcfs;
   std::vector<Slot> slots_;
-  std::deque<PendingAcquire> queue_;
+  std::map<PendingKey, PendingAcquire> queue_;
   std::vector<std::uint64_t> revoked_leases_;
   std::vector<ClientReplies> reply_cache_;
+  PlacementMap placement_;
   std::uint64_t next_lease_ = 1;
+  std::uint64_t next_ticket_ = 1;
   std::uint64_t acquisitions_ = 0;
   std::uint64_t heartbeats_ = 0;
   std::uint32_t revocations_ = 0;
   std::uint32_t replacements_ = 0;
+  std::uint32_t preemptions_ = 0;
+
+  // Derived indexes (never snapshotted; rebuild_indexes() restores them).
+  std::map<dmpi::Rank, std::uint32_t> slot_by_rank_;
+  std::map<ClassKey, FreeClass> free_;
+  std::map<ClassKey, AssignedClass> assigned_idx_;
+  std::map<ClassKey, std::uint32_t> alive_;
+  std::map<ClassKey, std::set<PendingKey>> pending_by_class_;
+  std::map<std::pair<dmpi::Rank, int>, PendingKey> pending_by_client_;
+  std::vector<std::vector<std::uint32_t>> zone_order_;
+  std::uint32_t free_total_ = 0;
+  std::uint32_t broken_total_ = 0;
 
   // Metrics (lazy-bound, no-op handles when no registry is attached).
   std::string metrics_prefix_ = "dacc_arm";
   obs::Registry* metrics_bound_ = nullptr;
   obs::Gauge m_assigned_;
   obs::Histogram m_assign_wait_ns_;
+  obs::Histogram m_wait_by_class_[kPriorityClasses];
   obs::Histogram m_heartbeat_latency_ns_;
   obs::Counter m_revocations_;
+  obs::Counter m_preemptions_;
 };
 
 }  // namespace dacc::arm

@@ -1,0 +1,78 @@
+// Topology view the scheduler places against (DESIGN.md §13.4).
+//
+// A zone is a group of fabric nodes that are mutually "close" (connected at
+// the base wire latency); zone_latency_ns is the representative one-way
+// latency between zone pairs. rt::Cluster derives the map from the same
+// link-latency overrides that feed the PR 7 shard partitioner, so every ARM
+// replica computes the identical map from config alone — and the map still
+// travels inside the LeaseMachine snapshot, so a replica restored via
+// InstallSnapshot can never disagree with its peers about placement.
+//
+// The default-constructed map is trivial (every node in zone 0), which makes
+// placement a no-op: grants fall back to pure slot-id order, bit-identical
+// to the pre-placement scheduler.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace dacc::arm {
+
+struct PlacementMap {
+  /// Zone of each fabric node, indexed by node id (== world rank). Nodes
+  /// beyond the vector (and every node, when it is empty) are zone 0.
+  std::vector<std::uint32_t> node_zone;
+  /// Symmetric zone-pair one-way latency matrix, row-major zones() x
+  /// zones(). Missing entries read as 0 (normalize() pads).
+  std::vector<std::uint64_t> zone_latency_ns;
+
+  bool trivial() const { return node_zone.empty(); }
+
+  std::uint32_t zones() const {
+    std::uint32_t z = 1;
+    for (const std::uint32_t v : node_zone) z = std::max(z, v + 1);
+    return z;
+  }
+
+  std::uint32_t zone_of(std::int64_t node) const {
+    if (node < 0 || static_cast<std::size_t>(node) >= node_zone.size()) {
+      return 0;
+    }
+    return node_zone[static_cast<std::size_t>(node)];
+  }
+
+  std::uint64_t latency(std::uint32_t a, std::uint32_t b) const {
+    const std::size_t idx =
+        static_cast<std::size_t>(a) * zones() + static_cast<std::size_t>(b);
+    return idx < zone_latency_ns.size() ? zone_latency_ns[idx] : 0;
+  }
+
+  /// Pads the latency matrix to zones() x zones() so latency() lookups and
+  /// the snapshot codec never index out of range.
+  void normalize() {
+    const std::size_t need =
+        static_cast<std::size_t>(zones()) * static_cast<std::size_t>(zones());
+    if (zone_latency_ns.size() < need) zone_latency_ns.resize(need, 0);
+  }
+
+  /// Zones sorted by (latency from `from`, zone id) — the deterministic
+  /// preference order grants walk, nearest first.
+  std::vector<std::uint32_t> order_from(std::uint32_t from) const {
+    std::vector<std::uint32_t> order(zones());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       const std::uint64_t la = latency(from, a);
+                       const std::uint64_t lb = latency(from, b);
+                       if (la != lb) return la < lb;
+                       return a < b;
+                     });
+    return order;
+  }
+
+  bool operator==(const PlacementMap&) const = default;
+};
+
+}  // namespace dacc::arm

@@ -24,7 +24,8 @@ std::uint64_t replica_seed(std::uint64_t group_seed, int replica_index) {
 RaftNode::RaftNode(dmpi::World& world, dmpi::Rank self_world_rank,
                    int replica_index, std::vector<dmpi::Rank> replica_ranks,
                    std::vector<AcceleratorInfo> pool, QueuePolicy policy,
-                   RaftParams params, HeartbeatParams heartbeat)
+                   RaftParams params, HeartbeatParams heartbeat,
+                   PlacementMap placement)
     : world_(world),
       self_(self_world_rank),
       index_(replica_index),
@@ -32,9 +33,10 @@ RaftNode::RaftNode(dmpi::World& world, dmpi::Rank self_world_rank,
       params_(params),
       heartbeat_(heartbeat),
       rng_(replica_seed(params.seed, replica_index)),
-      machine_(std::move(pool), policy),
+      machine_(std::move(pool), policy, "dacc_arm", std::move(placement)),
       peers_(replicas_.size()),
-      votes_(replicas_.size(), false) {}
+      votes_(replicas_.size(), false),
+      prevotes_(replicas_.size(), false) {}
 
 void RaftNode::set_activity_gate(std::function<bool()> active,
                                  sim::WaitQueue* gate) {
@@ -141,6 +143,10 @@ void RaftNode::wake(sim::Context& ctx) {
     ae_deadline_ = ctx.now();
   } else {
     election_deadline_ = ctx.now() + draw_timeout();
+    // The idle gap is leader silence by design, not failure: refresh the
+    // contact clock so the first post-wake timeout doesn't instantly pass
+    // every peer's pre-vote staleness check at once.
+    last_leader_contact_ = ctx.now();
   }
 }
 
@@ -159,8 +165,42 @@ void RaftNode::become_follower(std::uint64_t term) {
   role_ = Role::kFollower;
 }
 
+void RaftNode::maybe_start_election(sim::Context& ctx, dmpi::Mpi& mpi) {
+  // Pre-vote only makes sense with peers to probe; a single-replica group
+  // (and the legacy pre_vote=false mode) elects itself directly.
+  if (!params_.pre_vote || replicas_.size() == 1) {
+    start_election(ctx, mpi);
+    return;
+  }
+  begin_prevote(ctx, mpi);
+}
+
+void RaftNode::begin_prevote(sim::Context& ctx, dmpi::Mpi& mpi) {
+  if (role_ == Role::kLeader) return;
+  // A candidate whose election timed out falls back to probing: its term is
+  // already bumped, so the probe campaigns at term_+1 like any other.
+  role_ = Role::kFollower;
+  prevote_active_ = true;
+  prevote_term_ = term_ + 1;
+  prevotes_.assign(replicas_.size(), false);
+  prevotes_[static_cast<std::size_t>(index_)] = true;
+  election_deadline_ = ctx.now() + draw_timeout();
+  trace(ctx, "prevote-r" + std::to_string(index_) + "-term" +
+                 std::to_string(prevote_term_));
+  PreVote pv;
+  pv.term = prevote_term_;
+  pv.candidate = self_;
+  pv.last_log_index = last_log_index();
+  pv.last_log_term = term_at(last_log_index());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (static_cast<int>(i) == index_) continue;
+    send_peer(mpi, replicas_[i], pv.encode());
+  }
+}
+
 void RaftNode::start_election(sim::Context& ctx, dmpi::Mpi& mpi) {
   if (role_ == Role::kLeader) return;
+  prevote_active_ = false;
   role_ = Role::kCandidate;
   ++term_;
   voted_for_ = self_;
@@ -188,6 +228,7 @@ void RaftNode::start_election(sim::Context& ctx, dmpi::Mpi& mpi) {
 
 void RaftNode::become_leader(sim::Context& ctx) {
   role_ = Role::kLeader;
+  prevote_active_ = false;
   leader_hint_ = self_;
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     Peer& p = peers_[i];
@@ -418,6 +459,8 @@ void RaftNode::on_append_entries(sim::Context& ctx, dmpi::Mpi& mpi,
   if (m.term > term_ || role_ != Role::kFollower) become_follower(m.term);
   leader_hint_ = m.leader;
   election_deadline_ = ctx.now() + draw_timeout();
+  last_leader_contact_ = ctx.now();
+  prevote_active_ = false;  // a live leader moots any probe in flight
   rep.term = term_;
 
   // Consistency check against the entry preceding the batch.
@@ -492,6 +535,8 @@ void RaftNode::on_install_snapshot(sim::Context& ctx, dmpi::Mpi& mpi,
   if (m.term > term_ || role_ != Role::kFollower) become_follower(m.term);
   leader_hint_ = m.leader;
   election_deadline_ = ctx.now() + draw_timeout();
+  last_leader_contact_ = ctx.now();
+  prevote_active_ = false;
   rep.term = term_;
   if (m.last_index > applied_) {
     // restore() before touching any member: a corrupted snapshot frame must
@@ -528,6 +573,47 @@ void RaftNode::on_snapshot_reply(const SnapshotReply& m) {
   if (p.match + 1 > p.next) p.next = p.match + 1;
 }
 
+void RaftNode::on_pre_vote(sim::Context& ctx, dmpi::Mpi& mpi,
+                           const PreVote& m) {
+  // Advisory probe: grants never touch term_ or voted_for_, and never
+  // reset our election deadline — a denied probe must not disturb us.
+  PreVoteReply rep;
+  rep.term = m.term;
+  rep.voter = self_;
+  bool grant = false;
+  if (m.term > term_ && role_ != Role::kLeader) {
+    const std::uint64_t my_last_term = term_at(last_log_index());
+    const bool log_ok = m.last_log_term > my_last_term ||
+                        (m.last_log_term == my_last_term &&
+                         m.last_log_index >= last_log_index());
+    // Deny while a live leader is heartbeating us. Measured against the
+    // last real leader contact, not our own election deadline (which we
+    // reset ourselves on timeout — symmetric probes would livelock).
+    const bool leader_stale =
+        ctx.now() - last_leader_contact_ >= params_.election_min;
+    grant = log_ok && leader_stale;
+  }
+  rep.granted = grant;
+  send_peer(mpi, m.candidate, rep.encode());
+}
+
+void RaftNode::on_pre_vote_reply(sim::Context& ctx, dmpi::Mpi& mpi,
+                                 const PreVoteReply& m) {
+  if (!prevote_active_ || role_ != Role::kFollower ||
+      m.term != prevote_term_ || !m.granted) {
+    return;
+  }
+  const int i = index_of(m.voter);
+  if (i < 0) return;
+  prevotes_[static_cast<std::size_t>(i)] = true;
+  int count = 0;
+  for (const bool v : prevotes_) count += v ? 1 : 0;
+  if (count * 2 > static_cast<int>(replicas_.size())) {
+    // A majority would vote for us at prevote_term_: campaign for real.
+    start_election(ctx, mpi);
+  }
+}
+
 void RaftNode::handle_raft(sim::Context& ctx, dmpi::Mpi& mpi,
                            rpc::Inbound& in) {
   switch (in.op<RaftOp>()) {
@@ -548,6 +634,12 @@ void RaftNode::handle_raft(sim::Context& ctx, dmpi::Mpi& mpi,
       break;
     case RaftOp::kSnapshotReply:
       on_snapshot_reply(SnapshotReply::decode(in.body));
+      break;
+    case RaftOp::kPreVote:
+      on_pre_vote(ctx, mpi, PreVote::decode(in.body));
+      break;
+    case RaftOp::kPreVoteReply:
+      on_pre_vote_reply(ctx, mpi, PreVoteReply::decode(in.body));
       break;
   }
 }
@@ -650,7 +742,7 @@ void RaftNode::run(sim::Context& ctx) {
     } else if (role_ == Role::kLeader) {
       leader_tick(ctx, mpi);
     } else {
-      start_election(ctx, mpi);
+      maybe_start_election(ctx, mpi);
     }
     advance_commit();
     apply_committed(ctx, channel);

@@ -63,6 +63,11 @@ struct RaftParams {
   /// waiting on a peer for quiescence purposes (the peer is presumed
   /// killed; a reply instantly revives it).
   std::uint32_t dead_rounds = 8;
+  /// Pre-vote phase (Raft dissertation §9.6): before bumping its term, a
+  /// timed-out follower probes whether an election could succeed. A replica
+  /// rejoining after a partition can no longer depose a healthy leader just
+  /// by having timed out and inflated its term while isolated.
+  bool pre_vote = true;
 };
 
 /// One ARM replica. Construct one per replica rank, spawn run() as an
@@ -74,7 +79,8 @@ class RaftNode {
   RaftNode(dmpi::World& world, dmpi::Rank self_world_rank, int replica_index,
            std::vector<dmpi::Rank> replica_ranks,
            std::vector<AcceleratorInfo> pool, QueuePolicy policy,
-           RaftParams params, HeartbeatParams heartbeat);
+           RaftParams params, HeartbeatParams heartbeat,
+           PlacementMap placement = {});
 
   /// Wires the cluster's activity signal: `active()` says whether any job
   /// is running (read from the replica's own context — the cluster's
@@ -129,6 +135,10 @@ class RaftNode {
   void send_peer(dmpi::Mpi& mpi, dmpi::Rank to, util::Buffer frame);
 
   void become_follower(std::uint64_t term);
+  /// Election-timeout entry point: pre-vote probe first when enabled (and
+  /// the group has peers to probe), otherwise a real election.
+  void maybe_start_election(sim::Context& ctx, dmpi::Mpi& mpi);
+  void begin_prevote(sim::Context& ctx, dmpi::Mpi& mpi);
   void start_election(sim::Context& ctx, dmpi::Mpi& mpi);
   void become_leader(sim::Context& ctx);
   void propose_sweep(sim::Context& ctx, bool fresh);
@@ -153,6 +163,9 @@ class RaftNode {
   void on_install_snapshot(sim::Context& ctx, dmpi::Mpi& mpi,
                            InstallSnapshot m);
   void on_snapshot_reply(const SnapshotReply& m);
+  void on_pre_vote(sim::Context& ctx, dmpi::Mpi& mpi, const PreVote& m);
+  void on_pre_vote_reply(sim::Context& ctx, dmpi::Mpi& mpi,
+                         const PreVoteReply& m);
 
   dmpi::World& world_;
   dmpi::Rank self_;
@@ -182,6 +195,16 @@ class RaftNode {
   SimTime ae_deadline_ = 0;
   SimTime next_sweep_at_ = 0;
   std::uint64_t elections_ = 0;
+
+  // --- pre-vote state (dissertation §9.6) ---------------------------------
+  bool prevote_active_ = false;
+  std::uint64_t prevote_term_ = 0;     ///< term the probe campaigns for
+  std::vector<bool> prevotes_;         ///< parallel to replicas_
+  /// Last time a live leader was heard (valid AppendEntries or
+  /// InstallSnapshot, or a gate wakeup). Pre-vote grants require this to be
+  /// at least election_min stale — NOT our own election deadline, which we
+  /// reset on our own timeout and would livelock symmetric probes.
+  SimTime last_leader_contact_ = 0;
 
   // --- parking / lifecycle ------------------------------------------------
   std::function<bool()> active_;

@@ -64,6 +64,40 @@ VoteReply VoteReply::decode(WireReader& r) {
   return m;
 }
 
+util::Buffer PreVote::encode() const {
+  return header(RaftOp::kPreVote)
+      .u64(term)
+      .u64(rank_word(candidate))
+      .u64(last_log_index)
+      .u64(last_log_term)
+      .finish();
+}
+
+PreVote PreVote::decode(WireReader& r) {
+  PreVote m;
+  m.term = r.u64();
+  m.candidate = read_rank(r);
+  m.last_log_index = r.u64();
+  m.last_log_term = r.u64();
+  return m;
+}
+
+util::Buffer PreVoteReply::encode() const {
+  return header(RaftOp::kPreVoteReply)
+      .u64(term)
+      .u64(rank_word(voter))
+      .u32(granted ? 1 : 0)
+      .finish();
+}
+
+PreVoteReply PreVoteReply::decode(WireReader& r) {
+  PreVoteReply m;
+  m.term = r.u64();
+  m.voter = read_rank(r);
+  m.granted = r.u32() != 0;
+  return m;
+}
+
 util::Buffer AppendEntries::encode() const {
   WireWriter w = header(RaftOp::kAppendEntries);
   w.u64(term)

@@ -36,11 +36,13 @@ enum class RaftOp : std::uint32_t {
   kAppendReply = 103,
   kInstallSnapshot = 104,
   kSnapshotReply = 105,
+  kPreVote = 106,
+  kPreVoteReply = 107,
 };
 
 inline bool is_raft_op(std::uint32_t op_word) {
   return op_word >= kFirstRaftOp &&
-         op_word <= static_cast<std::uint32_t>(RaftOp::kSnapshotReply);
+         op_word <= static_cast<std::uint32_t>(RaftOp::kPreVoteReply);
 }
 
 /// One replicated-log entry: a client command plus the simulated time the
@@ -71,6 +73,32 @@ struct VoteReply {
 
   util::Buffer encode() const;
   static VoteReply decode(proto::WireReader& r);
+};
+
+/// Pre-vote probe (§9.6 of the Raft dissertation): a follower whose
+/// election timer fired asks whether an election at `term` (its current
+/// term + 1) could succeed, WITHOUT bumping its own term. Peers grant only
+/// if the candidate's log is current and they themselves have not heard
+/// from a live leader within the minimum election timeout — so a rejoining
+/// replica that missed a few terms can no longer depose a healthy leader
+/// just by timing out. Grants are advisory: they do not touch voted_for.
+struct PreVote {
+  std::uint64_t term = 0;  ///< the term the candidate would campaign at
+  dmpi::Rank candidate = -1;
+  std::uint64_t last_log_index = 0;
+  std::uint64_t last_log_term = 0;
+
+  util::Buffer encode() const;
+  static PreVote decode(proto::WireReader& r);
+};
+
+struct PreVoteReply {
+  std::uint64_t term = 0;  ///< echoes the probed term
+  dmpi::Rank voter = -1;
+  bool granted = false;
+
+  util::Buffer encode() const;
+  static PreVoteReply decode(proto::WireReader& r);
 };
 
 struct AppendEntries {

@@ -339,8 +339,9 @@ void Accelerator::execute_batch(rpc::Channel& ch, sim::Context& ctx,
   }
 
   bool revoked_dead_end = false;
-  if (rp.replace_on_failure && consume_revocation(ch) &&
-      !try_replace(ch, ctx)) {
+  std::uint32_t revoke_reason = arm::kRevokeFailure;
+  if (rp.replace_on_failure && consume_revocation(ch, &revoke_reason) &&
+      !try_replace(ch, ctx, revoke_reason != arm::kRevokePreempted)) {
     revoked_dead_end = true;
   }
   if (revoked_dead_end) {
@@ -362,7 +363,7 @@ void Accelerator::execute_batch(rpc::Channel& ch, sim::Context& ctx,
                      "exhausted on ac" + std::to_string(lease_.daemon_rank),
                  trace_id);
       }
-      if (try_replace(ch, ctx)) {
+      if (try_replace(ch, ctx, /*broken=*/true)) {
         for (std::unique_ptr<ProxyOp>& op : group) exec_op(ch, ctx, *op);
       } else {
         for (std::unique_ptr<ProxyOp>& op : group) {
@@ -402,7 +403,8 @@ void Accelerator::execute_batch(rpc::Channel& ch, sim::Context& ctx,
                      trace_id);
           }
         }
-        const bool replaced = device_dead && try_replace(ch, ctx);
+        const bool replaced =
+            device_dead && try_replace(ch, ctx, /*broken=*/true);
         for (const std::size_t i : failed) {
           if (replaced) {
             exec_op(ch, ctx, *group[i]);  // re-execute on the replacement
@@ -587,7 +589,7 @@ bool Accelerator::attempt_with_retry(rpc::Channel& ch, sim::Context& ctx,
   return answered;
 }
 
-bool Accelerator::consume_revocation(rpc::Channel& ch) {
+bool Accelerator::consume_revocation(rpc::Channel& ch, std::uint32_t* reason) {
   const dmpi::Rank arm_rank = session_->config().arm_rank;
   if (arm_rank < 0) return false;
   // Replicated ARM: the notice may come from whichever replica led when the
@@ -596,7 +598,14 @@ bool Accelerator::consume_revocation(rpc::Channel& ch) {
       session_->config().arm_replicated() ? dmpi::kAnySource : arm_rank;
   const int tag = arm::kArmRevokeTagBase + lease_.daemon_rank;
   if (!ch.mpi().iprobe(session_->comm_, src, tag)) return false;
-  (void)ch.mpi().recv(session_->comm_, src, tag);
+  util::Buffer frame = ch.mpi().recv(session_->comm_, src, tag);
+  *reason = arm::kRevokeFailure;
+  try {
+    WireReader r(frame.view());
+    *reason = arm::RevokeNotice::decode(r).reason;
+  } catch (const proto::WireError&) {
+    // A garbled notice still means the lease is gone; treat as failure.
+  }
   return true;
 }
 
@@ -625,7 +634,8 @@ bool Accelerator::replay(rpc::Channel& ch, sim::Context& ctx,
   return true;
 }
 
-bool Accelerator::try_replace(rpc::Channel& ch, sim::Context& ctx) {
+bool Accelerator::try_replace(rpc::Channel& ch, sim::Context& ctx,
+                              bool broken) {
   const RetryPolicy& rp = session_->config().retry;
   if (!rp.replace_on_failure || replacements_ >= rp.max_replacements) {
     return false;
@@ -640,10 +650,18 @@ bool Accelerator::try_replace(rpc::Channel& ch, sim::Context& ctx) {
                             session_->config().arm_endpoints());
 
   // Make sure the pool knows (idempotent if the liveness sweep beat us to
-  // it), give the dead lease back, and take any healthy accelerator.
-  (void)arm_client.report_broken(failed.daemon_rank);
+  // it), give the dead lease back, and take any healthy accelerator. A
+  // preempted slot is NOT broken — it is free (or already re-assigned to
+  // the preemptor), so reporting it would break a healthy accelerator.
+  if (broken) (void)arm_client.report_broken(failed.daemon_rank);
   (void)arm_client.release(job, failed);  // kRevoked/kUnknownHandle: fine
-  const std::vector<arm::Lease> leases = arm_client.acquire(job, 1, true);
+  arm::ResourceRequest rq;
+  rq.job = job;
+  rq.count = 1;
+  rq.wait = true;
+  rq.priority = session_->config().priority;
+  rq.locality = static_cast<std::int64_t>(session_->self_);
+  const std::vector<arm::Lease> leases = arm_client.acquire(rq);
   if (leases.empty()) return false;  // pool can never satisfy us again
   lease_ = leases[0];
   ch.set_server(lease_.daemon_rank);
@@ -726,10 +744,12 @@ void Accelerator::exec_op(rpc::Channel& ch, sim::Context& ctx, ProxyOp& op) {
   Future::State& res = *op.result;
   const RetryPolicy& rp = session_->config().retry;
   for (;;) {
-    if (rp.replace_on_failure && consume_revocation(ch)) {
-      // The liveness sweep revoked our lease; replace before touching the
-      // wire (the daemon may even still answer, but the slot is gone).
-      if (!try_replace(ch, ctx)) {
+    std::uint32_t reason = arm::kRevokeFailure;
+    if (rp.replace_on_failure && consume_revocation(ch, &reason)) {
+      // Our lease was revoked — by the liveness sweep (slot dead) or by a
+      // higher-priority preemption (slot healthy, not ours to break).
+      // Replace before touching the wire either way.
+      if (!try_replace(ch, ctx, reason != arm::kRevokePreempted)) {
         res.complete(Result::kUnavailable);
         return;
       }
@@ -745,7 +765,7 @@ void Accelerator::exec_op(rpc::Channel& ch, sim::Context& ctx, ProxyOp& op) {
       return;
     }
     const bool device_dead = answered && out.status == Result::kEccError;
-    if ((device_dead || !answered) && try_replace(ch, ctx)) {
+    if ((device_dead || !answered) && try_replace(ch, ctx, /*broken=*/true)) {
       continue;  // state replayed; re-execute this op on the replacement
     }
     res.complete(answered ? out.status : Result::kUnavailable);
@@ -907,8 +927,18 @@ Session::~Session() {
 
 std::vector<Accelerator*> Session::acquire(std::uint32_t count, bool wait,
                                            const std::string& kind) {
-  const std::vector<arm::Lease> leases =
-      arm_client_.acquire(config_.job_id, count, wait, kind);
+  arm::ResourceRequest rq;
+  rq.count = count;
+  rq.wait = wait;
+  rq.kind = kind;
+  return acquire(std::move(rq));
+}
+
+std::vector<Accelerator*> Session::acquire(arm::ResourceRequest req) {
+  if (req.job == 0) req.job = config_.job_id;
+  if (req.priority == arm::kPriorityNormal) req.priority = config_.priority;
+  if (req.locality < 0) req.locality = static_cast<std::int64_t>(self_);
+  const std::vector<arm::Lease> leases = arm_client_.acquire(req);
   std::vector<Accelerator*> out;
   out.reserve(leases.size());
   for (const arm::Lease& lease : leases) out.push_back(attach(lease));

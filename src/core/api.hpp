@@ -199,11 +199,14 @@ class Accelerator {
   /// Full execution of one queued op: retries, revocation handling,
   /// transparent replacement, result completion.
   void exec_op(rpc::Channel& ch, sim::Context& ctx, ProxyOp& op);
-  /// Drains a pending revocation notice for the current lease, if any.
-  bool consume_revocation(rpc::Channel& ch);
-  /// report_broken + release + re-acquire + replay + report_replaced;
-  /// repoints `ch` at the replacement daemon.
-  bool try_replace(rpc::Channel& ch, sim::Context& ctx);
+  /// Drains a pending revocation notice for the current lease, if any;
+  /// fills `reason` (arm::kRevokeFailure / kRevokePreempted) when found.
+  bool consume_revocation(rpc::Channel& ch, std::uint32_t* reason);
+  /// release + re-acquire + replay + report_replaced; repoints `ch` at the
+  /// replacement daemon. With `broken` the old accelerator is first
+  /// reported broken; a preempted lease's slot is healthy (and may already
+  /// serve the preemptor), so preemption replacements must not report it.
+  bool try_replace(rpc::Channel& ch, sim::Context& ctx, bool broken);
   /// Re-executes the operation log against the (fresh) current lease,
   /// rebuilding the virtual->physical allocation table.
   bool replay(rpc::Channel& ch, sim::Context& ctx, std::uint32_t* ops,
@@ -244,6 +247,10 @@ class Session {
     /// invisible to the job.
     std::vector<dmpi::Rank> arm_ranks;
     std::uint64_t job_id = 1;
+    /// Scheduling priority for every ARM request this session makes
+    /// (acquire and post-preemption re-acquire alike). Batch sessions run
+    /// at kPriorityBatch and may be preempted by higher classes.
+    std::uint32_t priority = arm::kPriorityNormal;
     proto::TransferConfig transfer = proto::TransferConfig::pipeline_adaptive();
     proto::ProtoParams proto;
     RetryPolicy retry;
@@ -275,6 +282,12 @@ class Session {
   /// grant to that device class ("gpu", "mic", ...).
   std::vector<Accelerator*> acquire(std::uint32_t count, bool wait = false,
                                     const std::string& kind = "");
+
+  /// Typed dynamic assignment: full ResourceRequest control (device class,
+  /// minimum memory, gang flag, priority, locality). Fields left at their
+  /// defaults are filled from the session: job from config().job_id,
+  /// priority from config().priority, locality from the calling rank.
+  std::vector<Accelerator*> acquire(arm::ResourceRequest req);
 
   /// Static assignment (paper Figure 3(a)): wraps leases that the job
   /// launcher already acquired before the job started.

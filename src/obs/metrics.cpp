@@ -113,6 +113,16 @@ std::vector<SloResult> Registry::check_slos() const {
   return out;
 }
 
+void write_slo_report(const std::vector<SloResult>& results,
+                      std::ostream& os) {
+  os << "slo report (" << results.size() << " targets)\n";
+  for (const SloResult& r : results) {
+    os << (r.ok ? "PASS" : "FAIL") << " " << r.slo.series << " p"
+       << r.slo.q_permille << "<=" << r.slo.bound << " observed=" << r.observed
+       << " n=" << r.count << "\n";
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Registration
 // ---------------------------------------------------------------------------

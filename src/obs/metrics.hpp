@@ -148,6 +148,12 @@ struct SloResult {
   bool ok = true;
 };
 
+/// Deterministic fixed-order table of SLO results (one line per target:
+/// series, quantile, bound, observed, sample count, PASS/FAIL). Shared by
+/// the readout examples and benches so their byte-compared digests agree.
+void write_slo_report(const std::vector<SloResult>& results,
+                      std::ostream& os);
+
 class Registry {
  public:
   Registry() = default;

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <stdexcept>
 
@@ -28,6 +29,58 @@ std::vector<net::NodeId> rank_layout(int compute_nodes, int accelerators,
 
 int arm_node_count(const ClusterConfig& config) {
   return config.arm_replicas > 1 ? config.arm_replicas : 1;
+}
+
+/// Derives the ARM's latency zones from the fabric: nodes joined by links
+/// at or under the uniform wire latency share a zone (union-find over the
+/// pair matrix — fine at control-plane scale), zone ids are assigned in
+/// first-member order so the map is deterministic, and the zone-to-zone
+/// latency matrix reads representative nodes. A fabric without overrides
+/// yields the trivial single-zone map (legacy grant order).
+arm::PlacementMap build_placement(const ClusterConfig& config,
+                                  const net::Fabric& fabric, int nodes) {
+  if (!config.topology_placement ||
+      config.fabric.link_latency_overrides.empty()) {
+    return {};
+  }
+  std::vector<int> parent(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) parent[static_cast<std::size_t>(i)] = i;
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      x = parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    }
+    return x;
+  };
+  for (int u = 0; u < nodes; ++u) {
+    for (int v = u + 1; v < nodes; ++v) {
+      if (fabric.latency_of(u, v) <= config.fabric.wire_latency) {
+        parent[static_cast<std::size_t>(find(u))] = find(v);
+      }
+    }
+  }
+  arm::PlacementMap map;
+  map.node_zone.assign(static_cast<std::size_t>(nodes), 0);
+  std::vector<int> zone_rep;  // first member of each zone, in node order
+  std::map<int, std::uint32_t> zone_of_root;
+  for (int i = 0; i < nodes; ++i) {
+    const int root = find(i);
+    auto [it, inserted] = zone_of_root.try_emplace(
+        root, static_cast<std::uint32_t>(zone_rep.size()));
+    if (inserted) zone_rep.push_back(i);
+    map.node_zone[static_cast<std::size_t>(i)] = it->second;
+  }
+  const std::uint32_t nz = static_cast<std::uint32_t>(zone_rep.size());
+  map.zone_latency_ns.assign(static_cast<std::size_t>(nz) * nz, 0);
+  for (std::uint32_t a = 0; a < nz; ++a) {
+    for (std::uint32_t b = 0; b < nz; ++b) {
+      map.zone_latency_ns[static_cast<std::size_t>(a) * nz + b] =
+          static_cast<std::uint64_t>(
+              fabric.latency_of(zone_rep[static_cast<std::size_t>(a)],
+                                zone_rep[static_cast<std::size_t>(b)]));
+    }
+  }
+  return map;
 }
 
 }  // namespace
@@ -124,7 +177,8 @@ Cluster::Cluster(ClusterConfig config)
         [d](sim::Context& ctx) { d->run(ctx); });
     engine_.set_daemon(p);
     pool.push_back(arm::AcceleratorInfo{daemon_rank(ac), dev_params.name,
-                                        dev_params.kind});
+                                        dev_params.kind,
+                                        dev_params.memory_bytes});
   }
 
   // Node-local GPUs for the static-architecture baseline.
@@ -136,9 +190,12 @@ Cluster::Cluster(ClusterConfig config)
   }
 
   // The accelerator resource manager: one rank, or a Raft replica group.
+  const arm::PlacementMap placement = build_placement(
+      config_, fabric_,
+      config_.compute_nodes + config_.accelerators + arm_node_count(config_));
   if (!arm_replicated()) {
     arm_ = std::make_unique<arm::Arm>(*world_, arm_rank(), std::move(pool),
-                                      config_.arm_policy);
+                                      config_.arm_policy, placement);
     sim::Process& armp = engine_.spawn_on(
         static_cast<std::int32_t>(arm_rank()), "arm",
         [this](sim::Context& ctx) { arm_->run(ctx); });
@@ -149,7 +206,7 @@ Cluster::Cluster(ClusterConfig config)
       raft_gates_.push_back(std::make_unique<sim::WaitQueue>(engine_));
       raft_nodes_.push_back(std::make_unique<arm::raft::RaftNode>(
           *world_, replicas[static_cast<std::size_t>(i)], i, replicas, pool,
-          config_.arm_policy, config_.raft, config_.heartbeat));
+          config_.arm_policy, config_.raft, config_.heartbeat, placement));
       arm::raft::RaftNode* node = raft_nodes_.back().get();
       // `active_jobs_` is global-band serial state; replicas read it from
       // their own shard, exactly like the liveness pacers below.
@@ -363,10 +420,16 @@ JobHandle Cluster::submit(JobSpec spec, int first_cn) {
           arm::ArmClient arm_client(launcher_mpi, world_->world_comm(),
                                     arm_ranks());
           for (int r = 0; r < shared_spec->ranks; ++r) {
-            static_leases[static_cast<std::size_t>(r)] = arm_client.acquire(
-                job_base + static_cast<std::uint64_t>(r),
-                shared_spec->accelerators_per_rank,
-                shared_spec->wait_for_accelerators);
+            arm::ResourceRequest rq;
+            rq.job = job_base + static_cast<std::uint64_t>(r);
+            rq.count = shared_spec->accelerators_per_rank;
+            rq.wait = shared_spec->wait_for_accelerators;
+            rq.kind = shared_spec->accelerator_kind;
+            rq.priority = shared_spec->priority;
+            rq.locality = static_cast<std::int64_t>(
+                members[static_cast<std::size_t>(r)]);
+            static_leases[static_cast<std::size_t>(r)] =
+                arm_client.acquire(rq);
             if (static_leases[static_cast<std::size_t>(r)].size() !=
                 shared_spec->accelerators_per_rank) {
               throw std::runtime_error("job '" + shared_spec->name +
@@ -386,6 +449,7 @@ JobHandle Cluster::submit(JobSpec spec, int first_cn) {
                 sc.arm_rank = arm_rank();
                 sc.arm_ranks = arm_ranks();
                 sc.job_id = job_base + static_cast<std::uint64_t>(r);
+                sc.priority = shared_spec->priority;
                 sc.transfer = shared_spec->transfer;
                 sc.proto = config_.proto;
                 sc.retry = config_.retry;

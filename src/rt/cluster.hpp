@@ -59,6 +59,15 @@ struct ClusterConfig {
   /// How the ARM serves queued allocations.
   arm::Arm::QueuePolicy arm_policy = arm::Arm::QueuePolicy::kFcfs;
 
+  /// Topology-aware placement: when the fabric declares per-link latency
+  /// overrides, the cluster derives latency zones (connected components of
+  /// links at or under the uniform wire latency) and hands the ARM a
+  /// PlacementMap, so grants prefer accelerators near the requester. With a
+  /// uniform fabric the map is trivial and grant order is exactly the
+  /// legacy ascending-slot scan. Disable to force the legacy order even on
+  /// a non-uniform fabric.
+  bool topology_placement = true;
+
   /// Replicated ARM (DESIGN.md §11): with a value > 1, the lease table is
   /// hosted by this many Raft replicas — each on its own fabric node —
   /// instead of a single ARM rank. Jobs and the launcher are unchanged;
@@ -175,6 +184,13 @@ struct JobSpec {
   std::uint32_t accelerators_per_rank = 0;
   /// Queue at the ARM until the static allocation is satisfiable.
   bool wait_for_accelerators = true;
+  /// Scheduling class for every ARM request this job makes (the launcher's
+  /// static acquisition and the ranks' dynamic ones alike). Higher classes
+  /// may preempt lower ones; see arm::kPriorityBatch..kPriorityUrgent.
+  std::uint32_t priority = arm::kPriorityNormal;
+  /// Restrict the static assignment to one device class ("gpu", "mic");
+  /// empty takes any accelerator.
+  std::string accelerator_kind;
   proto::TransferConfig transfer = proto::TransferConfig::pipeline_adaptive();
   std::function<void(JobContext&)> body;
 };

@@ -14,6 +14,7 @@
 #include "arm/arm.hpp"
 #include "arm/lease_machine.hpp"
 #include "arm/raft/node.hpp"
+#include "arm/raft/wire.hpp"
 #include "common/chaos.hpp"
 #include "common/testbed.hpp"
 #include "core/api.hpp"
@@ -182,6 +183,126 @@ TEST(Raft, MachineSnapshotRoundTripsAfterChaos) {
   proto::WireReader r(snap.view());
   const LeaseMachine restored = LeaseMachine::restore(r);
   EXPECT_EQ(restored.fingerprint(), m.fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Pre-vote (dissertation §9.6): disruptive rejoiners cannot depose a healthy
+// leader
+// ---------------------------------------------------------------------------
+
+/// Receives consensus frames from replica 0 until one matches `expect`,
+/// ignoring the replica's own campaign traffic (its pre-vote probes land on
+/// the same tag while it is partitioned from its leader).
+template <typename M>
+M recv_filtered(dmpi::Mpi& mpi, const dmpi::Comm& comm, RaftOp expect) {
+  for (;;) {
+    util::Buffer frame = mpi.recv(comm, 0, kArmRequestTag);
+    proto::WireReader r(frame.view());
+    const auto op = static_cast<RaftOp>(r.u32());
+    (void)r.u32();  // reply tag (0: one-way consensus frame)
+    if (op == expect) return M::decode(r);
+  }
+}
+
+TEST(Raft, PreVoteRefusesDisruptionWhileTheLeaderIsHealthy) {
+  // Replica 0 (under test) follows a scripted leader on rank 1. Rank 2
+  // plays a rejoining replica probing at an absurdly high term. While
+  // leader contact is fresh the probe must be refused — and, the actual
+  // damping claim, replica 0's term must never move, so the healthy leader
+  // is not deposed. Once the leader falls silent past the election-timeout
+  // floor, the same probe is granted.
+  dacc::testing::MpiBed bed(3);
+  RaftParams params;
+  params.seed = 0x9E6'5EEDull;
+  RaftNode node(bed.world(), /*self=*/0, /*replica=*/0, {0, 1, 2},
+                {{1, "c1060"}}, QueuePolicy::kFcfs, params,
+                HeartbeatParams{});
+
+  auto heartbeat = [](std::uint64_t commit) {
+    AppendEntries ae;
+    ae.term = 1;
+    ae.leader = 1;
+    ae.prev_index = 0;
+    ae.prev_term = 0;
+    ae.commit = commit;
+    return ae;
+  };
+
+  bed.run({
+      [&node](dmpi::Mpi&, sim::Context& ctx) { node.run(ctx); },
+      [&](dmpi::Mpi& mpi, sim::Context& ctx) {  // scripted leader
+        const dmpi::Comm& comm = bed.comm();
+        // Healthy phase: beats every 400 us until t = 4 ms. Every reply
+        // must stay at term 1 — the rank-2 probe at 2 ms lands mid-phase
+        // and must not have bumped it.
+        for (int beat = 0; beat < 10; ++beat) {
+          mpi.send(comm, 0, kArmRequestTag, heartbeat(0).encode());
+          const auto rep =
+              recv_filtered<AppendReply>(mpi, comm, RaftOp::kAppendReply);
+          EXPECT_TRUE(rep.success);
+          EXPECT_EQ(rep.term, 1u) << "beat " << beat;
+          ctx.wait_for(400_us);
+        }
+        // Silent phase: replica 0 is allowed to campaign (it probes; we
+        // ignore the traffic). At 9 ms, after rank 2's granted probe, a
+        // committed kShutdown entry both terminates the run and proves the
+        // term STILL never moved past 1.
+        ctx.wait_until(9_ms);
+        AppendEntries down = heartbeat(1);
+        LogEntry entry;
+        entry.term = 1;
+        entry.at = 9'000'000;
+        entry.cmd.client = 1;
+        entry.cmd.reply_tag = 0;
+        entry.cmd.op = static_cast<std::uint32_t>(ArmOp::kShutdown);
+        down.entries.push_back(std::move(entry));
+        mpi.send(comm, 0, kArmRequestTag, down.encode());
+        const auto fin =
+            recv_filtered<AppendReply>(mpi, comm, RaftOp::kAppendReply);
+        EXPECT_TRUE(fin.success);
+        EXPECT_EQ(fin.term, 1u);  // term 9 disruption never stuck
+      },
+      [&](dmpi::Mpi& mpi, sim::Context& ctx) {  // rejoining replica
+        const dmpi::Comm& comm = bed.comm();
+        PreVote probe;
+        probe.term = 9;
+        probe.candidate = 2;
+        probe.last_log_index = 100;
+        probe.last_log_term = 9;
+        // Mid-heartbeats: refused, because the leader is in contact.
+        ctx.wait_until(2_ms);
+        mpi.send(comm, 0, kArmRequestTag, probe.encode());
+        const auto refused =
+            recv_filtered<PreVoteReply>(mpi, comm, RaftOp::kPreVoteReply);
+        EXPECT_FALSE(refused.granted);
+        // After > election_min of leader silence: granted.
+        ctx.wait_until(8_ms);
+        mpi.send(comm, 0, kArmRequestTag, probe.encode());
+        const auto granted =
+            recv_filtered<PreVoteReply>(mpi, comm, RaftOp::kPreVoteReply);
+        EXPECT_TRUE(granted.granted);
+      },
+  });
+
+  EXPECT_EQ(node.term(), 1u);  // the whole run never left the leader's term
+}
+
+TEST(Raft, PreVoteKeepsTermsStableAcrossSeededChaos) {
+  // Seeded regression: two leader kills force two real elections, and with
+  // pre-vote on (the default) nobody else's timeout may inflate the term —
+  // each leadership change costs at most a couple of term increments.
+  rt::Cluster cluster(
+      replicated_cluster(/*cns=*/2, /*acs=*/3, /*replicas=*/5));
+  ChaosSchedule::leader_kills(/*seed=*/1789, /*count=*/2, 2_ms, 8_ms, 2_ms)
+      .arm(cluster);
+  cluster.submit(acquire_job(2, 10_ms), /*first_cn=*/0);
+  cluster.submit(acquire_job(1, 8_ms), /*first_cn=*/1);
+  cluster.run();
+
+  expect_converged(cluster);
+  const std::vector<int> live = live_replicas(cluster);
+  ASSERT_FALSE(live.empty());
+  EXPECT_LE(cluster.arm_replica(live[0]).term(), 6u);
 }
 
 // ---------------------------------------------------------------------------
